@@ -1,0 +1,58 @@
+// Open Question 1 bench: does the HCNNG-backbone + Vamana-refinement hybrid
+// dominate its parents? Compares build time and QPS-recall curves of
+// HCNNG, DiskANN, and the hybrid at matched degree budgets.
+#include "bench_common.h"
+
+#include "algorithms/diskann.h"
+#include "algorithms/hcnng.h"
+#include "algorithms/hybrid.h"
+
+int main(int argc, char** argv) {
+  using namespace ann;
+  double s = bench::scale_arg(argc, argv);
+  const std::size_t n = bench::scaled(20000, s);
+  const std::size_t nq = 200;
+  std::printf("Open Question 1: hybrid HCNNG+Vamana (BIGANN-like, n=%zu)\n", n);
+  auto ds = make_bigann_like(n, nq, 42);
+  auto gt = compute_ground_truth<EuclideanSquared>(ds.base, ds.queries, 10);
+  const std::vector<std::uint32_t> beams{10, 20, 40, 80};
+
+  ann::Table bt({"algorithm", "build_s", "edges"});
+  {
+    HCNNGParams prm{.num_trees = 12, .leaf_size = 300};
+    GraphIndex<EuclideanSquared, std::uint8_t> ix;
+    double t = bench::time_s([&] {
+      ix = build_hcnng<EuclideanSquared>(ds.base, prm);
+    });
+    bt.add_row({"HCNNG", ann::fmt(t, 2), std::to_string(ix.graph.num_edges())});
+    bench::print_sweep("HCNNG",
+                       bench::graph_sweep(ix, ds.base, ds.queries, gt, beams));
+  }
+  {
+    DiskANNParams prm{.degree_bound = 32, .beam_width = 64};
+    GraphIndex<EuclideanSquared, std::uint8_t> ix;
+    double t = bench::time_s([&] {
+      ix = build_diskann<EuclideanSquared>(ds.base, prm);
+    });
+    bt.add_row({"DiskANN", ann::fmt(t, 2),
+                std::to_string(ix.graph.num_edges())});
+    bench::print_sweep("DiskANN",
+                       bench::graph_sweep(ix, ds.base, ds.queries, gt, beams));
+  }
+  {
+    HybridParams prm;
+    prm.backbone = {.num_trees = 8, .leaf_size = 300};
+    prm.degree_bound = 32;
+    prm.beam_width = 48;
+    GraphIndex<EuclideanSquared, std::uint8_t> ix;
+    double t = bench::time_s([&] {
+      ix = build_hybrid<EuclideanSquared>(ds.base, prm);
+    });
+    bt.add_row({"Hybrid", ann::fmt(t, 2), std::to_string(ix.graph.num_edges())});
+    bench::print_sweep("Hybrid (HCNNG backbone + Vamana refinement)",
+                       bench::graph_sweep(ix, ds.base, ds.queries, gt, beams));
+  }
+  std::printf("\n## build cost\n");
+  bt.print();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Open Question 3 bench: deterministic quantized graph search. Traverses a
+// DiskANN graph with PQ (ADC) distances + exact re-ranking, against the
+// exact-distance traversal, at several beam widths and rerank depths.
+#include "bench_common.h"
+
+#include "algorithms/diskann.h"
+#include "ivf/pq_graph_search.h"
+
+int main(int argc, char** argv) {
+  using namespace ann;
+  double s = bench::scale_arg(argc, argv);
+  const std::size_t n = bench::scaled(20000, s);
+  const std::size_t nq = 200;
+  std::printf("Open Question 3: PQ-compressed graph traversal (n=%zu)\n", n);
+  auto ds = make_bigann_like(n, nq, 42);
+  auto gt = compute_ground_truth<EuclideanSquared>(ds.base, ds.queries, 10);
+
+  DiskANNParams dprm{.degree_bound = 32, .beam_width = 64};
+  auto ix = build_diskann<EuclideanSquared>(ds.base, dprm);
+  PQParams pqp{.num_subspaces = 16, .num_codes = 64};
+  auto pq = ProductQuantizer<std::uint8_t>::train(ds.base, pqp);
+  auto codes = pq.encode(ds.base);
+  std::vector<PointId> starts{ix.start};
+
+  std::vector<bench::SweepPoint> pts;
+  for (std::uint32_t beam : {20u, 40u, 80u}) {
+    SearchParams sp{.beam_width = beam, .k = 10};
+    char label[64];
+    std::snprintf(label, sizeof(label), "exact          beam=%u", beam);
+    pts.push_back(bench::run_queries(
+        label,
+        [&](std::size_t q) {
+          return search_knn<EuclideanSquared>(
+              ds.queries[static_cast<PointId>(q)], ds.base, ix.graph, starts,
+              sp);
+        },
+        ds.queries, gt));
+    for (std::uint32_t rerank : {10u, 40u}) {
+      std::snprintf(label, sizeof(label), "pq rerank=%-3u beam=%u", rerank,
+                    beam);
+      pts.push_back(bench::run_queries(
+          label,
+          [&](std::size_t q) {
+            return pq_search_knn<EuclideanSquared>(
+                ds.queries[static_cast<PointId>(q)], ds.base, pq, codes,
+                ix.graph, starts, sp, rerank);
+          },
+          ds.queries, gt));
+    }
+  }
+  bench::print_sweep("exact vs PQ-compressed traversal", pts);
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Shared harness for the paper-reproduction benches: wall-clock timing,
+// parallel query sweeps producing (recall, QPS, dist-comps) series, and
+// scale handling.
+//
+// Every bench binary accepts an optional positional argument scaling the
+// dataset size (default 1.0): `bench_fig3_billion_scale 0.25` quarters n.
+// Paper-scale corpora (1e8-1e9 points) are represented by the largest size
+// that keeps a bench under a few minutes on a small machine; EXPERIMENTS.md
+// records the mapping.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "parlay/parallel.h"
+#include "parlay/scheduler.h"
+
+#include "core/beam_search.h"
+#include "core/csv.h"
+#include "core/dataset.h"
+#include "core/ground_truth.h"
+#include "core/points.h"
+#include "core/recall.h"
+#include "core/stats.h"
+
+namespace bench {
+
+inline double scale_arg(int argc, char** argv, double fallback = 1.0) {
+  if (argc > 1) {
+    double s = std::atof(argv[1]);
+    if (s > 0) return s;
+  }
+  return fallback;
+}
+
+inline std::size_t scaled(std::size_t n, double s) {
+  auto v = static_cast<std::size_t>(static_cast<double>(n) * s);
+  return v < 16 ? 16 : v;
+}
+
+template <typename F>
+double time_s(F&& f) {
+  auto t0 = std::chrono::steady_clock::now();
+  f();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+// One point on a QPS/recall tradeoff curve.
+struct SweepPoint {
+  std::string setting;     // e.g. "beam=32 eps=0.10"
+  double recall = 0;
+  double qps = 0;
+  double comps_per_query = 0;
+};
+
+// Run `query(q_index, out_ids)` over all queries in parallel, measure.
+// `query` must be thread-safe (read-only index access).
+template <typename QueryFn, typename T>
+SweepPoint run_queries(const std::string& setting, QueryFn&& query,
+                       const ann::PointSet<T>& queries,
+                       const ann::GroundTruth& gt, std::size_t k = 10) {
+  std::vector<std::vector<ann::PointId>> results(queries.size());
+  ann::DistanceCounter::reset();
+  double secs = time_s([&] {
+    parlay::parallel_for(0, queries.size(), [&](std::size_t q) {
+      results[q] = query(q);
+    }, 1);
+  });
+  SweepPoint pt;
+  pt.setting = setting;
+  pt.recall = ann::average_recall(results, gt, k);
+  pt.qps = static_cast<double>(queries.size()) / secs;
+  pt.comps_per_query = static_cast<double>(ann::DistanceCounter::total()) /
+                       static_cast<double>(queries.size());
+  return pt;
+}
+
+// Sweep (beam, epsilon) settings over a graph-style index
+// (anything with .query(q, points, SearchParams)).
+template <typename Index, typename T>
+std::vector<SweepPoint> graph_sweep(
+    const Index& index, const ann::PointSet<T>& points,
+    const ann::PointSet<T>& queries, const ann::GroundTruth& gt,
+    const std::vector<std::uint32_t>& beams,
+    const std::vector<float>& epsilons = {0.0f}) {
+  std::vector<SweepPoint> pts;
+  for (float eps : epsilons) {
+    for (std::uint32_t beam : beams) {
+      ann::SearchParams sp{.beam_width = beam, .k = 10, .epsilon = eps};
+      char label[64];
+      std::snprintf(label, sizeof(label), "beam=%u eps=%.2f", beam, eps);
+      pts.push_back(run_queries(
+          label,
+          [&](std::size_t q) {
+            return index.query(queries[static_cast<ann::PointId>(q)], points,
+                               sp);
+          },
+          queries, gt));
+    }
+  }
+  return pts;
+}
+
+inline void print_sweep(const std::string& title,
+                        const std::vector<SweepPoint>& pts) {
+  std::printf("\n## %s\n", title.c_str());
+  ann::Table table({"setting", "recall10@10", "QPS", "dist_comps/query"});
+  for (const auto& p : pts) {
+    table.add_row({p.setting, ann::fmt(p.recall, 4), ann::fmt(p.qps, 0),
+                   ann::fmt(p.comps_per_query, 0)});
+  }
+  table.print();
+}
+
+}  // namespace bench

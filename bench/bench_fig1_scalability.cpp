@@ -1,0 +1,84 @@
+// Figure 1: index-build scalability of the Parlay implementations vs the
+// lock-based "original" implementations, normalized to the original's
+// one-worker build time (higher = better).
+//
+// Paper setting: BIGANN-1M on 48 cores + hyperthreads. Here: a BIGANN-like
+// synthetic slice and worker counts 1..8. NOTE: on a single-core host the
+// multi-worker rows exercise the code paths but cannot show real speedup —
+// the 1-worker Parlay-vs-original comparison and the *relative* shape are
+// the reproducible signal (see EXPERIMENTS.md).
+#include "bench_common.h"
+
+#include "algorithms/baseline_hcnng.h"
+#include "algorithms/baseline_hnsw.h"
+#include "algorithms/baseline_incremental.h"
+#include "algorithms/baseline_nndescent.h"
+#include "algorithms/diskann.h"
+#include "algorithms/hcnng.h"
+#include "algorithms/hnsw.h"
+#include "algorithms/pynndescent.h"
+
+namespace {
+
+using namespace ann;
+
+template <typename BuildOrig, typename BuildParlay>
+void scalability_row(const char* algo, const std::vector<unsigned>& workers,
+                     BuildOrig&& build_orig, BuildParlay&& build_parlay) {
+  // Baseline: the original implementation on one worker.
+  parlay::set_num_workers(1);
+  double t_orig1 = bench::time_s([&] { build_orig(); });
+
+  ann::Table table({"impl", "workers", "build_s", "speedup_vs_orig_1w"});
+  for (unsigned w : workers) {
+    parlay::set_num_workers(w);
+    double to = bench::time_s([&] { build_orig(); });
+    table.add_row({std::string("original-") + algo, std::to_string(w),
+                   ann::fmt(to, 3), ann::fmt(t_orig1 / to, 2)});
+  }
+  for (unsigned w : workers) {
+    parlay::set_num_workers(w);
+    double tp = bench::time_s([&] { build_parlay(); });
+    table.add_row({std::string("parlay-") + algo, std::to_string(w),
+                   ann::fmt(tp, 3), ann::fmt(t_orig1 / tp, 2)});
+  }
+  parlay::set_num_workers(0);
+  std::printf("\n## Fig.1 %s: build speedup vs original@1worker\n", algo);
+  table.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double s = bench::scale_arg(argc, argv);
+  const std::size_t n = bench::scaled(6000, s);
+  std::printf("Fig.1 scalability reproduction (BIGANN-like, n=%zu)\n", n);
+  auto ds = make_bigann_like(n, 10, 42);
+  std::vector<unsigned> workers{1, 2, 4, 8};
+
+  DiskANNParams dprm{.degree_bound = 24, .beam_width = 32};
+  scalability_row(
+      "DiskANN", workers,
+      [&] { build_locked_vamana<EuclideanSquared>(ds.base, dprm); },
+      [&] { build_diskann<EuclideanSquared>(ds.base, dprm); });
+
+  HNSWParams hprm{.m = 12, .ef_construction = 32};
+  scalability_row(
+      "HNSW", workers,
+      [&] { build_locked_hnsw<EuclideanSquared>(ds.base, hprm); },
+      [&] { build_hnsw<EuclideanSquared>(ds.base, hprm); });
+
+  HCNNGParams cprm{.num_trees = 8, .leaf_size = 200};
+  scalability_row(
+      "HCNNG", workers,
+      [&] { build_baseline_hcnng<EuclideanSquared>(ds.base, cprm); },
+      [&] { build_hcnng<EuclideanSquared>(ds.base, cprm); });
+
+  PyNNDescentParams pprm{.k = 16, .num_trees = 4, .leaf_size = 100};
+  pprm.max_rounds = 5;
+  scalability_row(
+      "PyNNDescent", workers,
+      [&] { build_baseline_nndescent<EuclideanSquared>(ds.base, pprm); },
+      [&] { build_pynndescent<EuclideanSquared>(ds.base, pprm); });
+  return 0;
+}

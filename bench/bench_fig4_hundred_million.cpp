@@ -1,0 +1,112 @@
+// Figure 4 (a-f): "hundred-million-scale" QPS-recall curves for all four
+// Parlay algorithms plus two FAISS configurations per dataset, with the
+// high-recall zoom printed as a separate filtered table (the paper's second
+// row of subplots).
+#include "bench_common.h"
+
+#include "algorithms/diskann.h"
+#include "algorithms/hcnng.h"
+#include "algorithms/hnsw.h"
+#include "algorithms/pynndescent.h"
+#include "ivf/ivf_pq.h"
+
+namespace {
+
+using namespace ann;
+
+void print_zoom(const std::string& title,
+                const std::vector<bench::SweepPoint>& pts) {
+  std::vector<bench::SweepPoint> high;
+  for (const auto& p : pts) {
+    if (p.recall >= 0.9) high.push_back(p);
+  }
+  if (!high.empty()) bench::print_sweep(title + " [recall >= 0.9 zoom]", high);
+}
+
+template <typename Metric, typename T>
+void run_dataset(const Dataset<T>& ds, float alpha) {
+  std::printf("\n=== Fig.4 dataset: %s (n=%zu, metric=%s) ===\n",
+              ds.name.c_str(), ds.base.size(), Metric::kName);
+  auto gt = compute_ground_truth<Metric>(ds.base, ds.queries, 10);
+  const std::vector<std::uint32_t> beams{10, 15, 20, 30, 50, 80, 120, 180};
+
+  {
+    DiskANNParams prm{.degree_bound = 32, .beam_width = 64, .alpha = alpha};
+    auto ix = build_diskann<Metric>(ds.base, prm);
+    auto pts = bench::graph_sweep(ix, ds.base, ds.queries, gt, beams);
+    bench::print_sweep(ds.name + " ParlayDiskANN", pts);
+    print_zoom(ds.name + " ParlayDiskANN", pts);
+  }
+  {
+    HNSWParams prm{.m = 16, .ef_construction = 64,
+                   .alpha = std::min(alpha, 1.0f)};
+    auto ix = build_hnsw<Metric>(ds.base, prm);
+    auto pts = bench::graph_sweep(ix, ds.base, ds.queries, gt, beams);
+    bench::print_sweep(ds.name + " ParlayHNSW", pts);
+    print_zoom(ds.name + " ParlayHNSW", pts);
+  }
+  {
+    HCNNGParams prm{.num_trees = 12, .leaf_size = 300};
+    auto ix = build_hcnng<Metric>(ds.base, prm);
+    auto pts = bench::graph_sweep(ix, ds.base, ds.queries, gt, beams);
+    bench::print_sweep(ds.name + " ParlayHCNNG", pts);
+    print_zoom(ds.name + " ParlayHCNNG", pts);
+  }
+  {
+    PyNNDescentParams prm{.k = 32, .num_trees = 8, .leaf_size = 100};
+    prm.alpha = alpha;
+    auto ix = build_pynndescent<Metric>(ds.base, prm);
+    auto pts = bench::graph_sweep(ix, ds.base, ds.queries, gt, beams);
+    bench::print_sweep(ds.name + " ParlayPyNN", pts);
+    print_zoom(ds.name + " ParlayPyNN", pts);
+  }
+  // Two FAISS configurations (the paper's pairs of centroid counts / PQ
+  // widths for the 100M builds); IVF + PQ like the paper's FAISS setup.
+  for (std::size_t divisor : {400u, 100u}) {
+    IVFPQParams prm;
+    prm.ivf.num_centroids = static_cast<std::uint32_t>(
+        std::max<std::size_t>(8, ds.base.size() / divisor));
+    prm.pq.num_subspaces = 16;
+    prm.pq.num_codes = 64;
+    auto ix = IVFPQ<Metric, T>::build(ds.base, prm);
+    std::vector<bench::SweepPoint> pts;
+    for (std::uint32_t nprobe : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+      IVFQueryParams qp{.nprobe = nprobe, .k = 10};
+      char label[48];
+      std::snprintf(label, sizeof(label), "c=%u nprobe=%u",
+                    prm.ivf.num_centroids, nprobe);
+      pts.push_back(bench::run_queries(
+          label,
+          [&](std::size_t q) {
+            return ix.query(ds.queries[static_cast<PointId>(q)], ds.base, qp);
+          },
+          ds.queries, gt));
+    }
+    bench::print_sweep(
+        ds.name + " FAISS-IVFPQ (" + std::to_string(prm.ivf.num_centroids) +
+            " centroids)",
+        pts);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double s = bench::scale_arg(argc, argv);
+  const std::size_t n = bench::scaled(15000, s);
+  const std::size_t nq = 150;
+  std::printf("Fig.4 hundred-million-scale reproduction (n=%zu)\n", n);
+  {
+    auto ds = make_bigann_like(n, nq, 42);
+    run_dataset<EuclideanSquared>(ds, 1.2f);
+  }
+  {
+    auto ds = make_spacev_like(n, nq, 43);
+    run_dataset<EuclideanSquared>(ds, 1.2f);
+  }
+  {
+    auto ds = make_text2image_like(n, nq, 44);
+    run_dataset<NegInnerProduct>(ds, 1.0f);
+  }
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Figure 6 (a-c): how build time, QPS at fixed 0.8 recall, and distance
+// comparisons at fixed 0.8 recall scale with dataset size (MSSPACEV series).
+//
+// For each size, each algorithm's search parameter is grown until average
+// recall reaches 0.8, then QPS and dist-comps are reported at that setting
+// — exactly the paper's "fixed recall" methodology.
+//
+// Expected shapes: build times slightly superlinear for the graph
+// algorithms; QPS at fixed recall decreases with size; HCNNG/PyNN drop
+// faster than DiskANN/HNSW (their edges express only close neighbors).
+#include "bench_common.h"
+
+#include "algorithms/diskann.h"
+#include "algorithms/hcnng.h"
+#include "algorithms/hnsw.h"
+#include "algorithms/pynndescent.h"
+#include "ivf/ivf_pq.h"
+
+namespace {
+
+using namespace ann;
+
+constexpr double kTargetRecall = 0.8;
+
+// First sweep point reaching the target recall (or the best achieved).
+bench::SweepPoint at_target(const std::vector<bench::SweepPoint>& pts) {
+  for (const auto& p : pts) {
+    if (p.recall >= kTargetRecall) return p;
+  }
+  return pts.empty() ? bench::SweepPoint{} : pts.back();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double s = bench::scale_arg(argc, argv);
+  const std::size_t nq = 100;
+  std::vector<std::size_t> sizes{bench::scaled(1000, s), bench::scaled(4000, s),
+                                 bench::scaled(16000, s)};
+  std::printf("Fig.6 dataset-size scaling (MSSPACEV-like)\n");
+  ann::Table table({"algorithm", "n", "build_s", "setting@0.8", "recall",
+                    "QPS@0.8", "dist_comps@0.8"});
+
+  const std::vector<std::uint32_t> beams{10, 15, 20, 30, 50, 80, 120, 180, 250};
+  for (std::size_t n : sizes) {
+    auto ds = make_spacev_like(n, nq, 43);
+    auto gt = compute_ground_truth<EuclideanSquared>(ds.base, ds.queries, 10);
+
+    {
+      DiskANNParams prm{.degree_bound = 32, .beam_width = 64};
+      GraphIndex<EuclideanSquared, std::int8_t> ix;
+      double bt = bench::time_s([&] {
+        ix = build_diskann<EuclideanSquared>(ds.base, prm);
+      });
+      auto pt = at_target(bench::graph_sweep(ix, ds.base, ds.queries, gt, beams));
+      table.add_row({"ParlayDiskANN", std::to_string(n), ann::fmt(bt, 2),
+                     pt.setting, ann::fmt(pt.recall, 3), ann::fmt(pt.qps, 0),
+                     ann::fmt(pt.comps_per_query, 0)});
+    }
+    {
+      HNSWParams prm{.m = 16, .ef_construction = 64};
+      HNSWIndex<EuclideanSquared, std::int8_t> ix;
+      double bt = bench::time_s([&] {
+        ix = build_hnsw<EuclideanSquared>(ds.base, prm);
+      });
+      auto pt = at_target(bench::graph_sweep(ix, ds.base, ds.queries, gt, beams));
+      table.add_row({"ParlayHNSW", std::to_string(n), ann::fmt(bt, 2),
+                     pt.setting, ann::fmt(pt.recall, 3), ann::fmt(pt.qps, 0),
+                     ann::fmt(pt.comps_per_query, 0)});
+    }
+    {
+      HCNNGParams prm{.num_trees = 12, .leaf_size = 300};
+      GraphIndex<EuclideanSquared, std::int8_t> ix;
+      double bt = bench::time_s([&] {
+        ix = build_hcnng<EuclideanSquared>(ds.base, prm);
+      });
+      auto pt = at_target(bench::graph_sweep(ix, ds.base, ds.queries, gt, beams));
+      table.add_row({"ParlayHCNNG", std::to_string(n), ann::fmt(bt, 2),
+                     pt.setting, ann::fmt(pt.recall, 3), ann::fmt(pt.qps, 0),
+                     ann::fmt(pt.comps_per_query, 0)});
+    }
+    {
+      PyNNDescentParams prm{.k = 32, .num_trees = 8, .leaf_size = 100};
+      GraphIndex<EuclideanSquared, std::int8_t> ix;
+      double bt = bench::time_s([&] {
+        ix = build_pynndescent<EuclideanSquared>(ds.base, prm);
+      });
+      auto pt = at_target(bench::graph_sweep(ix, ds.base, ds.queries, gt, beams));
+      table.add_row({"ParlayPyNN", std::to_string(n), ann::fmt(bt, 2),
+                     pt.setting, ann::fmt(pt.recall, 3), ann::fmt(pt.qps, 0),
+                     ann::fmt(pt.comps_per_query, 0)});
+    }
+    {
+      IVFPQParams prm;
+      prm.ivf.num_centroids =
+          static_cast<std::uint32_t>(std::max<std::size_t>(8, n / 200));
+      prm.pq.num_subspaces = 16;
+      prm.pq.num_codes = 64;
+      IVFPQ<EuclideanSquared, std::int8_t> ix;
+      double bt = bench::time_s([&] {
+        ix = IVFPQ<EuclideanSquared, std::int8_t>::build(ds.base, prm);
+      });
+      std::vector<bench::SweepPoint> pts;
+      for (std::uint32_t nprobe : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+        IVFQueryParams qp{.nprobe = nprobe, .k = 10};
+        char label[32];
+        std::snprintf(label, sizeof(label), "nprobe=%u", nprobe);
+        pts.push_back(bench::run_queries(
+            label,
+            [&](std::size_t q) {
+              return ix.query(ds.queries[static_cast<PointId>(q)], ds.base,
+                              qp);
+            },
+            ds.queries, gt));
+      }
+      auto pt = at_target(pts);
+      table.add_row({"FAISS-IVFPQ", std::to_string(n), ann::fmt(bt, 2),
+                     pt.setting, ann::fmt(pt.recall, 3), ann::fmt(pt.qps, 0),
+                     ann::fmt(pt.comps_per_query, 0)});
+    }
+  }
+  table.print();
+  return 0;
+}

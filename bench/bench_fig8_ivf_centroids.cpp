@@ -1,0 +1,63 @@
+// Figure 8: FAISS QPS-recall under two centroid counts (paper: 2^16 solid
+// vs 2^18 dashed, on the 100M slices of all three datasets). Here the pair
+// of centroid counts scales with n (~n/400 vs ~n/100); the reproducible
+// signal is the tradeoff: more centroids = finer lists = higher QPS at a
+// given recall but a lower recall ceiling per probed list count.
+#include "bench_common.h"
+
+#include "ivf/ivf_pq.h"
+
+namespace {
+
+using namespace ann;
+
+template <typename Metric, typename T>
+void run_dataset(const Dataset<T>& ds) {
+  auto gt = compute_ground_truth<Metric>(ds.base, ds.queries, 10);
+  for (std::size_t divisor : {400u, 100u}) {
+    IVFPQParams prm;
+    prm.ivf.num_centroids = static_cast<std::uint32_t>(
+        std::max<std::size_t>(8, ds.base.size() / divisor));
+    prm.pq.num_subspaces = 16;
+    prm.pq.num_codes = 64;
+    auto ix = IVFPQ<Metric, T>::build(ds.base, prm);
+    std::vector<bench::SweepPoint> pts;
+    for (std::uint32_t nprobe : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+      IVFQueryParams qp{.nprobe = nprobe, .k = 10};
+      char label[32];
+      std::snprintf(label, sizeof(label), "nprobe=%u", nprobe);
+      pts.push_back(bench::run_queries(
+          label,
+          [&](std::size_t q) {
+            return ix.query(ds.queries[static_cast<PointId>(q)], ds.base, qp);
+          },
+          ds.queries, gt));
+    }
+    bench::print_sweep(ds.name + " IVFPQ, " +
+                           std::to_string(prm.ivf.num_centroids) +
+                           " centroids",
+                       pts);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double s = bench::scale_arg(argc, argv);
+  const std::size_t n = bench::scaled(20000, s);
+  const std::size_t nq = 150;
+  std::printf("Fig.8 FAISS centroid-count sweep (n=%zu)\n", n);
+  {
+    auto ds = make_bigann_like(n, nq, 42);
+    run_dataset<EuclideanSquared>(ds);
+  }
+  {
+    auto ds = make_spacev_like(n, nq, 43);
+    run_dataset<EuclideanSquared>(ds);
+  }
+  {
+    auto ds = make_text2image_like(n, nq, 44);
+    run_dataset<NegInnerProduct>(ds);
+  }
+  return 0;
+}

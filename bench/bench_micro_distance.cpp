@@ -1,0 +1,47 @@
+// Microbenchmarks (google-benchmark): distance kernels per element type and
+// dimension — "the most expensive part" of ANNS per §5.5.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "core/dataset.h"
+#include "core/distance.h"
+
+namespace {
+
+template <typename T, typename Metric>
+void BM_Distance(benchmark::State& state) {
+  std::size_t d = static_cast<std::size_t>(state.range(0));
+  auto ps = ann::make_uniform<T>(2, d, 0, 100, 3);
+  for (auto _ : state) {
+    float dist = Metric::distance(ps[0], ps[1], d);
+    benchmark::DoNotOptimize(dist);
+  }
+  state.SetItemsProcessed(state.iterations() * d);
+}
+
+void BM_L2_Uint8(benchmark::State& s) {
+  BM_Distance<std::uint8_t, ann::EuclideanSquared>(s);
+}
+void BM_L2_Int8(benchmark::State& s) {
+  BM_Distance<std::int8_t, ann::EuclideanSquared>(s);
+}
+void BM_L2_Float(benchmark::State& s) {
+  BM_Distance<float, ann::EuclideanSquared>(s);
+}
+void BM_MIPS_Float(benchmark::State& s) {
+  BM_Distance<float, ann::NegInnerProduct>(s);
+}
+void BM_Cosine_Float(benchmark::State& s) {
+  BM_Distance<float, ann::Cosine>(s);
+}
+
+BENCHMARK(BM_L2_Uint8)->Arg(128)->Arg(100);
+BENCHMARK(BM_L2_Int8)->Arg(100);
+BENCHMARK(BM_L2_Float)->Arg(200)->Arg(128);
+BENCHMARK(BM_MIPS_Float)->Arg(200);
+BENCHMARK(BM_Cosine_Float)->Arg(200);
+
+}  // namespace
+
+BENCHMARK_MAIN();

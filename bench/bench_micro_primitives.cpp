@@ -1,0 +1,94 @@
+// Microbenchmarks (google-benchmark): the ParlayLib-equivalent substrate
+// primitives the graph builders lean on.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "parlay/random.h"
+#include "parlay/semisort.h"
+#include "parlay/sequence_ops.h"
+#include "parlay/sort.h"
+
+namespace {
+
+std::vector<std::uint64_t> random_values(std::size_t n) {
+  parlay::random_source rs(1);
+  return parlay::tabulate(n, [&](std::size_t i) { return rs.ith_rand(i); });
+}
+
+void BM_ParallelSort(benchmark::State& state) {
+  auto base = random_values(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto v = base;
+    parlay::sort_inplace(v);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParallelSort)->Arg(10000)->Arg(100000);
+
+void BM_Semisort(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  parlay::random_source rs(2);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> base(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    base[i] = {static_cast<std::uint32_t>(rs.ith_rand_bounded(i, n / 16 + 1)),
+               static_cast<std::uint32_t>(i)};
+  }
+  for (auto _ : state) {
+    auto groups = parlay::group_by_key(base);
+    benchmark::DoNotOptimize(groups.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Semisort)->Arg(10000)->Arg(100000);
+
+void BM_Scan(benchmark::State& state) {
+  auto v = random_values(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto [pre, total] = parlay::scan(v);
+    benchmark::DoNotOptimize(pre.data());
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Scan)->Arg(100000)->Arg(1000000);
+
+void BM_Reduce(benchmark::State& state) {
+  auto v = random_values(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto total = parlay::reduce(v);
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Reduce)->Arg(100000)->Arg(1000000);
+
+void BM_Filter(benchmark::State& state) {
+  auto v = random_values(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto evens = parlay::filter(v, [](std::uint64_t x) { return (x & 1) == 0; });
+    benchmark::DoNotOptimize(evens.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Filter)->Arg(100000)->Arg(1000000);
+
+void BM_ParallelForOverhead(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> out(n);
+  for (auto _ : state) {
+    parlay::parallel_for(0, n, [&](std::size_t i) {
+      out[i] = parlay::hash64(i);
+    });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParallelForOverhead)->Arg(1000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Open Question 4 bench: range search on graph indexes (the SSNPP workload
+// whose build parameters appear in the paper's appendix, Fig. 7). Sweeps
+// the navigation beam at a calibrated radius and reports range recall, QPS
+// and distance comparisons.
+#include "bench_common.h"
+
+#include <algorithm>
+
+#include "algorithms/diskann.h"
+#include "core/range_search.h"
+
+int main(int argc, char** argv) {
+  using namespace ann;
+  double s = bench::scale_arg(argc, argv);
+  const std::size_t n = bench::scaled(15000, s);
+  const std::size_t nq = 150;
+  std::printf("Range search on SSNPP-like data (n=%zu)\n", n);
+  auto ds = make_ssnpp_like(n, nq, 45);
+
+  // Calibrate a radius returning a handful of matches per query: 2x the
+  // median base-point NN distance.
+  auto nn_gt = compute_ground_truth<EuclideanSquared>(
+      ds.base.prefix(std::min<std::size_t>(n, 2000)), ds.queries, 1);
+  std::vector<float> nn;
+  for (std::size_t q = 0; q < nn_gt.num_queries(); ++q) {
+    nn.push_back(nn_gt.row(q)[0].dist);
+  }
+  std::sort(nn.begin(), nn.end());
+  const float radius = nn[nn.size() / 2] * 2.0f;
+  std::printf("calibrated radius (L2^2): %.0f\n", static_cast<double>(radius));
+
+  auto gt = range_ground_truth<EuclideanSquared>(ds.base, ds.queries, radius);
+  double avg_matches = 0;
+  for (const auto& row : gt) avg_matches += static_cast<double>(row.size());
+  std::printf("ground truth: %.1f matches/query on average\n",
+              avg_matches / static_cast<double>(nq));
+
+  // SSNPP appendix params, scaled: R=150 L=400 -> R=48 L=96.
+  DiskANNParams prm{.degree_bound = 48, .beam_width = 96, .alpha = 1.2f};
+  GraphIndex<EuclideanSquared, std::uint8_t> ix;
+  double bt = bench::time_s([&] {
+    ix = build_diskann<EuclideanSquared>(ds.base, prm);
+  });
+  std::printf("DiskANN build: %.2fs\n", bt);
+  std::vector<PointId> starts{ix.start};
+
+  ann::Table table({"beam", "range_recall", "QPS", "dist_comps/query",
+                    "flood_steps/query"});
+  for (std::uint32_t beam : {8u, 16u, 32u, 64u, 128u}) {
+    RangeSearchParams rp{.radius = radius, .beam_width = beam};
+    DistanceCounter::reset();
+    std::vector<double> recalls(nq);
+    std::vector<std::size_t> floods(nq);
+    double secs = bench::time_s([&] {
+      parlay::parallel_for(0, nq, [&](std::size_t q) {
+        auto res = range_search<EuclideanSquared>(
+            ds.queries[static_cast<PointId>(q)], ds.base, ix.graph, starts,
+            rp);
+        recalls[q] = range_recall_of(res.matches, gt[q]);
+        floods[q] = res.flood_steps;
+      }, 1);
+    });
+    double rec = 0, fl = 0;
+    for (std::size_t q = 0; q < nq; ++q) {
+      rec += recalls[q];
+      fl += static_cast<double>(floods[q]);
+    }
+    table.add_row({std::to_string(beam), ann::fmt(rec / nq, 4),
+                   ann::fmt(static_cast<double>(nq) / secs, 0),
+                   ann::fmt(static_cast<double>(DistanceCounter::total()) / nq, 0),
+                   ann::fmt(fl / nq, 1)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Memory-bounded sharded build vs monolithic build: quality cost of the
+// divide-and-merge strategy (the original DiskANN system's billion-scale
+// recipe) under the deterministic batch machinery.
+#include "bench_common.h"
+
+#include "algorithms/diskann.h"
+#include "algorithms/sharded_build.h"
+
+int main(int argc, char** argv) {
+  using namespace ann;
+  double s = bench::scale_arg(argc, argv);
+  const std::size_t n = bench::scaled(20000, s);
+  const std::size_t nq = 200;
+  std::printf("Sharded vs monolithic DiskANN build (BIGANN-like, n=%zu)\n", n);
+  auto ds = make_bigann_like(n, nq, 42);
+  auto gt = compute_ground_truth<EuclideanSquared>(ds.base, ds.queries, 10);
+  const std::vector<std::uint32_t> beams{10, 20, 40, 80};
+
+  DiskANNParams dprm{.degree_bound = 32, .beam_width = 64};
+  ann::Table bt({"variant", "build_s", "edges"});
+  {
+    GraphIndex<EuclideanSquared, std::uint8_t> ix;
+    double t = bench::time_s([&] {
+      ix = build_diskann<EuclideanSquared>(ds.base, dprm);
+    });
+    bt.add_row({"monolithic", ann::fmt(t, 2),
+                std::to_string(ix.graph.num_edges())});
+    bench::print_sweep("monolithic",
+                       bench::graph_sweep(ix, ds.base, ds.queries, gt, beams));
+  }
+  for (std::uint32_t shards : {4u, 8u}) {
+    ShardedBuildParams prm;
+    prm.num_shards = shards;
+    prm.overlap = 2;
+    prm.diskann = dprm;
+    GraphIndex<EuclideanSquared, std::uint8_t> ix;
+    double t = bench::time_s([&] {
+      ix = build_sharded_diskann<EuclideanSquared>(ds.base, prm);
+    });
+    char name[64];
+    std::snprintf(name, sizeof(name), "sharded x%u (overlap 2)", shards);
+    bt.add_row({name, ann::fmt(t, 2), std::to_string(ix.graph.num_edges())});
+    bench::print_sweep(name,
+                       bench::graph_sweep(ix, ds.base, ds.queries, gt, beams));
+  }
+  std::printf("\n## build cost\n");
+  bt.print();
+  return 0;
+}

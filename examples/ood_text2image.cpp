@@ -1,0 +1,64 @@
+// Out-of-distribution text-to-image retrieval (the paper's TEXT2IMAGE
+// workload and its headline finding, §5.4): image embeddings indexed under
+// maximum inner product, queried with TEXT embeddings from a different
+// distribution. Graph indexes adapt; IVF collapses.
+//
+//   $ ./examples/ood_text2image [n]
+#include <cstdio>
+#include <cstdlib>
+
+#include "algorithms/diskann.h"
+#include "core/dataset.h"
+#include "core/ground_truth.h"
+#include "core/recall.h"
+#include "ivf/ivf_pq.h"
+
+int main(int argc, char** argv) {
+  using namespace ann;
+  std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
+
+  std::printf("corpus: %zu image embeddings; queries: text embeddings "
+              "(different distribution), metric: max inner product\n", n);
+  auto ds = make_text2image_like(n, 200, 44);
+  auto gt = compute_ground_truth<NegInnerProduct>(ds.base, ds.queries, 10);
+
+  // Graph index. MIPS requires alpha <= 1.0 (paper, appendix A).
+  DiskANNParams dprm{.degree_bound = 32, .beam_width = 64, .alpha = 1.0f};
+  auto graph_ix = build_diskann<NegInnerProduct>(ds.base, dprm);
+
+  // IVF+PQ baseline, FAISS-style.
+  IVFPQParams iprm;
+  iprm.ivf.num_centroids =
+      static_cast<std::uint32_t>(std::max<std::size_t>(16, n / 200));
+  iprm.pq.num_subspaces = 16;
+  iprm.pq.num_codes = 64;
+  auto ivf_ix = IVFPQ<NegInnerProduct, float>::build(ds.base, iprm);
+
+  std::printf("\n%-28s %8s\n", "configuration", "recall");
+  for (std::uint32_t beam : {20u, 60u, 150u}) {
+    SearchParams sp{.beam_width = beam, .k = 10};
+    std::vector<std::vector<PointId>> results;
+    for (std::size_t q = 0; q < ds.queries.size(); ++q) {
+      results.push_back(
+          graph_ix.query(ds.queries[static_cast<PointId>(q)], ds.base, sp));
+    }
+    std::printf("graph (DiskANN, beam=%-4u) %8.4f\n", beam,
+                average_recall(results, gt, 10));
+  }
+  double best_ivf = 0;
+  for (std::uint32_t nprobe : {4u, 16u, 64u}) {
+    IVFQueryParams qp{.nprobe = nprobe, .k = 10};
+    std::vector<std::vector<PointId>> results;
+    for (std::size_t q = 0; q < ds.queries.size(); ++q) {
+      results.push_back(
+          ivf_ix.query(ds.queries[static_cast<PointId>(q)], ds.base, qp));
+    }
+    double r = average_recall(results, gt, 10);
+    best_ivf = std::max(best_ivf, r);
+    std::printf("IVF-PQ (nprobe=%-4u)        %8.4f\n", nprobe, r);
+  }
+  std::printf("\nThe paper's finding: on OOD queries graph methods reach "
+              ">= 0.8 recall while IVF saturates far lower (here %.2f).\n",
+              best_ivf);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Quickstart: build a deterministic parallel DiskANN index over a synthetic
+// point set, run a few queries, and score recall against exact ground truth.
+//
+//   $ ./examples/quickstart
+//
+// This touches the whole public API surface in ~60 lines: dataset
+// generation, index construction, beam-search queries, ground truth and
+// recall scoring.
+#include <cstdio>
+
+#include "algorithms/diskann.h"
+#include "core/dataset.h"
+#include "core/ground_truth.h"
+#include "core/recall.h"
+
+int main() {
+  using namespace ann;
+
+  // 1. Data: 20k SIFT-like uint8 vectors plus 100 held-out queries.
+  //    (Swap in load_bin<uint8_t>("my_vectors.bin") for real data.)
+  auto ds = make_bigann_like(/*n=*/20000, /*nq=*/100, /*seed=*/42);
+  std::printf("dataset: %zu points, %zu dims\n", ds.base.size(),
+              ds.base.dims());
+
+  // 2. Build. All ParlayANN builders are deterministic: same input + params
+  //    => bit-identical graph, regardless of how many workers run.
+  DiskANNParams params{.degree_bound = 32, .beam_width = 64, .alpha = 1.2f};
+  auto index = build_diskann<EuclideanSquared>(ds.base, params);
+  std::printf("built DiskANN graph: %zu vertices, %zu edges, medoid=%u\n",
+              index.graph.size(), index.graph.num_edges(), index.start);
+
+  // 3. Query: 10 nearest neighbors with a beam of 40.
+  SearchParams search{.beam_width = 40, .k = 10};
+  auto neighbors = index.query(ds.queries[0], ds.base, search);
+  std::printf("query 0 neighbors:");
+  for (PointId id : neighbors) std::printf(" %u", id);
+  std::printf("\n");
+
+  // 4. Score 10@10 recall over the whole query set.
+  auto gt = compute_ground_truth<EuclideanSquared>(ds.base, ds.queries, 10);
+  std::vector<std::vector<PointId>> results;
+  for (std::size_t q = 0; q < ds.queries.size(); ++q) {
+    results.push_back(index.query(ds.queries[q], ds.base, search));
+  }
+  std::printf("10@10 recall over %zu queries: %.4f\n", ds.queries.size(),
+              average_recall(results, gt, 10));
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Tree-level-parallel-only HCNNG — the "original implementation" style of
+// Fig. 1 (§3.2): parallelism only ACROSS the T cluster trees, each tree
+// built fully sequentially, and edges merged under a global lock. With more
+// than T workers the extra threads have nothing to do, which is exactly the
+// plateau the paper shows for the original HCNNG.
+//
+// The leaf MST here is the FULL O(leaf^2) variant (the original algorithm);
+// the edge-restricted optimization is ParlayHCNNG's (§4.3).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "parlay/parallel.h"
+#include "parlay/random.h"
+
+#include "algorithms/common.h"
+#include "algorithms/hcnng.h"
+#include "core/graph.h"
+#include "core/points.h"
+#include "core/prune.h"
+
+namespace ann {
+
+namespace internal {
+
+// Fully sequential version of the cluster recursion.
+template <typename Metric, typename T>
+void cluster_recurse_seq(const PointSet<T>& points, std::vector<PointId> ids,
+                         parlay::random_source node_rs,
+                         const HCNNGParams& params,
+                         std::vector<std::pair<PointId, PointId>>& out) {
+  const std::size_t m = ids.size();
+  if (m <= 1) return;
+  if (m <= params.leaf_size) {
+    auto cand = leaf_candidate_edges<Metric>(points, ids, params);
+    auto mst = bounded_mst(std::move(cand), m, params.mst_degree);
+    for (auto [u, v] : mst) {
+      out.push_back({ids[u], ids[v]});
+      out.push_back({ids[v], ids[u]});
+    }
+    return;
+  }
+  std::size_t i1 = node_rs.ith_rand_bounded(0, m);
+  std::size_t i2 = node_rs.ith_rand_bounded(1, m - 1);
+  if (i2 >= i1) ++i2;
+  PointId p1 = ids[i1], p2 = ids[i2];
+  std::vector<PointId> left, right;
+  for (PointId p : ids) {
+    float d1 = Metric::distance(points[p], points[p1], points.dims());
+    float d2 = Metric::distance(points[p], points[p2], points.dims());
+    bool to_left = d1 < d2 || (d1 == d2 && (p & 1) == 0);
+    (to_left ? left : right).push_back(p);
+  }
+  if (left.empty() || right.empty()) {
+    left.assign(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(m / 2));
+    right.assign(ids.begin() + static_cast<std::ptrdiff_t>(m / 2), ids.end());
+  }
+  cluster_recurse_seq<Metric>(points, std::move(left), node_rs.fork(1), params,
+                              out);
+  cluster_recurse_seq<Metric>(points, std::move(right), node_rs.fork(2), params,
+                              out);
+}
+
+}  // namespace internal
+
+template <typename Metric, typename T>
+GraphIndex<Metric, T> build_baseline_hcnng(const PointSet<T>& points,
+                                           HCNNGParams params) {
+  params.restricted = false;  // the original builds the full leaf MST
+  const std::size_t n = points.size();
+  const std::uint32_t cap = params.mst_degree * params.num_trees;
+  GraphIndex<Metric, T> index;
+  index.graph = Graph(n, cap);
+  if (n == 0) return index;
+  index.start = find_medoid<Metric>(points);
+
+  parlay::random_source rs(params.seed);
+  auto all_ids = parlay::tabulate(n, [](std::size_t i) {
+    return static_cast<PointId>(i);
+  });
+
+  // Parallel over trees ONLY; global mutex on the shared edge pool.
+  std::vector<std::pair<PointId, PointId>> pool;
+  std::mutex pool_mutex;
+  parlay::parallel_for(0, params.num_trees, [&](std::size_t t) {
+    std::vector<std::pair<PointId, PointId>> local;
+    internal::cluster_recurse_seq<Metric>(points, all_ids, rs.fork(1000 + t),
+                                          params, local);
+    std::lock_guard<std::mutex> guard(pool_mutex);
+    pool.insert(pool.end(), local.begin(), local.end());
+  }, 1);
+
+  // Sequential merge (matches the original's post-processing structure).
+  std::sort(pool.begin(), pool.end());
+  pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+  const PruneParams prune{cap, params.alpha};
+  std::size_t i = 0;
+  while (i < pool.size()) {
+    PointId v = pool[i].first;
+    std::vector<PointId> targets;
+    while (i < pool.size() && pool[i].first == v) {
+      if (pool[i].second != v) targets.push_back(pool[i].second);
+      ++i;
+    }
+    if (targets.size() > cap) {
+      targets = robust_prune_ids<Metric>(v, targets, points, prune);
+    }
+    index.graph.set_neighbors(v, targets);
+  }
+  return index;
+}
+
+}  // namespace ann

@@ -1,0 +1,113 @@
+// Lock-based concurrent HNSW — the "original implementation" style for
+// HNSW in Fig. 1: hnswlib's discipline of per-vertex locks on every
+// neighbor-list access, all points inserted in one parallel loop over the
+// live hierarchy. Non-deterministic with >1 worker.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "parlay/parallel.h"
+#include "parlay/random.h"
+
+#include "algorithms/baseline_incremental.h"  // LockTable, locked_beam_search
+#include "algorithms/common.h"
+#include "algorithms/hnsw.h"
+#include "core/points.h"
+#include "core/prune.h"
+
+namespace ann {
+
+template <typename Metric, typename T>
+HNSWIndex<Metric, T> build_locked_hnsw(const PointSet<T>& points,
+                                       const HNSWParams& params) {
+  const std::size_t n = points.size();
+  HNSWIndex<Metric, T> index;
+  if (n == 0) return index;
+
+  const double mL = 1.0 / std::log(std::max<double>(2.0, params.m));
+  const std::uint32_t kMaxLevel = 24;
+  parlay::random_source level_rs =
+      parlay::random_source(params.seed).fork(0xabcd);
+  index.levels = parlay::tabulate(n, [&](std::size_t i) {
+    return internal::hnsw_level(level_rs, static_cast<PointId>(i), mL,
+                                kMaxLevel);
+  });
+  std::uint32_t top = 0;
+  for (std::size_t i = 0; i < n; ++i) top = std::max(top, index.levels[i]);
+  for (std::uint32_t l = 0; l <= top; ++l) {
+    std::uint32_t bound = (l == 0) ? 2 * params.m : params.m;
+    index.layers.emplace_back(n, 2 * bound);
+  }
+
+  std::vector<PointId> order =
+      params.shuffle ? deterministic_permutation(n, params.seed)
+                     : parlay::tabulate(n, [](std::size_t i) {
+                         return static_cast<PointId>(i);
+                       });
+  index.entry = order[0];
+  index.entry_level = index.levels[order[0]];
+
+  LockTable locks(n);
+  std::mutex entry_mutex;
+
+  parlay::parallel_for(1, n, [&](std::size_t oi) {
+    PointId p = order[oi];
+    PointId ep;
+    std::uint32_t ep_level;
+    {
+      std::lock_guard<std::mutex> guard(entry_mutex);
+      ep = index.entry;
+      ep_level = index.entry_level;
+    }
+    const std::uint32_t p_level = index.levels[p];
+    SearchParams one{.beam_width = 1, .k = 1};
+    // Descend with beam 1 to p_level + 1.
+    for (std::uint32_t l = ep_level; l > std::min(p_level, ep_level); --l) {
+      auto res = internal::locked_beam_search<Metric>(
+          points[p], points, index.layers[l], locks, ep, one);
+      if (!res.frontier.empty()) ep = res.frontier[0].id;
+    }
+    // Link at layers min(p_level, ep_level)..0.
+    for (std::int64_t l = std::min(p_level, ep_level); l >= 0; --l) {
+      auto layer = static_cast<std::uint32_t>(l);
+      Graph& g = index.layers[layer];
+      std::uint32_t bound = (layer == 0) ? 2 * params.m : params.m;
+      const PruneParams prune{bound, params.alpha};
+      SearchParams search{.beam_width = params.ef_construction, .k = 1};
+      auto res = internal::locked_beam_search<Metric>(points[p], points, g,
+                                                      locks, ep, search);
+      if (!res.frontier.empty()) ep = res.frontier[0].id;
+      auto neigh =
+          robust_prune<Metric>(p, std::move(res.visited), points, prune);
+      {
+        std::lock_guard<std::mutex> guard(locks[p]);
+        g.set_neighbors(p, neigh);
+      }
+      for (PointId q : neigh) {
+        std::lock_guard<std::mutex> guard(locks[q]);
+        PointId pv[1] = {p};
+        std::size_t appended = g.append_neighbors(q, pv);
+        if (appended == 0 || g.degree(q) > bound) {
+          std::vector<PointId> cands(g.neighbors(q).begin(),
+                                     g.neighbors(q).end());
+          if (appended == 0) cands.push_back(p);
+          auto pruned = robust_prune_ids<Metric>(q, cands, points, prune);
+          g.set_neighbors(q, pruned);
+        }
+      }
+    }
+    if (p_level > ep_level) {
+      std::lock_guard<std::mutex> guard(entry_mutex);
+      if (p_level > index.entry_level) {
+        index.entry = p;
+        index.entry_level = p_level;
+      }
+    }
+  }, 1);
+  return index;
+}
+
+}  // namespace ann

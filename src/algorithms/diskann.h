@@ -1,0 +1,130 @@
+// ParlayDiskANN (§4.1): the in-memory DiskANN/Vamana graph built with the
+// paper's two general techniques for incremental algorithms (§3.1):
+//
+//   * prefix doubling — points are inserted in deterministically scheduled
+//     batches of exponentially increasing size (capped at theta = 2% of n),
+//     each batch searching an immutable snapshot of the graph, so no locks
+//     and no scheduler-dependent output;
+//   * batch insertion + pruning — reverse edges are collected as (target,
+//     source) pairs and merged per-target through a parallel semisort
+//     (Alg. 3 lines 10-14), replacing the per-vertex locks of the original
+//     implementation.
+//
+// Setting prefix_doubling = false yields the exact sequential Vamana
+// schedule (one point per batch) used as the quality reference by the
+// prefix-doubling ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "parlay/parallel.h"
+#include "parlay/semisort.h"
+
+#include "algorithms/common.h"
+#include "core/beam_search.h"
+#include "core/graph.h"
+#include "core/points.h"
+#include "core/prune.h"
+
+namespace ann {
+
+struct DiskANNParams {
+  std::uint32_t degree_bound = 32;   // R
+  std::uint32_t beam_width = 64;     // L (build beam)
+  float alpha = 1.2f;                // prune parameter (<= 1.0 for MIPS)
+  double batch_cap_fraction = 0.02;  // theta / n; the paper's 0.02
+  bool prefix_doubling = true;       // false => sequential insertion order
+  std::uint64_t seed = 1;            // drives the insertion permutation
+  bool shuffle = true;               // insert in a random permutation
+};
+
+namespace internal {
+
+// Insert one batch of points into g (Alg. 3, BatchInsert): phase 1 builds
+// each new point's out-list against the pre-batch snapshot; phase 2 adds
+// reverse edges via semisort and re-prunes overfull vertices.
+template <typename Metric, typename T>
+void diskann_batch_insert(Graph& g, const PointSet<T>& points,
+                          std::span<const PointId> batch, PointId medoid,
+                          const DiskANNParams& params) {
+  const PruneParams prune{params.degree_bound, params.alpha};
+  std::vector<PointId> starts{medoid};
+  SearchParams search{.beam_width = params.beam_width, .k = 1};
+
+  // Phase 1: out-neighborhoods from the immutable snapshot. Batch members
+  // have no in-edges yet, so searches cannot observe these writes.
+  parlay::parallel_for(0, batch.size(), [&](std::size_t i) {
+    PointId p = batch[i];
+    auto res = beam_search<Metric>(points[p], points, g, starts, search);
+    auto neigh = robust_prune<Metric>(p, std::move(res.visited), points, prune);
+    g.set_neighbors(p, neigh);
+  }, 1);
+
+  // Phase 2: reverse edges (target <- sources), merged per target without
+  // locks via semisort (deterministic group order).
+  auto edge_lists = parlay::tabulate(batch.size(), [&](std::size_t i) {
+    PointId p = batch[i];
+    auto neigh = g.neighbors(p);
+    std::vector<std::pair<PointId, PointId>> pairs;
+    pairs.reserve(neigh.size());
+    for (PointId q : neigh) pairs.push_back({q, p});
+    return pairs;
+  });
+  auto groups = parlay::group_by_key(parlay::flatten(edge_lists));
+
+  parlay::parallel_for(0, groups.size(), [&](std::size_t gi) {
+    PointId target = groups[gi].key;
+    const auto& sources = groups[gi].values;
+    std::size_t appended = g.append_neighbors(target, sources);
+    if (appended < sources.size() || g.degree(target) > params.degree_bound) {
+      // Overfull: rebuild the list from existing + all new candidates.
+      std::vector<PointId> cands(g.neighbors(target).begin(),
+                                 g.neighbors(target).end());
+      for (std::size_t i = appended; i < sources.size(); ++i) {
+        cands.push_back(sources[i]);
+      }
+      auto pruned = robust_prune_ids<Metric>(target, cands, points, prune);
+      g.set_neighbors(target, pruned);
+    }
+  }, 1);
+}
+
+}  // namespace internal
+
+// Build a DiskANN (Vamana) index over `points` (Alg. 3, batchBuild).
+template <typename Metric, typename T>
+GraphIndex<Metric, T> build_diskann(const PointSet<T>& points,
+                                    const DiskANNParams& params) {
+  const std::size_t n = points.size();
+  GraphIndex<Metric, T> index;
+  // Reverse-edge appends may briefly exceed R before the re-prune; reserve
+  // slack so appends land, then prune back to R.
+  index.graph = Graph(n, 2 * params.degree_bound);
+  if (n == 0) return index;
+  index.start = find_medoid<Metric>(points);
+
+  std::vector<PointId> order =
+      params.shuffle ? deterministic_permutation(n, params.seed)
+                     : parlay::tabulate(n, [](std::size_t i) {
+                         return static_cast<PointId>(i);
+                       });
+  // The medoid is the global start point: it must not insert itself (its
+  // search would see only itself and yield an empty out-list). It acquires
+  // out-edges through reverse-edge merging instead, as in Vamana.
+  std::erase(order, index.start);
+
+  auto schedule = params.prefix_doubling
+                      ? BatchSchedule::prefix_doubling(
+                            order.size(), params.batch_cap_fraction)
+                      : BatchSchedule::sequential(order.size());
+  for (auto [lo, hi] : schedule.ranges) {
+    internal::diskann_batch_insert<Metric>(
+        index.graph, points, std::span<const PointId>(order).subspan(lo, hi - lo),
+        index.start, params);
+  }
+  return index;
+}
+
+}  // namespace ann

@@ -1,0 +1,221 @@
+// ParlayHNSW (§4.2): hierarchical navigable small world graphs built with
+// per-layer batch insertion.
+//
+// Deviations from locks-and-CAS hnswlib, per the paper:
+//   * levels are assigned deterministically as a pure function of
+//     (seed, point id): floor(-ln U * mL), mL = 1/ln(m);
+//   * prefix doubling over the insertion order; within a batch every point
+//     computes its per-layer neighborhoods against the pre-batch snapshot;
+//   * reverse edges merged per layer with a semisort — "we carefully remove
+//     locks in all internal data structures";
+//   * bottom layer degree bound is 2m, upper layers m (hnswlib convention
+//     kept by the paper: 2m = R to match DiskANN).
+//
+// Search descends with beam 1 through the upper layers and runs the shared
+// beam search at layer 0 (Alg. 1).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "parlay/parallel.h"
+#include "parlay/random.h"
+#include "parlay/semisort.h"
+
+#include "algorithms/common.h"
+#include "core/beam_search.h"
+#include "core/graph.h"
+#include "core/points.h"
+#include "core/prune.h"
+
+namespace ann {
+
+struct HNSWParams {
+  std::uint32_t m = 16;           // degree bound (upper layers); bottom 2m
+  std::uint32_t ef_construction = 64;  // build beam width (efc)
+  float alpha = 1.0f;             // heuristic prune parameter
+  double batch_cap_fraction = 0.02;
+  std::uint64_t seed = 2;
+  bool shuffle = true;
+};
+
+template <typename Metric, typename T>
+struct HNSWIndex {
+  std::vector<Graph> layers;          // layers[0] = bottom (all points)
+  std::vector<std::uint32_t> levels;  // per-point top level
+  PointId entry = kInvalidPoint;
+  std::uint32_t entry_level = 0;
+
+  // Greedy descend from the entry through layers (top..target+1] with beam 1.
+  PointId descend_to(const T* q, const PointSet<T>& points,
+                     std::uint32_t target_layer) const {
+    PointId cur = entry;
+    SearchParams one{.beam_width = 1, .k = 1};
+    for (std::uint32_t l = entry_level; l > target_layer; --l) {
+      std::vector<PointId> starts{cur};
+      auto res = beam_search<Metric>(q, points, layers[l], starts, one);
+      if (!res.frontier.empty()) cur = res.frontier[0].id;
+    }
+    return cur;
+  }
+
+  std::vector<PointId> query(const T* q, const PointSet<T>& points,
+                             const SearchParams& params) const {
+    PointId start = descend_to(q, points, 0);
+    std::vector<PointId> starts{start};
+    return search_knn<Metric>(q, points, layers[0], starts, params);
+  }
+
+  SearchResult query_full(const T* q, const PointSet<T>& points,
+                          const SearchParams& params) const {
+    PointId start = descend_to(q, points, 0);
+    std::vector<PointId> starts{start};
+    return beam_search<Metric>(q, points, layers[0], starts, params);
+  }
+};
+
+namespace internal {
+
+// Deterministic geometric level: floor(-ln(U) * mL).
+inline std::uint32_t hnsw_level(const parlay::random_source& rs, PointId p,
+                                double mL, std::uint32_t max_level) {
+  double u = rs.ith_rand_double(p);
+  if (u <= 0.0) u = 1e-12;
+  auto lvl = static_cast<std::uint32_t>(-std::log(u) * mL);
+  return std::min(lvl, max_level);
+}
+
+}  // namespace internal
+
+template <typename Metric, typename T>
+HNSWIndex<Metric, T> build_hnsw(const PointSet<T>& points,
+                                const HNSWParams& params) {
+  const std::size_t n = points.size();
+  HNSWIndex<Metric, T> index;
+  if (n == 0) return index;
+
+  const double mL = 1.0 / std::log(std::max<double>(2.0, params.m));
+  const std::uint32_t kMaxLevel = 24;
+  parlay::random_source level_rs =
+      parlay::random_source(params.seed).fork(0xabcd);
+
+  index.levels = parlay::tabulate(n, [&](std::size_t i) {
+    return internal::hnsw_level(level_rs, static_cast<PointId>(i), mL,
+                                kMaxLevel);
+  });
+  std::uint32_t top = 0;
+  for (std::size_t i = 0; i < n; ++i) top = std::max(top, index.levels[i]);
+
+  // Layer degree bounds: bottom 2m (with 2x slack for pre-prune overflow,
+  // like DiskANN), upper m.
+  index.layers.reserve(top + 1);
+  for (std::uint32_t l = 0; l <= top; ++l) {
+    std::uint32_t bound = (l == 0) ? 2 * params.m : params.m;
+    index.layers.emplace_back(n, 2 * bound);
+  }
+
+  std::vector<PointId> order =
+      params.shuffle ? deterministic_permutation(n, params.seed)
+                     : parlay::tabulate(n, [](std::size_t i) {
+                         return static_cast<PointId>(i);
+                       });
+
+  // The first point in the order bootstraps the hierarchy as the entry.
+  index.entry = order[0];
+  index.entry_level = index.levels[order[0]];
+
+  auto schedule = BatchSchedule::prefix_doubling(n - 1,
+                                                 params.batch_cap_fraction);
+  std::span<const PointId> rest(order.data() + 1, n - 1);
+
+  for (auto [lo, hi] : schedule.ranges) {
+    auto batch = rest.subspan(lo, hi - lo);
+    // Link only up to the current entry's level (a batch point above it has
+    // nothing to link to there; it becomes the new entry below and acquires
+    // those edges from later inserts — hnswlib semantics).
+    const std::uint32_t link_top = std::min(top, index.entry_level);
+
+    // Phase 1: every member computes its out-lists for ALL of its layers
+    // against the pre-batch snapshot (nothing is written until every member
+    // has finished searching, so a member can never encounter itself or a
+    // partially-written row — batch members are mutually invisible).
+    std::vector<std::vector<std::vector<PointId>>> out_lists(batch.size());
+    parlay::parallel_for(0, batch.size(), [&](std::size_t i) {
+      PointId p = batch[i];
+      const std::uint32_t p_top = std::min(index.levels[p], link_top);
+      out_lists[i].assign(p_top + 1, {});
+      PointId ep = index.entry;
+      // Greedy descent through the layers above p's top.
+      SearchParams one{.beam_width = 1, .k = 1};
+      for (std::uint32_t dl = index.entry_level; dl > p_top; --dl) {
+        std::vector<PointId> st{ep};
+        auto res = beam_search<Metric>(points[p], points, index.layers[dl],
+                                       st, one);
+        if (!res.frontier.empty()) ep = res.frontier[0].id;
+      }
+      // Insertion layers: efc search, prune, carry the closest point down.
+      SearchParams search{.beam_width = params.ef_construction, .k = 1};
+      for (std::int64_t dl = p_top; dl >= 0; --dl) {
+        auto layer = static_cast<std::uint32_t>(dl);
+        std::uint32_t bound = (layer == 0) ? 2 * params.m : params.m;
+        std::vector<PointId> st{ep};
+        auto res = beam_search<Metric>(points[p], points, index.layers[layer],
+                                       st, search);
+        if (!res.frontier.empty()) ep = res.frontier[0].id;
+        out_lists[i][layer] = robust_prune<Metric>(
+            p, std::move(res.visited), points,
+            PruneParams{bound, params.alpha});
+      }
+    }, 1);
+
+    // Phase 2 per layer: install out-lists, then merge reverse edges via
+    // semisort and re-prune overfull vertices.
+    for (std::uint32_t layer = 0; layer <= link_top; ++layer) {
+      Graph& g = index.layers[layer];
+      std::uint32_t bound = (layer == 0) ? 2 * params.m : params.m;
+      const PruneParams prune{bound, params.alpha};
+      auto edge_lists = parlay::tabulate(batch.size(), [&](std::size_t i) {
+        std::vector<std::pair<PointId, PointId>> pairs;
+        if (layer < out_lists[i].size()) {
+          for (PointId q : out_lists[i][layer]) pairs.push_back({q, batch[i]});
+        }
+        return pairs;
+      });
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (layer < out_lists[i].size()) {
+          g.set_neighbors(batch[i], out_lists[i][layer]);
+        }
+      }
+      auto groups = parlay::group_by_key(parlay::flatten(edge_lists));
+      parlay::parallel_for(0, groups.size(), [&](std::size_t gi) {
+        PointId target = groups[gi].key;
+        const auto& sources = groups[gi].values;
+        std::size_t appended = g.append_neighbors(target, sources);
+        if (appended < sources.size() || g.degree(target) > bound) {
+          std::vector<PointId> cands(g.neighbors(target).begin(),
+                                     g.neighbors(target).end());
+          for (std::size_t i = appended; i < sources.size(); ++i) {
+            cands.push_back(sources[i]);
+          }
+          auto pruned = robust_prune_ids<Metric>(target, cands, points, prune);
+          g.set_neighbors(target, pruned);
+        }
+      }, 1);
+    }
+
+    // New global entry: highest-level point so far (deterministic tie-break:
+    // smallest id).
+    for (PointId p : batch) {
+      if (index.levels[p] > index.entry_level ||
+          (index.levels[p] == index.entry_level && p < index.entry)) {
+        index.entry = p;
+        index.entry_level = index.levels[p];
+      }
+    }
+  }
+  return index;
+}
+
+}  // namespace ann

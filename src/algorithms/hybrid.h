@@ -1,0 +1,130 @@
+// Exploration of the paper's Open Question 1: "Can the techniques from
+// incremental graph algorithms be combined with insights from HCNNG to
+// produce an algorithm which dominates both?"
+//
+// build_hybrid does exactly that combination:
+//   1. HCNNG phase — random cluster trees + edge-restricted bounded MSTs
+//     give a cheap, well-connected short-edge backbone (HCNNG's strength);
+//   2. Vamana phase — one deterministic batch-refinement sweep: every point
+//     beam-searches the CURRENT graph from the medoid, merges the visited
+//     candidates with its backbone edges, and alpha-prunes; reverse edges
+//     merge through the usual semisort. This grafts DiskANN's multi-scale
+//     (long+short) pruned edges onto the backbone, which pure HCNNG lacks.
+//
+// The refinement processes points in deterministic batches against
+// snapshots (same machinery as Alg. 3), so the result keeps the library's
+// determinism guarantee. bench_ablation_hybrid compares all three.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "parlay/parallel.h"
+#include "parlay/semisort.h"
+
+#include "algorithms/common.h"
+#include "algorithms/diskann.h"
+#include "algorithms/hcnng.h"
+#include "core/beam_search.h"
+#include "core/graph.h"
+#include "core/points.h"
+#include "core/prune.h"
+
+namespace ann {
+
+struct HybridParams {
+  HCNNGParams backbone;              // phase 1
+  std::uint32_t degree_bound = 32;   // R for the refined graph
+  std::uint32_t beam_width = 48;     // refinement search beam
+  float alpha = 1.2f;
+  std::uint32_t refine_rounds = 1;
+  std::uint64_t seed = 5;
+};
+
+template <typename Metric, typename T>
+GraphIndex<Metric, T> build_hybrid(const PointSet<T>& points,
+                                   const HybridParams& params) {
+  const std::size_t n = points.size();
+  // Phase 1: HCNNG backbone.
+  auto backbone = build_hcnng<Metric>(points, params.backbone);
+  GraphIndex<Metric, T> index;
+  index.start = backbone.start;
+  index.graph = Graph(n, 2 * params.degree_bound);
+  if (n == 0) return index;
+  // Seed the refined graph with the backbone, pruned to the degree bound.
+  const PruneParams prune{params.degree_bound, params.alpha};
+  parlay::parallel_for(0, n, [&](std::size_t vi) {
+    PointId v = static_cast<PointId>(vi);
+    auto neigh = backbone.graph.neighbors(v);
+    if (neigh.size() <= params.degree_bound) {
+      index.graph.set_neighbors(v, neigh);
+    } else {
+      auto pruned = robust_prune_ids<Metric>(v, neigh, points, prune);
+      index.graph.set_neighbors(v, pruned);
+    }
+  }, 1);
+
+  // Phase 2: Vamana-style refinement sweeps in deterministic batches.
+  std::vector<PointId> starts{index.start};
+  SearchParams search{.beam_width = params.beam_width, .k = 1};
+  auto order = deterministic_permutation(n, params.seed);
+  std::erase(order, index.start);
+
+  for (std::uint32_t round = 0; round < params.refine_rounds; ++round) {
+    auto schedule = BatchSchedule::prefix_doubling(order.size(), 0.02);
+    for (auto [lo, hi] : schedule.ranges) {
+      auto batch = std::span<const PointId>(order).subspan(lo, hi - lo);
+      // Compute refined out-lists against the snapshot, then install.
+      std::vector<std::vector<PointId>> out_lists(batch.size());
+      parlay::parallel_for(0, batch.size(), [&](std::size_t i) {
+        PointId p = batch[i];
+        auto res =
+            beam_search<Metric>(points[p], points, index.graph, starts, search);
+        // Merge search candidates with the existing (backbone) edges.
+        auto cands = std::move(res.visited);
+        for (PointId u : index.graph.neighbors(p)) {
+          cands.push_back(
+              {u, Metric::distance(points[p], points[u], points.dims())});
+        }
+        out_lists[i] = robust_prune<Metric>(p, std::move(cands), points, prune);
+      }, 1);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        index.graph.set_neighbors(batch[i], out_lists[i]);
+      }
+      // Reverse edges via semisort.
+      auto edge_lists = parlay::tabulate(batch.size(), [&](std::size_t i) {
+        std::vector<std::pair<PointId, PointId>> pairs;
+        for (PointId q : out_lists[i]) pairs.push_back({q, batch[i]});
+        return pairs;
+      });
+      auto groups = parlay::group_by_key(parlay::flatten(edge_lists));
+      parlay::parallel_for(0, groups.size(), [&](std::size_t gi) {
+        PointId target = groups[gi].key;
+        // Unlike insertion, refinement re-processes EXISTING points, so a
+        // source may already be among target's neighbors — filter first.
+        auto existing = index.graph.neighbors(target);
+        std::vector<PointId> fresh;
+        for (PointId s : groups[gi].values) {
+          bool present = false;
+          for (PointId e : existing) present |= (e == s);
+          if (!present) fresh.push_back(s);
+        }
+        std::size_t appended = index.graph.append_neighbors(target, fresh);
+        if (appended < fresh.size() ||
+            index.graph.degree(target) > params.degree_bound) {
+          std::vector<PointId> cands(index.graph.neighbors(target).begin(),
+                                     index.graph.neighbors(target).end());
+          for (std::size_t i = appended; i < fresh.size(); ++i) {
+            cands.push_back(fresh[i]);
+          }
+          auto pruned = robust_prune_ids<Metric>(target, cands, points, prune);
+          index.graph.set_neighbors(target, pruned);
+        }
+      }, 1);
+    }
+  }
+  return index;
+}
+
+}  // namespace ann

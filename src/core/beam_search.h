@@ -1,0 +1,149 @@
+// Greedy beam search (Algorithm 1 of the paper) with the two search
+// optimizations of §4.5:
+//   * an approximate, one-sided-error "seen" hash table sized beam^2,
+//   * (1+eps) candidate pruning (Iwasaki & Miyazaki): candidates farther
+//     than (1+eps) times the current k-th nearest distance are not queued.
+//
+// The search is deterministic: the beam is kept sorted by (distance, id), so
+// ties never depend on traversal order, and all inputs (graph, starts) are
+// deterministic upstream.
+//
+// The same routine serves queries and index construction (the insert path of
+// the incremental algorithms uses the visited list as the prune candidate
+// pool), exactly as in ParlayANN where DiskANN/HCNNG/PyNNDescent share one
+// search implementation.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "distance.h"
+#include "graph.h"
+#include "points.h"
+#include "visited_set.h"
+
+namespace ann {
+
+struct Neighbor {
+  PointId id = kInvalidPoint;
+  float dist = std::numeric_limits<float>::infinity();
+
+  friend bool operator<(const Neighbor& a, const Neighbor& b) {
+    if (a.dist != b.dist) return a.dist < b.dist;
+    return a.id < b.id;  // total order: deterministic tie-breaking
+  }
+  friend bool operator==(const Neighbor& a, const Neighbor& b) {
+    return a.id == b.id && a.dist == b.dist;
+  }
+};
+
+struct SearchParams {
+  std::uint32_t beam_width = 10;  // L: max candidates retained
+  std::uint32_t k = 10;           // neighbors requested
+  float epsilon = 0.0f;           // (1+eps) pruning; paper uses eps <= 0.25
+  std::size_t visit_limit = std::numeric_limits<std::size_t>::max();
+};
+
+struct SearchResult {
+  // Best candidates seen, sorted ascending by (dist, id); size <= beam_width.
+  std::vector<Neighbor> frontier;
+  // Processed ("visited") points in processing order. This is the candidate
+  // pool V handed to prune() during index construction.
+  std::vector<Neighbor> visited;
+
+  std::vector<PointId> top_k_ids(std::size_t k) const {
+    std::vector<PointId> ids;
+    ids.reserve(std::min(k, frontier.size()));
+    for (std::size_t i = 0; i < frontier.size() && i < k; ++i) {
+      ids.push_back(frontier[i].id);
+    }
+    return ids;
+  }
+};
+
+// Beam search for `query` over graph g from the given start points.
+// VisitedSet is ApproxVisitedSet (default, the paper's optimization) or
+// ExactVisitedSet (reference; used by the ablation bench).
+template <typename Metric, typename T, typename VisitedSet = ApproxVisitedSet>
+SearchResult beam_search(const T* query, const PointSet<T>& points,
+                         const Graph& g, std::span<const PointId> starts,
+                         const SearchParams& params) {
+  const std::size_t L = std::max<std::size_t>(params.beam_width, 1);
+  const std::size_t k = std::max<std::size_t>(params.k, 1);
+  const float cut = 1.0f + params.epsilon;
+
+  VisitedSet seen(L);
+  std::vector<Neighbor> beam;
+  beam.reserve(L + 1);
+  std::vector<unsigned char> processed;  // parallel to beam
+  processed.reserve(L + 1);
+
+  SearchResult result;
+  result.visited.reserve(std::min(params.visit_limit, 4 * L));
+
+  auto insert_candidate = [&](PointId id, float dist) {
+    Neighbor nb{id, dist};
+    auto it = std::lower_bound(beam.begin(), beam.end(), nb);
+    if (it != beam.end() && it->id == id && it->dist == dist) return;
+    if (beam.size() >= L) {
+      if (!(nb < beam.back())) return;
+      beam.pop_back();
+      processed.pop_back();
+    }
+    std::size_t pos = static_cast<std::size_t>(it - beam.begin());
+    beam.insert(beam.begin() + pos, nb);
+    processed.insert(processed.begin() + pos, 0);
+  };
+
+  for (PointId s : starts) {
+    if (seen.test_and_set(s)) continue;
+    insert_candidate(s, Metric::distance(query, points[s], points.dims()));
+  }
+
+  while (result.visited.size() < params.visit_limit) {
+    // Closest unprocessed beam entry.
+    std::size_t pi = 0;
+    while (pi < beam.size() && processed[pi]) ++pi;
+    if (pi == beam.size()) break;
+
+    processed[pi] = 1;
+    Neighbor current = beam[pi];
+    result.visited.push_back(current);
+
+    // (1+eps) pruning radius: current k-th nearest seen (or worst if < k).
+    float dk = beam.size() >= k ? beam[k - 1].dist : beam.back().dist;
+    float radius = dk < 0 ? dk / cut : dk * cut;  // handles negative (MIPS)
+    float worst = beam.size() >= L
+                      ? beam.back().dist
+                      : std::numeric_limits<float>::infinity();
+
+    for (PointId nb_id : g.neighbors(current.id)) {
+      if (seen.test_and_set(nb_id)) continue;
+      float d = Metric::distance(query, points[nb_id], points.dims());
+      if (d > worst) continue;
+      if (params.epsilon > 0.0f && d > radius) continue;
+      insert_candidate(nb_id, d);
+      worst = beam.size() >= L ? beam.back().dist
+                               : std::numeric_limits<float>::infinity();
+    }
+  }
+
+  result.frontier = std::move(beam);
+  return result;
+}
+
+// Convenience wrapper: ids of the k approximate nearest neighbors.
+template <typename Metric, typename T, typename VisitedSet = ApproxVisitedSet>
+std::vector<PointId> search_knn(const T* query, const PointSet<T>& points,
+                                const Graph& g,
+                                std::span<const PointId> starts,
+                                const SearchParams& params) {
+  auto res = beam_search<Metric, T, VisitedSet>(query, points, g, starts,
+                                                params);
+  return res.top_k_ids(params.k);
+}
+
+}  // namespace ann

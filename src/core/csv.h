@@ -1,0 +1,63 @@
+// Minimal table/CSV emitter used by the benchmark harness to print the
+// rows/series of each paper table and figure.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ann {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  // Aligned human-readable print.
+  void print(std::FILE* out = stdout) const {
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        std::fprintf(out, "%-*s%s", static_cast<int>(widths[c]), row[c].c_str(),
+                     c + 1 == row.size() ? "\n" : "  ");
+      }
+    };
+    print_row(headers_);
+    std::string rule;
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      rule.append(widths[c], '-');
+      if (c + 1 != headers_.size()) rule.append(2, '-');
+    }
+    std::fprintf(out, "%s\n", rule.c_str());
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int prec = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+inline std::string fmt_sci(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", prec, v);
+  return buf;
+}
+
+}  // namespace ann

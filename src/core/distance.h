@@ -1,0 +1,89 @@
+// Distance kernels. Metrics are zero-size policy types so the compiler can
+// inline and vectorize the inner loops per point type.
+//
+// All metrics return a float "distance" where SMALLER means MORE similar:
+//   EuclideanSquared  - L2^2 (monotone in L2, cheaper)
+//   NegInnerProduct   - -<a,b>   (maximum inner product search, TEXT2IMAGE)
+//   Cosine            - 1 - cos(theta)
+//
+// Every evaluation bumps the DistanceCounter (paper metric "dist comps").
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "stats.h"
+
+namespace ann {
+
+namespace internal {
+
+// Accumulator type wide enough for the metric arithmetic of each point type.
+template <typename T>
+struct AccumOf {
+  using type = float;
+};
+template <>
+struct AccumOf<std::uint8_t> {
+  using type = std::int32_t;
+};
+template <>
+struct AccumOf<std::int8_t> {
+  using type = std::int32_t;
+};
+
+}  // namespace internal
+
+struct EuclideanSquared {
+  static constexpr const char* kName = "euclidean_sq";
+
+  template <typename T>
+  static float distance(const T* a, const T* b, std::size_t d) {
+    DistanceCounter::bump();
+    using Acc = typename internal::AccumOf<T>::type;
+    Acc acc = 0;
+    for (std::size_t i = 0; i < d; ++i) {
+      Acc diff = static_cast<Acc>(a[i]) - static_cast<Acc>(b[i]);
+      acc += diff * diff;
+    }
+    return static_cast<float>(acc);
+  }
+};
+
+struct NegInnerProduct {
+  static constexpr const char* kName = "neg_inner_product";
+
+  template <typename T>
+  static float distance(const T* a, const T* b, std::size_t d) {
+    DistanceCounter::bump();
+    using Acc = typename internal::AccumOf<T>::type;
+    Acc acc = 0;
+    for (std::size_t i = 0; i < d; ++i) {
+      acc += static_cast<Acc>(a[i]) * static_cast<Acc>(b[i]);
+    }
+    return -static_cast<float>(acc);
+  }
+};
+
+struct Cosine {
+  static constexpr const char* kName = "cosine";
+
+  template <typename T>
+  static float distance(const T* a, const T* b, std::size_t d) {
+    DistanceCounter::bump();
+    float dot = 0.0f, na = 0.0f, nb = 0.0f;
+    for (std::size_t i = 0; i < d; ++i) {
+      float x = static_cast<float>(a[i]);
+      float y = static_cast<float>(b[i]);
+      dot += x * y;
+      na += x * x;
+      nb += y * y;
+    }
+    float denom = std::sqrt(na) * std::sqrt(nb);
+    if (denom == 0.0f) return 1.0f;
+    return 1.0f - dot / denom;
+  }
+};
+
+}  // namespace ann

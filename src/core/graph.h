@@ -1,0 +1,104 @@
+// Flat fixed-degree adjacency storage for ANNS graphs.
+//
+// Per the paper's layout optimization (§4.5): "the edge-list for each vertex
+// is kept at a fixed length so we can calculate its offset from the vertex
+// id" — no indirection, one contiguous allocation.
+//
+// Concurrency contract: distinct vertices may be written concurrently (the
+// batch algorithms partition writes by vertex); a single vertex must not be
+// read and written concurrently. The batch build algorithms guarantee this
+// by construction (reads hit the previous batch's snapshot).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "points.h"
+
+namespace ann {
+
+class Graph {
+ public:
+  Graph() : n_(0), max_degree_(0) {}
+
+  Graph(std::size_t n, std::uint32_t max_degree)
+      : n_(n),
+        max_degree_(max_degree),
+        sizes_(n, 0),
+        edges_(n * static_cast<std::size_t>(max_degree), kInvalidPoint) {}
+
+  std::size_t size() const { return n_; }
+  std::uint32_t max_degree() const { return max_degree_; }
+
+  std::uint32_t degree(PointId v) const { return sizes_[v]; }
+
+  std::span<const PointId> neighbors(PointId v) const {
+    return {edges_.data() + row(v), sizes_[v]};
+  }
+
+  // Replace v's adjacency list. `neigh` must have size <= max_degree.
+  void set_neighbors(PointId v, std::span<const PointId> neigh) {
+    assert(neigh.size() <= max_degree_);
+    PointId* dst = edges_.data() + row(v);
+    for (std::size_t i = 0; i < neigh.size(); ++i) dst[i] = neigh[i];
+    sizes_[v] = static_cast<std::uint32_t>(neigh.size());
+  }
+
+  // Append edges up to capacity; returns the number actually appended.
+  std::size_t append_neighbors(PointId v, std::span<const PointId> neigh) {
+    PointId* dst = edges_.data() + row(v);
+    std::uint32_t sz = sizes_[v];
+    std::size_t added = 0;
+    while (added < neigh.size() && sz < max_degree_) {
+      dst[sz++] = neigh[added++];
+    }
+    sizes_[v] = sz;
+    return added;
+  }
+
+  void clear_neighbors(PointId v) { sizes_[v] = 0; }
+
+  // Grow to `n` vertices (new vertices start with empty adjacency); used by
+  // the dynamic index. Shrinking is not supported.
+  void resize(std::size_t n) {
+    assert(n >= n_);
+    sizes_.resize(n, 0);
+    edges_.resize(n * static_cast<std::size_t>(max_degree_), kInvalidPoint);
+    n_ = n;
+  }
+
+  // Total directed edges.
+  std::size_t num_edges() const {
+    std::size_t total = 0;
+    for (auto s : sizes_) total += s;
+    return total;
+  }
+
+  bool operator==(const Graph& o) const {
+    if (n_ != o.n_ || max_degree_ != o.max_degree_ || sizes_ != o.sizes_) {
+      return false;
+    }
+    for (std::size_t v = 0; v < n_; ++v) {
+      auto a = neighbors(static_cast<PointId>(v));
+      auto b = o.neighbors(static_cast<PointId>(v));
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] != b[i]) return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::size_t row(PointId v) const {
+    return static_cast<std::size_t>(v) * max_degree_;
+  }
+
+  std::size_t n_;
+  std::uint32_t max_degree_;
+  std::vector<std::uint32_t> sizes_;
+  std::vector<PointId> edges_;
+};
+
+}  // namespace ann

@@ -1,0 +1,62 @@
+// Exact k-nearest-neighbor ground truth by parallel brute force.
+//
+// Used to score recall (Def. 2.2). Queries are processed in parallel; each
+// query's scan is sequential and tie-broken by id, so the ground truth is
+// deterministic.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "parlay/parallel.h"
+
+#include "beam_search.h"
+#include "points.h"
+
+namespace ann {
+
+struct GroundTruth {
+  std::size_t k = 0;
+  // Row-major num_queries x k, each row ascending by (dist, id).
+  std::vector<Neighbor> entries;
+
+  std::span<const Neighbor> row(std::size_t q) const {
+    return {entries.data() + q * k, k};
+  }
+  std::size_t num_queries() const { return k == 0 ? 0 : entries.size() / k; }
+};
+
+template <typename Metric, typename T>
+GroundTruth compute_ground_truth(const PointSet<T>& base,
+                                 const PointSet<T>& queries, std::size_t k) {
+  k = std::min(k, base.size());
+  GroundTruth gt;
+  gt.k = k;
+  gt.entries.assign(queries.size() * k, Neighbor{});
+  parlay::parallel_for(0, queries.size(), [&](std::size_t q) {
+    const T* qp = queries[static_cast<PointId>(q)];
+    // Bounded max-heap over Neighbors (largest = worst at front).
+    std::vector<Neighbor> heap;
+    heap.reserve(k + 1);
+    auto worse = [](const Neighbor& a, const Neighbor& b) { return a < b; };
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      Neighbor nb{static_cast<PointId>(i),
+                  Metric::distance(qp, base[static_cast<PointId>(i)],
+                                   base.dims())};
+      if (heap.size() < k) {
+        heap.push_back(nb);
+        std::push_heap(heap.begin(), heap.end(), worse);
+      } else if (nb < heap.front()) {
+        std::pop_heap(heap.begin(), heap.end(), worse);
+        heap.back() = nb;
+        std::push_heap(heap.begin(), heap.end(), worse);
+      }
+    }
+    std::sort_heap(heap.begin(), heap.end(), worse);
+    for (std::size_t j = 0; j < k; ++j) gt.entries[q * k + j] = heap[j];
+  }, 1);
+  return gt;
+}
+
+}  // namespace ann

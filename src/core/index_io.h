@@ -1,0 +1,183 @@
+// Whole-index serialization: graph + entry metadata in one file, so a
+// service can persist an index and cold-start from it (the vector-database
+// life cycle that motivates determinism in §1). Layered formats:
+//
+//   GraphIndex : [magic "PANN" u32] [version u32] [start u32] [graph]
+//   HNSWIndex  : [magic "PANH" u32] [version u32] [entry u32]
+//                [entry_level u32] [num_layers u32] [levels u32 x n]
+//                [graph x num_layers]
+//
+// The graph payload reuses save_graph/load_graph (shared with ParlayANN's
+// flat layout).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "algorithms/common.h"
+#include "algorithms/hnsw.h"
+#include "core/io.h"
+
+namespace ann {
+
+namespace internal {
+
+inline constexpr std::uint32_t kGraphIndexMagic = 0x50414e4e;  // "PANN"
+inline constexpr std::uint32_t kHnswIndexMagic = 0x50414e48;   // "PANH"
+inline constexpr std::uint32_t kIndexVersion = 1;
+
+inline void write_u32(std::FILE* f, std::uint32_t v, const std::string& path) {
+  if (std::fwrite(&v, sizeof(v), 1, f) != 1) {
+    throw std::runtime_error("short write: " + path);
+  }
+}
+
+inline std::uint32_t read_u32(std::FILE* f, const std::string& path) {
+  std::uint32_t v = 0;
+  if (std::fread(&v, sizeof(v), 1, f) != 1) {
+    throw std::runtime_error("short read: " + path);
+  }
+  return v;
+}
+
+}  // namespace internal
+
+template <typename Metric, typename T>
+void save_index(const GraphIndex<Metric, T>& index, const std::string& path) {
+  // Header via stdio, then delegate the graph to save_graph on a temp
+  // layout: simplest robust framing is header file + graph appended; to
+  // keep a single file we re-serialize the graph inline here.
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw std::runtime_error("cannot open: " + path);
+  internal::write_u32(f, internal::kGraphIndexMagic, path);
+  internal::write_u32(f, internal::kIndexVersion, path);
+  internal::write_u32(f, index.start, path);
+  internal::write_u32(f, static_cast<std::uint32_t>(index.graph.size()), path);
+  internal::write_u32(f, index.graph.max_degree(), path);
+  for (std::size_t v = 0; v < index.graph.size(); ++v) {
+    auto neigh = index.graph.neighbors(static_cast<PointId>(v));
+    internal::write_u32(f, static_cast<std::uint32_t>(neigh.size()), path);
+    if (!neigh.empty() &&
+        std::fwrite(neigh.data(), sizeof(PointId), neigh.size(), f) !=
+            neigh.size()) {
+      std::fclose(f);
+      throw std::runtime_error("short write: " + path);
+    }
+  }
+  std::fclose(f);
+}
+
+template <typename Metric, typename T>
+GraphIndex<Metric, T> load_index(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw std::runtime_error("cannot open: " + path);
+  GraphIndex<Metric, T> index;
+  try {
+    if (internal::read_u32(f, path) != internal::kGraphIndexMagic) {
+      throw std::runtime_error("not a GraphIndex file: " + path);
+    }
+    if (internal::read_u32(f, path) != internal::kIndexVersion) {
+      throw std::runtime_error("unsupported index version: " + path);
+    }
+    index.start = internal::read_u32(f, path);
+    std::uint32_t n = internal::read_u32(f, path);
+    std::uint32_t deg = internal::read_u32(f, path);
+    index.graph = Graph(n, deg);
+    std::vector<PointId> buf(deg);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      std::uint32_t sz = internal::read_u32(f, path);
+      if (sz > deg) throw std::runtime_error("corrupt index: " + path);
+      if (sz != 0 && std::fread(buf.data(), sizeof(PointId), sz, f) != sz) {
+        throw std::runtime_error("short read: " + path);
+      }
+      index.graph.set_neighbors(v, {buf.data(), sz});
+    }
+  } catch (...) {
+    std::fclose(f);
+    throw;
+  }
+  std::fclose(f);
+  return index;
+}
+
+template <typename Metric, typename T>
+void save_hnsw_index(const HNSWIndex<Metric, T>& index,
+                     const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw std::runtime_error("cannot open: " + path);
+  internal::write_u32(f, internal::kHnswIndexMagic, path);
+  internal::write_u32(f, internal::kIndexVersion, path);
+  internal::write_u32(f, index.entry, path);
+  internal::write_u32(f, index.entry_level, path);
+  internal::write_u32(f, static_cast<std::uint32_t>(index.layers.size()), path);
+  internal::write_u32(f, static_cast<std::uint32_t>(index.levels.size()), path);
+  if (!index.levels.empty() &&
+      std::fwrite(index.levels.data(), sizeof(std::uint32_t),
+                  index.levels.size(), f) != index.levels.size()) {
+    std::fclose(f);
+    throw std::runtime_error("short write: " + path);
+  }
+  for (const auto& layer : index.layers) {
+    internal::write_u32(f, static_cast<std::uint32_t>(layer.size()), path);
+    internal::write_u32(f, layer.max_degree(), path);
+    for (std::size_t v = 0; v < layer.size(); ++v) {
+      auto neigh = layer.neighbors(static_cast<PointId>(v));
+      internal::write_u32(f, static_cast<std::uint32_t>(neigh.size()), path);
+      if (!neigh.empty() &&
+          std::fwrite(neigh.data(), sizeof(PointId), neigh.size(), f) !=
+              neigh.size()) {
+        std::fclose(f);
+        throw std::runtime_error("short write: " + path);
+      }
+    }
+  }
+  std::fclose(f);
+}
+
+template <typename Metric, typename T>
+HNSWIndex<Metric, T> load_hnsw_index(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw std::runtime_error("cannot open: " + path);
+  HNSWIndex<Metric, T> index;
+  try {
+    if (internal::read_u32(f, path) != internal::kHnswIndexMagic) {
+      throw std::runtime_error("not an HNSWIndex file: " + path);
+    }
+    if (internal::read_u32(f, path) != internal::kIndexVersion) {
+      throw std::runtime_error("unsupported index version: " + path);
+    }
+    index.entry = internal::read_u32(f, path);
+    index.entry_level = internal::read_u32(f, path);
+    std::uint32_t num_layers = internal::read_u32(f, path);
+    std::uint32_t n = internal::read_u32(f, path);
+    index.levels.resize(n);
+    if (n != 0 && std::fread(index.levels.data(), sizeof(std::uint32_t), n,
+                             f) != n) {
+      throw std::runtime_error("short read: " + path);
+    }
+    for (std::uint32_t l = 0; l < num_layers; ++l) {
+      std::uint32_t ln = internal::read_u32(f, path);
+      std::uint32_t deg = internal::read_u32(f, path);
+      Graph layer(ln, deg);
+      std::vector<PointId> buf(deg);
+      for (std::uint32_t v = 0; v < ln; ++v) {
+        std::uint32_t sz = internal::read_u32(f, path);
+        if (sz > deg) throw std::runtime_error("corrupt index: " + path);
+        if (sz != 0 && std::fread(buf.data(), sizeof(PointId), sz, f) != sz) {
+          throw std::runtime_error("short read: " + path);
+        }
+        layer.set_neighbors(v, {buf.data(), sz});
+      }
+      index.layers.push_back(std::move(layer));
+    }
+  } catch (...) {
+    std::fclose(f);
+    throw;
+  }
+  std::fclose(f);
+  return index;
+}
+
+}  // namespace ann

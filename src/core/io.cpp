@@ -1,0 +1,149 @@
+#include "io.h"
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+namespace ann {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+File open_or_throw(const std::string& path, const char* mode) {
+  File f(std::fopen(path.c_str(), mode));
+  if (!f) throw std::runtime_error("cannot open file: " + path);
+  return f;
+}
+
+void write_or_throw(const void* data, std::size_t bytes, std::FILE* f,
+                    const std::string& path) {
+  if (bytes != 0 && std::fwrite(data, 1, bytes, f) != bytes) {
+    throw std::runtime_error("short write: " + path);
+  }
+}
+
+void read_or_throw(void* data, std::size_t bytes, std::FILE* f,
+                   const std::string& path) {
+  if (bytes != 0 && std::fread(data, 1, bytes, f) != bytes) {
+    throw std::runtime_error("short read / truncated file: " + path);
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void save_bin(const PointSet<T>& points, const std::string& path) {
+  auto f = open_or_throw(path, "wb");
+  std::uint32_t header[2] = {static_cast<std::uint32_t>(points.size()),
+                             static_cast<std::uint32_t>(points.dims())};
+  write_or_throw(header, sizeof(header), f.get(), path);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    write_or_throw(points[static_cast<PointId>(i)], points.dims() * sizeof(T),
+                   f.get(), path);
+  }
+}
+
+template <typename T>
+PointSet<T> load_bin(const std::string& path) {
+  auto f = open_or_throw(path, "rb");
+  std::uint32_t header[2];
+  read_or_throw(header, sizeof(header), f.get(), path);
+  PointSet<T> points(header[0], header[1]);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    read_or_throw(points.mutable_point(static_cast<PointId>(i)),
+                  points.dims() * sizeof(T), f.get(), path);
+  }
+  return points;
+}
+
+template <typename T>
+void save_vecs(const PointSet<T>& points, const std::string& path) {
+  auto f = open_or_throw(path, "wb");
+  const std::int32_t d = static_cast<std::int32_t>(points.dims());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    write_or_throw(&d, sizeof(d), f.get(), path);
+    write_or_throw(points[static_cast<PointId>(i)], points.dims() * sizeof(T),
+                   f.get(), path);
+  }
+}
+
+template <typename T>
+PointSet<T> load_vecs(const std::string& path) {
+  auto f = open_or_throw(path, "rb");
+  std::int32_t d = 0;
+  if (std::fread(&d, sizeof(d), 1, f.get()) != 1) {
+    return PointSet<T>(0, 0);  // empty file -> empty point set
+  }
+  if (d <= 0) throw std::runtime_error("bad vecs dimension in " + path);
+  // First pass established d; read rows until EOF.
+  std::vector<std::vector<T>> rows;
+  for (;;) {
+    std::vector<T> row(static_cast<std::size_t>(d));
+    read_or_throw(row.data(), row.size() * sizeof(T), f.get(), path);
+    rows.push_back(std::move(row));
+    std::int32_t d2 = 0;
+    std::size_t got = std::fread(&d2, sizeof(d2), 1, f.get());
+    if (got != 1) break;  // EOF
+    if (d2 != d) throw std::runtime_error("ragged vecs file: " + path);
+  }
+  PointSet<T> points(rows.size(), static_cast<std::size_t>(d));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    points.set_point(static_cast<PointId>(i), rows[i].data());
+  }
+  return points;
+}
+
+void save_graph(const Graph& g, const std::string& path) {
+  auto f = open_or_throw(path, "wb");
+  std::uint32_t header[2] = {static_cast<std::uint32_t>(g.size()),
+                             g.max_degree()};
+  write_or_throw(header, sizeof(header), f.get(), path);
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    auto neigh = g.neighbors(static_cast<PointId>(v));
+    std::uint32_t sz = static_cast<std::uint32_t>(neigh.size());
+    write_or_throw(&sz, sizeof(sz), f.get(), path);
+    write_or_throw(neigh.data(), sz * sizeof(PointId), f.get(), path);
+  }
+}
+
+Graph load_graph(const std::string& path) {
+  auto f = open_or_throw(path, "rb");
+  std::uint32_t header[2];
+  read_or_throw(header, sizeof(header), f.get(), path);
+  Graph g(header[0], header[1]);
+  std::vector<PointId> buf(header[1]);
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    std::uint32_t sz = 0;
+    read_or_throw(&sz, sizeof(sz), f.get(), path);
+    if (sz > header[1]) throw std::runtime_error("corrupt graph: " + path);
+    read_or_throw(buf.data(), sz * sizeof(PointId), f.get(), path);
+    g.set_neighbors(static_cast<PointId>(v), {buf.data(), sz});
+  }
+  return g;
+}
+
+// Explicit instantiations for the three supported element types.
+template void save_bin<std::uint8_t>(const PointSet<std::uint8_t>&,
+                                     const std::string&);
+template void save_bin<std::int8_t>(const PointSet<std::int8_t>&,
+                                    const std::string&);
+template void save_bin<float>(const PointSet<float>&, const std::string&);
+template PointSet<std::uint8_t> load_bin<std::uint8_t>(const std::string&);
+template PointSet<std::int8_t> load_bin<std::int8_t>(const std::string&);
+template PointSet<float> load_bin<float>(const std::string&);
+template void save_vecs<std::uint8_t>(const PointSet<std::uint8_t>&,
+                                      const std::string&);
+template void save_vecs<std::int8_t>(const PointSet<std::int8_t>&,
+                                     const std::string&);
+template void save_vecs<float>(const PointSet<float>&, const std::string&);
+template PointSet<std::uint8_t> load_vecs<std::uint8_t>(const std::string&);
+template PointSet<std::int8_t> load_vecs<std::int8_t>(const std::string&);
+template PointSet<float> load_vecs<float>(const std::string&);
+
+}  // namespace ann

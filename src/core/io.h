@@ -1,0 +1,38 @@
+// File formats: the *vecs family (fvecs/bvecs/ivecs — one int32 dimension
+// header per row) used by BIGANN-style corpora, the flat "bin" format
+// (uint32 n, uint32 d header then row-major data) used by the BigANN
+// benchmark framework, and a graph container matching ParlayANN's layout
+// (n, max_degree, per-vertex sizes, flat edge array).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph.h"
+#include "points.h"
+
+namespace ann {
+
+// --- .bin (BigANN competition format) ---------------------------------------
+
+template <typename T>
+void save_bin(const PointSet<T>& points, const std::string& path);
+
+template <typename T>
+PointSet<T> load_bin(const std::string& path);
+
+// --- .Xvecs (one dimension header per row) ----------------------------------
+
+template <typename T>
+void save_vecs(const PointSet<T>& points, const std::string& path);
+
+template <typename T>
+PointSet<T> load_vecs(const std::string& path);
+
+// --- graph -------------------------------------------------------------------
+
+void save_graph(const Graph& g, const std::string& path);
+Graph load_graph(const std::string& path);
+
+}  // namespace ann

@@ -1,0 +1,98 @@
+// Typed, densely packed point sets.
+//
+// A PointSet<T> owns an n x d row-major array of coordinates with rows
+// aligned to 64 bytes (cache line / SIMD friendly), mirroring the paper's
+// "avoid levels of indirection" layout rule (§4.5): a point's coordinates
+// are found by arithmetic on its id, never by chasing pointers.
+//
+// T is one of: uint8_t (BIGANN-style), int8_t (MSSPACEV-style),
+// float (TEXT2IMAGE-style).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace ann {
+
+using PointId = std::uint32_t;
+inline constexpr PointId kInvalidPoint = static_cast<PointId>(-1);
+
+template <typename T>
+class PointSet {
+ public:
+  using value_type = T;
+
+  PointSet() : n_(0), d_(0), stride_(0) {}
+
+  PointSet(std::size_t n, std::size_t d)
+      : n_(n), d_(d), stride_(padded_dim(d, sizeof(T))), data_(n * stride_) {}
+
+  std::size_t size() const { return n_; }
+  std::size_t dims() const { return d_; }
+
+  const T* operator[](PointId i) const {
+    assert(i < n_);
+    return data_.data() + static_cast<std::size_t>(i) * stride_;
+  }
+
+  T* mutable_point(PointId i) {
+    assert(i < n_);
+    return data_.data() + static_cast<std::size_t>(i) * stride_;
+  }
+
+  void set_point(PointId i, const T* coords) {
+    std::memcpy(mutable_point(i), coords, d_ * sizeof(T));
+  }
+
+  // Append one point (amortized O(d)); used by the dynamic index.
+  void append(const T* coords) {
+    data_.resize((n_ + 1) * stride_);
+    std::memcpy(data_.data() + n_ * stride_, coords, d_ * sizeof(T));
+    ++n_;
+  }
+
+  // Append all rows of another point set with matching dimensionality.
+  void append_all(const PointSet& other) {
+    assert(other.d_ == d_);
+    for (std::size_t i = 0; i < other.size(); ++i) {
+      append(other[static_cast<PointId>(i)]);
+    }
+  }
+
+  // A new point set holding the given subset of rows (used for slicing a
+  // dataset into prefixes for size-scaling experiments).
+  PointSet prefix(std::size_t m) const {
+    assert(m <= n_);
+    PointSet out(m, d_);
+    std::memcpy(out.data_.data(), data_.data(), m * stride_ * sizeof(T));
+    return out;
+  }
+
+  bool operator==(const PointSet& o) const {
+    if (n_ != o.n_ || d_ != o.d_) return false;
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (std::memcmp((*this)[static_cast<PointId>(i)],
+                      o[static_cast<PointId>(i)], d_ * sizeof(T)) != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  static std::size_t padded_dim(std::size_t d, std::size_t elt) {
+    std::size_t bytes_per_row = d * elt;
+    std::size_t padded = (bytes_per_row + 63) / 64 * 64;
+    return padded / elt;
+  }
+
+  std::size_t n_;
+  std::size_t d_;
+  std::size_t stride_;  // elements per row including padding
+  std::vector<T> data_;
+};
+
+}  // namespace ann

@@ -1,0 +1,76 @@
+// Robust (alpha) pruning — the NSG/DiskANN neighbor-selection rule (§4.1),
+// applied across all algorithms in the library "to make a more fair
+// comparison" (paper): repeatedly keep the closest remaining candidate c and
+// discard every candidate c' with alpha * d(c, c') <= d(p, c'), i.e. prune
+// the long edge of any triangle the kept edge shortcuts.
+//
+// alpha > 1 keeps more/longer edges (denser graph); for inner-product
+// metrics the paper constrains alpha <= 1.0.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "beam_search.h"
+#include "points.h"
+
+namespace ann {
+
+struct PruneParams {
+  std::uint32_t degree_bound = 32;  // R
+  float alpha = 1.2f;
+};
+
+// Select up to `degree_bound` out-neighbors for point p from `candidates`
+// (each with a precomputed distance to p). Candidates may contain duplicates
+// and p itself; both are removed. Deterministic: candidates are first put in
+// (dist, id) order.
+template <typename Metric, typename T>
+std::vector<PointId> robust_prune(PointId p, std::vector<Neighbor> candidates,
+                                  const PointSet<T>& points,
+                                  const PruneParams& params) {
+  std::sort(candidates.begin(), candidates.end());
+  std::vector<PointId> result;
+  result.reserve(params.degree_bound);
+  std::vector<unsigned char> pruned(candidates.size(), 0);
+
+  PointId prev = kInvalidPoint;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (pruned[i]) continue;
+    PointId c = candidates[i].id;
+    if (c == p || c == prev) continue;  // self-edge / duplicate (sorted ties)
+    prev = c;
+    result.push_back(c);
+    if (result.size() >= params.degree_bound) break;
+    // Occlude candidates whose edge from p is "shortcut" through c.
+    for (std::size_t j = i + 1; j < candidates.size(); ++j) {
+      if (pruned[j]) continue;
+      if (candidates[j].id == c) {  // duplicate of the kept point
+        pruned[j] = 1;
+        continue;
+      }
+      float d_cc = Metric::distance(points[c], points[candidates[j].id],
+                                    points.dims());
+      if (params.alpha * d_cc <= candidates[j].dist) pruned[j] = 1;
+    }
+  }
+  return result;
+}
+
+// Convenience: prune a plain id list (distances to p computed here).
+template <typename Metric, typename T>
+std::vector<PointId> robust_prune_ids(PointId p,
+                                      std::span<const PointId> candidate_ids,
+                                      const PointSet<T>& points,
+                                      const PruneParams& params) {
+  std::vector<Neighbor> cands;
+  cands.reserve(candidate_ids.size());
+  for (PointId c : candidate_ids) {
+    if (c == p || c == kInvalidPoint) continue;
+    cands.push_back({c, Metric::distance(points[p], points[c], points.dims())});
+  }
+  return robust_prune<Metric>(p, std::move(cands), points, params);
+}
+
+}  // namespace ann

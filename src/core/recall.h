@@ -1,0 +1,44 @@
+// k@k' recall (Definition 2.2): |K ∩ K'| / |K| averaged over the query set.
+// The paper's headline metric is 10@10 recall.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ground_truth.h"
+
+namespace ann {
+
+// Recall of one query: reported ids vs the true top-k row.
+inline double recall_of(std::span<const PointId> reported,
+                        std::span<const Neighbor> truth, std::size_t k) {
+  k = std::min(k, truth.size());
+  if (k == 0) return 1.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    PointId want = truth[i].id;
+    for (PointId got : reported) {
+      if (got == want) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+// Average k@k' recall over all queries. `results[q]` holds query q's
+// reported ids (k' of them).
+inline double average_recall(const std::vector<std::vector<PointId>>& results,
+                             const GroundTruth& gt, std::size_t k) {
+  if (results.empty()) return 1.0;
+  double total = 0.0;
+  for (std::size_t q = 0; q < results.size(); ++q) {
+    total += recall_of(results[q], gt.row(q), k);
+  }
+  return total / static_cast<double>(results.size());
+}
+
+}  // namespace ann

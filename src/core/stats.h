@@ -1,0 +1,50 @@
+// Distance-comparison accounting.
+//
+// The paper reports "distance computations per query" (Figs. 3d-f, 6c) as a
+// machine-independent cost metric. We count every metric evaluation with
+// per-worker padded counters; the total is exact, cheap, and involves no
+// cross-thread contention. (The *count* may not be bit-stable across worker
+// counts for algorithms that early-exit on shared state — ours don't — but
+// query results themselves always are.)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "parlay/scheduler.h"
+
+namespace ann {
+
+class DistanceCounter {
+ public:
+  static constexpr unsigned kMaxWorkers = 256;
+
+  static void bump() {
+    slots_[parlay::worker_id() % kMaxWorkers].count += 1;
+  }
+
+  static void reset() {
+    for (unsigned i = 0; i < kMaxWorkers; ++i) slots_[i].count = 0;
+  }
+
+  static std::uint64_t total() {
+    std::uint64_t sum = 0;
+    for (unsigned i = 0; i < kMaxWorkers; ++i) sum += slots_[i].count;
+    return sum;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::uint64_t count;
+  };
+  inline static Slot slots_[kMaxWorkers];
+};
+
+// RAII scope that zeroes the counter on entry and reports on demand.
+class DistanceCounterScope {
+ public:
+  DistanceCounterScope() { DistanceCounter::reset(); }
+  std::uint64_t count() const { return DistanceCounter::total(); }
+};
+
+}  // namespace ann

@@ -1,0 +1,72 @@
+// Approximate membership structures for beam search (§4.5).
+//
+// The paper replaces per-point visited flags with "an optimized approximate
+// hash table with one-sided errors": a direct-mapped lossy table sized at
+// the square of the beam width, small enough for L1. A collision drops one
+// of the two ids, so a dropped point may be REVISITED (wasted work), but the
+// table never claims an unseen point was seen (no lost candidates) —
+// correctness is unaffected, only (rarely) cost.
+//
+// ExactVisitedSet is the std::unordered_set-based reference used by the
+// ablation bench (bench_ablation_visited_set) and property tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "parlay/random.h"
+#include "points.h"
+
+namespace ann {
+
+class ApproxVisitedSet {
+ public:
+  // `beam_width` controls sizing: table = next power of two >= beam^2.
+  explicit ApproxVisitedSet(std::size_t beam_width) {
+    std::size_t want = beam_width * beam_width;
+    std::size_t cap = 64;
+    while (cap < want) cap <<= 1;
+    mask_ = cap - 1;
+    slots_.assign(cap, kInvalidPoint);
+  }
+
+  // Returns true if `id` was (still) recorded as seen; otherwise records it
+  // (unless the slot is taken by another id — one-sided error) and returns
+  // false.
+  bool test_and_set(PointId id) {
+    std::size_t slot = parlay::hash64(id) & mask_;
+    if (slots_[slot] == id) return true;
+    if (slots_[slot] == kInvalidPoint) slots_[slot] = id;
+    // Slot held by a different id: drop the new one (keep-first policy);
+    // `id` may be revisited later, which is safe.
+    return false;
+  }
+
+  bool contains(PointId id) const {
+    return slots_[parlay::hash64(id) & mask_] == id;
+  }
+
+  void clear() { slots_.assign(slots_.size(), kInvalidPoint); }
+
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  std::size_t mask_;
+  std::vector<PointId> slots_;
+};
+
+class ExactVisitedSet {
+ public:
+  explicit ExactVisitedSet(std::size_t /*beam_width*/) {}
+
+  bool test_and_set(PointId id) { return !set_.insert(id).second; }
+  bool contains(PointId id) const { return set_.count(id) > 0; }
+  void clear() { set_.clear(); }
+
+ private:
+  std::unordered_set<PointId> set_;
+};
+
+}  // namespace ann

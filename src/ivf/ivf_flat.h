@@ -1,0 +1,96 @@
+// IVF-Flat: inverted file index over k-means posting lists with exact
+// in-list distances (the FAISS-IVF baseline of §5).
+//
+// Queries rank centroids, scan the nprobe nearest posting lists
+// exhaustively, and return the k best candidates. Recall saturates at the
+// probability that the true neighbors' lists are among the probed ones —
+// the ceiling the paper observes for IVF at high recall (§5.4 finding 2/3).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "parlay/sequence_ops.h"
+
+#include "core/beam_search.h"  // Neighbor
+#include "core/points.h"
+#include "ivf/kmeans.h"
+
+namespace ann {
+
+struct IVFParams {
+  std::uint32_t num_centroids = 64;
+  std::uint32_t kmeans_iters = 8;
+  std::uint64_t seed = 8;
+};
+
+struct IVFQueryParams {
+  std::uint32_t nprobe = 4;
+  std::uint32_t k = 10;
+};
+
+template <typename Metric, typename T>
+class IVFFlat {
+ public:
+  IVFFlat() = default;
+
+  static IVFFlat build(const PointSet<T>& points, const IVFParams& params) {
+    IVFFlat index;
+    KMeansParams km{.num_clusters = params.num_centroids,
+                    .max_iters = params.kmeans_iters,
+                    .seed = params.seed};
+    auto res = kmeans(points, km);
+    index.centroids_ = std::move(res.centroids);
+    index.lists_.assign(index.centroids_.size(), {});
+    // Deterministic list contents: ids ascend within each list.
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      index.lists_[res.assignment[i]].push_back(static_cast<PointId>(i));
+    }
+    return index;
+  }
+
+  std::vector<PointId> query(const T* q, const PointSet<T>& points,
+                             const IVFQueryParams& params) const {
+    const std::size_t d = points.dims();
+    // Rank centroids under the index metric (float copy of q, computed once).
+    std::vector<float> qf(d);
+    for (std::size_t j = 0; j < d; ++j) qf[j] = static_cast<float>(q[j]);
+    std::vector<Neighbor> order(centroids_.size());
+    for (std::uint32_t c = 0; c < centroids_.size(); ++c) {
+      order[c] = {c, Metric::distance(qf.data(), centroids_[c], d)};
+    }
+    std::sort(order.begin(), order.end());
+    const std::size_t probes =
+        std::min<std::size_t>(params.nprobe, order.size());
+
+    // Exhaustive scan of the probed lists.
+    std::vector<Neighbor> best;
+    best.reserve(params.k + 1);
+    for (std::size_t pi = 0; pi < probes; ++pi) {
+      for (PointId id : lists_[order[pi].id]) {
+        Neighbor nb{id, Metric::distance(q, points[id], d)};
+        auto it = std::lower_bound(best.begin(), best.end(), nb);
+        if (best.size() < params.k) {
+          best.insert(it, nb);
+        } else if (it != best.end()) {
+          best.insert(it, nb);
+          best.pop_back();
+        }
+      }
+    }
+    std::vector<PointId> ids(best.size());
+    for (std::size_t i = 0; i < best.size(); ++i) ids[i] = best[i].id;
+    return ids;
+  }
+
+  std::size_t num_lists() const { return lists_.size(); }
+  const std::vector<PointId>& list(std::size_t c) const { return lists_[c]; }
+  const PointSet<float>& centroids() const { return centroids_; }
+
+ private:
+  PointSet<float> centroids_;
+  std::vector<std::vector<PointId>> lists_;
+};
+
+}  // namespace ann

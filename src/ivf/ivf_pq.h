@@ -1,0 +1,98 @@
+// IVF-PQ: inverted lists whose members are scanned in the compressed (PQ)
+// domain, with optional exact re-ranking of the best compressed candidates —
+// the full FAISS-style pipeline used in the paper's billion-scale baseline
+// (appendix A: "OPQ64_128, IVF1048576_HNSW32, PQ128x4fsr").
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/beam_search.h"  // Neighbor
+#include "core/points.h"
+#include "ivf/ivf_flat.h"
+#include "ivf/pq.h"
+
+namespace ann {
+
+struct IVFPQParams {
+  IVFParams ivf;
+  PQParams pq;
+  std::uint32_t rerank = 0;  // exact re-rank depth (0 = no re-ranking)
+};
+
+template <typename Metric, typename T>
+class IVFPQ {
+ public:
+  IVFPQ() = default;
+
+  static IVFPQ build(const PointSet<T>& points, const IVFPQParams& params) {
+    IVFPQ index;
+    index.rerank_ = params.rerank;
+    KMeansParams km{.num_clusters = params.ivf.num_centroids,
+                    .max_iters = params.ivf.kmeans_iters,
+                    .seed = params.ivf.seed};
+    auto res = kmeans(points, km);
+    index.centroids_ = std::move(res.centroids);
+    index.lists_.assign(index.centroids_.size(), {});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      index.lists_[res.assignment[i]].push_back(static_cast<PointId>(i));
+    }
+    index.pq_ = ProductQuantizer<T>::train(points, params.pq);
+    index.codes_ = index.pq_.encode(points);
+    return index;
+  }
+
+  std::vector<PointId> query(const T* q, const PointSet<T>& points,
+                             const IVFQueryParams& params) const {
+    const std::size_t d = points.dims();
+    std::vector<float> qf(d);
+    for (std::size_t j = 0; j < d; ++j) qf[j] = static_cast<float>(q[j]);
+    std::vector<Neighbor> order(centroids_.size());
+    for (std::uint32_t c = 0; c < centroids_.size(); ++c) {
+      order[c] = {c, Metric::distance(qf.data(), centroids_[c], d)};
+    }
+    std::sort(order.begin(), order.end());
+    const std::size_t probes =
+        std::min<std::size_t>(params.nprobe, order.size());
+
+    auto table = pq_.template adc_table<Metric>(q);
+    const std::size_t shortlist =
+        rerank_ > 0 ? std::max<std::size_t>(rerank_, params.k) : params.k;
+    std::vector<Neighbor> best;
+    best.reserve(shortlist + 1);
+    for (std::size_t pi = 0; pi < probes; ++pi) {
+      for (PointId id : lists_[order[pi].id]) {
+        Neighbor nb{id, pq_.adc_distance(table, codes_.data(), id)};
+        auto it = std::lower_bound(best.begin(), best.end(), nb);
+        if (best.size() < shortlist) {
+          best.insert(it, nb);
+        } else if (it != best.end()) {
+          best.insert(it, nb);
+          best.pop_back();
+        }
+      }
+    }
+    if (rerank_ > 0) {
+      for (auto& nb : best) {
+        nb.dist = Metric::distance(q, points[nb.id], d);
+      }
+      std::sort(best.begin(), best.end());
+    }
+    if (best.size() > params.k) best.resize(params.k);
+    std::vector<PointId> ids(best.size());
+    for (std::size_t i = 0; i < best.size(); ++i) ids[i] = best[i].id;
+    return ids;
+  }
+
+  const ProductQuantizer<T>& quantizer() const { return pq_; }
+
+ private:
+  PointSet<float> centroids_;
+  std::vector<std::vector<PointId>> lists_;
+  ProductQuantizer<T> pq_;
+  std::vector<std::uint8_t> codes_;
+  std::uint32_t rerank_ = 0;
+};
+
+}  // namespace ann

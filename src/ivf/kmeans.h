@@ -1,0 +1,118 @@
+// Deterministic parallel Lloyd k-means — the clustering substrate for the
+// IVF and PQ baselines (FAISS-style, §5 "Baseline Algorithms").
+//
+// Determinism: seeding samples distinct input points via a seeded
+// permutation; assignment ties break toward the smaller centroid index;
+// centroid updates accumulate group members in semisort (id) order.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "parlay/parallel.h"
+#include "parlay/semisort.h"
+#include "parlay/sequence_ops.h"
+
+#include "algorithms/common.h"
+#include "core/distance.h"
+#include "core/points.h"
+
+namespace ann {
+
+// Distance between a float centroid and a point of any element type
+// (counted as a distance comparison like every other kernel).
+template <typename T>
+inline float centroid_distance(const float* c, const T* p, std::size_t d) {
+  DistanceCounter::bump();
+  float acc = 0.0f;
+  for (std::size_t j = 0; j < d; ++j) {
+    float diff = c[j] - static_cast<float>(p[j]);
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+struct KMeansParams {
+  std::uint32_t num_clusters = 16;
+  std::uint32_t max_iters = 10;
+  std::uint64_t seed = 7;
+};
+
+struct KMeansResult {
+  PointSet<float> centroids;
+  std::vector<std::uint32_t> assignment;  // point -> cluster
+};
+
+// Index of the nearest centroid to p (ties -> smaller index).
+template <typename T>
+std::uint32_t nearest_centroid(const PointSet<float>& centroids, const T* p,
+                               std::size_t d) {
+  std::uint32_t best = 0;
+  float best_d = std::numeric_limits<float>::infinity();
+  for (std::uint32_t c = 0; c < centroids.size(); ++c) {
+    float dist = centroid_distance(centroids[c], p, d);
+    if (dist < best_d) {
+      best_d = dist;
+      best = c;
+    }
+  }
+  return best;
+}
+
+template <typename T>
+KMeansResult kmeans(const PointSet<T>& points, const KMeansParams& params) {
+  const std::size_t n = points.size();
+  const std::size_t d = points.dims();
+  const std::uint32_t k =
+      static_cast<std::uint32_t>(std::min<std::size_t>(params.num_clusters,
+                                                       std::max<std::size_t>(n, 1)));
+  KMeansResult res;
+  res.centroids = PointSet<float>(k, d);
+  res.assignment.assign(n, 0);
+  if (n == 0 || k == 0) return res;
+
+  // Seed with k distinct points.
+  auto perm = deterministic_permutation(n, params.seed);
+  for (std::uint32_t c = 0; c < k; ++c) {
+    const T* p = points[perm[c]];
+    float* row = res.centroids.mutable_point(c);
+    for (std::size_t j = 0; j < d; ++j) row[j] = static_cast<float>(p[j]);
+  }
+
+  for (std::uint32_t iter = 0; iter < params.max_iters; ++iter) {
+    // Assign.
+    auto new_assignment = parlay::tabulate(n, [&](std::size_t i) {
+      return nearest_centroid(res.centroids, points[static_cast<PointId>(i)],
+                              d);
+    });
+    bool changed = new_assignment != res.assignment;
+    res.assignment = std::move(new_assignment);
+    if (!changed && iter > 0) break;
+
+    // Update: group members per cluster (semisort), mean in group order.
+    auto pairs = parlay::tabulate(n, [&](std::size_t i) {
+      return std::pair<std::uint32_t, PointId>{res.assignment[i],
+                                               static_cast<PointId>(i)};
+    });
+    auto groups = parlay::group_by_key(std::move(pairs));
+    parlay::parallel_for(0, groups.size(), [&](std::size_t gi) {
+      std::uint32_t c = groups[gi].key;
+      const auto& members = groups[gi].values;
+      std::vector<double> acc(d, 0.0);
+      for (PointId p : members) {
+        const T* row = points[p];
+        for (std::size_t j = 0; j < d; ++j) acc[j] += static_cast<double>(row[j]);
+      }
+      float* out = res.centroids.mutable_point(c);
+      for (std::size_t j = 0; j < d; ++j) {
+        out[j] = static_cast<float>(acc[j] / static_cast<double>(members.size()));
+      }
+    }, 1);
+    // Clusters with no members keep their previous centroid (groups only
+    // contains non-empty clusters).
+  }
+  return res;
+}
+
+}  // namespace ann

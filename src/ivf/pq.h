@@ -1,0 +1,147 @@
+// Product quantization (Jégou et al.) — the compression half of the FAISS
+// baseline (§5, appendix A's "PQ compression for the queries").
+//
+// The d-dimensional space is split into m contiguous subspaces; each
+// subspace gets its own 2^nbits-codeword k-means codebook; a vector is
+// stored as m code bytes. Queries use asymmetric distance computation
+// (ADC): one table of (m x codebook) exact subdistances per query, then a
+// table-lookup sum per database vector.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "parlay/parallel.h"
+
+#include "core/beam_search.h"  // Neighbor
+#include "core/distance.h"
+#include "core/points.h"
+#include "ivf/kmeans.h"
+
+namespace ann {
+
+struct PQParams {
+  std::uint32_t num_subspaces = 8;   // m
+  std::uint32_t num_codes = 256;     // codebook size per subspace (2^nbits)
+  std::uint32_t kmeans_iters = 8;
+  std::uint64_t seed = 9;
+};
+
+template <typename T>
+class ProductQuantizer {
+ public:
+  ProductQuantizer() = default;
+
+  static ProductQuantizer train(const PointSet<T>& points,
+                                const PQParams& params) {
+    ProductQuantizer pq;
+    const std::size_t d = points.dims();
+    pq.m_ = std::min<std::uint32_t>(params.num_subspaces,
+                                    static_cast<std::uint32_t>(d));
+    pq.d_ = d;
+    pq.sub_dims_.resize(pq.m_);
+    pq.sub_offsets_.resize(pq.m_);
+    // Contiguous subspaces, remainder spread over the first subspaces.
+    std::size_t base = d / pq.m_, extra = d % pq.m_, off = 0;
+    for (std::uint32_t s = 0; s < pq.m_; ++s) {
+      pq.sub_dims_[s] = base + (s < extra ? 1 : 0);
+      pq.sub_offsets_[s] = off;
+      off += pq.sub_dims_[s];
+    }
+    // One codebook per subspace, trained on the projected points.
+    pq.codebooks_.reserve(pq.m_);
+    for (std::uint32_t s = 0; s < pq.m_; ++s) {
+      PointSet<float> sub(points.size(), pq.sub_dims_[s]);
+      parlay::parallel_for(0, points.size(), [&](std::size_t i) {
+        const T* row = points[static_cast<PointId>(i)];
+        float* out = sub.mutable_point(static_cast<PointId>(i));
+        for (std::size_t j = 0; j < pq.sub_dims_[s]; ++j) {
+          out[j] = static_cast<float>(row[pq.sub_offsets_[s] + j]);
+        }
+      });
+      KMeansParams km{.num_clusters = params.num_codes,
+                      .max_iters = params.kmeans_iters,
+                      .seed = params.seed + s};
+      pq.codebooks_.push_back(kmeans(sub, km).centroids);
+    }
+    return pq;
+  }
+
+  // Encode all points to m-byte codes (row-major n x m).
+  std::vector<std::uint8_t> encode(const PointSet<T>& points) const {
+    std::vector<std::uint8_t> codes(points.size() * m_);
+    parlay::parallel_for(0, points.size(), [&](std::size_t i) {
+      const T* row = points[static_cast<PointId>(i)];
+      for (std::uint32_t s = 0; s < m_; ++s) {
+        std::vector<float> sub(sub_dims_[s]);
+        for (std::size_t j = 0; j < sub_dims_[s]; ++j) {
+          sub[j] = static_cast<float>(row[sub_offsets_[s] + j]);
+        }
+        codes[i * m_ + s] = static_cast<std::uint8_t>(
+            nearest_centroid(codebooks_[s], sub.data(), sub_dims_[s]));
+      }
+    });
+    return codes;
+  }
+
+  // ADC lookup table for one query: m x codebook-size subdistances under
+  // Metric. Valid for metrics that decompose over subspaces as a sum
+  // (L2^2, negative inner product) — NOT cosine.
+  template <typename Metric = EuclideanSquared>
+  std::vector<float> adc_table(const T* q) const {
+    std::size_t width = max_codes();
+    std::vector<float> table(m_ * width, 0.0f);
+    for (std::uint32_t s = 0; s < m_; ++s) {
+      std::vector<float> sub(sub_dims_[s]);
+      for (std::size_t j = 0; j < sub_dims_[s]; ++j) {
+        sub[j] = static_cast<float>(q[sub_offsets_[s] + j]);
+      }
+      for (std::uint32_t c = 0; c < codebooks_[s].size(); ++c) {
+        table[s * width + c] =
+            Metric::distance(sub.data(), codebooks_[s][c], sub_dims_[s]);
+      }
+    }
+    return table;
+  }
+
+  // Approximate distance of the i-th encoded vector via the ADC table.
+  float adc_distance(const std::vector<float>& table,
+                     const std::uint8_t* codes, std::size_t i) const {
+    DistanceCounter::bump();  // one compressed-domain comparison
+    std::size_t width = max_codes();
+    float acc = 0.0f;
+    for (std::uint32_t s = 0; s < m_; ++s) {
+      acc += table[s * width + codes[i * m_ + s]];
+    }
+    return acc;
+  }
+
+  // Exact reconstruction distance (decode-and-compare); used in tests.
+  std::vector<float> decode(const std::uint8_t* codes, std::size_t i) const {
+    std::vector<float> out(d_, 0.0f);
+    for (std::uint32_t s = 0; s < m_; ++s) {
+      const float* c = codebooks_[s][codes[i * m_ + s]];
+      for (std::size_t j = 0; j < sub_dims_[s]; ++j) {
+        out[sub_offsets_[s] + j] = c[j];
+      }
+    }
+    return out;
+  }
+
+  std::uint32_t num_subspaces() const { return m_; }
+  std::size_t max_codes() const {
+    std::size_t w = 0;
+    for (const auto& cb : codebooks_) w = std::max(w, cb.size());
+    return w;
+  }
+
+ private:
+  std::uint32_t m_ = 0;
+  std::size_t d_ = 0;
+  std::vector<std::size_t> sub_dims_;
+  std::vector<std::size_t> sub_offsets_;
+  std::vector<PointSet<float>> codebooks_;
+};
+
+}  // namespace ann

@@ -1,0 +1,96 @@
+// Quantized beam search — the paper's Open Question 3 ("How can
+// quantization methods be efficiently parallelized and made deterministic,
+// and how do such methods affect the choice of ANNS algorithms?").
+//
+// The graph is traversed with ADC (PQ table-lookup) distances instead of
+// full-dimensional ones; the widened frontier is then re-ranked with exact
+// distances. Both the PQ training (deterministic k-means) and the traversal
+// (sorted beam, (dist, id) tie-breaking) keep the library's determinism
+// guarantee, answering the "made deterministic" half; the bench
+// (bench_ablation_pq_search) measures the cost/quality tradeoff half.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/beam_search.h"
+#include "core/graph.h"
+#include "core/points.h"
+#include "core/visited_set.h"
+#include "ivf/pq.h"
+
+namespace ann {
+
+// Beam search over g where candidate distances come from the PQ codes.
+// `rerank` of the best compressed candidates are re-scored exactly; the
+// top-k of those are returned.
+template <typename Metric, typename T>
+std::vector<PointId> pq_search_knn(const T* query, const PointSet<T>& points,
+                                   const ProductQuantizer<T>& pq,
+                                   const std::vector<std::uint8_t>& codes,
+                                   const Graph& g,
+                                   std::span<const PointId> starts,
+                                   const SearchParams& params,
+                                   std::uint32_t rerank) {
+  const std::size_t L = std::max<std::size_t>(params.beam_width, 1);
+  auto table = pq.template adc_table<Metric>(query);
+
+  ApproxVisitedSet seen(L);
+  std::vector<Neighbor> beam;
+  std::vector<unsigned char> processed;
+
+  auto insert_candidate = [&](PointId id, float dist) {
+    Neighbor nb{id, dist};
+    auto it = std::lower_bound(beam.begin(), beam.end(), nb);
+    if (it != beam.end() && it->id == id && it->dist == dist) return;
+    if (beam.size() >= L) {
+      if (!(nb < beam.back())) return;
+      beam.pop_back();
+      processed.pop_back();
+    }
+    std::size_t pos = static_cast<std::size_t>(it - beam.begin());
+    beam.insert(beam.begin() + pos, nb);
+    processed.insert(processed.begin() + pos, 0);
+  };
+
+  for (PointId s : starts) {
+    if (seen.test_and_set(s)) continue;
+    insert_candidate(s, pq.adc_distance(table, codes.data(), s));
+  }
+  while (true) {
+    std::size_t pi = 0;
+    while (pi < beam.size() && processed[pi]) ++pi;
+    if (pi == beam.size()) break;
+    processed[pi] = 1;
+    PointId current = beam[pi].id;
+    float worst = beam.size() >= L ? beam.back().dist
+                                   : std::numeric_limits<float>::infinity();
+    for (PointId nb_id : g.neighbors(current)) {
+      if (seen.test_and_set(nb_id)) continue;
+      float d = pq.adc_distance(table, codes.data(), nb_id);
+      if (d > worst) continue;
+      insert_candidate(nb_id, d);
+      worst = beam.size() >= L ? beam.back().dist
+                               : std::numeric_limits<float>::infinity();
+    }
+  }
+
+  // Exact re-rank of the best compressed candidates.
+  std::size_t depth = std::min<std::size_t>(
+      beam.size(), std::max<std::uint32_t>(rerank, params.k));
+  std::vector<Neighbor> exact(depth);
+  for (std::size_t i = 0; i < depth; ++i) {
+    exact[i] = {beam[i].id, Metric::distance(query, points[beam[i].id],
+                                             points.dims())};
+  }
+  std::sort(exact.begin(), exact.end());
+  std::vector<PointId> out;
+  for (std::size_t i = 0; i < exact.size() && out.size() < params.k; ++i) {
+    out.push_back(exact[i].id);
+  }
+  return out;
+}
+
+}  // namespace ann

@@ -1,0 +1,149 @@
+// Multi-table random-hyperplane LSH — the FALCONN-style baseline (§5).
+//
+// Each of L tables hashes a vector to a k-bit signature (sign of k random
+// projections). Queries gather the candidates of their bucket in every
+// table, optionally multiprobing buckets at Hamming distance 1 (flipping
+// the least-confident bits first), dedupe, and rank by exact distance.
+//
+// Determinism: hyperplanes derive from (seed, table, bit); buckets list ids
+// in ascending order; candidate ranking ties break by id.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "parlay/parallel.h"
+#include "parlay/random.h"
+#include "parlay/sequence_ops.h"
+
+#include "core/beam_search.h"  // Neighbor
+#include "core/distance.h"
+#include "core/points.h"
+
+namespace ann {
+
+struct LSHParams {
+  std::uint32_t num_tables = 8;  // L
+  std::uint32_t num_bits = 12;   // k: bucket count ~ 2^k per table
+  std::uint64_t seed = 11;
+};
+
+struct LSHQueryParams {
+  std::uint32_t k = 10;
+  std::uint32_t multiprobe = 0;  // extra buckets probed per table
+};
+
+template <typename Metric, typename T>
+class LSHIndex {
+ public:
+  LSHIndex() = default;
+
+  static LSHIndex build(const PointSet<T>& points, const LSHParams& params) {
+    LSHIndex index;
+    const std::size_t d = points.dims();
+    index.num_bits_ = params.num_bits;
+    parlay::random_source rs(params.seed);
+    // Hyperplanes: num_tables x num_bits x d gaussians.
+    index.planes_.assign(params.num_tables,
+                         std::vector<float>(params.num_bits * d));
+    for (std::uint32_t t = 0; t < params.num_tables; ++t) {
+      auto trs = rs.fork(t);
+      for (std::size_t i = 0; i < index.planes_[t].size(); ++i) {
+        index.planes_[t][i] = static_cast<float>(gaussian(trs, i));
+      }
+    }
+    index.tables_.resize(params.num_tables);
+    // Hash all points per table (parallel over points, sequential insert —
+    // buckets get ascending ids, deterministic).
+    for (std::uint32_t t = 0; t < params.num_tables; ++t) {
+      auto hashes = parlay::tabulate(points.size(), [&](std::size_t i) {
+        return index.hash(t, points[static_cast<PointId>(i)], d).first;
+      });
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        index.tables_[t][hashes[i]].push_back(static_cast<PointId>(i));
+      }
+    }
+    return index;
+  }
+
+  std::vector<PointId> query(const T* q, const PointSet<T>& points,
+                             const LSHQueryParams& params) const {
+    const std::size_t d = points.dims();
+    std::vector<PointId> candidates;
+    for (std::uint32_t t = 0; t < tables_.size(); ++t) {
+      auto [h, margins] = hash(t, q, d);
+      gather(t, h, candidates);
+      // Multiprobe: flip the least-confident bits first.
+      if (params.multiprobe > 0) {
+        std::vector<std::uint32_t> bits(num_bits_);
+        for (std::uint32_t b = 0; b < num_bits_; ++b) bits[b] = b;
+        std::sort(bits.begin(), bits.end(),
+                  [&](std::uint32_t a, std::uint32_t b) {
+                    if (margins[a] != margins[b]) return margins[a] < margins[b];
+                    return a < b;
+                  });
+        for (std::uint32_t p = 0; p < params.multiprobe && p < num_bits_; ++p) {
+          gather(t, h ^ (1u << bits[p]), candidates);
+        }
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    std::vector<Neighbor> ranked;
+    ranked.reserve(candidates.size());
+    for (PointId id : candidates) {
+      ranked.push_back({id, Metric::distance(q, points[id], d)});
+    }
+    std::sort(ranked.begin(), ranked.end());
+    if (ranked.size() > params.k) ranked.resize(params.k);
+    std::vector<PointId> ids(ranked.size());
+    for (std::size_t i = 0; i < ranked.size(); ++i) ids[i] = ranked[i].id;
+    return ids;
+  }
+
+  std::size_t num_tables() const { return tables_.size(); }
+
+ private:
+  static double gaussian(const parlay::random_source& rs, std::uint64_t i) {
+    double u1 = rs.ith_rand_double(2 * i);
+    double u2 = rs.ith_rand_double(2 * i + 1);
+    if (u1 <= 0.0) u1 = 1e-12;
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.14159265358979323846 * u2);
+  }
+
+  // Signature and per-bit |projection| confidence margins.
+  std::pair<std::uint32_t, std::vector<float>> hash(std::uint32_t t,
+                                                    const T* p,
+                                                    std::size_t d) const {
+    std::uint32_t h = 0;
+    std::vector<float> margins(num_bits_);
+    for (std::uint32_t b = 0; b < num_bits_; ++b) {
+      const float* plane = planes_[t].data() + static_cast<std::size_t>(b) * d;
+      float dot = 0.0f;
+      for (std::size_t j = 0; j < d; ++j) {
+        dot += plane[j] * static_cast<float>(p[j]);
+      }
+      if (dot >= 0.0f) h |= (1u << b);
+      margins[b] = std::fabs(dot);
+    }
+    return {h, std::move(margins)};
+  }
+
+  void gather(std::uint32_t t, std::uint32_t h,
+              std::vector<PointId>& out) const {
+    auto it = tables_[t].find(h);
+    if (it == tables_[t].end()) return;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+
+  std::uint32_t num_bits_ = 0;
+  std::vector<std::vector<float>> planes_;
+  std::vector<std::unordered_map<std::uint32_t, std::vector<PointId>>> tables_;
+};
+
+}  // namespace ann

@@ -1,0 +1,111 @@
+// Work-stealing deque (Chase-Lev) used by the fork-join scheduler.
+//
+// The owner thread pushes and pops jobs at the bottom; thief threads steal
+// from the top. The implementation follows the weak-memory-model treatment
+// of Le, Pop, Cohen and Zappa Nardelli, "Correct and Efficient Work-Stealing
+// for Weak Memory Models" (PPoPP 2013), with a fixed-capacity ring buffer.
+//
+// Capacity is bounded by the maximum number of outstanding forked-but-not-
+// joined jobs per worker, which for binary fork-join recursion is the
+// recursion depth (O(log n) for parallel loops). 2^14 slots is far beyond
+// anything the library can generate.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace parlay {
+namespace internal {
+
+// A unit of work. Jobs live on the forking thread's stack; the fork-join
+// protocol guarantees the frame outlives every access (the forker does not
+// return from par_do until the job has finished executing).
+class Job {
+ public:
+  virtual void run() = 0;
+
+ protected:
+  ~Job() = default;
+};
+
+class WorkStealingDeque {
+ public:
+  static constexpr std::size_t kLogCapacity = 14;
+  static constexpr std::size_t kCapacity = std::size_t{1} << kLogCapacity;
+  static constexpr std::size_t kMask = kCapacity - 1;
+
+  WorkStealingDeque() : top_(0), bottom_(0) {
+    for (auto& slot : buffer_) slot.store(nullptr, std::memory_order_relaxed);
+  }
+
+  WorkStealingDeque(const WorkStealingDeque&) = delete;
+  WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
+
+  // Owner only.
+  void push_bottom(Job* job) {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    [[maybe_unused]] std::int64_t t = top_.load(std::memory_order_acquire);
+    assert(b - t < static_cast<std::int64_t>(kCapacity) &&
+           "work-stealing deque overflow");
+    buffer_[static_cast<std::size_t>(b) & kMask].store(
+        job, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  // Owner only. Returns nullptr if the deque is empty or the last job was
+  // stolen concurrently.
+  Job* pop_bottom() {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    Job* job = nullptr;
+    if (t <= b) {
+      job = buffer_[static_cast<std::size_t>(b) & kMask].load(
+          std::memory_order_relaxed);
+      if (t == b) {
+        // Last element: race against thieves for it.
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          job = nullptr;  // lost the race
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+    } else {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return job;
+  }
+
+  // Thieves. Returns nullptr on an empty deque or a lost race.
+  Job* steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return nullptr;
+    Job* job = buffer_[static_cast<std::size_t>(t) & kMask].load(
+        std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;  // lost the race
+    }
+    return job;
+  }
+
+  bool empty() const {
+    return top_.load(std::memory_order_acquire) >=
+           bottom_.load(std::memory_order_acquire);
+  }
+
+ private:
+  alignas(64) std::atomic<std::int64_t> top_;
+  alignas(64) std::atomic<std::int64_t> bottom_;
+  alignas(64) std::atomic<Job*> buffer_[kCapacity];
+};
+
+}  // namespace internal
+}  // namespace parlay

@@ -1,0 +1,47 @@
+// parallel_for and related fork-join loop helpers.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "scheduler.h"
+
+namespace parlay {
+
+namespace internal {
+
+template <typename F>
+void parfor_recurse(std::size_t lo, std::size_t hi, const F& f,
+                    std::size_t granularity) {
+  if (hi - lo <= granularity) {
+    for (std::size_t i = lo; i < hi; ++i) f(i);
+  } else {
+    std::size_t mid = lo + (hi - lo) / 2;
+    par_do([&] { parfor_recurse(lo, mid, f, granularity); },
+           [&] { parfor_recurse(mid, hi, f, granularity); });
+  }
+}
+
+}  // namespace internal
+
+// Apply f(i) for i in [start, end), in parallel. `granularity` is the largest
+// range executed sequentially; 0 picks an automatic value that generates
+// ~64 chunks per worker. The iteration->output mapping must not depend on
+// scheduling (f writes to disjoint state indexed by i).
+template <typename F>
+void parallel_for(std::size_t start, std::size_t end, F&& f,
+                  std::size_t granularity = 0) {
+  if (start >= end) return;
+  std::size_t n = end - start;
+  if (granularity == 0) {
+    std::size_t pieces = static_cast<std::size_t>(num_workers()) * 64;
+    granularity = std::max<std::size_t>(1, n / pieces);
+  }
+  if (n <= granularity || num_workers() == 1) {
+    for (std::size_t i = start; i < end; ++i) f(i);
+  } else {
+    internal::parfor_recurse(start, end, f, granularity);
+  }
+}
+
+}  // namespace parlay

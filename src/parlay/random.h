@@ -1,0 +1,53 @@
+// Deterministic splittable pseudo-randomness.
+//
+// Per the paper's determinism model (§2), all randomness is supplied as part
+// of the input: every random choice is a pure function of (seed, index), so
+// outputs are identical across runs and across worker counts.
+#pragma once
+
+#include <cstdint>
+
+namespace parlay {
+
+// Strong 64-bit mixer (splitmix64 finalizer).
+inline constexpr std::uint64_t hash64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// A splittable random source. Immutable: `ith_rand(i)` is pure, and `fork(i)`
+// derives an independent child stream.
+class random_source {
+ public:
+  explicit constexpr random_source(std::uint64_t seed = 0) : seed_(seed) {}
+
+  constexpr std::uint64_t ith_rand(std::uint64_t i) const {
+    return hash64(seed_ ^ hash64(i + 0x7f4a7c15ULL));
+  }
+
+  constexpr random_source fork(std::uint64_t i) const {
+    return random_source(hash64(seed_ + 0x2545f4914f6cdd1dULL * (i + 1)));
+  }
+
+  // Uniform in [0, n). Uses the high bits via 128-bit multiply to avoid
+  // modulo bias mattering at our ranges.
+  constexpr std::uint64_t ith_rand_bounded(std::uint64_t i,
+                                           std::uint64_t n) const {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(ith_rand(i)) * n) >> 64);
+  }
+
+  // Uniform float in [0, 1).
+  constexpr double ith_rand_double(std::uint64_t i) const {
+    return static_cast<double>(ith_rand(i) >> 11) * 0x1.0p-53;
+  }
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace parlay

@@ -1,0 +1,155 @@
+#include "scheduler.h"
+
+#include <cassert>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+namespace parlay {
+namespace internal {
+
+namespace {
+
+// Worker id of the calling thread. kUnassigned threads are treated as the
+// external driver thread (id 0).
+constexpr unsigned kUnassigned = ~0u;
+thread_local unsigned tl_worker_id = kUnassigned;
+
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+unsigned default_num_workers() {
+  if (const char* env = std::getenv("PARLAY_NUM_THREADS")) {
+    int n = std::atoi(env);
+    if (n > 0) return static_cast<unsigned>(n);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+unsigned Scheduler::worker_id() {
+  return tl_worker_id == kUnassigned ? 0 : tl_worker_id;
+}
+
+Scheduler::Scheduler(unsigned num_workers)
+    : num_workers_(num_workers == 0 ? 1 : num_workers),
+      deques_(new AlignedDeque[num_workers_]),
+      threads_(num_workers_ > 1 ? new std::thread[num_workers_ - 1] : nullptr) {
+  for (unsigned i = 1; i < num_workers_; ++i) {
+    threads_[i - 1] = std::thread([this, i] { worker_loop(i); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  shutdown_.store(true, std::memory_order_release);
+  sleep_cv_.notify_all();
+  for (unsigned i = 1; i < num_workers_; ++i) threads_[i - 1].join();
+}
+
+void Scheduler::signal_work() {
+  if (num_sleeping_.load(std::memory_order_relaxed) > 0) {
+    sleep_cv_.notify_all();
+  }
+}
+
+void Scheduler::idle_backoff(unsigned& failures) {
+  ++failures;
+  if (failures < 128) {
+    std::this_thread::yield();
+  } else {
+    // Park briefly. A timed wait (rather than a tracked wait/notify pair)
+    // keeps the push path cheap and tolerates missed wakeups.
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    num_sleeping_.fetch_add(1, std::memory_order_relaxed);
+    sleep_cv_.wait_for(lock, std::chrono::microseconds(200));
+    num_sleeping_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+Job* Scheduler::try_steal(std::uint64_t& rng_state) {
+  // One pass over victims in a pseudo-random order.
+  for (unsigned attempt = 0; attempt < num_workers_; ++attempt) {
+    rng_state = mix64(rng_state);
+    unsigned victim = static_cast<unsigned>(rng_state % num_workers_);
+    if (Job* job = deque_for(victim).steal()) return job;
+  }
+  return nullptr;
+}
+
+void Scheduler::worker_loop(unsigned id) {
+  tl_worker_id = id;
+  std::uint64_t rng = mix64(id + 1);
+  unsigned failures = 0;
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    if (Job* job = try_steal(rng)) {
+      failures = 0;
+      job->run();
+    } else {
+      idle_backoff(failures);
+    }
+  }
+  tl_worker_id = kUnassigned;
+}
+
+void Scheduler::wait_for(const std::atomic<bool>& flag) {
+  std::uint64_t rng = mix64(worker_id() + 0x5151'5151ULL);
+  unsigned failures = 0;
+  while (!flag.load(std::memory_order_acquire)) {
+    // Help: run our own remaining work first, then steal.
+    if (Job* job = deque_for(worker_id()).pop_bottom()) {
+      failures = 0;
+      job->run();
+    } else if (Job* job = try_steal(rng)) {
+      failures = 0;
+      job->run();
+    } else {
+      idle_backoff(failures);
+    }
+  }
+}
+
+namespace {
+// Fast-path access goes through the atomic; the unique_ptr owns the object
+// (destroyed at exit so worker threads are joined cleanly).
+std::atomic<Scheduler*> g_scheduler{nullptr};
+std::unique_ptr<Scheduler> g_scheduler_owner;
+std::mutex g_scheduler_mutex;
+}  // namespace
+
+Scheduler& get_scheduler() {
+  Scheduler* s = g_scheduler.load(std::memory_order_acquire);
+  if (s == nullptr) {
+    std::lock_guard<std::mutex> lock(g_scheduler_mutex);
+    s = g_scheduler.load(std::memory_order_acquire);
+    if (s == nullptr) {
+      g_scheduler_owner = std::make_unique<Scheduler>(default_num_workers());
+      s = g_scheduler_owner.get();
+      g_scheduler.store(s, std::memory_order_release);
+    }
+  }
+  return *s;
+}
+
+}  // namespace internal
+
+unsigned num_workers() { return internal::get_scheduler().num_workers(); }
+
+unsigned worker_id() { return internal::Scheduler::worker_id(); }
+
+void set_num_workers(unsigned n) {
+  std::lock_guard<std::mutex> lock(internal::g_scheduler_mutex);
+  internal::g_scheduler.store(nullptr, std::memory_order_release);
+  internal::g_scheduler_owner.reset();  // joins the old worker threads
+  internal::g_scheduler_owner = std::make_unique<internal::Scheduler>(
+      n == 0 ? internal::default_num_workers() : n);
+  internal::g_scheduler.store(internal::g_scheduler_owner.get(),
+                              std::memory_order_release);
+}
+
+}  // namespace parlay

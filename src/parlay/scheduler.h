@@ -1,0 +1,138 @@
+// Fork-join work-stealing scheduler (the ParlayLib-equivalent substrate).
+//
+// The scheduler owns P-1 spawned worker threads plus the calling ("external")
+// thread, which participates as worker 0 whenever it blocks on a join.
+// Forked jobs go to the forker's own deque; idle workers steal from random
+// victims. Joins are "helping" joins: a thread waiting for a stolen job keeps
+// stealing and executing other jobs, so the computation is greedy and the
+// standard work-stealing bounds apply.
+//
+// Determinism contract: the scheduler never influences algorithm output.
+// Library code built on top must keep all output-affecting computation
+// independent of the interleaving (fixed reduction trees, semisort merges).
+//
+// Restrictions (documented, asserted where cheap):
+//  * Only one external thread may drive parallel regions at a time.
+//  * Exceptions must not escape a forked job.
+//  * set_num_workers must be called outside any parallel region.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+
+#include "deque.h"
+
+namespace parlay {
+
+namespace internal {
+
+template <typename F>
+class FuncJob final : public Job {
+ public:
+  explicit FuncJob(F&& f) : f_(std::forward<F>(f)) {}
+  void run() override { f_(); }
+
+ private:
+  std::remove_reference_t<F> f_;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(unsigned num_workers);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  unsigned num_workers() const { return num_workers_; }
+
+  // Id of the calling thread within this scheduler (0 for the external
+  // thread, 1..P-1 for spawned workers).
+  static unsigned worker_id();
+
+  // Push a job on the local deque (making it stealable), run `left` inline,
+  // then either pop-and-run `right` locally or steal-and-help until the
+  // thief that took `right` has finished it.
+  template <typename Lf, typename Rf>
+  void par_do(Lf&& left, Rf&& right) {
+    std::atomic<bool> right_done{false};
+    auto wrapped = [&]() {
+      right();
+      right_done.store(true, std::memory_order_release);
+    };
+    FuncJob<decltype(wrapped)> job(std::move(wrapped));
+    deque_for(worker_id()).push_bottom(&job);
+    signal_work();
+    left();
+    Job* popped = deque_for(worker_id()).pop_bottom();
+    if (popped != nullptr) {
+      // Bottom is LIFO and we pushed last, so this is necessarily our job.
+      popped->run();
+    } else {
+      wait_for(right_done);
+    }
+  }
+
+ private:
+  internal::WorkStealingDeque& deque_for(unsigned id) { return deques_[id].d; }
+
+  void worker_loop(unsigned id);
+  void wait_for(const std::atomic<bool>& flag);
+  internal::Job* try_steal(std::uint64_t& rng_state);
+  void signal_work();
+  void idle_backoff(unsigned& failures);
+
+  struct AlignedDeque {
+    alignas(64) internal::WorkStealingDeque d;
+  };
+
+  unsigned num_workers_;
+  std::unique_ptr<AlignedDeque[]> deques_;
+  std::unique_ptr<std::thread[]> threads_;
+  std::atomic<bool> shutdown_{false};
+
+  // Sleep/wake machinery for idle workers (important on oversubscribed or
+  // single-core hosts: pure spinning starves the thread doing real work).
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  std::atomic<int> num_sleeping_{0};
+};
+
+}  // namespace internal
+
+// --- Public scheduler interface --------------------------------------------
+
+// The number of workers in the current (or about-to-be-created) scheduler.
+unsigned num_workers();
+
+// The calling thread's worker id in [0, num_workers()).
+unsigned worker_id();
+
+// Re-create the global scheduler with `n` workers. Must be called outside any
+// parallel region. n == 0 resets to the default (PARLAY_NUM_THREADS or
+// hardware_concurrency).
+void set_num_workers(unsigned n);
+
+namespace internal {
+Scheduler& get_scheduler();
+}  // namespace internal
+
+// Run `left` and `right`, potentially in parallel.
+template <typename Lf, typename Rf>
+void par_do(Lf&& left, Rf&& right) {
+  auto& sched = internal::get_scheduler();
+  if (sched.num_workers() == 1) {
+    left();
+    right();
+  } else {
+    sched.par_do(std::forward<Lf>(left), std::forward<Rf>(right));
+  }
+}
+
+}  // namespace parlay

@@ -1,0 +1,63 @@
+// Parallel semisort / group-by (§2 of the paper).
+//
+// A semisort reorders (key, value) pairs so all pairs with equal keys are
+// consecutive. The paper uses it as the lock-free deterministic substitute
+// for concurrent neighbor-list updates: collect the edges, semisort by
+// target, then process each target's group independently.
+//
+// This implementation realizes the semisort contract with a stable parallel
+// sort by key (our keys are integer vertex ids), which additionally yields a
+// canonical group order — slightly stronger than the semisort spec and what
+// makes downstream merges bit-deterministic.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "sequence_ops.h"
+#include "sort.h"
+
+namespace parlay {
+
+// Reorder pairs so equal keys are consecutive (sorted order, stable).
+template <typename K, typename V>
+void semisort_inplace(std::vector<std::pair<K, V>>& pairs) {
+  sort_by_key_inplace(pairs);
+}
+
+// A group of values sharing one key.
+template <typename K, typename V>
+struct KeyedGroup {
+  K key;
+  std::vector<V> values;
+};
+
+// Semisort `pairs` and collect one KeyedGroup per distinct key, in ascending
+// key order; values within a group keep their input order (stability).
+template <typename K, typename V>
+std::vector<KeyedGroup<K, V>> group_by_key(std::vector<std::pair<K, V>> pairs) {
+  std::size_t n = pairs.size();
+  if (n == 0) return {};
+  semisort_inplace(pairs);
+  // Group starts: index 0 plus every position whose key differs from the
+  // previous one.
+  auto is_start = tabulate(n, [&](std::size_t i) -> unsigned char {
+    return (i == 0 || pairs[i].first != pairs[i - 1].first) ? 1 : 0;
+  });
+  auto starts = pack_index(is_start);
+  std::size_t g = starts.size();
+  std::vector<KeyedGroup<K, V>> groups(g);
+  parallel_for(0, g, [&](std::size_t j) {
+    std::size_t lo = starts[j];
+    std::size_t hi = (j + 1 < g) ? starts[j + 1] : n;
+    groups[j].key = pairs[lo].first;
+    groups[j].values.reserve(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) {
+      groups[j].values.push_back(std::move(pairs[i].second));
+    }
+  }, 1);
+  return groups;
+}
+
+}  // namespace parlay

@@ -1,0 +1,202 @@
+// Parallel sequence primitives: tabulate, map, reduce, scan, filter, pack,
+// flatten. All of them are deterministic: reductions and scans use a fixed
+// block structure (kSeqOpsBlock) independent of the worker count, so even
+// non-associative-in-practice operators (floating point +) give identical
+// results across runs and machine configurations.
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "parallel.h"
+
+namespace parlay {
+
+inline constexpr std::size_t kSeqOpsBlock = 2048;
+
+// --- tabulate / map / iota --------------------------------------------------
+
+template <typename F>
+auto tabulate(std::size_t n, F&& f) {
+  using T = std::decay_t<decltype(f(std::size_t{0}))>;
+  std::vector<T> out(n);
+  parallel_for(0, n, [&](std::size_t i) { out[i] = f(i); });
+  return out;
+}
+
+template <typename Range, typename F>
+auto map(const Range& r, F&& f) {
+  using T = std::decay_t<decltype(f(r[0]))>;
+  std::size_t n = r.size();
+  std::vector<T> out(n);
+  parallel_for(0, n, [&](std::size_t i) { out[i] = f(r[i]); });
+  return out;
+}
+
+inline std::vector<std::size_t> iota(std::size_t n) {
+  return tabulate(n, [](std::size_t i) { return i; });
+}
+
+// --- reduce ------------------------------------------------------------------
+
+namespace internal {
+
+// Reduce blocks [blo, bhi) of r with a fixed binary tree shape.
+template <typename Range, typename T, typename BinOp>
+T reduce_blocks(const Range& r, std::size_t blo, std::size_t bhi, T identity,
+                const BinOp& op) {
+  if (bhi - blo == 1) {
+    std::size_t lo = blo * kSeqOpsBlock;
+    std::size_t hi = std::min(lo + kSeqOpsBlock, static_cast<std::size_t>(r.size()));
+    T acc = identity;
+    for (std::size_t i = lo; i < hi; ++i) acc = op(acc, r[i]);
+    return acc;
+  }
+  std::size_t bmid = blo + (bhi - blo) / 2;
+  T left{}, right{};
+  par_do([&] { left = reduce_blocks(r, blo, bmid, identity, op); },
+         [&] { right = reduce_blocks(r, bmid, bhi, identity, op); });
+  return op(left, right);
+}
+
+}  // namespace internal
+
+// Reduce r with op (identity on the left). Deterministic tree shape.
+template <typename Range, typename T, typename BinOp>
+T reduce(const Range& r, T identity, BinOp op) {
+  std::size_t n = r.size();
+  if (n == 0) return identity;
+  std::size_t nblocks = (n + kSeqOpsBlock - 1) / kSeqOpsBlock;
+  return internal::reduce_blocks(r, 0, nblocks, identity, op);
+}
+
+template <typename Range>
+auto reduce(const Range& r) {
+  using T = std::decay_t<decltype(r[0])>;
+  return reduce(r, T{}, [](T a, T b) { return a + b; });
+}
+
+// --- scan (exclusive) ---------------------------------------------------------
+
+// Exclusive scan of r. Returns {prefix sums, total}. Deterministic blocked
+// two-pass algorithm: per-block sums, sequential scan over block sums (the
+// number of blocks is small), then parallel within-block scans.
+// `op` must be T x T -> T; elements of r are converted to T before combining.
+template <typename Range, typename T, typename BinOp>
+std::pair<std::vector<T>, T> scan(const Range& r, T identity, BinOp op) {
+  std::size_t n = r.size();
+  std::vector<T> out(n);
+  if (n == 0) return {std::move(out), identity};
+  std::size_t nblocks = (n + kSeqOpsBlock - 1) / kSeqOpsBlock;
+  std::vector<T> block_sums(nblocks);
+  parallel_for(0, nblocks, [&](std::size_t b) {
+    std::size_t lo = b * kSeqOpsBlock;
+    std::size_t hi = std::min(lo + kSeqOpsBlock, n);
+    T acc = identity;
+    for (std::size_t i = lo; i < hi; ++i) acc = op(acc, static_cast<T>(r[i]));
+    block_sums[b] = acc;
+  }, 1);
+  T total = identity;
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    T next = op(total, block_sums[b]);
+    block_sums[b] = total;
+    total = next;
+  }
+  parallel_for(0, nblocks, [&](std::size_t b) {
+    std::size_t lo = b * kSeqOpsBlock;
+    std::size_t hi = std::min(lo + kSeqOpsBlock, n);
+    T acc = block_sums[b];
+    for (std::size_t i = lo; i < hi; ++i) {
+      out[i] = acc;
+      acc = op(acc, static_cast<T>(r[i]));
+    }
+  }, 1);
+  return {std::move(out), total};
+}
+
+template <typename Range>
+auto scan(const Range& r) {
+  using T = std::decay_t<decltype(r[0])>;
+  return scan(r, T{}, [](T a, T b) { return a + b; });
+}
+
+// --- filter / pack ------------------------------------------------------------
+
+namespace internal {
+
+// Exclusive prefix counts of truthy flags: {offsets, total}.
+template <typename Flags>
+std::pair<std::vector<std::size_t>, std::size_t> flag_offsets(
+    const Flags& flags) {
+  auto ones = tabulate(flags.size(), [&](std::size_t i) -> std::size_t {
+    return flags[i] ? 1 : 0;
+  });
+  return scan(ones, std::size_t{0},
+              [](std::size_t a, std::size_t b) { return a + b; });
+}
+
+}  // namespace internal
+
+// Keep elements satisfying pred, preserving order. Deterministic.
+template <typename Range, typename Pred>
+auto filter(const Range& r, Pred&& pred) {
+  using T = std::decay_t<decltype(r[0])>;
+  std::size_t n = r.size();
+  std::vector<unsigned char> keep(n);
+  parallel_for(0, n, [&](std::size_t i) { keep[i] = pred(r[i]) ? 1 : 0; });
+  auto [offsets, total] = internal::flag_offsets(keep);
+  std::vector<T> out(total);
+  parallel_for(0, n, [&](std::size_t i) {
+    if (keep[i]) out[offsets[i]] = r[i];
+  });
+  return out;
+}
+
+// Keep r[i] where flags[i], preserving order.
+template <typename Range, typename Flags>
+auto pack(const Range& r, const Flags& flags) {
+  using T = std::decay_t<decltype(r[0])>;
+  std::size_t n = r.size();
+  auto [offsets, total] = internal::flag_offsets(flags);
+  std::vector<T> out(total);
+  parallel_for(0, n, [&](std::size_t i) {
+    if (flags[i]) out[offsets[i]] = r[i];
+  });
+  return out;
+}
+
+// Indices i where flags[i] is true.
+template <typename Flags>
+std::vector<std::size_t> pack_index(const Flags& flags) {
+  std::size_t n = flags.size();
+  auto [offsets, total] = internal::flag_offsets(flags);
+  std::vector<std::size_t> out(total);
+  parallel_for(0, n, [&](std::size_t i) {
+    if (flags[i]) out[offsets[i]] = i;
+  });
+  return out;
+}
+
+// --- flatten ------------------------------------------------------------------
+
+// Concatenate a sequence of sequences.
+template <typename NestedRange>
+auto flatten(const NestedRange& seqs) {
+  using Inner = std::decay_t<decltype(seqs[0])>;
+  using T = std::decay_t<decltype(std::declval<Inner&>()[0])>;
+  std::size_t m = seqs.size();
+  auto sizes = tabulate(m, [&](std::size_t i) { return seqs[i].size(); });
+  auto [offsets, total] = scan(sizes, std::size_t{0},
+                               [](std::size_t a, std::size_t b) { return a + b; });
+  std::vector<T> out(total);
+  parallel_for(0, m, [&](std::size_t i) {
+    std::size_t off = offsets[i];
+    const auto& inner = seqs[i];
+    for (std::size_t j = 0; j < inner.size(); ++j) out[off + j] = inner[j];
+  }, 1);
+  return out;
+}
+
+}  // namespace parlay

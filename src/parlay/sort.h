@@ -1,0 +1,113 @@
+// Parallel stable merge sort. Stability makes the output a pure function of
+// the input sequence and comparator, so all sorts in the library are
+// deterministic regardless of worker count.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <iterator>
+#include <vector>
+
+#include "parallel.h"
+
+namespace parlay {
+
+namespace internal {
+
+inline constexpr std::size_t kSortBase = 4096;
+inline constexpr std::size_t kMergeBase = 4096;
+
+// Stable parallel merge of [a_lo,a_hi) and [b_lo,b_hi) into out.
+// Ties favor the A side, preserving stability.
+template <typename It, typename OutIt, typename Cmp>
+void merge_par(It a_lo, It a_hi, It b_lo, It b_hi, OutIt out, const Cmp& cmp) {
+  std::size_t na = static_cast<std::size_t>(a_hi - a_lo);
+  std::size_t nb = static_cast<std::size_t>(b_hi - b_lo);
+  if (na + nb <= kMergeBase) {
+    std::merge(a_lo, a_hi, b_lo, b_hi, out, cmp);
+    return;
+  }
+  if (na < nb) {
+    // Keep A the larger side; swapping sides must flip tie-breaking to keep
+    // stability (elements of the original A precede equal elements of B).
+    std::size_t bm = nb / 2;
+    It b_mid = b_lo + static_cast<std::ptrdiff_t>(bm);
+    // A elements equal to *b_mid must land in the LEFT half: B may hold
+    // equal elements before b_mid, and stability requires every equal A
+    // element to precede every equal B element.
+    It a_mid = std::upper_bound(a_lo, a_hi, *b_mid, cmp);
+    std::size_t left_len = static_cast<std::size_t>(a_mid - a_lo) + bm;
+    par_do(
+        [&] { merge_par(a_lo, a_mid, b_lo, b_mid, out, cmp); },
+        [&] {
+          merge_par(a_mid, a_hi, b_mid, b_hi,
+                    out + static_cast<std::ptrdiff_t>(left_len), cmp);
+        });
+  } else {
+    std::size_t am = na / 2;
+    It a_mid = a_lo + static_cast<std::ptrdiff_t>(am);
+    // B elements strictly less than *a_mid go before it.
+    It b_mid = std::lower_bound(b_lo, b_hi, *a_mid, cmp);
+    std::size_t left_len = am + static_cast<std::size_t>(b_mid - b_lo);
+    par_do(
+        [&] { merge_par(a_lo, a_mid, b_lo, b_mid, out, cmp); },
+        [&] {
+          merge_par(a_mid, a_hi, b_mid, b_hi,
+                    out + static_cast<std::ptrdiff_t>(left_len), cmp);
+        });
+  }
+}
+
+// Sort [lo, hi) of v; result lands in v if !to_buf, else in buf.
+template <typename T, typename Cmp>
+void sort_rec(std::vector<T>& v, std::vector<T>& buf, std::size_t lo,
+              std::size_t hi, bool to_buf, const Cmp& cmp) {
+  std::size_t n = hi - lo;
+  if (n <= kSortBase) {
+    std::stable_sort(v.begin() + lo, v.begin() + hi, cmp);
+    if (to_buf) {
+      std::copy(v.begin() + lo, v.begin() + hi, buf.begin() + lo);
+    }
+    return;
+  }
+  std::size_t mid = lo + n / 2;
+  par_do([&] { sort_rec(v, buf, lo, mid, !to_buf, cmp); },
+         [&] { sort_rec(v, buf, mid, hi, !to_buf, cmp); });
+  auto& src = to_buf ? v : buf;
+  auto& dst = to_buf ? buf : v;
+  merge_par(src.begin() + lo, src.begin() + mid, src.begin() + mid,
+            src.begin() + hi, dst.begin() + lo, cmp);
+}
+
+}  // namespace internal
+
+// Stable parallel in-place sort.
+template <typename T, typename Cmp = std::less<T>>
+void sort_inplace(std::vector<T>& v, Cmp cmp = Cmp{}) {
+  if (v.size() <= internal::kSortBase) {
+    std::stable_sort(v.begin(), v.end(), cmp);
+    return;
+  }
+  std::vector<T> buf(v.size());
+  internal::sort_rec(v, buf, 0, v.size(), /*to_buf=*/false, cmp);
+}
+
+// Stable parallel sort returning a new vector.
+template <typename Range, typename Cmp = std::less<std::decay_t<decltype(std::declval<Range>()[0])>>>
+auto sorted(const Range& r, Cmp cmp = Cmp{}) {
+  using T = std::decay_t<decltype(r[0])>;
+  std::vector<T> v(r.begin(), r.end());
+  sort_inplace(v, cmp);
+  return v;
+}
+
+// Stable sort of key/value pairs by key.
+template <typename K, typename V>
+void sort_by_key_inplace(std::vector<std::pair<K, V>>& kv) {
+  sort_inplace(kv, [](const std::pair<K, V>& a, const std::pair<K, V>& b) {
+    return a.first < b.first;
+  });
+}
+
+}  // namespace parlay

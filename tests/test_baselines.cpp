@@ -1,0 +1,90 @@
+// Lock-based "original" baselines: correct single-threaded, usable (if
+// non-deterministic) multi-threaded — the Fig. 1 comparison partners.
+#include <gtest/gtest.h>
+
+#include "algorithms/baseline_hnsw.h"
+#include "algorithms/baseline_incremental.h"
+#include "algorithms/diskann.h"
+#include "core/dataset.h"
+#include "test_helpers.h"
+
+namespace {
+
+using ann::DiskANNParams;
+using ann::EuclideanSquared;
+using ann::HNSWParams;
+
+TEST(LockedVamana, SingleThreadHighRecall) {
+  parlay::set_num_workers(1);
+  auto ds = ann::make_bigann_like(1000, 40, 3);
+  DiskANNParams prm{.degree_bound = 24, .beam_width = 48};
+  auto index = ann::build_locked_vamana<EuclideanSquared>(ds.base, prm);
+  ann::testutil::check_graph_invariants(index.graph, 1000, 2 * 24);
+  double recall = ann::testutil::measure_recall<EuclideanSquared>(
+      index, ds.base, ds.queries, 64);
+  parlay::set_num_workers(0);
+  EXPECT_GT(recall, 0.9) << "recall " << recall;
+}
+
+TEST(LockedVamana, SingleThreadDeterministic) {
+  parlay::set_num_workers(1);
+  auto ds = ann::make_spacev_like(500, 1, 5);
+  DiskANNParams prm{.degree_bound = 16, .beam_width = 32};
+  auto a = ann::build_locked_vamana<EuclideanSquared>(ds.base, prm);
+  auto b = ann::build_locked_vamana<EuclideanSquared>(ds.base, prm);
+  parlay::set_num_workers(0);
+  EXPECT_TRUE(a.graph == b.graph);
+}
+
+TEST(LockedVamana, MultiThreadStillUsable) {
+  // Not deterministic, but data-race free and produces a working index.
+  parlay::set_num_workers(8);
+  auto ds = ann::make_bigann_like(1000, 40, 7);
+  DiskANNParams prm{.degree_bound = 24, .beam_width = 48};
+  auto index = ann::build_locked_vamana<EuclideanSquared>(ds.base, prm);
+  double recall = ann::testutil::measure_recall<EuclideanSquared>(
+      index, ds.base, ds.queries, 64);
+  parlay::set_num_workers(0);
+  ann::testutil::check_graph_invariants(index.graph, 1000, 2 * 24);
+  EXPECT_GT(recall, 0.85) << "recall " << recall;
+}
+
+TEST(LockedHNSW, SingleThreadHighRecall) {
+  parlay::set_num_workers(1);
+  auto ds = ann::make_bigann_like(1000, 40, 9);
+  HNSWParams prm{.m = 16, .ef_construction = 48};
+  auto index = ann::build_locked_hnsw<EuclideanSquared>(ds.base, prm);
+  double recall = ann::testutil::measure_recall<EuclideanSquared>(
+      index, ds.base, ds.queries, 64);
+  parlay::set_num_workers(0);
+  EXPECT_GT(recall, 0.9) << "recall " << recall;
+}
+
+TEST(LockedHNSW, MultiThreadStillUsable) {
+  parlay::set_num_workers(8);
+  auto ds = ann::make_bigann_like(800, 30, 11);
+  HNSWParams prm{.m = 12, .ef_construction = 48};
+  auto index = ann::build_locked_hnsw<EuclideanSquared>(ds.base, prm);
+  double recall = ann::testutil::measure_recall<EuclideanSquared>(
+      index, ds.base, ds.queries, 64);
+  parlay::set_num_workers(0);
+  EXPECT_GT(recall, 0.8) << "recall " << recall;
+}
+
+TEST(LockedBaselines, QualityComparableToParlayCounterpart) {
+  // Fig. 1's premise: both implementations in a pair use the same
+  // parameters and deliver similar query quality.
+  parlay::set_num_workers(4);
+  auto ds = ann::make_bigann_like(1000, 40, 13);
+  DiskANNParams prm{.degree_bound = 24, .beam_width = 48};
+  auto locked = ann::build_locked_vamana<EuclideanSquared>(ds.base, prm);
+  auto parlay_ix = ann::build_diskann<EuclideanSquared>(ds.base, prm);
+  double r_locked = ann::testutil::measure_recall<EuclideanSquared>(
+      locked, ds.base, ds.queries, 64);
+  double r_parlay = ann::testutil::measure_recall<EuclideanSquared>(
+      parlay_ix, ds.base, ds.queries, 64);
+  parlay::set_num_workers(0);
+  EXPECT_NEAR(r_locked, r_parlay, 0.08);
+}
+
+}  // namespace

@@ -1,0 +1,189 @@
+// Beam search (Alg. 1) behaviour on hand-built and generated graphs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/beam_search.h"
+#include "core/dataset.h"
+#include "core/distance.h"
+#include "core/graph.h"
+#include "core/ground_truth.h"
+#include "core/prune.h"
+#include "core/recall.h"
+
+namespace {
+
+using ann::EuclideanSquared;
+using ann::Graph;
+using ann::PointId;
+using ann::PointSet;
+using ann::SearchParams;
+
+// A brute-force "good" graph: every point linked to its R exact nearest
+// neighbors — beam search on it should be near-exact.
+template <typename T>
+Graph knn_graph(const PointSet<T>& points, std::uint32_t R) {
+  auto gt = ann::compute_ground_truth<EuclideanSquared>(points, points, R + 1);
+  Graph g(points.size(), R);
+  for (std::size_t v = 0; v < points.size(); ++v) {
+    std::vector<PointId> neigh;
+    for (const auto& nb : gt.row(v)) {
+      if (nb.id != v && neigh.size() < R) neigh.push_back(nb.id);
+    }
+    g.set_neighbors(static_cast<PointId>(v), neigh);
+  }
+  return g;
+}
+
+TEST(BeamSearch, FindsNeighborsOnLineGraph) {
+  // Points on a line 0..9, path graph. Searching from 0 must walk to the end.
+  PointSet<float> ps(10, 1);
+  for (PointId i = 0; i < 10; ++i) {
+    float v = static_cast<float>(i);
+    ps.set_point(i, &v);
+  }
+  Graph g(10, 2);
+  for (PointId i = 0; i < 10; ++i) {
+    std::vector<PointId> n;
+    if (i > 0) n.push_back(i - 1);
+    if (i < 9) n.push_back(i + 1);
+    g.set_neighbors(i, n);
+  }
+  float query = 8.9f;
+  SearchParams prm{.beam_width = 4, .k = 2};
+  std::vector<PointId> starts{0};
+  auto res = ann::beam_search<EuclideanSquared>(&query, ps, g, starts, prm);
+  auto ids = res.top_k_ids(2);
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], 9u);
+  EXPECT_EQ(ids[1], 8u);
+}
+
+TEST(BeamSearch, VisitedListIsInProcessingOrderAndBounded) {
+  auto ps = ann::make_uniform<float>(300, 6, 0, 1, 71);
+  auto g = knn_graph(ps, 8);
+  auto q = ann::make_uniform<float>(1, 6, 0, 1, 72);
+  SearchParams prm{.beam_width = 20, .k = 10};
+  std::vector<PointId> starts{0};
+  auto res = ann::beam_search<EuclideanSquared>(q[0], ps, g, starts, prm);
+  EXPECT_FALSE(res.visited.empty());
+  // Frontier sorted ascending, unique ids.
+  for (std::size_t i = 1; i < res.frontier.size(); ++i) {
+    ASSERT_TRUE(res.frontier[i - 1] < res.frontier[i]);
+  }
+  EXPECT_LE(res.frontier.size(), 20u);
+}
+
+TEST(BeamSearch, VisitLimitCapsProcessing) {
+  auto ps = ann::make_uniform<float>(500, 4, 0, 1, 73);
+  auto g = knn_graph(ps, 6);
+  auto q = ann::make_uniform<float>(1, 4, 0, 1, 74);
+  SearchParams prm{.beam_width = 50, .k = 10};
+  prm.visit_limit = 7;
+  std::vector<PointId> starts{0};
+  auto res = ann::beam_search<EuclideanSquared>(q[0], ps, g, starts, prm);
+  EXPECT_LE(res.visited.size(), 7u);
+}
+
+TEST(BeamSearch, HighRecallOnKnnGraph) {
+  auto ps = ann::make_uniform<float>(1000, 8, 0, 1, 75);
+  auto g = knn_graph(ps, 10);
+  auto queries = ann::make_uniform<float>(50, 8, 0, 1, 76);
+  auto gt = ann::compute_ground_truth<EuclideanSquared>(ps, queries, 10);
+  SearchParams prm{.beam_width = 60, .k = 10};
+  std::vector<std::vector<PointId>> results;
+  std::vector<PointId> starts{0};
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    results.push_back(ann::search_knn<EuclideanSquared>(queries[q], ps, g,
+                                                        starts, prm));
+  }
+  EXPECT_GT(ann::average_recall(results, gt, 10), 0.9);
+}
+
+TEST(BeamSearch, WiderBeamNeverHurtsRecallMuch) {
+  auto ps = ann::make_uniform<float>(800, 8, 0, 1, 77);
+  auto g = knn_graph(ps, 8);
+  auto queries = ann::make_uniform<float>(30, 8, 0, 1, 78);
+  auto gt = ann::compute_ground_truth<EuclideanSquared>(ps, queries, 10);
+  std::vector<PointId> starts{0};
+  double prev = -1.0;
+  for (std::uint32_t beam : {10u, 30u, 90u}) {
+    SearchParams prm{.beam_width = beam, .k = 10};
+    std::vector<std::vector<PointId>> results;
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      results.push_back(ann::search_knn<EuclideanSquared>(queries[q], ps, g,
+                                                          starts, prm));
+    }
+    double rec = ann::average_recall(results, gt, 10);
+    EXPECT_GE(rec, prev - 0.02) << "beam " << beam;  // monotone up to noise
+    prev = rec;
+  }
+}
+
+TEST(BeamSearch, EpsilonPruningReducesWorkKeepsQuality) {
+  auto ps = ann::make_uniform<float>(1500, 8, 0, 1, 79);
+  auto g = knn_graph(ps, 10);
+  auto queries = ann::make_uniform<float>(40, 8, 0, 1, 80);
+  auto gt = ann::compute_ground_truth<EuclideanSquared>(ps, queries, 10);
+  std::vector<PointId> starts{0};
+
+  auto run = [&](float eps) {
+    ann::DistanceCounter::reset();
+    std::vector<std::vector<PointId>> results;
+    SearchParams prm{.beam_width = 40, .k = 10, .epsilon = eps};
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      results.push_back(ann::search_knn<EuclideanSquared>(queries[q], ps, g,
+                                                          starts, prm));
+    }
+    return std::make_pair(ann::average_recall(results, gt, 10),
+                          ann::DistanceCounter::total());
+  };
+  auto [rec0, comps0] = run(0.0f);
+  auto [rec_cut, comps_cut] = run(0.1f);
+  EXPECT_LE(comps_cut, comps0);
+  EXPECT_GT(rec_cut, rec0 - 0.1);
+}
+
+TEST(BeamSearch, DeterministicAcrossRunsAndVisitedSetChoice) {
+  auto ps = ann::make_uniform<float>(600, 8, 0, 1, 81);
+  auto g = knn_graph(ps, 8);
+  auto q = ann::make_uniform<float>(1, 8, 0, 1, 82);
+  SearchParams prm{.beam_width = 25, .k = 10};
+  std::vector<PointId> starts{3};
+  auto r1 = ann::beam_search<EuclideanSquared>(q[0], ps, g, starts, prm);
+  auto r2 = ann::beam_search<EuclideanSquared>(q[0], ps, g, starts, prm);
+  ASSERT_EQ(r1.frontier.size(), r2.frontier.size());
+  for (std::size_t i = 0; i < r1.frontier.size(); ++i) {
+    EXPECT_TRUE(r1.frontier[i] == r2.frontier[i]);
+  }
+  ASSERT_EQ(r1.visited.size(), r2.visited.size());
+}
+
+TEST(BeamSearch, ExactVisitedSetVariantWorks) {
+  auto ps = ann::make_uniform<float>(400, 6, 0, 1, 83);
+  auto g = knn_graph(ps, 8);
+  auto queries = ann::make_uniform<float>(20, 6, 0, 1, 84);
+  auto gt = ann::compute_ground_truth<EuclideanSquared>(ps, queries, 10);
+  std::vector<PointId> starts{0};
+  SearchParams prm{.beam_width = 40, .k = 10};
+  std::vector<std::vector<PointId>> results;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    results.push_back(
+        ann::search_knn<EuclideanSquared, float, ann::ExactVisitedSet>(
+            queries[q], ps, g, starts, prm));
+  }
+  EXPECT_GT(ann::average_recall(results, gt, 10), 0.9);
+}
+
+TEST(BeamSearch, MultipleStartPoints) {
+  auto ps = ann::make_uniform<float>(500, 6, 0, 1, 85);
+  auto g = knn_graph(ps, 8);
+  auto q = ann::make_uniform<float>(1, 6, 0, 1, 86);
+  SearchParams prm{.beam_width = 20, .k = 5};
+  std::vector<PointId> starts{0, 100, 200, 300, 400};
+  auto res = ann::beam_search<EuclideanSquared>(q[0], ps, g, starts, prm);
+  EXPECT_GE(res.visited.size(), 1u);
+  EXPECT_LE(res.top_k_ids(5).size(), 5u);
+}
+
+}  // namespace

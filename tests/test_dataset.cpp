@@ -1,0 +1,112 @@
+// Synthetic dataset generators: determinism, shape, and the OOD property.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dataset.h"
+#include "core/distance.h"
+#include "core/ground_truth.h"
+
+namespace {
+
+TEST(Dataset, BigannLikeShapeAndDeterminism) {
+  auto a = ann::make_bigann_like(500, 50, 42);
+  auto b = ann::make_bigann_like(500, 50, 42);
+  EXPECT_EQ(a.base.size(), 500u);
+  EXPECT_EQ(a.base.dims(), 128u);
+  EXPECT_EQ(a.queries.size(), 50u);
+  EXPECT_TRUE(a.base == b.base);
+  EXPECT_TRUE(a.queries == b.queries);
+}
+
+TEST(Dataset, DifferentSeedsDiffer) {
+  auto a = ann::make_bigann_like(100, 10, 1);
+  auto b = ann::make_bigann_like(100, 10, 2);
+  EXPECT_FALSE(a.base == b.base);
+}
+
+TEST(Dataset, SpacevLikeSignedValues) {
+  auto ds = ann::make_spacev_like(300, 30, 7);
+  EXPECT_EQ(ds.base.dims(), 100u);
+  bool has_negative = false, has_positive = false;
+  for (std::size_t i = 0; i < ds.base.size(); ++i) {
+    for (std::size_t j = 0; j < ds.base.dims(); ++j) {
+      if (ds.base[static_cast<ann::PointId>(i)][j] < 0) has_negative = true;
+      if (ds.base[static_cast<ann::PointId>(i)][j] > 0) has_positive = true;
+    }
+  }
+  EXPECT_TRUE(has_negative);
+  EXPECT_TRUE(has_positive);
+}
+
+TEST(Dataset, DeterministicAcrossWorkerCounts) {
+  parlay::set_num_workers(1);
+  auto a = ann::make_spacev_like(400, 20, 9);
+  parlay::set_num_workers(6);
+  auto b = ann::make_spacev_like(400, 20, 9);
+  parlay::set_num_workers(0);
+  EXPECT_TRUE(a.base == b.base);
+  EXPECT_TRUE(a.queries == b.queries);
+}
+
+TEST(Dataset, ClusteredStructureExists) {
+  // Points from the same mixture should have a much smaller mean NN distance
+  // than the dataset diameter: verify nearest-neighbor distance is well
+  // below mean pairwise distance.
+  auto ds = ann::make_bigann_like(400, 1, 11);
+  auto gt = ann::compute_ground_truth<ann::EuclideanSquared>(ds.base, ds.base, 2);
+  double mean_nn = 0;
+  for (std::size_t q = 0; q < gt.num_queries(); ++q) {
+    mean_nn += std::sqrt(static_cast<double>(gt.row(q)[1].dist));
+  }
+  mean_nn /= static_cast<double>(gt.num_queries());
+  // Mean pairwise distance estimate from a sample.
+  double mean_pair = 0;
+  std::size_t cnt = 0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    for (std::size_t j = i + 17; j < 400; j += 57) {
+      mean_pair += std::sqrt(static_cast<double>(ann::EuclideanSquared::distance(
+          ds.base[static_cast<ann::PointId>(i)],
+          ds.base[static_cast<ann::PointId>(j)], ds.base.dims())));
+      ++cnt;
+    }
+  }
+  mean_pair /= static_cast<double>(cnt);
+  EXPECT_LT(mean_nn, 0.8 * mean_pair);
+}
+
+TEST(Dataset, Text2ImageQueriesAreOutOfDistribution) {
+  // The OOD property the paper probes: queries drawn from a different
+  // mixture sit farther from the base set than base points do from each
+  // other (measured by L2 nearest-neighbor distance).
+  auto ds = ann::make_text2image_like(500, 100, 13);
+  auto gt_base = ann::compute_ground_truth<ann::EuclideanSquared>(
+      ds.base, ds.base, 2);
+  auto gt_query = ann::compute_ground_truth<ann::EuclideanSquared>(
+      ds.base, ds.queries, 1);
+  double base_nn = 0;
+  for (std::size_t q = 0; q < gt_base.num_queries(); ++q) {
+    base_nn += std::sqrt(std::max(0.0, double(gt_base.row(q)[1].dist)));
+  }
+  base_nn /= double(gt_base.num_queries());
+  double query_nn = 0;
+  for (std::size_t q = 0; q < gt_query.num_queries(); ++q) {
+    query_nn += std::sqrt(std::max(0.0, double(gt_query.row(q)[0].dist)));
+  }
+  query_nn /= double(gt_query.num_queries());
+  EXPECT_GT(query_nn, 1.3 * base_nn)
+      << "query NN dist " << query_nn << " vs base NN dist " << base_nn;
+}
+
+TEST(Dataset, UniformRangeRespected) {
+  auto ps = ann::make_uniform<float>(200, 5, -2.0, 3.0, 17);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    for (std::size_t j = 0; j < ps.dims(); ++j) {
+      float v = ps[static_cast<ann::PointId>(i)][j];
+      EXPECT_GE(v, -2.0f);
+      EXPECT_LT(v, 3.0f);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,151 @@
+// ParlayDiskANN: build invariants, recall, determinism, prefix-doubling
+// schedule properties.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algorithms/diskann.h"
+#include "core/dataset.h"
+#include "test_helpers.h"
+
+namespace {
+
+using ann::DiskANNParams;
+using ann::EuclideanSquared;
+using ann::NegInnerProduct;
+using ann::PointId;
+
+TEST(BatchSchedule, PrefixDoublingShape) {
+  auto s = ann::BatchSchedule::prefix_doubling(1000, 0.02);
+  // First batch is a single point; sizes double until the 2% cap (20).
+  ASSERT_FALSE(s.ranges.empty());
+  EXPECT_EQ(s.ranges[0], (std::pair<std::size_t, std::size_t>{0, 1}));
+  std::size_t covered = 0;
+  std::size_t prev_size = 0;
+  for (auto [lo, hi] : s.ranges) {
+    EXPECT_EQ(lo, covered);
+    std::size_t size = hi - lo;
+    EXPECT_LE(size, 20u);  // theta cap
+    if (prev_size > 0 && prev_size < 20) EXPECT_GE(size, prev_size);
+    prev_size = size;
+    covered = hi;
+  }
+  EXPECT_EQ(covered, 1000u);
+}
+
+TEST(BatchSchedule, NoCapDoublesToTheEnd) {
+  auto s = ann::BatchSchedule::prefix_doubling(1 << 12, 0.0);
+  EXPECT_EQ(s.ranges.size(), 13u);  // 1,1,2,4,...,2048
+}
+
+TEST(BatchSchedule, SequentialIsOnePointPerBatch) {
+  auto s = ann::BatchSchedule::sequential(5);
+  ASSERT_EQ(s.ranges.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(s.ranges[i], (std::pair<std::size_t, std::size_t>{i, i + 1}));
+  }
+}
+
+TEST(Medoid, IsCentralAndDeterministic) {
+  auto ds = ann::make_bigann_like(500, 1, 3);
+  PointId m1 = ann::find_medoid<EuclideanSquared>(ds.base);
+  PointId m2 = ann::find_medoid<EuclideanSquared>(ds.base);
+  EXPECT_EQ(m1, m2);
+  EXPECT_LT(m1, ds.base.size());
+}
+
+TEST(DiskANN, GraphInvariants) {
+  auto ds = ann::make_bigann_like(1000, 10, 5);
+  DiskANNParams prm{.degree_bound = 24, .beam_width = 48};
+  auto index = ann::build_diskann<EuclideanSquared>(ds.base, prm);
+  // Capacity is 2R but post-batch degrees must not exceed it.
+  ann::testutil::check_graph_invariants(index.graph, 1000, 2 * 24);
+  EXPECT_LT(index.start, 1000u);
+}
+
+TEST(DiskANN, MostVerticesReachableFromMedoid) {
+  auto ds = ann::make_bigann_like(1000, 1, 7);
+  DiskANNParams prm{.degree_bound = 24, .beam_width = 48};
+  auto index = ann::build_diskann<EuclideanSquared>(ds.base, prm);
+  EXPECT_GT(ann::testutil::reachable_fraction(index.graph, index.start), 0.99);
+}
+
+TEST(DiskANN, HighRecallOnClusteredData) {
+  auto ds = ann::make_bigann_like(2000, 50, 11);
+  DiskANNParams prm{.degree_bound = 32, .beam_width = 64};
+  auto index = ann::build_diskann<EuclideanSquared>(ds.base, prm);
+  double recall = ann::testutil::measure_recall<EuclideanSquared>(
+      index, ds.base, ds.queries, /*beam=*/64);
+  EXPECT_GT(recall, 0.9) << "recall " << recall;
+}
+
+TEST(DiskANN, DeterministicAcrossRunsAndWorkerCounts) {
+  auto ds = ann::make_spacev_like(800, 1, 13);
+  DiskANNParams prm{.degree_bound = 16, .beam_width = 32};
+  parlay::set_num_workers(1);
+  auto a = ann::build_diskann<EuclideanSquared>(ds.base, prm);
+  parlay::set_num_workers(6);
+  auto b = ann::build_diskann<EuclideanSquared>(ds.base, prm);
+  auto c = ann::build_diskann<EuclideanSquared>(ds.base, prm);
+  parlay::set_num_workers(0);
+  EXPECT_TRUE(a.graph == b.graph) << "graph differs across worker counts";
+  EXPECT_TRUE(b.graph == c.graph) << "graph differs across runs";
+  EXPECT_EQ(a.start, b.start);
+}
+
+TEST(DiskANN, SequentialScheduleMatchesQuality) {
+  // Prefix doubling should be within a few recall points of the pure
+  // sequential build (the paper reports ~1% QPS at matched recall).
+  auto ds = ann::make_bigann_like(600, 40, 17);
+  DiskANNParams pd{.degree_bound = 24, .beam_width = 48};
+  DiskANNParams seq = pd;
+  seq.prefix_doubling = false;
+  auto ipd = ann::build_diskann<EuclideanSquared>(ds.base, pd);
+  auto iseq = ann::build_diskann<EuclideanSquared>(ds.base, seq);
+  double rpd = ann::testutil::measure_recall<EuclideanSquared>(
+      ipd, ds.base, ds.queries, 48);
+  double rseq = ann::testutil::measure_recall<EuclideanSquared>(
+      iseq, ds.base, ds.queries, 48);
+  EXPECT_GT(rpd, rseq - 0.05) << "prefix doubling lost too much quality";
+}
+
+TEST(DiskANN, MipsMetricWithAlphaLeqOne) {
+  // TEXT2IMAGE setting: inner-product metric requires alpha <= 1.0 (§A).
+  auto ds = ann::make_text2image_like(800, 30, 19);
+  DiskANNParams prm{.degree_bound = 32, .beam_width = 64, .alpha = 1.0f};
+  auto index = ann::build_diskann<NegInnerProduct>(ds.base, prm);
+  double recall = ann::testutil::measure_recall<NegInnerProduct>(
+      index, ds.base, ds.queries, 100);
+  EXPECT_GT(recall, 0.5) << "OOD MIPS recall " << recall;
+}
+
+TEST(DiskANN, TinyInputs) {
+  for (std::size_t n : {0u, 1u, 2u, 5u}) {
+    auto ps = ann::make_uniform<float>(n, 4, 0, 1, 23);
+    DiskANNParams prm{.degree_bound = 4, .beam_width = 8};
+    auto index = ann::build_diskann<EuclideanSquared>(ps, prm);
+    EXPECT_EQ(index.graph.size(), n);
+    if (n >= 2) {
+      ann::SearchParams sp{.beam_width = 4, .k = 1};
+      auto res = index.query(ps[0], ps, sp);
+      EXPECT_FALSE(res.empty());
+    }
+  }
+}
+
+TEST(DiskANN, SeedChangesPermutationNotValidity) {
+  auto ds = ann::make_bigann_like(400, 20, 29);
+  DiskANNParams a{.degree_bound = 16, .beam_width = 32, .seed = 1};
+  DiskANNParams b{.degree_bound = 16, .beam_width = 32, .seed = 99};
+  auto ia = ann::build_diskann<EuclideanSquared>(ds.base, a);
+  auto ib = ann::build_diskann<EuclideanSquared>(ds.base, b);
+  EXPECT_FALSE(ia.graph == ib.graph);  // different insertion orders
+  double ra = ann::testutil::measure_recall<EuclideanSquared>(
+      ia, ds.base, ds.queries, 40);
+  double rb = ann::testutil::measure_recall<EuclideanSquared>(
+      ib, ds.base, ds.queries, 40);
+  EXPECT_GT(ra, 0.85);
+  EXPECT_GT(rb, 0.85);
+}
+
+}  // namespace

@@ -1,0 +1,192 @@
+// Dynamic DiskANN (batch insert / tombstone delete / consolidate).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algorithms/dynamic_index.h"
+#include "core/dataset.h"
+#include "test_helpers.h"
+
+namespace {
+
+using ann::DiskANNParams;
+using ann::DynamicDiskANN;
+using ann::EuclideanSquared;
+using ann::PointId;
+using ann::SearchParams;
+
+ann::PointSet<std::uint8_t> slice(const ann::PointSet<std::uint8_t>& ps,
+                                  std::size_t lo, std::size_t hi) {
+  ann::PointSet<std::uint8_t> out(hi - lo, ps.dims());
+  for (std::size_t i = lo; i < hi; ++i) {
+    out.set_point(static_cast<PointId>(i - lo), ps[static_cast<PointId>(i)]);
+  }
+  return out;
+}
+
+double dynamic_recall(const DynamicDiskANN<EuclideanSquared, std::uint8_t>& ix,
+                      const ann::PointSet<std::uint8_t>& queries,
+                      const ann::GroundTruth& gt, std::uint32_t beam) {
+  SearchParams sp{.beam_width = beam, .k = 10};
+  std::vector<std::vector<PointId>> results;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    results.push_back(ix.query(queries[static_cast<PointId>(q)], sp));
+  }
+  return ann::average_recall(results, gt, 10);
+}
+
+TEST(DynamicIndex, IncrementalInsertMatchesStaticQuality) {
+  auto ds = ann::make_bigann_like(2000, 40, 3);
+  DiskANNParams prm{.degree_bound = 24, .beam_width = 48};
+  DynamicDiskANN<EuclideanSquared, std::uint8_t> ix(128, prm);
+  // Insert in 4 uneven batches.
+  ix.insert(slice(ds.base, 0, 100));
+  ix.insert(slice(ds.base, 100, 700));
+  ix.insert(slice(ds.base, 700, 1500));
+  ix.insert(slice(ds.base, 1500, 2000));
+  EXPECT_EQ(ix.size(), 2000u);
+  EXPECT_TRUE(ix.points() == ds.base);
+
+  auto gt = ann::compute_ground_truth<EuclideanSquared>(ds.base, ds.queries, 10);
+  double recall = dynamic_recall(ix, ds.queries, gt, 48);
+  EXPECT_GT(recall, 0.9) << "incremental recall " << recall;
+}
+
+TEST(DynamicIndex, DeletedPointsNeverReturned) {
+  auto ds = ann::make_bigann_like(1000, 30, 5);
+  DiskANNParams prm{.degree_bound = 24, .beam_width = 48};
+  DynamicDiskANN<EuclideanSquared, std::uint8_t> ix(128, prm);
+  ix.insert(ds.base);
+  // Delete every third point.
+  std::vector<PointId> dead;
+  for (PointId i = 0; i < 1000; i += 3) dead.push_back(i);
+  ix.erase(dead);
+  EXPECT_EQ(ix.num_deleted(), dead.size());
+  std::set<PointId> dead_set(dead.begin(), dead.end());
+  SearchParams sp{.beam_width = 48, .k = 10};
+  for (std::size_t q = 0; q < ds.queries.size(); ++q) {
+    for (PointId id : ix.query(ds.queries[static_cast<PointId>(q)], sp)) {
+      EXPECT_EQ(dead_set.count(id), 0u) << "deleted point " << id
+                                        << " returned";
+    }
+  }
+}
+
+TEST(DynamicIndex, RecallOnLivePointsAfterDeletes) {
+  auto ds = ann::make_bigann_like(1500, 30, 7);
+  DiskANNParams prm{.degree_bound = 24, .beam_width = 48};
+  DynamicDiskANN<EuclideanSquared, std::uint8_t> ix(128, prm);
+  ix.insert(ds.base);
+  std::vector<PointId> dead;
+  for (PointId i = 0; i < 1500; i += 4) dead.push_back(i);
+  ix.erase(dead);
+
+  // Ground truth over live points only.
+  ann::PointSet<std::uint8_t> live(0, 128);
+  std::vector<PointId> live_ids;
+  for (PointId i = 0; i < 1500; ++i) {
+    if (i % 4 != 0) {
+      live.append(ds.base[i]);
+      live_ids.push_back(i);
+    }
+  }
+  auto live_gt = ann::compute_ground_truth<EuclideanSquared>(live, ds.queries, 10);
+
+  auto check = [&](double floor, const char* when) {
+    SearchParams sp{.beam_width = 64, .k = 10};
+    double total = 0;
+    for (std::size_t q = 0; q < ds.queries.size(); ++q) {
+      auto got = ix.query(ds.queries[static_cast<PointId>(q)], sp);
+      // Map live ground truth ids (positions in `live`) back to original ids.
+      std::vector<PointId> want;
+      for (const auto& nb : live_gt.row(q)) want.push_back(live_ids[nb.id]);
+      std::size_t hits = 0;
+      for (PointId w : want) {
+        for (PointId g : got) {
+          if (g == w) {
+            ++hits;
+            break;
+          }
+        }
+      }
+      total += static_cast<double>(hits) / static_cast<double>(want.size());
+    }
+    double recall = total / static_cast<double>(ds.queries.size());
+    EXPECT_GT(recall, floor) << when << " recall " << recall;
+    return recall;
+  };
+
+  double before = check(0.85, "tombstoned");
+  ix.consolidate();
+  double after = check(0.85, "consolidated");
+  // Consolidation must not wreck quality (usually it is within noise).
+  EXPECT_GT(after, before - 0.1);
+}
+
+TEST(DynamicIndex, ConsolidateRemovesEdgesToDeleted) {
+  auto ds = ann::make_bigann_like(800, 1, 9);
+  DiskANNParams prm{.degree_bound = 16, .beam_width = 32};
+  DynamicDiskANN<EuclideanSquared, std::uint8_t> ix(128, prm);
+  ix.insert(ds.base);
+  std::vector<PointId> dead{5, 100, 200, 300, 400, 500};
+  ix.erase(dead);
+  ix.consolidate();
+  std::set<PointId> dead_set(dead.begin(), dead.end());
+  for (std::size_t v = 0; v < ix.size(); ++v) {
+    if (ix.is_deleted(static_cast<PointId>(v))) {
+      EXPECT_EQ(ix.graph().degree(static_cast<PointId>(v)), 0u);
+      continue;
+    }
+    for (PointId u : ix.graph().neighbors(static_cast<PointId>(v))) {
+      EXPECT_EQ(dead_set.count(u), 0u)
+          << "edge " << v << "->" << u << " survived consolidation";
+    }
+  }
+}
+
+TEST(DynamicIndex, StartRelocatesWhenDeleted) {
+  auto ds = ann::make_bigann_like(300, 5, 11);
+  DiskANNParams prm{.degree_bound = 16, .beam_width = 32};
+  DynamicDiskANN<EuclideanSquared, std::uint8_t> ix(128, prm);
+  ix.insert(ds.base);
+  PointId old_start = ix.start();
+  std::vector<PointId> dead{old_start};
+  ix.erase(dead);
+  EXPECT_NE(ix.start(), old_start);
+  SearchParams sp{.beam_width = 32, .k = 5};
+  auto res = ix.query(ds.queries[0], sp);
+  EXPECT_FALSE(res.empty());
+}
+
+TEST(DynamicIndex, DeterministicAcrossWorkerCounts) {
+  auto ds = ann::make_spacev_like(600, 1, 13);
+  DiskANNParams prm{.degree_bound = 16, .beam_width = 32};
+  auto build = [&] {
+    DynamicDiskANN<EuclideanSquared, std::int8_t> ix(100, prm);
+    ann::PointSet<std::int8_t> half1(0, 100), half2(0, 100);
+    for (PointId i = 0; i < 300; ++i) half1.append(ds.base[i]);
+    for (PointId i = 300; i < 600; ++i) half2.append(ds.base[i]);
+    ix.insert(half1);
+    ix.insert(half2);
+    std::vector<PointId> dead{10, 20, 30};
+    ix.erase(dead);
+    ix.consolidate();
+    return ix;
+  };
+  parlay::set_num_workers(1);
+  auto a = build();
+  parlay::set_num_workers(6);
+  auto b = build();
+  parlay::set_num_workers(0);
+  EXPECT_TRUE(a.graph() == b.graph());
+}
+
+TEST(DynamicIndex, EmptyIndexQueries) {
+  DiskANNParams prm{.degree_bound = 8, .beam_width = 16};
+  DynamicDiskANN<EuclideanSquared, std::uint8_t> ix(128, prm);
+  ann::PointSet<std::uint8_t> q(1, 128);
+  SearchParams sp{.beam_width = 8, .k = 3};
+  EXPECT_TRUE(ix.query(q[0], sp).empty());
+}
+
+}  // namespace

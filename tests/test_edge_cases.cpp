@@ -1,0 +1,126 @@
+// Degenerate-input edge cases across the stack: duplicate points (every
+// distance ties), k > n, empty adjacency, and tiny schedules. Ties are
+// where nondeterminism hides; duplicates force every tie-break to fire.
+#include <gtest/gtest.h>
+
+#include "algorithms/diskann.h"
+#include "algorithms/hcnng.h"
+#include "algorithms/hnsw.h"
+#include "algorithms/pynndescent.h"
+#include "core/dataset.h"
+#include "test_helpers.h"
+
+namespace {
+
+using ann::DiskANNParams;
+using ann::EuclideanSquared;
+using ann::PointId;
+using ann::PointSet;
+using ann::SearchParams;
+
+// n copies of the same point, plus a few distinct ones.
+PointSet<float> mostly_duplicates(std::size_t n) {
+  PointSet<float> ps(n, 4);
+  float same[4] = {1, 2, 3, 4};
+  for (PointId i = 0; i < n; ++i) ps.set_point(i, same);
+  for (PointId i = 0; i < n; i += 7) {
+    float other[4] = {float(i), 2, 3, 4};
+    ps.set_point(i, other);
+  }
+  return ps;
+}
+
+TEST(EdgeCases, DiskannOnDuplicatePointsIsDeterministic) {
+  auto ps = mostly_duplicates(400);
+  DiskANNParams prm{.degree_bound = 8, .beam_width = 16};
+  parlay::set_num_workers(1);
+  auto a = ann::build_diskann<EuclideanSquared>(ps, prm);
+  parlay::set_num_workers(6);
+  auto b = ann::build_diskann<EuclideanSquared>(ps, prm);
+  parlay::set_num_workers(0);
+  EXPECT_TRUE(a.graph == b.graph);
+  ann::testutil::check_graph_invariants(a.graph, 400, 2 * 8);
+}
+
+TEST(EdgeCases, HcnngOnDuplicatePoints) {
+  auto ps = mostly_duplicates(300);
+  ann::HCNNGParams prm{.num_trees = 4, .leaf_size = 50};
+  auto ix = ann::build_hcnng<EuclideanSquared>(ps, prm);
+  ann::testutil::check_graph_invariants(ix.graph, 300,
+                                        prm.num_trees * prm.mst_degree);
+}
+
+TEST(EdgeCases, HnswOnDuplicatePoints) {
+  auto ps = mostly_duplicates(300);
+  ann::HNSWParams prm{.m = 8, .ef_construction = 16};
+  auto ix = ann::build_hnsw<EuclideanSquared>(ps, prm);
+  SearchParams sp{.beam_width = 8, .k = 3};
+  auto res = ix.query(ps[0], ps, sp);
+  EXPECT_FALSE(res.empty());
+}
+
+TEST(EdgeCases, PynnOnDuplicatePoints) {
+  auto ps = mostly_duplicates(300);
+  ann::PyNNDescentParams prm{.k = 8, .num_trees = 3, .leaf_size = 40};
+  prm.max_rounds = 3;
+  auto ix = ann::build_pynndescent<EuclideanSquared>(ps, prm);
+  ann::testutil::check_graph_invariants(ix.graph, 300, prm.k);
+}
+
+TEST(EdgeCases, QueryKLargerThanN) {
+  auto ps = ann::make_uniform<float>(5, 4, 0, 1, 71);
+  DiskANNParams prm{.degree_bound = 4, .beam_width = 8};
+  auto ix = ann::build_diskann<EuclideanSquared>(ps, prm);
+  SearchParams sp{.beam_width = 20, .k = 50};  // k >> n
+  auto res = ix.query(ps[0], ps, sp);
+  EXPECT_LE(res.size(), 5u);
+  EXPECT_GE(res.size(), 1u);
+}
+
+TEST(EdgeCases, BeamSearchOnIsolatedStart) {
+  // Start vertex with no out-edges: search returns just the start.
+  PointSet<float> ps(3, 2);
+  float rows[3][2] = {{0, 0}, {1, 1}, {2, 2}};
+  for (PointId i = 0; i < 3; ++i) ps.set_point(i, rows[i]);
+  ann::Graph g(3, 2);  // all adjacency empty
+  SearchParams sp{.beam_width = 4, .k = 2};
+  std::vector<PointId> starts{1};
+  auto res = ann::beam_search<EuclideanSquared>(ps[0], ps, g, starts, sp);
+  ASSERT_EQ(res.frontier.size(), 1u);
+  EXPECT_EQ(res.frontier[0].id, 1u);
+  EXPECT_EQ(res.visited.size(), 1u);
+}
+
+TEST(EdgeCases, BatchScheduleDegenerateSizes) {
+  for (std::size_t n : {0u, 1u, 2u, 3u}) {
+    auto s = ann::BatchSchedule::prefix_doubling(n, 0.02);
+    std::size_t covered = 0;
+    for (auto [lo, hi] : s.ranges) {
+      EXPECT_EQ(lo, covered);
+      EXPECT_GT(hi, lo);
+      covered = hi;
+    }
+    EXPECT_EQ(covered, n);
+  }
+}
+
+TEST(EdgeCases, GroundTruthWithDuplicateBasePoints) {
+  // Ties must break by id ascending.
+  auto ps = mostly_duplicates(50);
+  auto gt = ann::compute_ground_truth<EuclideanSquared>(ps, ps.prefix(1), 5);
+  auto row = gt.row(0);
+  for (std::size_t j = 1; j < row.size(); ++j) {
+    ASSERT_TRUE(row[j - 1] < row[j]);
+  }
+}
+
+TEST(EdgeCases, SearchWithBeamOne) {
+  auto ps = ann::make_uniform<float>(200, 4, 0, 1, 73);
+  DiskANNParams prm{.degree_bound = 8, .beam_width = 16};
+  auto ix = ann::build_diskann<EuclideanSquared>(ps, prm);
+  SearchParams sp{.beam_width = 1, .k = 1};  // pure greedy walk
+  auto res = ix.query(ps[5], ps, sp);
+  ASSERT_EQ(res.size(), 1u);
+}
+
+}  // namespace

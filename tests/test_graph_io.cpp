@@ -1,0 +1,123 @@
+// Graph container and file I/O round trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/graph.h"
+#include "core/io.h"
+
+namespace {
+
+using ann::Graph;
+using ann::PointId;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Graph, SetAndReadNeighbors) {
+  Graph g(5, 3);
+  std::vector<PointId> n1{2, 3};
+  g.set_neighbors(1, n1);
+  EXPECT_EQ(g.degree(1), 2u);
+  auto got = g.neighbors(1);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], 2u);
+  EXPECT_EQ(got[1], 3u);
+  EXPECT_EQ(g.degree(0), 0u);
+}
+
+TEST(Graph, AppendRespectsCapacity) {
+  Graph g(4, 3);
+  std::vector<PointId> a{1, 2};
+  EXPECT_EQ(g.append_neighbors(0, a), 2u);
+  std::vector<PointId> b{3, 1};  // only room for one more
+  EXPECT_EQ(g.append_neighbors(0, b), 1u);
+  EXPECT_EQ(g.degree(0), 3u);
+  auto got = g.neighbors(0);
+  EXPECT_EQ(got[2], 3u);
+}
+
+TEST(Graph, ClearAndNumEdges) {
+  Graph g(3, 2);
+  std::vector<PointId> n{1, 2};
+  g.set_neighbors(0, n);
+  g.set_neighbors(1, std::vector<PointId>{0});
+  EXPECT_EQ(g.num_edges(), 3u);
+  g.clear_neighbors(0);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.neighbors(0).empty());
+}
+
+TEST(Graph, EqualityComparesStructure) {
+  Graph a(3, 2), b(3, 2);
+  std::vector<PointId> n{1};
+  a.set_neighbors(0, n);
+  EXPECT_FALSE(a == b);
+  b.set_neighbors(0, n);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(IO, GraphRoundTrip) {
+  Graph g(10, 4);
+  for (PointId v = 0; v < 10; ++v) {
+    std::vector<PointId> neigh;
+    for (PointId j = 0; j < v % 5; ++j) neigh.push_back((v + j + 1) % 10);
+    g.set_neighbors(v, neigh);
+  }
+  auto path = temp_path("ann_test_graph.bin");
+  ann::save_graph(g, path);
+  Graph h = ann::load_graph(path);
+  EXPECT_TRUE(g == h);
+  std::remove(path.c_str());
+}
+
+TEST(IO, BinRoundTripFloat) {
+  auto ps = ann::make_uniform<float>(57, 13, -2.0, 2.0, 5);
+  auto path = temp_path("ann_test_points.bin");
+  ann::save_bin(ps, path);
+  auto qs = ann::load_bin<float>(path);
+  EXPECT_TRUE(ps == qs);
+  std::remove(path.c_str());
+}
+
+TEST(IO, BinRoundTripUint8) {
+  auto ps = ann::make_uniform<std::uint8_t>(33, 128, 0, 255, 6);
+  auto path = temp_path("ann_test_points_u8.bin");
+  ann::save_bin(ps, path);
+  auto qs = ann::load_bin<std::uint8_t>(path);
+  EXPECT_TRUE(ps == qs);
+  std::remove(path.c_str());
+}
+
+TEST(IO, VecsRoundTripInt8) {
+  auto ps = ann::make_uniform<std::int8_t>(21, 100, -127, 127, 8);
+  auto path = temp_path("ann_test_points.ivecs8");
+  ann::save_vecs(ps, path);
+  auto qs = ann::load_vecs<std::int8_t>(path);
+  EXPECT_TRUE(ps == qs);
+  std::remove(path.c_str());
+}
+
+TEST(IO, MissingFileThrows) {
+  EXPECT_THROW(ann::load_bin<float>("/nonexistent/nowhere.bin"),
+               std::runtime_error);
+  EXPECT_THROW(ann::load_graph("/nonexistent/nowhere.graph"),
+               std::runtime_error);
+}
+
+TEST(IO, TruncatedFileThrows) {
+  auto path = temp_path("ann_test_truncated.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::uint32_t header[2] = {100, 64};  // promises data that is not there
+  std::fwrite(header, sizeof(header), 1, f);
+  std::fclose(f);
+  EXPECT_THROW(ann::load_bin<float>(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,94 @@
+// Exact ground truth and recall scoring.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/distance.h"
+#include "core/ground_truth.h"
+#include "core/recall.h"
+
+namespace {
+
+using ann::EuclideanSquared;
+using ann::Neighbor;
+using ann::PointId;
+using ann::PointSet;
+
+TEST(GroundTruth, MatchesNaiveOnSmallInput) {
+  auto base = ann::make_uniform<float>(200, 8, -1, 1, 21);
+  auto queries = ann::make_uniform<float>(10, 8, -1, 1, 22);
+  const std::size_t k = 5;
+  auto gt = ann::compute_ground_truth<EuclideanSquared>(base, queries, k);
+  ASSERT_EQ(gt.num_queries(), 10u);
+  for (std::size_t q = 0; q < 10; ++q) {
+    // Naive reference: full sort by (dist, id).
+    std::vector<Neighbor> all;
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      all.push_back({static_cast<PointId>(i),
+                     EuclideanSquared::distance(queries[q], base[i], 8)});
+    }
+    std::sort(all.begin(), all.end());
+    auto row = gt.row(q);
+    for (std::size_t j = 0; j < k; ++j) {
+      EXPECT_EQ(row[j].id, all[j].id) << "q=" << q << " j=" << j;
+      EXPECT_FLOAT_EQ(row[j].dist, all[j].dist);
+    }
+  }
+}
+
+TEST(GroundTruth, RowsSortedAscending) {
+  auto base = ann::make_uniform<float>(500, 4, 0, 10, 31);
+  auto queries = ann::make_uniform<float>(20, 4, 0, 10, 32);
+  auto gt = ann::compute_ground_truth<EuclideanSquared>(base, queries, 10);
+  for (std::size_t q = 0; q < gt.num_queries(); ++q) {
+    auto row = gt.row(q);
+    for (std::size_t j = 1; j < row.size(); ++j) {
+      ASSERT_TRUE(row[j - 1] < row[j] || row[j - 1] == row[j]);
+    }
+  }
+}
+
+TEST(GroundTruth, KLargerThanBaseClamps) {
+  auto base = ann::make_uniform<float>(3, 4, 0, 1, 33);
+  auto queries = ann::make_uniform<float>(2, 4, 0, 1, 34);
+  auto gt = ann::compute_ground_truth<EuclideanSquared>(base, queries, 10);
+  EXPECT_EQ(gt.k, 3u);
+}
+
+TEST(GroundTruth, SelfQueriesFindThemselves) {
+  auto base = ann::make_uniform<float>(100, 6, -5, 5, 35);
+  auto gt = ann::compute_ground_truth<EuclideanSquared>(base, base, 1);
+  for (std::size_t q = 0; q < gt.num_queries(); ++q) {
+    EXPECT_EQ(gt.row(q)[0].id, q);
+    EXPECT_FLOAT_EQ(gt.row(q)[0].dist, 0.0f);
+  }
+}
+
+TEST(Recall, PerfectAndPartial) {
+  std::vector<Neighbor> truth{{1, 0.f}, {2, 1.f}, {3, 2.f}, {4, 3.f}, {5, 4.f}};
+  std::vector<PointId> perfect{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(ann::recall_of(perfect, truth, 5), 1.0);
+  std::vector<PointId> three{1, 2, 3, 99, 98};
+  EXPECT_DOUBLE_EQ(ann::recall_of(three, truth, 5), 0.6);
+  std::vector<PointId> none{90, 91};
+  EXPECT_DOUBLE_EQ(ann::recall_of(none, truth, 5), 0.0);
+}
+
+TEST(Recall, KAtKPrime) {
+  // 10@20-style: reported list longer than k still scored against top-k.
+  std::vector<Neighbor> truth{{1, 0.f}, {2, 1.f}};
+  std::vector<PointId> reported{7, 2, 9, 1};
+  EXPECT_DOUBLE_EQ(ann::recall_of(reported, truth, 2), 1.0);
+}
+
+TEST(Recall, AverageOverQueries) {
+  ann::GroundTruth gt;
+  gt.k = 2;
+  gt.entries = {{1, 0.f}, {2, 1.f}, {3, 0.f}, {4, 1.f}};
+  std::vector<std::vector<PointId>> results{{1, 2}, {3, 99}};
+  EXPECT_DOUBLE_EQ(ann::average_recall(results, gt, 2), 0.75);
+}
+
+}  // namespace

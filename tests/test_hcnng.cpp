@@ -1,0 +1,146 @@
+// ParlayHCNNG: cluster-tree/MST machinery, invariants, recall, determinism,
+// edge-restricted MST equivalence.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algorithms/baseline_hcnng.h"
+#include "algorithms/hcnng.h"
+#include "core/dataset.h"
+#include "test_helpers.h"
+
+namespace {
+
+using ann::EuclideanSquared;
+using ann::HCNNGParams;
+using ann::PointId;
+
+TEST(BoundedMst, SpanningTreeOnSmallGraph) {
+  // 4 points; edges chosen so an unbounded MST exists within degree 3.
+  std::vector<ann::internal::LeafEdge> edges{
+      {1.0f, 0, 1}, {2.0f, 1, 2}, {3.0f, 2, 3}, {10.0f, 0, 3}, {9.0f, 0, 2}};
+  auto mst = ann::internal::bounded_mst(edges, 4, 3);
+  EXPECT_EQ(mst.size(), 3u);  // spanning
+  // Cheapest edges win: (0,1), (1,2), (2,3).
+  std::set<std::pair<std::uint32_t, std::uint32_t>> got(mst.begin(), mst.end());
+  EXPECT_TRUE(got.count({0, 1}));
+  EXPECT_TRUE(got.count({1, 2}));
+  EXPECT_TRUE(got.count({2, 3}));
+}
+
+TEST(BoundedMst, DegreeBoundRespected) {
+  // Star-shaped distances: everything closest to vertex 0; with bound 2,
+  // vertex 0 may take at most 2 edges.
+  std::vector<ann::internal::LeafEdge> edges;
+  for (std::uint32_t v = 1; v < 8; ++v) edges.push_back({1.0f, 0, v});
+  for (std::uint32_t v = 1; v < 8; ++v) {
+    for (std::uint32_t u = v + 1; u < 8; ++u) edges.push_back({5.0f, v, u});
+  }
+  auto mst = ann::internal::bounded_mst(edges, 8, 2);
+  std::vector<std::uint32_t> degree(8, 0);
+  for (auto [u, v] : mst) {
+    degree[u]++;
+    degree[v]++;
+  }
+  for (auto d : degree) EXPECT_LE(d, 2u);
+}
+
+TEST(HCNNG, GraphInvariants) {
+  auto ds = ann::make_bigann_like(1000, 1, 3);
+  HCNNGParams prm{.num_trees = 8, .leaf_size = 100};
+  auto index = ann::build_hcnng<EuclideanSquared>(ds.base, prm);
+  ann::testutil::check_graph_invariants(index.graph, 1000,
+                                        prm.num_trees * prm.mst_degree);
+}
+
+TEST(HCNNG, GraphIsUndirected) {
+  // MST edges are inserted in both directions; unless one endpoint was
+  // pruned for exceeding the cap, edges come in pairs.
+  auto ds = ann::make_bigann_like(600, 1, 5);
+  HCNNGParams prm{.num_trees = 6, .leaf_size = 100};
+  auto index = ann::build_hcnng<EuclideanSquared>(ds.base, prm);
+  std::size_t directed = 0, matched = 0;
+  for (std::size_t v = 0; v < 600; ++v) {
+    for (PointId u : index.graph.neighbors(static_cast<PointId>(v))) {
+      ++directed;
+      auto back = index.graph.neighbors(u);
+      for (PointId w : back) {
+        if (w == static_cast<PointId>(v)) {
+          ++matched;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(matched), 0.95 * static_cast<double>(directed));
+}
+
+TEST(HCNNG, HighRecall) {
+  auto ds = ann::make_bigann_like(2000, 50, 7);
+  HCNNGParams prm{.num_trees = 12, .leaf_size = 200};
+  auto index = ann::build_hcnng<EuclideanSquared>(ds.base, prm);
+  double recall = ann::testutil::measure_recall<EuclideanSquared>(
+      index, ds.base, ds.queries, 64);
+  EXPECT_GT(recall, 0.9) << "recall " << recall;
+}
+
+TEST(HCNNG, DeterministicAcrossWorkerCounts) {
+  auto ds = ann::make_spacev_like(700, 1, 9);
+  HCNNGParams prm{.num_trees = 6, .leaf_size = 80};
+  parlay::set_num_workers(1);
+  auto a = ann::build_hcnng<EuclideanSquared>(ds.base, prm);
+  parlay::set_num_workers(6);
+  auto b = ann::build_hcnng<EuclideanSquared>(ds.base, prm);
+  parlay::set_num_workers(0);
+  EXPECT_TRUE(a.graph == b.graph);
+}
+
+TEST(HCNNG, RestrictedMstMatchesFullMstQuality) {
+  // §4.3: the edge-restricted MST must not lose QPS/recall.
+  auto ds = ann::make_bigann_like(1200, 40, 11);
+  HCNNGParams restricted{.num_trees = 8, .leaf_size = 150, .restricted = true};
+  HCNNGParams full = restricted;
+  full.restricted = false;
+  auto ir = ann::build_hcnng<EuclideanSquared>(ds.base, restricted);
+  auto ifull = ann::build_hcnng<EuclideanSquared>(ds.base, full);
+  double rr = ann::testutil::measure_recall<EuclideanSquared>(
+      ir, ds.base, ds.queries, 64);
+  double rf = ann::testutil::measure_recall<EuclideanSquared>(
+      ifull, ds.base, ds.queries, 64);
+  EXPECT_GT(rr, rf - 0.05) << "restricted " << rr << " vs full " << rf;
+}
+
+TEST(HCNNG, MoreTreesImproveRecall) {
+  auto ds = ann::make_bigann_like(1000, 40, 13);
+  HCNNGParams few{.num_trees = 2, .leaf_size = 100};
+  HCNNGParams many{.num_trees = 12, .leaf_size = 100};
+  auto i_few = ann::build_hcnng<EuclideanSquared>(ds.base, few);
+  auto i_many = ann::build_hcnng<EuclideanSquared>(ds.base, many);
+  double r_few = ann::testutil::measure_recall<EuclideanSquared>(
+      i_few, ds.base, ds.queries, 32);
+  double r_many = ann::testutil::measure_recall<EuclideanSquared>(
+      i_many, ds.base, ds.queries, 32);
+  EXPECT_GE(r_many, r_few - 0.02);
+}
+
+TEST(HCNNG, BaselineProducesComparableGraph) {
+  auto ds = ann::make_bigann_like(800, 30, 15);
+  HCNNGParams prm{.num_trees = 6, .leaf_size = 100};
+  auto baseline = ann::build_baseline_hcnng<EuclideanSquared>(ds.base, prm);
+  ann::testutil::check_graph_invariants(baseline.graph, 800,
+                                        prm.num_trees * prm.mst_degree);
+  double recall = ann::testutil::measure_recall<EuclideanSquared>(
+      baseline, ds.base, ds.queries, 64);
+  EXPECT_GT(recall, 0.8);
+}
+
+TEST(HCNNG, TinyInputs) {
+  for (std::size_t n : {1u, 2u, 10u}) {
+    auto ps = ann::make_uniform<float>(n, 4, 0, 1, 17);
+    HCNNGParams prm{.num_trees = 2, .leaf_size = 4};
+    auto index = ann::build_hcnng<EuclideanSquared>(ps, prm);
+    EXPECT_EQ(index.graph.size(), n);
+  }
+}
+
+}  // namespace

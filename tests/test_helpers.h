@@ -1,0 +1,72 @@
+// Shared helpers for algorithm tests: recall measurement and graph
+// invariant checks.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "core/beam_search.h"
+#include "core/graph.h"
+#include "core/ground_truth.h"
+#include "core/points.h"
+#include "core/recall.h"
+
+namespace ann::testutil {
+
+// Average 10@10 recall of `index` (anything with .query(q, points, params))
+// over a query set.
+template <typename Metric, typename Index, typename T>
+double measure_recall(const Index& index, const PointSet<T>& points,
+                      const PointSet<T>& queries, std::uint32_t beam,
+                      std::size_t k = 10) {
+  auto gt = compute_ground_truth<Metric>(points, queries, k);
+  SearchParams params{.beam_width = beam, .k = static_cast<std::uint32_t>(k)};
+  std::vector<std::vector<PointId>> results;
+  results.reserve(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    results.push_back(
+        index.query(queries[static_cast<PointId>(q)], points, params));
+  }
+  return average_recall(results, gt, k);
+}
+
+// Structural invariants every built graph must satisfy.
+inline void check_graph_invariants(const Graph& g, std::size_t n,
+                                   std::uint32_t degree_cap) {
+  ASSERT_EQ(g.size(), n);
+  for (std::size_t v = 0; v < n; ++v) {
+    auto neigh = g.neighbors(static_cast<PointId>(v));
+    ASSERT_LE(neigh.size(), degree_cap) << "vertex " << v;
+    std::set<PointId> seen;
+    for (PointId u : neigh) {
+      ASSERT_LT(u, n) << "dangling edge at vertex " << v;
+      ASSERT_NE(u, static_cast<PointId>(v)) << "self-loop at vertex " << v;
+      ASSERT_TRUE(seen.insert(u).second) << "duplicate edge at vertex " << v;
+    }
+  }
+}
+
+// Fraction of vertices reachable from `start` by BFS — connectivity proxy.
+inline double reachable_fraction(const Graph& g, PointId start) {
+  std::vector<char> seen(g.size(), 0);
+  std::vector<PointId> queue{start};
+  seen[start] = 1;
+  std::size_t count = 1;
+  while (!queue.empty()) {
+    PointId v = queue.back();
+    queue.pop_back();
+    for (PointId u : g.neighbors(v)) {
+      if (!seen[u]) {
+        seen[u] = 1;
+        ++count;
+        queue.push_back(u);
+      }
+    }
+  }
+  return static_cast<double>(count) / static_cast<double>(g.size());
+}
+
+}  // namespace ann::testutil

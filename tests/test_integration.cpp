@@ -1,0 +1,158 @@
+// End-to-end integration: generate -> build -> persist -> reload -> serve,
+// across algorithms, element types, and metrics; plus cross-cutting checks
+// that exercise module seams rather than single modules.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "algorithms/diskann.h"
+#include "algorithms/hcnng.h"
+#include "algorithms/hnsw.h"
+#include "algorithms/pynndescent.h"
+#include "core/dataset.h"
+#include "core/index_io.h"
+#include "core/io.h"
+#include "test_helpers.h"
+
+namespace {
+
+using ann::Cosine;
+using ann::EuclideanSquared;
+using ann::NegInnerProduct;
+using ann::PointId;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Integration, FullLifecycleUint8L2) {
+  // The complete service life cycle on the BIGANN-like family.
+  auto ds = ann::make_bigann_like(1500, 30, 61);
+  ann::DiskANNParams prm{.degree_bound = 24, .beam_width = 48};
+  auto built = ann::build_diskann<EuclideanSquared>(ds.base, prm);
+
+  auto ipath = temp_path("integ_index.pann");
+  auto dpath = temp_path("integ_vectors.bin");
+  ann::save_index(built, ipath);
+  ann::save_bin(ds.base, dpath);
+
+  auto index = ann::load_index<EuclideanSquared, std::uint8_t>(ipath);
+  auto base = ann::load_bin<std::uint8_t>(dpath);
+  ASSERT_TRUE(base == ds.base);
+
+  double recall = ann::testutil::measure_recall<EuclideanSquared>(
+      index, base, ds.queries, 48);
+  EXPECT_GT(recall, 0.9);
+  std::remove(ipath.c_str());
+  std::remove(dpath.c_str());
+}
+
+TEST(Integration, AllAlgorithmsComparableAtMatchedParameters) {
+  // The paper's fair-comparison setup (§1): same framework, same search,
+  // similar budgets => all four algorithms land in the same quality band.
+  auto ds = ann::make_spacev_like(1500, 30, 62);
+  auto gt = ann::compute_ground_truth<EuclideanSquared>(ds.base, ds.queries, 10);
+
+  ann::DiskANNParams dprm{.degree_bound = 32, .beam_width = 64};
+  auto diskann = ann::build_diskann<EuclideanSquared>(ds.base, dprm);
+  ann::HNSWParams hprm{.m = 16, .ef_construction = 64};
+  auto hnsw = ann::build_hnsw<EuclideanSquared>(ds.base, hprm);
+  ann::HCNNGParams cprm{.num_trees = 10, .leaf_size = 200};
+  auto hcnng = ann::build_hcnng<EuclideanSquared>(ds.base, cprm);
+  ann::PyNNDescentParams pprm{.k = 32, .num_trees = 6, .leaf_size = 100};
+  auto pynn = ann::build_pynndescent<EuclideanSquared>(ds.base, pprm);
+
+  auto recall_of = [&](const auto& ix) {
+    ann::SearchParams sp{.beam_width = 64, .k = 10};
+    std::vector<std::vector<PointId>> results;
+    for (std::size_t q = 0; q < ds.queries.size(); ++q) {
+      results.push_back(
+          ix.query(ds.queries[static_cast<PointId>(q)], ds.base, sp));
+    }
+    return ann::average_recall(results, gt, 10);
+  };
+  double rd = recall_of(diskann), rh = recall_of(hnsw), rc = recall_of(hcnng),
+         rp = recall_of(pynn);
+  for (double r : {rd, rh, rc, rp}) EXPECT_GT(r, 0.85);
+  // Band width: no algorithm should be catastrophically behind.
+  double best = std::max({rd, rh, rc, rp});
+  for (double r : {rd, rh, rc, rp}) EXPECT_GT(r, best - 0.15);
+}
+
+TEST(Integration, CosineMetricEndToEnd) {
+  // Cosine distance through build + search (not just the kernel test).
+  auto ds = ann::make_text2image_like(1000, 20, 63);
+  ann::DiskANNParams prm{.degree_bound = 32, .beam_width = 64, .alpha = 1.0f};
+  auto index = ann::build_diskann<Cosine>(ds.base, prm);
+  auto gt = ann::compute_ground_truth<Cosine>(ds.base, ds.queries, 10);
+  ann::SearchParams sp{.beam_width = 80, .k = 10};
+  std::vector<std::vector<PointId>> results;
+  for (std::size_t q = 0; q < ds.queries.size(); ++q) {
+    results.push_back(
+        index.query(ds.queries[static_cast<PointId>(q)], ds.base, sp));
+  }
+  EXPECT_GT(ann::average_recall(results, gt, 10), 0.7);
+}
+
+TEST(Integration, GroundTruthMetricsAgreeOnIdenticalRankings) {
+  // On unit-normalized vectors, cosine and L2 rank identically; MIPS too.
+  std::size_t n = 300, d = 16;
+  ann::PointSet<float> ps(n, d);
+  auto raw = ann::make_uniform<float>(n, d, -1.0, 1.0, 64);
+  for (PointId i = 0; i < n; ++i) {
+    float norm = 0;
+    for (std::size_t j = 0; j < d; ++j) norm += raw[i][j] * raw[i][j];
+    norm = std::sqrt(norm);
+    std::vector<float> row(d);
+    for (std::size_t j = 0; j < d; ++j) row[j] = raw[i][j] / norm;
+    ps.set_point(i, row.data());
+  }
+  auto queries = ps.prefix(20);
+  auto gt_l2 = ann::compute_ground_truth<EuclideanSquared>(ps, queries, 5);
+  auto gt_cos = ann::compute_ground_truth<Cosine>(ps, queries, 5);
+  auto gt_mips = ann::compute_ground_truth<NegInnerProduct>(ps, queries, 5);
+  for (std::size_t q = 0; q < 20; ++q) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(gt_l2.row(q)[j].id, gt_cos.row(q)[j].id) << q << "," << j;
+      EXPECT_EQ(gt_l2.row(q)[j].id, gt_mips.row(q)[j].id) << q << "," << j;
+    }
+  }
+}
+
+TEST(Integration, NestedParallelismStress) {
+  // Builders inside parallel loops (a user embedding the library in their
+  // own parallel pipeline) must not deadlock or corrupt state.
+  parlay::set_num_workers(4);
+  auto ds = ann::make_bigann_like(300, 5, 65);
+  std::vector<ann::Graph> graphs(4);
+  parlay::parallel_for(0, 4, [&](std::size_t i) {
+    ann::DiskANNParams prm{.degree_bound = 8, .beam_width = 16,
+                           .seed = 1 + i};
+    graphs[i] = ann::build_diskann<EuclideanSquared>(ds.base, prm).graph;
+  }, 1);
+  parlay::set_num_workers(0);
+  for (const auto& g : graphs) EXPECT_EQ(g.size(), 300u);
+}
+
+TEST(Integration, QueriesAreThreadSafeAcrossIndexes) {
+  // Read-only queries on one shared index from a parallel loop: results
+  // must equal the sequential ones.
+  auto ds = ann::make_bigann_like(1000, 50, 66);
+  ann::DiskANNParams prm{.degree_bound = 24, .beam_width = 48};
+  auto ix = ann::build_diskann<EuclideanSquared>(ds.base, prm);
+  ann::SearchParams sp{.beam_width = 40, .k = 10};
+  std::vector<std::vector<PointId>> seq(ds.queries.size());
+  for (std::size_t q = 0; q < ds.queries.size(); ++q) {
+    seq[q] = ix.query(ds.queries[static_cast<PointId>(q)], ds.base, sp);
+  }
+  parlay::set_num_workers(8);
+  std::vector<std::vector<PointId>> par(ds.queries.size());
+  parlay::parallel_for(0, ds.queries.size(), [&](std::size_t q) {
+    par[q] = ix.query(ds.queries[static_cast<PointId>(q)], ds.base, sp);
+  }, 1);
+  parlay::set_num_workers(0);
+  EXPECT_EQ(seq, par);
+}
+
+}  // namespace

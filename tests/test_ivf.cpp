@@ -1,0 +1,122 @@
+// IVF-Flat and IVF-PQ.
+#include <gtest/gtest.h>
+
+#include "core/dataset.h"
+#include "ivf/ivf_flat.h"
+#include "ivf/ivf_pq.h"
+#include "test_helpers.h"
+
+namespace {
+
+using ann::EuclideanSquared;
+using ann::IVFParams;
+using ann::IVFPQParams;
+using ann::IVFQueryParams;
+using ann::PointId;
+
+template <typename Index, typename T>
+double ivf_recall(const Index& index, const ann::PointSet<T>& base,
+                  const ann::PointSet<T>& queries, std::uint32_t nprobe) {
+  auto gt = ann::compute_ground_truth<EuclideanSquared>(base, queries, 10);
+  IVFQueryParams qp{.nprobe = nprobe, .k = 10};
+  std::vector<std::vector<PointId>> results;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    results.push_back(index.query(queries[static_cast<PointId>(q)], base, qp));
+  }
+  return ann::average_recall(results, gt, 10);
+}
+
+TEST(IVFFlat, ListsPartitionTheDataset) {
+  auto ds = ann::make_bigann_like(800, 1, 3);
+  auto index = ann::IVFFlat<EuclideanSquared, std::uint8_t>::build(
+      ds.base, IVFParams{.num_centroids = 16});
+  std::size_t total = 0;
+  std::vector<char> seen(800, 0);
+  for (std::size_t c = 0; c < index.num_lists(); ++c) {
+    for (PointId id : index.list(c)) {
+      EXPECT_LT(id, 800u);
+      EXPECT_FALSE(seen[id]) << "point in two lists";
+      seen[id] = 1;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 800u);
+}
+
+TEST(IVFFlat, ProbingAllListsIsExact) {
+  auto ds = ann::make_bigann_like(600, 30, 5);
+  auto index = ann::IVFFlat<EuclideanSquared, std::uint8_t>::build(
+      ds.base, IVFParams{.num_centroids = 12});
+  double recall = ivf_recall(index, ds.base, ds.queries, /*nprobe=*/12);
+  EXPECT_DOUBLE_EQ(recall, 1.0);  // all lists probed => brute force
+}
+
+TEST(IVFFlat, RecallIncreasesWithNprobe) {
+  auto ds = ann::make_bigann_like(2000, 40, 7);
+  auto index = ann::IVFFlat<EuclideanSquared, std::uint8_t>::build(
+      ds.base, IVFParams{.num_centroids = 32});
+  double r1 = ivf_recall(index, ds.base, ds.queries, 1);
+  double r4 = ivf_recall(index, ds.base, ds.queries, 4);
+  double r16 = ivf_recall(index, ds.base, ds.queries, 16);
+  EXPECT_LE(r1, r4 + 1e-9);
+  EXPECT_LE(r4, r16 + 1e-9);
+  EXPECT_GT(r16, 0.8);
+}
+
+TEST(IVFFlat, FewerProbesFewerDistanceComps) {
+  auto ds = ann::make_bigann_like(2000, 20, 9);
+  auto index = ann::IVFFlat<EuclideanSquared, std::uint8_t>::build(
+      ds.base, IVFParams{.num_centroids = 32});
+  auto comps = [&](std::uint32_t nprobe) {
+    ann::DistanceCounter::reset();
+    IVFQueryParams qp{.nprobe = nprobe, .k = 10};
+    for (std::size_t q = 0; q < ds.queries.size(); ++q) {
+      index.query(ds.queries[static_cast<PointId>(q)], ds.base, qp);
+    }
+    return ann::DistanceCounter::total();
+  };
+  EXPECT_LT(comps(1), comps(8));
+}
+
+TEST(IVFFlat, DeterministicAcrossWorkerCounts) {
+  auto ds = ann::make_spacev_like(500, 10, 11);
+  parlay::set_num_workers(1);
+  auto a = ann::IVFFlat<EuclideanSquared, std::int8_t>::build(
+      ds.base, IVFParams{.num_centroids = 8});
+  parlay::set_num_workers(5);
+  auto b = ann::IVFFlat<EuclideanSquared, std::int8_t>::build(
+      ds.base, IVFParams{.num_centroids = 8});
+  parlay::set_num_workers(0);
+  for (std::size_t c = 0; c < a.num_lists(); ++c) {
+    EXPECT_EQ(a.list(c), b.list(c)) << "list " << c;
+  }
+}
+
+TEST(IVFPQ, CompressedSearchFindsNeighbors) {
+  auto ds = ann::make_bigann_like(1500, 30, 13);
+  IVFPQParams prm;
+  prm.ivf.num_centroids = 24;
+  prm.pq.num_subspaces = 16;
+  prm.pq.num_codes = 64;
+  auto index = ann::IVFPQ<EuclideanSquared, std::uint8_t>::build(ds.base, prm);
+  double recall = ivf_recall(index, ds.base, ds.queries, 8);
+  EXPECT_GT(recall, 0.3) << "compressed-domain recall " << recall;
+}
+
+TEST(IVFPQ, RerankingImprovesRecall) {
+  auto ds = ann::make_bigann_like(1500, 30, 13);
+  IVFPQParams plain;
+  plain.ivf.num_centroids = 24;
+  plain.pq.num_subspaces = 8;
+  plain.pq.num_codes = 32;
+  IVFPQParams rerank = plain;
+  rerank.rerank = 100;
+  auto ip = ann::IVFPQ<EuclideanSquared, std::uint8_t>::build(ds.base, plain);
+  auto ir = ann::IVFPQ<EuclideanSquared, std::uint8_t>::build(ds.base, rerank);
+  double rp = ivf_recall(ip, ds.base, ds.queries, 8);
+  double rr = ivf_recall(ir, ds.base, ds.queries, 8);
+  EXPECT_GE(rr, rp);
+  EXPECT_GT(rr, 0.6);
+}
+
+}  // namespace

@@ -1,0 +1,97 @@
+// Parallel Lloyd k-means.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/dataset.h"
+#include "ivf/kmeans.h"
+
+namespace {
+
+using ann::KMeansParams;
+using ann::PointId;
+
+TEST(KMeans, AssignsEveryPointToAValidCluster) {
+  auto ds = ann::make_bigann_like(500, 1, 3);
+  KMeansParams prm{.num_clusters = 8, .max_iters = 6};
+  auto res = ann::kmeans(ds.base, prm);
+  ASSERT_EQ(res.assignment.size(), 500u);
+  for (auto a : res.assignment) EXPECT_LT(a, 8u);
+  EXPECT_EQ(res.centroids.size(), 8u);
+  EXPECT_EQ(res.centroids.dims(), 128u);
+}
+
+TEST(KMeans, NearestCentroidConsistency) {
+  // After convergence every point must be assigned to its nearest centroid.
+  auto ds = ann::make_spacev_like(400, 1, 5);
+  KMeansParams prm{.num_clusters = 6, .max_iters = 20};
+  auto res = ann::kmeans(ds.base, prm);
+  for (std::size_t i = 0; i < 400; ++i) {
+    auto nearest = ann::nearest_centroid(res.centroids,
+                                         ds.base[static_cast<PointId>(i)], 100);
+    EXPECT_EQ(res.assignment[i], nearest) << "point " << i;
+  }
+}
+
+TEST(KMeans, RecoversWellSeparatedClusters) {
+  // Three tight 2-d blobs; k-means with k=3 must separate them exactly.
+  ann::PointSet<float> ps(30, 2);
+  for (PointId i = 0; i < 30; ++i) {
+    float cx = (i % 3 == 0) ? 0.0f : (i % 3 == 1) ? 100.0f : -100.0f;
+    float row[2] = {cx + static_cast<float>(i) * 0.01f, cx};
+    ps.set_point(i, row);
+  }
+  KMeansParams prm{.num_clusters = 3, .max_iters = 20};
+  auto res = ann::kmeans(ps, prm);
+  // All points of the same blob share an assignment.
+  for (PointId i = 0; i < 30; ++i) {
+    EXPECT_EQ(res.assignment[i], res.assignment[i % 3]) << "point " << i;
+  }
+  std::set<std::uint32_t> used(res.assignment.begin(), res.assignment.end());
+  EXPECT_EQ(used.size(), 3u);
+}
+
+TEST(KMeans, IterationsReduceQuantizationError) {
+  auto ds = ann::make_bigann_like(600, 1, 7);
+  auto sse = [&](const ann::KMeansResult& res) {
+    double total = 0;
+    for (std::size_t i = 0; i < 600; ++i) {
+      total += ann::centroid_distance(res.centroids[res.assignment[i]],
+                                      ds.base[static_cast<PointId>(i)], 128);
+    }
+    return total;
+  };
+  KMeansParams one{.num_clusters = 10, .max_iters = 1};
+  KMeansParams ten{.num_clusters = 10, .max_iters = 10};
+  double e1 = sse(ann::kmeans(ds.base, one));
+  double e10 = sse(ann::kmeans(ds.base, ten));
+  EXPECT_LE(e10, e1 + 1e-3);
+}
+
+TEST(KMeans, DeterministicAcrossWorkerCounts) {
+  auto ds = ann::make_spacev_like(300, 1, 9);
+  KMeansParams prm{.num_clusters = 5, .max_iters = 8};
+  parlay::set_num_workers(1);
+  auto a = ann::kmeans(ds.base, prm);
+  parlay::set_num_workers(6);
+  auto b = ann::kmeans(ds.base, prm);
+  parlay::set_num_workers(0);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_TRUE(a.centroids == b.centroids);
+}
+
+TEST(KMeans, MoreClustersThanPointsClamps) {
+  auto ps = ann::make_uniform<float>(3, 4, 0, 1, 11);
+  KMeansParams prm{.num_clusters = 10, .max_iters = 3};
+  auto res = ann::kmeans(ps, prm);
+  EXPECT_EQ(res.centroids.size(), 3u);
+}
+
+TEST(KMeans, EmptyInput) {
+  ann::PointSet<float> empty(0, 4);
+  KMeansParams prm{.num_clusters = 4, .max_iters = 3};
+  auto res = ann::kmeans(empty, prm);
+  EXPECT_TRUE(res.assignment.empty());
+}
+
+}  // namespace

@@ -1,0 +1,82 @@
+// Random-hyperplane LSH.
+#include <gtest/gtest.h>
+
+#include "core/dataset.h"
+#include "lsh/lsh.h"
+#include "test_helpers.h"
+
+namespace {
+
+using ann::EuclideanSquared;
+using ann::LSHIndex;
+using ann::LSHParams;
+using ann::LSHQueryParams;
+using ann::PointId;
+
+template <typename T>
+double lsh_recall(const LSHIndex<EuclideanSquared, T>& index,
+                  const ann::PointSet<T>& base, const ann::PointSet<T>& queries,
+                  std::uint32_t multiprobe) {
+  auto gt = ann::compute_ground_truth<EuclideanSquared>(base, queries, 10);
+  LSHQueryParams qp{.k = 10, .multiprobe = multiprobe};
+  std::vector<std::vector<PointId>> results;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    results.push_back(index.query(queries[static_cast<PointId>(q)], base, qp));
+  }
+  return ann::average_recall(results, gt, 10);
+}
+
+TEST(LSH, FindsCandidates) {
+  auto ds = ann::make_bigann_like(1000, 30, 3);
+  auto index = ann::LSHIndex<EuclideanSquared, std::uint8_t>::build(
+      ds.base, LSHParams{.num_tables = 8, .num_bits = 8});
+  double recall = lsh_recall(index, ds.base, ds.queries, 0);
+  EXPECT_GT(recall, 0.3) << "recall " << recall;
+}
+
+TEST(LSH, MultiprobeImprovesRecall) {
+  auto ds = ann::make_bigann_like(1000, 30, 5);
+  auto index = ann::LSHIndex<EuclideanSquared, std::uint8_t>::build(
+      ds.base, LSHParams{.num_tables = 6, .num_bits = 10});
+  double r0 = lsh_recall(index, ds.base, ds.queries, 0);
+  double r4 = lsh_recall(index, ds.base, ds.queries, 4);
+  EXPECT_GE(r4, r0);
+}
+
+TEST(LSH, MoreTablesImproveRecall) {
+  auto ds = ann::make_bigann_like(1000, 30, 7);
+  auto few = ann::LSHIndex<EuclideanSquared, std::uint8_t>::build(
+      ds.base, LSHParams{.num_tables = 2, .num_bits = 10});
+  auto many = ann::LSHIndex<EuclideanSquared, std::uint8_t>::build(
+      ds.base, LSHParams{.num_tables = 12, .num_bits = 10});
+  EXPECT_GE(lsh_recall(many, ds.base, ds.queries, 0) + 0.02,
+            lsh_recall(few, ds.base, ds.queries, 0));
+}
+
+TEST(LSH, DeterministicQueries) {
+  auto ds = ann::make_bigann_like(500, 10, 9);
+  auto index = ann::LSHIndex<EuclideanSquared, std::uint8_t>::build(
+      ds.base, LSHParams{.num_tables = 4, .num_bits = 8});
+  LSHQueryParams qp{.k = 10, .multiprobe = 2};
+  for (std::size_t q = 0; q < ds.queries.size(); ++q) {
+    auto a = index.query(ds.queries[static_cast<PointId>(q)], ds.base, qp);
+    auto b = index.query(ds.queries[static_cast<PointId>(q)], ds.base, qp);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(LSH, HandlesEmptyBuckets) {
+  // A query far outside the dataset may hash to an empty bucket in every
+  // table; the index must return an empty (or short) result, not crash.
+  auto base = ann::make_uniform<float>(50, 16, 0.0, 1.0, 11);
+  auto index = ann::LSHIndex<EuclideanSquared, float>::build(
+      base, LSHParams{.num_tables = 2, .num_bits = 16});
+  ann::PointSet<float> far_query(1, 16);
+  std::vector<float> far(16, -1000.0f);
+  far_query.set_point(0, far.data());
+  LSHQueryParams qp{.k = 5, .multiprobe = 0};
+  auto res = index.query(far_query[0], base, qp);
+  EXPECT_LE(res.size(), 5u);
+}
+
+}  // namespace

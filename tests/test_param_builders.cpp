@@ -1,0 +1,131 @@
+// Parameterized cross-algorithm property suite: EVERY builder in the
+// library must satisfy the same contract — structural graph invariants,
+// bit-determinism across worker counts, and a recall floor — on every
+// dataset family. This is the test-suite embodiment of the paper's central
+// claim (deterministic parallel builds across four algorithms).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "algorithms/diskann.h"
+#include "algorithms/hcnng.h"
+#include "algorithms/hnsw.h"
+#include "algorithms/hybrid.h"
+#include "algorithms/pynndescent.h"
+#include "core/dataset.h"
+#include "test_helpers.h"
+
+namespace {
+
+using ann::EuclideanSquared;
+using ann::Graph;
+using ann::PointId;
+using ann::PointSet;
+
+// A builder under test: returns (graph, start, degree_cap). HNSW is probed
+// through its bottom layer, which carries the same contract.
+struct BuilderCase {
+  std::string name;
+  std::function<std::tuple<Graph, PointId, std::uint32_t>(
+      const PointSet<std::uint8_t>&)>
+      build;
+};
+
+BuilderCase diskann_case() {
+  return {"diskann", [](const PointSet<std::uint8_t>& pts) {
+            ann::DiskANNParams prm{.degree_bound = 20, .beam_width = 40};
+            auto ix = ann::build_diskann<EuclideanSquared>(pts, prm);
+            return std::tuple{std::move(ix.graph), ix.start, 2 * 20u};
+          }};
+}
+
+BuilderCase hnsw_case() {
+  return {"hnsw", [](const PointSet<std::uint8_t>& pts) {
+            ann::HNSWParams prm{.m = 10, .ef_construction = 40};
+            auto ix = ann::build_hnsw<EuclideanSquared>(pts, prm);
+            return std::tuple{std::move(ix.layers[0]), ix.entry, 2 * 2 * 10u};
+          }};
+}
+
+BuilderCase hcnng_case() {
+  return {"hcnng", [](const PointSet<std::uint8_t>& pts) {
+            ann::HCNNGParams prm{.num_trees = 6, .leaf_size = 120};
+            auto ix = ann::build_hcnng<EuclideanSquared>(pts, prm);
+            return std::tuple{std::move(ix.graph), ix.start,
+                              prm.num_trees * prm.mst_degree};
+          }};
+}
+
+BuilderCase pynn_case() {
+  return {"pynndescent", [](const PointSet<std::uint8_t>& pts) {
+            ann::PyNNDescentParams prm{.k = 20, .num_trees = 4,
+                                       .leaf_size = 80};
+            auto ix = ann::build_pynndescent<EuclideanSquared>(pts, prm);
+            return std::tuple{std::move(ix.graph), ix.start, prm.k};
+          }};
+}
+
+BuilderCase hybrid_case() {
+  return {"hybrid", [](const PointSet<std::uint8_t>& pts) {
+            ann::HybridParams prm;
+            prm.backbone = {.num_trees = 4, .leaf_size = 100};
+            prm.degree_bound = 20;
+            auto ix = ann::build_hybrid<EuclideanSquared>(pts, prm);
+            return std::tuple{std::move(ix.graph), ix.start, 2 * 20u};
+          }};
+}
+
+class AllBuilders : public ::testing::TestWithParam<BuilderCase> {};
+
+TEST_P(AllBuilders, StructuralInvariants) {
+  auto ds = ann::make_bigann_like(900, 1, 31);
+  auto [graph, start, cap] = GetParam().build(ds.base);
+  ann::testutil::check_graph_invariants(graph, 900, cap);
+  EXPECT_LT(start, 900u);
+}
+
+TEST_P(AllBuilders, BitDeterministicAcrossWorkerCounts) {
+  auto ds = ann::make_bigann_like(700, 1, 32);
+  parlay::set_num_workers(1);
+  auto [g1, s1, cap1] = GetParam().build(ds.base);
+  parlay::set_num_workers(3);
+  auto [g3, s3, cap3] = GetParam().build(ds.base);
+  parlay::set_num_workers(7);
+  auto [g7, s7, cap7] = GetParam().build(ds.base);
+  parlay::set_num_workers(0);
+  EXPECT_TRUE(g1 == g3) << GetParam().name << ": 1 vs 3 workers differ";
+  EXPECT_TRUE(g3 == g7) << GetParam().name << ": 3 vs 7 workers differ";
+  EXPECT_EQ(s1, s3);
+  EXPECT_EQ(s3, s7);
+}
+
+TEST_P(AllBuilders, RecallFloor) {
+  auto ds = ann::make_bigann_like(1500, 30, 33);
+  auto [graph, start, cap] = GetParam().build(ds.base);
+  auto gt = ann::compute_ground_truth<EuclideanSquared>(ds.base, ds.queries, 10);
+  ann::SearchParams sp{.beam_width = 60, .k = 10};
+  std::vector<PointId> starts{start};
+  std::vector<std::vector<PointId>> results;
+  for (std::size_t q = 0; q < ds.queries.size(); ++q) {
+    results.push_back(ann::search_knn<EuclideanSquared>(
+        ds.queries[static_cast<PointId>(q)], ds.base, graph, starts, sp));
+  }
+  double recall = ann::average_recall(results, gt, 10);
+  EXPECT_GT(recall, 0.85) << GetParam().name << " recall " << recall;
+}
+
+TEST_P(AllBuilders, MostlyReachableFromStart) {
+  auto ds = ann::make_bigann_like(800, 1, 34);
+  auto [graph, start, cap] = GetParam().build(ds.base);
+  EXPECT_GT(ann::testutil::reachable_fraction(graph, start), 0.95)
+      << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Library, AllBuilders,
+                         ::testing::Values(diskann_case(), hnsw_case(),
+                                           hcnng_case(), pynn_case(),
+                                           hybrid_case()),
+                         [](const auto& info) { return info.param.name; });
+
+}  // namespace

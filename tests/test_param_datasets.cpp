@@ -1,0 +1,96 @@
+// Parameterized sweep over the dataset generator family: every generator
+// must produce deterministic, well-formed, navigable data (the properties
+// the evaluation relies on).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "algorithms/diskann.h"
+#include "core/dataset.h"
+#include "test_helpers.h"
+
+namespace {
+
+using ann::EuclideanSquared;
+using ann::PointId;
+
+// Type-erased handle over Dataset<T> for the parameterized suite.
+struct DatasetCase {
+  std::string name;
+  std::size_t dims;
+  // Build a DiskANN index over freshly generated data and return its
+  // in-distribution (or OOD) recall at the given beam.
+  std::function<double(std::size_t n, std::uint32_t beam)> recall;
+  // Generate twice with the same seed; true iff bit-identical.
+  std::function<bool(std::size_t n)> regen_identical;
+};
+
+template <typename Metric, typename T, typename Make>
+DatasetCase make_case(std::string name, std::size_t dims, float alpha,
+                      Make make) {
+  DatasetCase c;
+  c.name = std::move(name);
+  c.dims = dims;
+  c.recall = [make, alpha](std::size_t n, std::uint32_t beam) {
+    auto ds = make(n, 30);
+    ann::DiskANNParams prm{.degree_bound = 32, .beam_width = 64,
+                           .alpha = alpha};
+    auto ix = ann::build_diskann<Metric>(ds.base, prm);
+    return ann::testutil::measure_recall<Metric>(ix, ds.base, ds.queries,
+                                                 beam);
+  };
+  c.regen_identical = [make](std::size_t n) {
+    auto a = make(n, 10);
+    auto b = make(n, 10);
+    return a.base == b.base && a.queries == b.queries;
+  };
+  return c;
+}
+
+DatasetCase bigann_case() {
+  return make_case<EuclideanSquared, std::uint8_t>(
+      "bigann", 128, 1.2f, [](std::size_t n, std::size_t nq) {
+        return ann::make_bigann_like(n, nq, 42);
+      });
+}
+DatasetCase spacev_case() {
+  return make_case<EuclideanSquared, std::int8_t>(
+      "spacev", 100, 1.2f, [](std::size_t n, std::size_t nq) {
+        return ann::make_spacev_like(n, nq, 43);
+      });
+}
+DatasetCase t2i_case() {
+  return make_case<ann::NegInnerProduct, float>(
+      "text2image", 200, 1.0f, [](std::size_t n, std::size_t nq) {
+        return ann::make_text2image_like(n, nq, 44);
+      });
+}
+DatasetCase ssnpp_case() {
+  return make_case<EuclideanSquared, std::uint8_t>(
+      "ssnpp", 256, 1.2f, [](std::size_t n, std::size_t nq) {
+        return ann::make_ssnpp_like(n, nq, 45);
+      });
+}
+
+class AllDatasets : public ::testing::TestWithParam<DatasetCase> {};
+
+TEST_P(AllDatasets, RegenerationIsBitIdentical) {
+  EXPECT_TRUE(GetParam().regen_identical(500)) << GetParam().name;
+}
+
+TEST_P(AllDatasets, NavigableByGraphIndex) {
+  // The generator's core contract: a standard graph index achieves solid
+  // recall (OOD dataset gets a wider beam and a lower floor, as in the
+  // paper where TEXT2IMAGE is the hard case).
+  bool ood = GetParam().name == "text2image";
+  double recall = GetParam().recall(1200, ood ? 150 : 60);
+  EXPECT_GT(recall, ood ? 0.55 : 0.9) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Generators, AllDatasets,
+                         ::testing::Values(bigann_case(), spacev_case(),
+                                           t2i_case(), ssnpp_case()),
+                         [](const auto& info) { return info.param.name; });
+
+}  // namespace

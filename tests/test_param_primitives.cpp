@@ -1,0 +1,98 @@
+// Parameterized size sweep over the parlay substrate primitives: results
+// must match serial references at every size, including the block-boundary
+// neighborhoods (sizes straddling kSeqOpsBlock and kSortBase).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "parlay/random.h"
+#include "parlay/semisort.h"
+#include "parlay/sequence_ops.h"
+#include "parlay/sort.h"
+
+namespace {
+
+class PrimitiveSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PrimitiveSizes, ScanMatchesSerial) {
+  std::size_t n = GetParam();
+  parlay::random_source rs(n);
+  auto v = parlay::tabulate(n, [&](std::size_t i) {
+    return static_cast<long>(rs.ith_rand_bounded(i, 100));
+  });
+  auto [pre, total] = parlay::scan(v, long{0},
+                                   [](long a, long b) { return a + b; });
+  long acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(pre[i], acc) << "size " << n << " index " << i;
+    acc += v[i];
+  }
+  EXPECT_EQ(total, acc);
+}
+
+TEST_P(PrimitiveSizes, ReduceMatchesSerial) {
+  std::size_t n = GetParam();
+  parlay::random_source rs(n + 1);
+  auto v = parlay::tabulate(n, [&](std::size_t i) {
+    return static_cast<long>(rs.ith_rand_bounded(i, 1000)) - 500;
+  });
+  EXPECT_EQ(parlay::reduce(v, long{0}, [](long a, long b) { return a + b; }),
+            std::accumulate(v.begin(), v.end(), long{0}));
+}
+
+TEST_P(PrimitiveSizes, SortMatchesStd) {
+  std::size_t n = GetParam();
+  parlay::random_source rs(n + 2);
+  auto v = parlay::tabulate(n, [&](std::size_t i) {
+    return static_cast<int>(rs.ith_rand_bounded(i, 37));
+  });
+  auto expect = v;
+  std::stable_sort(expect.begin(), expect.end());
+  parlay::sort_inplace(v);
+  EXPECT_EQ(v, expect) << "size " << n;
+}
+
+TEST_P(PrimitiveSizes, FilterMatchesSerial) {
+  std::size_t n = GetParam();
+  parlay::random_source rs(n + 3);
+  auto v = parlay::tabulate(n, [&](std::size_t i) { return rs.ith_rand(i); });
+  auto pred = [](std::uint64_t x) { return x % 3 == 0; };
+  auto got = parlay::filter(v, pred);
+  std::vector<std::uint64_t> expect;
+  for (auto x : v) {
+    if (pred(x)) expect.push_back(x);
+  }
+  EXPECT_EQ(got, expect) << "size " << n;
+}
+
+TEST_P(PrimitiveSizes, GroupByKeyTotalsPreserved) {
+  std::size_t n = GetParam();
+  parlay::random_source rs(n + 4);
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> pairs(n);
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    pairs[i] = {static_cast<std::uint32_t>(rs.ith_rand_bounded(i, 17)), i};
+    sum += i;
+  }
+  auto groups = parlay::group_by_key(std::move(pairs));
+  std::uint64_t got = 0;
+  std::size_t count = 0;
+  for (const auto& g : groups) {
+    for (auto v : g.values) {
+      got += v;
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, n);
+  EXPECT_EQ(got, sum);
+}
+
+// Sizes straddling the internal block boundaries (2048, 4096) plus assorted
+// awkward values.
+INSTANTIATE_TEST_SUITE_P(Sizes, PrimitiveSizes,
+                         ::testing::Values(0u, 1u, 2u, 3u, 17u, 100u, 2047u,
+                                           2048u, 2049u, 4095u, 4096u, 4097u,
+                                           10000u, 65536u));
+
+}  // namespace

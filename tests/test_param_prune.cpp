@@ -1,0 +1,104 @@
+// Parameterized sweep over the robust-prune parameter space
+// (alpha x degree bound): invariants that must hold for every setting.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "core/dataset.h"
+#include "core/distance.h"
+#include "core/prune.h"
+
+namespace {
+
+using ann::EuclideanSquared;
+using ann::PointId;
+using ann::PruneParams;
+
+class PruneSweep
+    : public ::testing::TestWithParam<std::tuple<float, std::uint32_t>> {
+ protected:
+  static void SetUpTestSuite() {
+    points_ = new ann::PointSet<float>(
+        ann::make_uniform<float>(500, 8, 0.0, 1.0, 41));
+  }
+  static void TearDownTestSuite() {
+    delete points_;
+    points_ = nullptr;
+  }
+  static ann::PointSet<float>* points_;
+};
+
+ann::PointSet<float>* PruneSweep::points_ = nullptr;
+
+TEST_P(PruneSweep, Invariants) {
+  auto [alpha, degree] = GetParam();
+  PruneParams prm{.degree_bound = degree, .alpha = alpha};
+  std::vector<PointId> cands;
+  for (PointId i = 1; i < 500; ++i) cands.push_back(i);
+  for (PointId p : {PointId{0}, PointId{123}, PointId{499}}) {
+    auto out = ann::robust_prune_ids<EuclideanSquared>(p, cands, *points_, prm);
+    // Degree bound.
+    ASSERT_LE(out.size(), degree);
+    ASSERT_FALSE(out.empty());
+    // No self, no duplicates.
+    std::set<PointId> uniq(out.begin(), out.end());
+    ASSERT_EQ(uniq.size(), out.size());
+    ASSERT_EQ(uniq.count(p), 0u);
+    // First element is always the globally nearest candidate.
+    PointId nearest = cands[0] == p ? cands[1] : cands[0];
+    float best = ann::EuclideanSquared::distance((*points_)[p],
+                                                 (*points_)[nearest], 8);
+    for (PointId c : cands) {
+      if (c == p) continue;
+      float d = ann::EuclideanSquared::distance((*points_)[p], (*points_)[c], 8);
+      if (d < best || (d == best && c < nearest)) {
+        best = d;
+        nearest = c;
+      }
+    }
+    ASSERT_EQ(out[0], nearest);
+    // Kept edges respect the occlusion rule retroactively: no kept edge c'
+    // is occluded by an EARLIER kept edge c (alpha * d(c,c') <= d(p,c')).
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      for (std::size_t j = 0; j < i; ++j) {
+        float d_cc = ann::EuclideanSquared::distance((*points_)[out[j]],
+                                                     (*points_)[out[i]], 8);
+        float d_pc = ann::EuclideanSquared::distance((*points_)[p],
+                                                     (*points_)[out[i]], 8);
+        ASSERT_GT(alpha * d_cc, d_pc)
+            << "edge to " << out[i] << " should have been occluded by "
+            << out[j];
+      }
+    }
+  }
+}
+
+TEST_P(PruneSweep, MonotoneInDegreeBound) {
+  auto [alpha, degree] = GetParam();
+  std::vector<PointId> cands;
+  for (PointId i = 1; i < 500; ++i) cands.push_back(i);
+  PruneParams small{.degree_bound = degree, .alpha = alpha};
+  PruneParams large{.degree_bound = 2 * degree, .alpha = alpha};
+  auto out_small = ann::robust_prune_ids<EuclideanSquared>(0, cands, *points_,
+                                                           small);
+  auto out_large = ann::robust_prune_ids<EuclideanSquared>(0, cands, *points_,
+                                                           large);
+  // The smaller result is a prefix of the larger (greedy selection order).
+  ASSERT_LE(out_small.size(), out_large.size());
+  for (std::size_t i = 0; i < out_small.size(); ++i) {
+    ASSERT_EQ(out_small[i], out_large[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaByDegree, PruneSweep,
+    ::testing::Combine(::testing::Values(1.0f, 1.1f, 1.2f, 1.5f, 2.0f),
+                       ::testing::Values(4u, 16u, 64u)),
+    [](const auto& info) {
+      return "alpha" +
+             std::to_string(static_cast<int>(std::get<0>(info.param) * 10)) +
+             "_R" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace

@@ -1,0 +1,146 @@
+// Parameterized property sweeps over the shared beam search (Alg. 1):
+// every (beam width x epsilon x metric) combination must satisfy the same
+// structural invariants.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "algorithms/diskann.h"
+#include "core/dataset.h"
+#include "test_helpers.h"
+
+namespace {
+
+using ann::DiskANNParams;
+using ann::EuclideanSquared;
+using ann::NegInnerProduct;
+using ann::PointId;
+using ann::SearchParams;
+
+// ---------- L2 sweep --------------------------------------------------------
+
+class BeamSweepL2
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, float>> {
+ protected:
+  // Shared across all instantiations: one dataset, one index.
+  static void SetUpTestSuite() {
+    ds_ = new ann::Dataset<std::uint8_t>(ann::make_bigann_like(1500, 30, 21));
+    DiskANNParams prm{.degree_bound = 24, .beam_width = 48};
+    index_ = new ann::GraphIndex<EuclideanSquared, std::uint8_t>(
+        ann::build_diskann<EuclideanSquared>(ds_->base, prm));
+    gt_ = new ann::GroundTruth(
+        ann::compute_ground_truth<EuclideanSquared>(ds_->base, ds_->queries, 10));
+  }
+  static void TearDownTestSuite() {
+    delete ds_;
+    delete index_;
+    delete gt_;
+    ds_ = nullptr;
+    index_ = nullptr;
+    gt_ = nullptr;
+  }
+
+  static ann::Dataset<std::uint8_t>* ds_;
+  static ann::GraphIndex<EuclideanSquared, std::uint8_t>* index_;
+  static ann::GroundTruth* gt_;
+};
+
+ann::Dataset<std::uint8_t>* BeamSweepL2::ds_ = nullptr;
+ann::GraphIndex<EuclideanSquared, std::uint8_t>* BeamSweepL2::index_ = nullptr;
+ann::GroundTruth* BeamSweepL2::gt_ = nullptr;
+
+TEST_P(BeamSweepL2, StructuralInvariants) {
+  auto [beam, eps] = GetParam();
+  SearchParams sp{.beam_width = beam, .k = 10, .epsilon = eps};
+  std::vector<PointId> starts{index_->start};
+  for (std::size_t q = 0; q < ds_->queries.size(); ++q) {
+    auto res = ann::beam_search<EuclideanSquared>(
+        ds_->queries[static_cast<PointId>(q)], ds_->base, index_->graph,
+        starts, sp);
+    // Frontier: sorted strictly, capped at beam, all distances correct.
+    ASSERT_LE(res.frontier.size(), static_cast<std::size_t>(beam));
+    for (std::size_t i = 0; i < res.frontier.size(); ++i) {
+      if (i > 0) ASSERT_TRUE(res.frontier[i - 1] < res.frontier[i]);
+      ASSERT_FLOAT_EQ(res.frontier[i].dist,
+                      EuclideanSquared::distance(
+                          ds_->queries[static_cast<PointId>(q)],
+                          ds_->base[res.frontier[i].id], ds_->base.dims()));
+    }
+    // Visited: non-empty, every visited point was returned with a correct
+    // distance.
+    ASSERT_FALSE(res.visited.empty());
+    // The best frontier element is the closest visited-or-frontier point.
+    for (const auto& v : res.visited) {
+      ASSERT_FALSE(v < res.frontier[0]);
+    }
+  }
+}
+
+TEST_P(BeamSweepL2, RecallFloorScalesWithBeam) {
+  auto [beam, eps] = GetParam();
+  SearchParams sp{.beam_width = beam, .k = 10, .epsilon = eps};
+  std::vector<std::vector<PointId>> results;
+  for (std::size_t q = 0; q < ds_->queries.size(); ++q) {
+    results.push_back(index_->query(ds_->queries[static_cast<PointId>(q)],
+                                    ds_->base, sp));
+  }
+  double recall = ann::average_recall(results, *gt_, 10);
+  // Generous floors: beam 10 should already be decent on this graph, larger
+  // beams near-perfect.
+  double floor = beam >= 80 ? 0.95 : beam >= 40 ? 0.9 : 0.6;
+  EXPECT_GT(recall, floor) << "beam=" << beam << " eps=" << eps;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BeamByEps, BeamSweepL2,
+    ::testing::Combine(::testing::Values(10u, 20u, 40u, 80u, 160u),
+                       ::testing::Values(0.0f, 0.1f, 0.25f)),
+    [](const auto& info) {
+      return "beam" + std::to_string(std::get<0>(info.param)) + "_eps" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    });
+
+// ---------- MIPS sweep -------------------------------------------------------
+
+class BeamSweepMips : public ::testing::TestWithParam<std::uint32_t> {
+ protected:
+  static void SetUpTestSuite() {
+    ds_ = new ann::Dataset<float>(ann::make_text2image_like(1500, 30, 22));
+    DiskANNParams prm{.degree_bound = 32, .beam_width = 64, .alpha = 1.0f};
+    index_ = new ann::GraphIndex<NegInnerProduct, float>(
+        ann::build_diskann<NegInnerProduct>(ds_->base, prm));
+  }
+  static void TearDownTestSuite() {
+    delete ds_;
+    delete index_;
+    ds_ = nullptr;
+    index_ = nullptr;
+  }
+  static ann::Dataset<float>* ds_;
+  static ann::GraphIndex<NegInnerProduct, float>* index_;
+};
+
+ann::Dataset<float>* BeamSweepMips::ds_ = nullptr;
+ann::GraphIndex<NegInnerProduct, float>* BeamSweepMips::index_ = nullptr;
+
+TEST_P(BeamSweepMips, NegativeDistancesHandled) {
+  // MIPS distances are negative; beam ordering and (1+eps) radius handling
+  // must stay correct.
+  std::uint32_t beam = GetParam();
+  SearchParams sp{.beam_width = beam, .k = 10, .epsilon = 0.1f};
+  std::vector<PointId> starts{index_->start};
+  for (std::size_t q = 0; q < ds_->queries.size(); ++q) {
+    auto res = ann::beam_search<NegInnerProduct>(
+        ds_->queries[static_cast<PointId>(q)], ds_->base, index_->graph,
+        starts, sp);
+    ASSERT_FALSE(res.frontier.empty());
+    for (std::size_t i = 1; i < res.frontier.size(); ++i) {
+      ASSERT_TRUE(res.frontier[i - 1] < res.frontier[i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Beams, BeamSweepMips,
+                         ::testing::Values(5u, 15u, 45u, 135u));
+
+}  // namespace

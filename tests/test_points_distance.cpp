@@ -1,0 +1,108 @@
+// PointSet storage and distance kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/distance.h"
+#include "core/points.h"
+#include "core/stats.h"
+
+namespace {
+
+using ann::Cosine;
+using ann::EuclideanSquared;
+using ann::NegInnerProduct;
+using ann::PointSet;
+
+TEST(PointSet, StoresAndRetrieves) {
+  PointSet<float> ps(3, 5);
+  float row[5] = {1, 2, 3, 4, 5};
+  ps.set_point(1, row);
+  for (std::size_t j = 0; j < 5; ++j) {
+    EXPECT_FLOAT_EQ(ps[1][j], row[j]);
+    EXPECT_FLOAT_EQ(ps[0][j], 0.0f);
+  }
+  EXPECT_EQ(ps.size(), 3u);
+  EXPECT_EQ(ps.dims(), 5u);
+}
+
+TEST(PointSet, OddDimensionPaddingIsolation) {
+  // Rows are padded to 64 bytes; writing one row must not bleed into the next.
+  PointSet<std::uint8_t> ps(4, 7);
+  std::uint8_t a[7] = {255, 255, 255, 255, 255, 255, 255};
+  ps.set_point(2, a);
+  for (std::size_t j = 0; j < 7; ++j) {
+    EXPECT_EQ(ps[1][j], 0);
+    EXPECT_EQ(ps[3][j], 0);
+    EXPECT_EQ(ps[2][j], 255);
+  }
+}
+
+TEST(PointSet, PrefixCopies) {
+  PointSet<float> ps(10, 3);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    float row[3] = {float(i), float(i + 1), float(i + 2)};
+    ps.set_point(i, row);
+  }
+  auto pre = ps.prefix(4);
+  EXPECT_EQ(pre.size(), 4u);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(pre[i][0], float(i));
+  }
+}
+
+TEST(Distance, EuclideanSquaredFloat) {
+  float a[3] = {1, 2, 3}, b[3] = {4, 6, 3};
+  EXPECT_FLOAT_EQ(EuclideanSquared::distance(a, b, 3), 9 + 16 + 0);
+}
+
+TEST(Distance, EuclideanSquaredUint8FullRange) {
+  std::vector<std::uint8_t> a(128, 0), b(128, 255);
+  float d = EuclideanSquared::distance(a.data(), b.data(), 128);
+  EXPECT_FLOAT_EQ(d, 128.0f * 255 * 255);
+}
+
+TEST(Distance, EuclideanSquaredInt8SignedRange) {
+  std::vector<std::int8_t> a(100, -127), b(100, 127);
+  float d = EuclideanSquared::distance(a.data(), b.data(), 100);
+  EXPECT_FLOAT_EQ(d, 100.0f * 254 * 254);
+}
+
+TEST(Distance, EuclideanIsSymmetricAndZeroOnSelf) {
+  float a[4] = {1.5f, -2, 0, 7}, b[4] = {0, 1, 2, 3};
+  EXPECT_FLOAT_EQ(EuclideanSquared::distance(a, b, 4),
+                  EuclideanSquared::distance(b, a, 4));
+  EXPECT_FLOAT_EQ(EuclideanSquared::distance(a, a, 4), 0.0f);
+}
+
+TEST(Distance, NegInnerProduct) {
+  float a[3] = {1, 2, 3}, b[3] = {4, 5, 6};
+  EXPECT_FLOAT_EQ(NegInnerProduct::distance(a, b, 3), -(4 + 10 + 18));
+  // Larger inner product => smaller (more negative) distance.
+  float c[3] = {8, 10, 12};
+  EXPECT_LT(NegInnerProduct::distance(a, c, 3),
+            NegInnerProduct::distance(a, b, 3));
+}
+
+TEST(Distance, CosineBasics) {
+  float a[2] = {1, 0}, b[2] = {0, 1}, c[2] = {2, 0}, d[2] = {-3, 0};
+  EXPECT_NEAR(Cosine::distance(a, b, 2), 1.0f, 1e-6);   // orthogonal
+  EXPECT_NEAR(Cosine::distance(a, c, 2), 0.0f, 1e-6);   // parallel
+  EXPECT_NEAR(Cosine::distance(a, d, 2), 2.0f, 1e-6);   // opposite
+  float z[2] = {0, 0};
+  EXPECT_FLOAT_EQ(Cosine::distance(a, z, 2), 1.0f);     // zero-vector guard
+}
+
+TEST(Distance, CounterCountsEvaluations) {
+  ann::DistanceCounter::reset();
+  float a[2] = {0, 0}, b[2] = {1, 1};
+  for (int i = 0; i < 10; ++i) EuclideanSquared::distance(a, b, 2);
+  for (int i = 0; i < 5; ++i) NegInnerProduct::distance(a, b, 2);
+  EXPECT_EQ(ann::DistanceCounter::total(), 15u);
+  ann::DistanceCounter::reset();
+  EXPECT_EQ(ann::DistanceCounter::total(), 0u);
+}
+
+}  // namespace

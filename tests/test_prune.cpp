@@ -1,0 +1,114 @@
+// Robust (alpha) pruning invariants.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/distance.h"
+#include "core/prune.h"
+
+namespace {
+
+using ann::EuclideanSquared;
+using ann::Neighbor;
+using ann::PointId;
+using ann::PointSet;
+using ann::PruneParams;
+
+PointSet<float> line_points(std::size_t n) {
+  PointSet<float> ps(n, 1);
+  for (PointId i = 0; i < n; ++i) {
+    float v = static_cast<float>(i);
+    ps.set_point(i, &v);
+  }
+  return ps;
+}
+
+TEST(RobustPrune, RespectsDegreeBound) {
+  auto ps = ann::make_uniform<float>(300, 6, 0, 1, 90);
+  std::vector<PointId> cands;
+  for (PointId i = 1; i < 300; ++i) cands.push_back(i);
+  for (std::uint32_t R : {1u, 4u, 16u, 64u}) {
+    PruneParams prm{.degree_bound = R, .alpha = 1.2f};
+    auto out = ann::robust_prune_ids<EuclideanSquared>(0, cands, ps, prm);
+    EXPECT_LE(out.size(), R);
+    EXPECT_FALSE(out.empty());
+  }
+}
+
+TEST(RobustPrune, NoSelfEdgesNoDuplicates) {
+  auto ps = ann::make_uniform<float>(100, 4, 0, 1, 91);
+  std::vector<PointId> cands;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (PointId i = 0; i < 100; ++i) cands.push_back(i);  // includes self, dups
+  }
+  PruneParams prm{.degree_bound = 20, .alpha = 1.2f};
+  auto out = ann::robust_prune_ids<EuclideanSquared>(7, cands, ps, prm);
+  std::set<PointId> uniq(out.begin(), out.end());
+  EXPECT_EQ(uniq.size(), out.size());
+  EXPECT_EQ(uniq.count(7), 0u);
+}
+
+TEST(RobustPrune, KeepsClosestCandidate) {
+  auto ps = line_points(10);
+  std::vector<PointId> cands{9, 5, 1, 3};
+  PruneParams prm{.degree_bound = 3, .alpha = 1.0f};
+  auto out = ann::robust_prune_ids<EuclideanSquared>(0, cands, ps, prm);
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out[0], 1u);  // nearest candidate always kept first
+}
+
+TEST(RobustPrune, Alpha1PrunesOccludedColinearPoints) {
+  // On a line from p=0: candidates 1,2,3... point 1 occludes all the rest at
+  // alpha=1 (d(1,j) < d(0,j) for j>1 in squared L2).
+  auto ps = line_points(10);
+  std::vector<PointId> cands{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  PruneParams prm{.degree_bound = 8, .alpha = 1.0f};
+  auto out = ann::robust_prune_ids<EuclideanSquared>(0, cands, ps, prm);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 1u);
+}
+
+TEST(RobustPrune, LargerAlphaKeepsMoreEdges) {
+  auto ps = ann::make_uniform<float>(400, 8, 0, 1, 92);
+  std::vector<PointId> cands;
+  for (PointId i = 1; i < 400; ++i) cands.push_back(i);
+  PruneParams tight{.degree_bound = 64, .alpha = 1.0f};
+  PruneParams loose{.degree_bound = 64, .alpha = 1.4f};
+  auto out_tight = ann::robust_prune_ids<EuclideanSquared>(0, cands, ps, tight);
+  auto out_loose = ann::robust_prune_ids<EuclideanSquared>(0, cands, ps, loose);
+  EXPECT_GE(out_loose.size(), out_tight.size());
+}
+
+TEST(RobustPrune, EmptyCandidates) {
+  auto ps = line_points(5);
+  PruneParams prm{.degree_bound = 4, .alpha = 1.2f};
+  auto out = ann::robust_prune_ids<EuclideanSquared>(
+      0, std::vector<PointId>{}, ps, prm);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RobustPrune, DeterministicWithShuffledInput) {
+  // The same candidate SET in any order yields the same pruned list
+  // (candidates are canonicalized by (dist, id) first).
+  auto ps = ann::make_uniform<float>(200, 6, 0, 1, 93);
+  std::vector<PointId> a, b;
+  for (PointId i = 1; i < 200; ++i) a.push_back(i);
+  for (PointId i = 199; i >= 1; --i) b.push_back(i);
+  PruneParams prm{.degree_bound = 24, .alpha = 1.2f};
+  auto out_a = ann::robust_prune_ids<EuclideanSquared>(0, a, ps, prm);
+  auto out_b = ann::robust_prune_ids<EuclideanSquared>(0, b, ps, prm);
+  EXPECT_EQ(out_a, out_b);
+}
+
+TEST(RobustPrune, PrecomputedDistancesOverload) {
+  auto ps = line_points(6);
+  std::vector<Neighbor> cands{{1, 1.0f}, {2, 4.0f}, {3, 9.0f}};
+  PruneParams prm{.degree_bound = 2, .alpha = 1.0f};
+  auto out = ann::robust_prune<EuclideanSquared>(0, cands, ps, prm);
+  ASSERT_EQ(out.size(), 1u);  // 1 occludes 2 and 3 on the line
+  EXPECT_EQ(out[0], 1u);
+}
+
+}  // namespace

@@ -1,0 +1,114 @@
+// ParlayPyNN: descent convergence, invariants, recall, determinism,
+// degree-capped undirecting.
+#include <gtest/gtest.h>
+
+#include "algorithms/baseline_nndescent.h"
+#include "algorithms/pynndescent.h"
+#include "core/dataset.h"
+#include "test_helpers.h"
+
+namespace {
+
+using ann::EuclideanSquared;
+using ann::PointId;
+using ann::PyNNDescentParams;
+
+TEST(UndirectCapped, AddsReverseEdgesAndCaps) {
+  // Hub pattern: every vertex points at 0; undirected, vertex 0 sees all,
+  // then the cap trims it deterministically.
+  ann::internal::KnnRows rows(10);
+  for (std::size_t v = 1; v < 10; ++v) rows[v].push_back({0, 1.0f});
+  auto und = ann::internal::undirect_capped(rows, 10, /*cap=*/4, /*salt=*/7);
+  EXPECT_EQ(und[0].size(), 4u);  // capped from 9
+  for (std::size_t v = 1; v < 10; ++v) {
+    // Vertex v keeps its forward edge to 0 (plus possibly the reverse).
+    bool has0 = false;
+    for (PointId u : und[v]) has0 |= (u == 0);
+    EXPECT_TRUE(has0) << "vertex " << v;
+  }
+  // Deterministic.
+  auto und2 = ann::internal::undirect_capped(rows, 10, 4, 7);
+  EXPECT_EQ(und[0], und2[0]);
+  // Different salt may choose a different sample (not required, but the
+  // mechanism must not crash and stays capped).
+  auto und3 = ann::internal::undirect_capped(rows, 10, 4, 99);
+  EXPECT_EQ(und3[0].size(), 4u);
+}
+
+TEST(PyNN, GraphInvariants) {
+  auto ds = ann::make_bigann_like(800, 1, 3);
+  PyNNDescentParams prm{.k = 16, .num_trees = 4, .leaf_size = 80};
+  auto index = ann::build_pynndescent<EuclideanSquared>(ds.base, prm);
+  ann::testutil::check_graph_invariants(index.graph, 800, prm.k);
+}
+
+TEST(PyNN, HighRecall) {
+  auto ds = ann::make_bigann_like(2000, 50, 5);
+  PyNNDescentParams prm{.k = 24, .num_trees = 6, .leaf_size = 100};
+  auto index = ann::build_pynndescent<EuclideanSquared>(ds.base, prm);
+  double recall = ann::testutil::measure_recall<EuclideanSquared>(
+      index, ds.base, ds.queries, 64);
+  EXPECT_GT(recall, 0.85) << "recall " << recall;
+}
+
+TEST(PyNN, DescentImprovesOverInitOnly) {
+  // Deliberately weak init (two small-leaf trees: connected union, but far
+  // from the true kNN graph) so the descent has headroom.
+  auto ds = ann::make_bigann_like(1200, 40, 7);
+  PyNNDescentParams no_descent{.k = 16, .num_trees = 2, .leaf_size = 48};
+  no_descent.max_rounds = 0;
+  PyNNDescentParams with_descent = no_descent;
+  with_descent.max_rounds = 8;
+  auto i0 = ann::build_pynndescent<EuclideanSquared>(ds.base, no_descent);
+  auto i8 = ann::build_pynndescent<EuclideanSquared>(ds.base, with_descent);
+  double r0 = ann::testutil::measure_recall<EuclideanSquared>(
+      i0, ds.base, ds.queries, 48);
+  double r8 = ann::testutil::measure_recall<EuclideanSquared>(
+      i8, ds.base, ds.queries, 48);
+  EXPECT_GT(r8, r0) << "descent must improve the init-only graph";
+}
+
+TEST(PyNN, DeterministicAcrossWorkerCounts) {
+  auto ds = ann::make_spacev_like(600, 1, 9);
+  PyNNDescentParams prm{.k = 12, .num_trees = 4, .leaf_size = 60};
+  parlay::set_num_workers(1);
+  auto a = ann::build_pynndescent<EuclideanSquared>(ds.base, prm);
+  parlay::set_num_workers(5);
+  auto b = ann::build_pynndescent<EuclideanSquared>(ds.base, prm);
+  parlay::set_num_workers(0);
+  EXPECT_TRUE(a.graph == b.graph);
+}
+
+TEST(PyNN, SmallBlockSizeSameResult) {
+  // The memory-limiting batch size must not change the output (§4.4).
+  auto ds = ann::make_bigann_like(500, 1, 11);
+  PyNNDescentParams big{.k = 12, .num_trees = 4, .leaf_size = 60};
+  big.block_size = 1 << 20;
+  PyNNDescentParams small = big;
+  small.block_size = 64;
+  auto ib = ann::build_pynndescent<EuclideanSquared>(ds.base, big);
+  auto is = ann::build_pynndescent<EuclideanSquared>(ds.base, small);
+  EXPECT_TRUE(ib.graph == is.graph);
+}
+
+TEST(PyNN, BaselineNNDescentBuildsUsableGraph) {
+  auto ds = ann::make_bigann_like(800, 30, 13);
+  PyNNDescentParams prm{.k = 16, .num_trees = 4, .leaf_size = 80};
+  prm.max_rounds = 12;
+  auto baseline = ann::build_baseline_nndescent<EuclideanSquared>(ds.base, prm);
+  ann::testutil::check_graph_invariants(baseline.graph, 800, prm.k);
+  double recall = ann::testutil::measure_recall<EuclideanSquared>(
+      baseline, ds.base, ds.queries, 64);
+  EXPECT_GT(recall, 0.6);
+}
+
+TEST(PyNN, TinyInputs) {
+  for (std::size_t n : {1u, 2u, 8u}) {
+    auto ps = ann::make_uniform<float>(n, 4, 0, 1, 15);
+    PyNNDescentParams prm{.k = 4, .num_trees = 2, .leaf_size = 4};
+    auto index = ann::build_pynndescent<EuclideanSquared>(ps, prm);
+    EXPECT_EQ(index.graph.size(), n);
+  }
+}
+
+}  // namespace

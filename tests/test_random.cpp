@@ -1,0 +1,84 @@
+// Deterministic splittable randomness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "parlay/random.h"
+
+namespace {
+
+TEST(Random, Deterministic) {
+  parlay::random_source a(123), b(123);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.ith_rand(i), b.ith_rand(i));
+  }
+}
+
+TEST(Random, DifferentSeedsDiffer) {
+  parlay::random_source a(1), b(2);
+  std::size_t same = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    if (a.ith_rand(i) == b.ith_rand(i)) ++same;
+  }
+  EXPECT_EQ(same, 0u);
+}
+
+TEST(Random, ForkIndependence) {
+  parlay::random_source rs(77);
+  auto c0 = rs.fork(0), c1 = rs.fork(1);
+  EXPECT_NE(c0.seed(), c1.seed());
+  EXPECT_NE(c0.ith_rand(0), c1.ith_rand(0));
+  // Forking is pure.
+  EXPECT_EQ(rs.fork(0).seed(), c0.seed());
+}
+
+TEST(Random, BoundedInRange) {
+  parlay::random_source rs(5);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    EXPECT_LT(rs.ith_rand_bounded(i, 17), 17u);
+  }
+  // n == 1 always 0.
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(rs.ith_rand_bounded(i, 1), 0u);
+  }
+}
+
+TEST(Random, BoundedRoughlyUniform) {
+  parlay::random_source rs(9);
+  const std::uint64_t buckets = 10, n = 100000;
+  std::vector<std::uint64_t> counts(buckets, 0);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    counts[rs.ith_rand_bounded(i, buckets)]++;
+  }
+  for (auto c : counts) {
+    EXPECT_GT(c, n / buckets * 8 / 10);
+    EXPECT_LT(c, n / buckets * 12 / 10);
+  }
+}
+
+TEST(Random, DoubleInUnitInterval) {
+  parlay::random_source rs(13);
+  double sum = 0;
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    double v = rs.ith_rand_double(i);
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Random, Hash64AvalanchesLowBits) {
+  // Consecutive inputs must not produce correlated low bits (they feed
+  // direct-mapped hash tables).
+  std::set<std::uint64_t> low;
+  for (std::uint64_t i = 0; i < 1024; ++i) {
+    low.insert(parlay::hash64(i) & 1023);
+  }
+  // Expect good spread: at least half the slots hit.
+  EXPECT_GT(low.size(), 512u);
+}
+
+}  // namespace

@@ -1,0 +1,137 @@
+// Range search (Open Question 4 extension).
+#include <gtest/gtest.h>
+
+#include "algorithms/diskann.h"
+#include "core/dataset.h"
+#include "core/range_search.h"
+#include "test_helpers.h"
+
+namespace {
+
+using ann::DiskANNParams;
+using ann::EuclideanSquared;
+using ann::Neighbor;
+using ann::PointId;
+using ann::RangeSearchParams;
+
+// Median NN distance => a radius that returns a handful of points.
+template <typename T>
+float calibration_radius(const ann::PointSet<T>& base, double mult) {
+  auto gt = ann::compute_ground_truth<EuclideanSquared>(base, base, 2);
+  std::vector<float> nn;
+  for (std::size_t i = 0; i < gt.num_queries(); ++i) {
+    nn.push_back(gt.row(i)[1].dist);
+  }
+  std::sort(nn.begin(), nn.end());
+  return static_cast<float>(nn[nn.size() / 2] * mult);
+}
+
+class RangeSearchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_ = ann::make_ssnpp_like(2000, 50, 45);
+    DiskANNParams prm{.degree_bound = 32, .beam_width = 64};
+    index_ = ann::build_diskann<EuclideanSquared>(ds_.base, prm);
+    radius_ = calibration_radius(ds_.base, 2.0);
+    gt_ = ann::range_ground_truth<EuclideanSquared>(ds_.base, ds_.queries,
+                                                    radius_);
+  }
+
+  ann::Dataset<std::uint8_t> ds_;
+  ann::GraphIndex<EuclideanSquared, std::uint8_t> index_;
+  float radius_ = 0;
+  std::vector<std::vector<Neighbor>> gt_;
+};
+
+TEST_F(RangeSearchTest, AllMatchesWithinRadius) {
+  RangeSearchParams rp{.radius = radius_, .beam_width = 32};
+  std::vector<PointId> starts{index_.start};
+  for (std::size_t q = 0; q < ds_.queries.size(); ++q) {
+    auto res = ann::range_search<EuclideanSquared>(
+        ds_.queries[static_cast<PointId>(q)], ds_.base, index_.graph, starts,
+        rp);
+    for (const auto& nb : res.matches) {
+      EXPECT_LE(nb.dist, radius_);
+      EXPECT_FLOAT_EQ(nb.dist, EuclideanSquared::distance(
+                                   ds_.queries[static_cast<PointId>(q)],
+                                   ds_.base[nb.id], ds_.base.dims()));
+    }
+    // Sorted, unique.
+    for (std::size_t i = 1; i < res.matches.size(); ++i) {
+      EXPECT_TRUE(res.matches[i - 1] < res.matches[i]);
+    }
+  }
+}
+
+TEST_F(RangeSearchTest, HighRangeRecall) {
+  RangeSearchParams rp{.radius = radius_, .beam_width = 64};
+  std::vector<PointId> starts{index_.start};
+  double total = 0;
+  std::size_t nonempty = 0;
+  for (std::size_t q = 0; q < ds_.queries.size(); ++q) {
+    auto res = ann::range_search<EuclideanSquared>(
+        ds_.queries[static_cast<PointId>(q)], ds_.base, index_.graph, starts,
+        rp);
+    if (!gt_[q].empty()) {
+      total += ann::range_recall_of(res.matches, gt_[q]);
+      ++nonempty;
+    }
+  }
+  ASSERT_GT(nonempty, 10u) << "radius calibration produced no matches";
+  EXPECT_GT(total / static_cast<double>(nonempty), 0.9);
+}
+
+TEST_F(RangeSearchTest, Deterministic) {
+  RangeSearchParams rp{.radius = radius_, .beam_width = 32};
+  std::vector<PointId> starts{index_.start};
+  for (std::size_t q = 0; q < 10; ++q) {
+    auto a = ann::range_search<EuclideanSquared>(
+        ds_.queries[static_cast<PointId>(q)], ds_.base, index_.graph, starts,
+        rp);
+    auto b = ann::range_search<EuclideanSquared>(
+        ds_.queries[static_cast<PointId>(q)], ds_.base, index_.graph, starts,
+        rp);
+    ASSERT_EQ(a.matches.size(), b.matches.size());
+    for (std::size_t i = 0; i < a.matches.size(); ++i) {
+      EXPECT_TRUE(a.matches[i] == b.matches[i]);
+    }
+  }
+}
+
+TEST_F(RangeSearchTest, TinyRadiusReturnsFewOrNone) {
+  RangeSearchParams rp{.radius = 0.0f, .beam_width = 32};
+  std::vector<PointId> starts{index_.start};
+  auto res = ann::range_search<EuclideanSquared>(ds_.queries[0], ds_.base,
+                                                 index_.graph, starts, rp);
+  EXPECT_TRUE(res.matches.empty());
+}
+
+TEST_F(RangeSearchTest, FloodLimitCapsWork) {
+  RangeSearchParams rp{.radius = 1e18f, .beam_width = 16};  // everything
+  rp.flood_limit = 50;
+  std::vector<PointId> starts{index_.start};
+  auto res = ann::range_search<EuclideanSquared>(ds_.queries[0], ds_.base,
+                                                 index_.graph, starts, rp);
+  EXPECT_LE(res.flood_steps, 50u);
+}
+
+TEST_F(RangeSearchTest, GroundTruthSelfConsistent) {
+  // Every gt entry within radius; entries sorted.
+  for (std::size_t q = 0; q < gt_.size(); ++q) {
+    for (std::size_t i = 0; i < gt_[q].size(); ++i) {
+      EXPECT_LE(gt_[q][i].dist, radius_);
+      if (i > 0) EXPECT_TRUE(gt_[q][i - 1] < gt_[q][i]);
+    }
+  }
+}
+
+TEST(RangeRecall, EdgeCases) {
+  EXPECT_DOUBLE_EQ(ann::range_recall_of({}, {}), 1.0);
+  std::vector<Neighbor> truth{{1, 0.5f}, {2, 0.7f}};
+  EXPECT_DOUBLE_EQ(ann::range_recall_of({}, truth), 0.0);
+  std::vector<Neighbor> got{{1, 0.5f}};
+  EXPECT_DOUBLE_EQ(ann::range_recall_of(got, truth), 0.5);
+  EXPECT_DOUBLE_EQ(ann::range_recall_of(truth, truth), 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,104 @@
+// Scheduler and parallel_for: correctness under forked execution, worker-id
+// sanity, reconfiguration, and a fork-heavy stress test.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "parlay/parallel.h"
+#include "parlay/scheduler.h"
+
+namespace {
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { parlay::set_num_workers(4); }
+  void TearDown() override { parlay::set_num_workers(0); }
+};
+
+TEST_F(SchedulerTest, ParDoRunsBothBranches) {
+  int left = 0, right = 0;
+  parlay::par_do([&] { left = 1; }, [&] { right = 2; });
+  EXPECT_EQ(left, 1);
+  EXPECT_EQ(right, 2);
+}
+
+TEST_F(SchedulerTest, ParDoNested) {
+  std::atomic<int> count{0};
+  parlay::par_do(
+      [&] {
+        parlay::par_do([&] { count++; }, [&] { count++; });
+      },
+      [&] {
+        parlay::par_do([&] { count++; }, [&] { count++; });
+      });
+  EXPECT_EQ(count.load(), 4);
+}
+
+TEST_F(SchedulerTest, ParallelForCoversEachIndexExactlyOnce) {
+  const std::size_t n = 100000;
+  std::vector<std::atomic<int>> hits(n);
+  parlay::parallel_for(0, n, [&](std::size_t i) { hits[i]++; });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST_F(SchedulerTest, ParallelForEmptyAndSingleton) {
+  int count = 0;
+  parlay::parallel_for(5, 5, [&](std::size_t) { count++; });
+  EXPECT_EQ(count, 0);
+  parlay::parallel_for(7, 8, [&](std::size_t i) {
+    EXPECT_EQ(i, 7u);
+    count++;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(SchedulerTest, ParallelForRespectsExplicitGranularity) {
+  const std::size_t n = 1000;
+  std::vector<int> out(n, 0);
+  parlay::parallel_for(0, n, [&](std::size_t i) { out[i] = static_cast<int>(i); },
+                       100);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(out[i], static_cast<int>(i));
+}
+
+TEST_F(SchedulerTest, WorkerIdsInRange) {
+  const std::size_t n = 10000;
+  std::vector<unsigned> ids(n, ~0u);
+  parlay::parallel_for(0, n, [&](std::size_t i) { ids[i] = parlay::worker_id(); },
+                       1);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_LT(ids[i], parlay::num_workers());
+  }
+}
+
+TEST_F(SchedulerTest, SetNumWorkersReconfigures) {
+  EXPECT_EQ(parlay::num_workers(), 4u);
+  parlay::set_num_workers(2);
+  EXPECT_EQ(parlay::num_workers(), 2u);
+  std::atomic<long> sum{0};
+  parlay::parallel_for(0, 1000, [&](std::size_t i) { sum += long(i); });
+  EXPECT_EQ(sum.load(), 999L * 1000 / 2);
+  parlay::set_num_workers(1);
+  EXPECT_EQ(parlay::num_workers(), 1u);
+  sum = 0;
+  parlay::parallel_for(0, 1000, [&](std::size_t i) { sum += long(i); });
+  EXPECT_EQ(sum.load(), 999L * 1000 / 2);
+}
+
+TEST_F(SchedulerTest, ForkStress) {
+  // Deep unbalanced fork tree exercising steal paths.
+  std::function<long(long, long)> rec = [&](long lo, long hi) -> long {
+    if (hi - lo <= 1) return lo;
+    long mid = lo + (hi - lo) / 3 + 1;  // unbalanced split
+    long a = 0, b = 0;
+    parlay::par_do([&] { a = rec(lo, mid); }, [&] { b = rec(mid, hi); });
+    return a + b;
+  };
+  long got = rec(0, 20000);
+  EXPECT_EQ(got, 19999L * 20000 / 2);
+}
+
+}  // namespace

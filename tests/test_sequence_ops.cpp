@@ -1,0 +1,128 @@
+// Sequence primitives: correctness against serial references plus the
+// determinism property the paper relies on — results (including floating
+// point reductions) independent of worker count.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "parlay/random.h"
+#include "parlay/sequence_ops.h"
+
+namespace {
+
+TEST(SequenceOps, TabulateAndMap) {
+  auto sq = parlay::tabulate(1000, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(sq.size(), 1000u);
+  for (std::size_t i = 0; i < sq.size(); ++i) EXPECT_EQ(sq[i], i * i);
+  auto doubled = parlay::map(sq, [](std::size_t x) { return 2 * x; });
+  for (std::size_t i = 0; i < sq.size(); ++i) EXPECT_EQ(doubled[i], 2 * i * i);
+}
+
+TEST(SequenceOps, ReduceMatchesSerial) {
+  auto v = parlay::tabulate(123457, [](std::size_t i) {
+    return static_cast<std::int64_t>(i % 91) - 45;
+  });
+  std::int64_t expect = std::accumulate(v.begin(), v.end(), std::int64_t{0});
+  std::int64_t got = parlay::reduce(v, std::int64_t{0},
+                                    [](std::int64_t a, std::int64_t b) {
+                                      return a + b;
+                                    });
+  EXPECT_EQ(got, expect);
+}
+
+TEST(SequenceOps, ReduceEmptyAndSingle) {
+  std::vector<int> empty;
+  EXPECT_EQ(parlay::reduce(empty, 7, [](int a, int b) { return a + b; }), 7);
+  std::vector<int> one{5};
+  EXPECT_EQ(parlay::reduce(one, 0, [](int a, int b) { return a + b; }), 5);
+}
+
+TEST(SequenceOps, FloatReduceDeterministicAcrossWorkerCounts) {
+  parlay::random_source rs(99);
+  auto v = parlay::tabulate(200001, [&](std::size_t i) {
+    return static_cast<float>(rs.ith_rand_double(i)) * 1e3f - 500.0f;
+  });
+  auto run = [&] {
+    return parlay::reduce(v, 0.0f, [](float a, float b) { return a + b; });
+  };
+  parlay::set_num_workers(1);
+  float r1 = run();
+  parlay::set_num_workers(3);
+  float r3 = run();
+  parlay::set_num_workers(8);
+  float r8 = run();
+  parlay::set_num_workers(0);
+  // Bitwise equality is the property (fixed reduction tree).
+  EXPECT_EQ(r1, r3);
+  EXPECT_EQ(r3, r8);
+}
+
+TEST(SequenceOps, ScanExclusive) {
+  auto v = parlay::tabulate(50000, [](std::size_t i) {
+    return static_cast<long>(i % 17);
+  });
+  auto [pre, total] = parlay::scan(v, long{0},
+                                   [](long a, long b) { return a + b; });
+  long acc = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    ASSERT_EQ(pre[i], acc) << i;
+    acc += v[i];
+  }
+  EXPECT_EQ(total, acc);
+}
+
+TEST(SequenceOps, ScanEmpty) {
+  std::vector<int> v;
+  auto [pre, total] = parlay::scan(v, 0, [](int a, int b) { return a + b; });
+  EXPECT_TRUE(pre.empty());
+  EXPECT_EQ(total, 0);
+}
+
+TEST(SequenceOps, FilterPreservesOrder) {
+  auto v = parlay::tabulate(30000, [](std::size_t i) { return i; });
+  auto evens = parlay::filter(v, [](std::size_t x) { return x % 2 == 0; });
+  ASSERT_EQ(evens.size(), 15000u);
+  for (std::size_t i = 0; i < evens.size(); ++i) EXPECT_EQ(evens[i], 2 * i);
+}
+
+TEST(SequenceOps, PackAndPackIndex) {
+  auto v = parlay::tabulate(1000, [](std::size_t i) { return i; });
+  auto flags = parlay::tabulate(1000, [](std::size_t i) -> unsigned char {
+    return i % 3 == 0;
+  });
+  auto packed = parlay::pack(v, flags);
+  auto idx = parlay::pack_index(flags);
+  ASSERT_EQ(packed.size(), idx.size());
+  for (std::size_t i = 0; i < packed.size(); ++i) {
+    EXPECT_EQ(packed[i], idx[i]);
+    EXPECT_EQ(packed[i] % 3, 0u);
+  }
+}
+
+TEST(SequenceOps, Flatten) {
+  std::vector<std::vector<int>> seqs{{1, 2}, {}, {3}, {4, 5, 6}};
+  auto flat = parlay::flatten(seqs);
+  std::vector<int> expect{1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(flat, expect);
+}
+
+TEST(SequenceOps, FlattenLargeParallel) {
+  std::vector<std::vector<std::size_t>> seqs(1000);
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    seqs[i].assign(i % 7, i);
+  }
+  auto flat = parlay::flatten(seqs);
+  std::size_t expect_size = 0;
+  for (const auto& s : seqs) expect_size += s.size();
+  ASSERT_EQ(flat.size(), expect_size);
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    for (std::size_t j = 0; j < seqs[i].size(); ++j) {
+      ASSERT_EQ(flat[pos++], i);
+    }
+  }
+}
+
+}  // namespace

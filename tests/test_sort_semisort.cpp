@@ -1,0 +1,138 @@
+// Parallel stable sort and semisort/group-by.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "parlay/random.h"
+#include "parlay/semisort.h"
+#include "parlay/sort.h"
+
+namespace {
+
+TEST(Sort, MatchesStdStableSortLarge) {
+  parlay::random_source rs(7);
+  auto v = parlay::tabulate(100000, [&](std::size_t i) {
+    return static_cast<int>(rs.ith_rand_bounded(i, 1000));
+  });
+  auto expect = v;
+  std::stable_sort(expect.begin(), expect.end());
+  parlay::sort_inplace(v);
+  EXPECT_EQ(v, expect);
+}
+
+TEST(Sort, SmallAndEdgeCases) {
+  std::vector<int> empty;
+  parlay::sort_inplace(empty);
+  EXPECT_TRUE(empty.empty());
+
+  std::vector<int> one{3};
+  parlay::sort_inplace(one);
+  EXPECT_EQ(one, std::vector<int>{3});
+
+  std::vector<int> rev{5, 4, 3, 2, 1};
+  parlay::sort_inplace(rev);
+  EXPECT_EQ(rev, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(Sort, StabilityWithFewKeys) {
+  // Pairs (key, original index); after a stable sort by key, indices within
+  // a key must remain increasing. Few distinct keys maximize tie pressure.
+  parlay::random_source rs(11);
+  std::size_t n = 80000;
+  std::vector<std::pair<int, std::uint32_t>> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = {static_cast<int>(rs.ith_rand_bounded(i, 5)),
+            static_cast<std::uint32_t>(i)};
+  }
+  parlay::sort_by_key_inplace(v);
+  for (std::size_t i = 1; i < n; ++i) {
+    ASSERT_LE(v[i - 1].first, v[i].first);
+    if (v[i - 1].first == v[i].first) {
+      ASSERT_LT(v[i - 1].second, v[i].second) << "stability violated at " << i;
+    }
+  }
+}
+
+TEST(Sort, CustomComparatorDescending) {
+  auto v = parlay::tabulate(50000, [](std::size_t i) {
+    return static_cast<int>((i * 2654435761u) % 10000);
+  });
+  parlay::sort_inplace(v, [](int a, int b) { return a > b; });
+  for (std::size_t i = 1; i < v.size(); ++i) ASSERT_GE(v[i - 1], v[i]);
+}
+
+TEST(Sort, SortedCopyLeavesInputIntact) {
+  std::vector<int> v{3, 1, 2};
+  auto s = parlay::sorted(v);
+  EXPECT_EQ(v, (std::vector<int>{3, 1, 2}));
+  EXPECT_EQ(s, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Semisort, GroupByKeyCollectsAllValuesInInputOrder) {
+  parlay::random_source rs(23);
+  std::size_t n = 50000;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> pairs(n);
+  std::map<std::uint32_t, std::vector<std::uint64_t>> expect;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t key = static_cast<std::uint32_t>(rs.ith_rand_bounded(i, 300));
+    pairs[i] = {key, i};
+    expect[key].push_back(i);
+  }
+  auto groups = parlay::group_by_key(std::move(pairs));
+  ASSERT_EQ(groups.size(), expect.size());
+  std::size_t gi = 0;
+  for (const auto& [key, vals] : expect) {
+    ASSERT_EQ(groups[gi].key, key);  // ascending key order
+    ASSERT_EQ(groups[gi].values, vals) << "values for key " << key;
+    ++gi;
+  }
+}
+
+TEST(Semisort, EmptyAndSingleton) {
+  std::vector<std::pair<int, int>> empty;
+  EXPECT_TRUE(parlay::group_by_key(std::move(empty)).empty());
+
+  std::vector<std::pair<int, int>> one{{42, 7}};
+  auto g = parlay::group_by_key(std::move(one));
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_EQ(g[0].key, 42);
+  EXPECT_EQ(g[0].values, std::vector<int>{7});
+}
+
+TEST(Semisort, AllSameKey) {
+  std::vector<std::pair<int, std::size_t>> pairs;
+  for (std::size_t i = 0; i < 10000; ++i) pairs.push_back({5, i});
+  auto g = parlay::group_by_key(std::move(pairs));
+  ASSERT_EQ(g.size(), 1u);
+  ASSERT_EQ(g[0].values.size(), 10000u);
+  for (std::size_t i = 0; i < g[0].values.size(); ++i) {
+    ASSERT_EQ(g[0].values[i], i);
+  }
+}
+
+TEST(Semisort, DeterministicAcrossWorkerCounts) {
+  parlay::random_source rs(31);
+  auto make = [&] {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs(20000);
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      pairs[i] = {static_cast<std::uint32_t>(rs.ith_rand_bounded(i, 64)),
+                  static_cast<std::uint32_t>(rs.ith_rand(i))};
+    }
+    return pairs;
+  };
+  parlay::set_num_workers(1);
+  auto g1 = parlay::group_by_key(make());
+  parlay::set_num_workers(5);
+  auto g5 = parlay::group_by_key(make());
+  parlay::set_num_workers(0);
+  ASSERT_EQ(g1.size(), g5.size());
+  for (std::size_t i = 0; i < g1.size(); ++i) {
+    EXPECT_EQ(g1[i].key, g5[i].key);
+    EXPECT_EQ(g1[i].values, g5[i].values);
+  }
+}
+
+}  // namespace

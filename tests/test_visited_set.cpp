@@ -1,0 +1,95 @@
+// Approximate visited set: the one-sided-error contract (§4.5).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "core/visited_set.h"
+#include "parlay/random.h"
+
+namespace {
+
+using ann::ApproxVisitedSet;
+using ann::ExactVisitedSet;
+using ann::PointId;
+
+TEST(ApproxVisitedSet, NeverClaimsUnseen) {
+  // One-sided error: test_and_set/contains may forget inserted ids, but must
+  // never report an id that was never inserted.
+  ApproxVisitedSet vs(32);
+  parlay::random_source rs(3);
+  std::set<PointId> inserted;
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    PointId id = static_cast<PointId>(rs.ith_rand_bounded(i, 1 << 20));
+    bool claimed_seen = vs.test_and_set(id);
+    if (claimed_seen) {
+      EXPECT_TRUE(inserted.count(id)) << "false positive for id " << id;
+    }
+    inserted.insert(id);
+  }
+}
+
+TEST(ApproxVisitedSet, RemembersWithoutCollisions) {
+  // With few distinct ids relative to capacity, everything is remembered.
+  ApproxVisitedSet vs(64);  // capacity >= 4096
+  ASSERT_GE(vs.capacity(), 64u * 64u);
+  std::vector<PointId> ids{5, 900, 77, 123456, 42};
+  for (PointId id : ids) EXPECT_FALSE(vs.test_and_set(id));
+  for (PointId id : ids) {
+    // Either remembered (usual) or dropped on a collision; with 5 ids in
+    // 4096 slots a drop would indicate a broken hash.
+    EXPECT_TRUE(vs.test_and_set(id));
+    EXPECT_TRUE(vs.contains(id));
+  }
+}
+
+TEST(ApproxVisitedSet, ClearForgetsEverything) {
+  ApproxVisitedSet vs(16);
+  vs.test_and_set(7);
+  EXPECT_TRUE(vs.contains(7));
+  vs.clear();
+  EXPECT_FALSE(vs.contains(7));
+  EXPECT_FALSE(vs.test_and_set(7));
+}
+
+TEST(ApproxVisitedSet, CapacityIsPowerOfTwoAtLeastBeamSquared) {
+  for (std::size_t beam : {1u, 10u, 33u, 100u}) {
+    ApproxVisitedSet vs(beam);
+    std::size_t cap = vs.capacity();
+    EXPECT_GE(cap, std::max<std::size_t>(64, beam * beam));
+    EXPECT_EQ(cap & (cap - 1), 0u) << "capacity must be a power of two";
+  }
+}
+
+TEST(ExactVisitedSet, ExactSemantics) {
+  ExactVisitedSet vs(10);
+  EXPECT_FALSE(vs.test_and_set(3));
+  EXPECT_TRUE(vs.test_and_set(3));
+  EXPECT_TRUE(vs.contains(3));
+  EXPECT_FALSE(vs.contains(4));
+  vs.clear();
+  EXPECT_FALSE(vs.contains(3));
+}
+
+TEST(VisitedSets, AgreeWhenNoCollisionsPossible) {
+  // Insert < sqrt(capacity) random ids; approximate table collisions are
+  // possible but rare — verify the overwhelming majority agree, and that
+  // disagreements are only ever in the "forgot" direction.
+  ApproxVisitedSet approx(100);  // >= 10000 slots
+  ExactVisitedSet exact(100);
+  parlay::random_source rs(17);
+  std::size_t forgot = 0;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    PointId id = static_cast<PointId>(rs.ith_rand(i));
+    bool a = approx.test_and_set(id);
+    bool e = exact.test_and_set(id);
+    if (a != e) {
+      EXPECT_TRUE(e && !a) << "approximate set invented a sighting";
+      ++forgot;
+    }
+  }
+  EXPECT_LT(forgot, 10u);
+}
+
+}  // namespace
