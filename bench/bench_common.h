@@ -18,6 +18,7 @@
 #include "parlay/parallel.h"
 #include "parlay/scheduler.h"
 
+#include "api/ann.h"
 #include "core/beam_search.h"
 #include "core/csv.h"
 #include "core/dataset.h"
@@ -79,8 +80,42 @@ SweepPoint run_queries(const std::string& setting, QueryFn&& query,
   return pt;
 }
 
-// Sweep (beam, epsilon) settings over a graph-style index
-// (anything with .query(q, points, SearchParams)).
+// Sweep (beam, epsilon) settings over any index behind the unified API.
+// Every backend accepts the same QueryParams; backends without a beam
+// interpret beam_width as their own effort knob (IVF: nprobe, LSH:
+// multiprobe), so one sweep serves all builders.
+template <typename T>
+std::vector<SweepPoint> index_sweep(
+    const ann::AnyIndex& index, const ann::PointSet<T>& queries,
+    const ann::GroundTruth& gt, const std::vector<std::uint32_t>& beams,
+    const std::vector<float>& epsilons = {0.0f},
+    const char* effort_name = "beam") {
+  std::vector<SweepPoint> pts;
+  for (float eps : epsilons) {
+    for (std::uint32_t beam : beams) {
+      ann::QueryParams qp{.beam_width = beam, .k = 10, .epsilon = eps};
+      char label[64];
+      std::snprintf(label, sizeof(label), "%s=%u eps=%.2f", effort_name, beam,
+                    eps);
+      pts.push_back(run_queries(
+          label,
+          [&](std::size_t q) {
+            auto hits =
+                index.search(queries[static_cast<ann::PointId>(q)], qp);
+            std::vector<ann::PointId> ids;
+            ids.reserve(hits.size());
+            for (const auto& nb : hits) ids.push_back(nb.id);
+            return ids;
+          },
+          queries, gt));
+    }
+  }
+  return pts;
+}
+
+// Internals harness for the ablation benches that poke non-public knobs
+// (anything with .query(q, points, SearchParams)); public-API benches use
+// index_sweep above.
 template <typename Index, typename T>
 std::vector<SweepPoint> graph_sweep(
     const Index& index, const ann::PointSet<T>& points,

@@ -1,6 +1,7 @@
 // Figure 3 (a-f): "billion-scale" QPS-recall and distance-comparison-recall
 // curves for ParlayDiskANN, ParlayHNSW, ParlayHCNNG and FAISS(IVF), plus
-// build times, on BIGANN / MSSPACEV / TEXT2IMAGE stand-ins.
+// build times, on BIGANN / MSSPACEV / TEXT2IMAGE stand-ins. Every index is
+// built and swept through the unified AnyIndex API.
 //
 // ParlayPyNN is ABSENT here by design, mirroring the paper: its two-hop
 // memory footprint kept it from billion scale (§4.4); it appears in the
@@ -12,11 +13,6 @@
 // while graph algorithms still reach >= 0.8.
 #include "bench_common.h"
 
-#include "algorithms/diskann.h"
-#include "algorithms/hcnng.h"
-#include "algorithms/hnsw.h"
-#include "ivf/ivf_pq.h"
-
 namespace {
 
 using namespace ann;
@@ -25,32 +21,11 @@ template <typename Metric, typename T>
 void run_dataset(const Dataset<T>& ds, float alpha) {
   std::printf("\n=== Fig.3 dataset: %s (n=%zu, metric=%s) ===\n",
               ds.name.c_str(), ds.base.size(), Metric::kName);
+  const std::string metric = metric_api_name<Metric>();
+  const std::string dtype = dtype_name<T>();
   auto gt = compute_ground_truth<Metric>(ds.base, ds.queries, 10);
   const std::vector<std::uint32_t> beams{10, 15, 20, 30, 50, 80, 120, 180};
-
-  DiskANNParams dprm{.degree_bound = 32, .beam_width = 64, .alpha = alpha};
-  GraphIndex<Metric, T> diskann_ix;
-  double t_diskann =
-      bench::time_s([&] { diskann_ix = build_diskann<Metric>(ds.base, dprm); });
-  bench::print_sweep(
-      ds.name + " ParlayDiskANN",
-      bench::graph_sweep(diskann_ix, ds.base, ds.queries, gt, beams));
-
-  HNSWParams hprm{.m = 16, .ef_construction = 64,
-                  .alpha = std::min(alpha, 1.0f)};
-  HNSWIndex<Metric, T> hnsw_ix;
-  double t_hnsw =
-      bench::time_s([&] { hnsw_ix = build_hnsw<Metric>(ds.base, hprm); });
-  bench::print_sweep(ds.name + " ParlayHNSW",
-                     bench::graph_sweep(hnsw_ix, ds.base, ds.queries, gt, beams));
-
-  HCNNGParams cprm{.num_trees = 12, .leaf_size = 300};
-  GraphIndex<Metric, T> hcnng_ix;
-  double t_hcnng =
-      bench::time_s([&] { hcnng_ix = build_hcnng<Metric>(ds.base, cprm); });
-  bench::print_sweep(
-      ds.name + " ParlayHCNNG",
-      bench::graph_sweep(hcnng_ix, ds.base, ds.queries, gt, beams));
+  const std::vector<std::uint32_t> probes{1, 2, 4, 8, 16, 32, 64};
 
   // FAISS at billion scale is IVF + PQ compression (appendix A); the PQ
   // error is what caps its recall in Fig. 3.
@@ -59,31 +34,45 @@ void run_dataset(const Dataset<T>& ds, float alpha) {
       std::max<std::size_t>(16, ds.base.size() / 200));
   iprm.pq.num_subspaces = 16;
   iprm.pq.num_codes = 64;
-  double t_ivf;
-  {
-    IVFPQ<Metric, T> ix;
-    t_ivf = bench::time_s([&] { ix = IVFPQ<Metric, T>::build(ds.base, iprm); });
-    std::vector<bench::SweepPoint> pts;
-    for (std::uint32_t nprobe : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
-      IVFQueryParams qp{.nprobe = nprobe, .k = 10};
-      char label[32];
-      std::snprintf(label, sizeof(label), "nprobe=%u", nprobe);
-      pts.push_back(bench::run_queries(
-          label,
-          [&](std::size_t q) {
-            return ix.query(ds.queries[static_cast<PointId>(q)], ds.base, qp);
-          },
-          ds.queries, gt));
-    }
-    bench::print_sweep(ds.name + " FAISS-IVFPQ", pts);
+
+  struct Row {
+    const char* title;
+    IndexSpec spec;
+    const std::vector<std::uint32_t>& efforts;
+    const char* effort_name;
+  };
+  const std::vector<Row> rows = {
+      {"ParlayDiskANN",
+       {.algorithm = "diskann", .metric = metric, .dtype = dtype,
+        .params = DiskANNParams{.degree_bound = 32, .beam_width = 64,
+                                .alpha = alpha}},
+       beams, "beam"},
+      {"ParlayHNSW",
+       {.algorithm = "hnsw", .metric = metric, .dtype = dtype,
+        .params = HNSWParams{.m = 16, .ef_construction = 64,
+                             .alpha = std::min(alpha, 1.0f)}},
+       beams, "beam"},
+      {"ParlayHCNNG",
+       {.algorithm = "hcnng", .metric = metric, .dtype = dtype,
+        .params = HCNNGParams{.num_trees = 12, .leaf_size = 300}},
+       beams, "beam"},
+      {"FAISS-IVFPQ",
+       {.algorithm = "ivf_pq", .metric = metric, .dtype = dtype,
+        .params = iprm},
+       probes, "nprobe"},
+  };
+
+  ann::Table bt({"algorithm", "build_s"});
+  for (const auto& row : rows) {
+    auto index = make_index(row.spec);
+    double build_s = bench::time_s([&] { index.build(ds.base); });
+    bt.add_row({row.title, ann::fmt(build_s, 2)});
+    bench::print_sweep(ds.name + " " + row.title,
+                       bench::index_sweep(index, ds.queries, gt, row.efforts,
+                                          {0.0f}, row.effort_name));
   }
 
   std::printf("\n## %s build times (s)\n", ds.name.c_str());
-  ann::Table bt({"algorithm", "build_s"});
-  bt.add_row({"ParlayDiskANN", ann::fmt(t_diskann, 2)});
-  bt.add_row({"ParlayHNSW", ann::fmt(t_hnsw, 2)});
-  bt.add_row({"ParlayHCNNG", ann::fmt(t_hcnng, 2)});
-  bt.add_row({"FAISS-IVF", ann::fmt(t_ivf, 2)});
   bt.print();
 }
 

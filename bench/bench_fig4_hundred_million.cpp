@@ -1,14 +1,8 @@
 // Figure 4 (a-f): "hundred-million-scale" QPS-recall curves for all four
 // Parlay algorithms plus two FAISS configurations per dataset, with the
 // high-recall zoom printed as a separate filtered table (the paper's second
-// row of subplots).
+// row of subplots). All indexes run through the unified AnyIndex API.
 #include "bench_common.h"
-
-#include "algorithms/diskann.h"
-#include "algorithms/hcnng.h"
-#include "algorithms/hnsw.h"
-#include "algorithms/pynndescent.h"
-#include "ivf/ivf_pq.h"
 
 namespace {
 
@@ -27,39 +21,39 @@ template <typename Metric, typename T>
 void run_dataset(const Dataset<T>& ds, float alpha) {
   std::printf("\n=== Fig.4 dataset: %s (n=%zu, metric=%s) ===\n",
               ds.name.c_str(), ds.base.size(), Metric::kName);
+  const std::string metric = metric_api_name<Metric>();
+  const std::string dtype = dtype_name<T>();
   auto gt = compute_ground_truth<Metric>(ds.base, ds.queries, 10);
   const std::vector<std::uint32_t> beams{10, 15, 20, 30, 50, 80, 120, 180};
+  const std::vector<std::uint32_t> probes{1, 2, 4, 8, 16, 32, 64};
 
-  {
-    DiskANNParams prm{.degree_bound = 32, .beam_width = 64, .alpha = alpha};
-    auto ix = build_diskann<Metric>(ds.base, prm);
-    auto pts = bench::graph_sweep(ix, ds.base, ds.queries, gt, beams);
-    bench::print_sweep(ds.name + " ParlayDiskANN", pts);
-    print_zoom(ds.name + " ParlayDiskANN", pts);
-  }
-  {
-    HNSWParams prm{.m = 16, .ef_construction = 64,
-                   .alpha = std::min(alpha, 1.0f)};
-    auto ix = build_hnsw<Metric>(ds.base, prm);
-    auto pts = bench::graph_sweep(ix, ds.base, ds.queries, gt, beams);
-    bench::print_sweep(ds.name + " ParlayHNSW", pts);
-    print_zoom(ds.name + " ParlayHNSW", pts);
-  }
-  {
-    HCNNGParams prm{.num_trees = 12, .leaf_size = 300};
-    auto ix = build_hcnng<Metric>(ds.base, prm);
-    auto pts = bench::graph_sweep(ix, ds.base, ds.queries, gt, beams);
-    bench::print_sweep(ds.name + " ParlayHCNNG", pts);
-    print_zoom(ds.name + " ParlayHCNNG", pts);
-  }
-  {
-    PyNNDescentParams prm{.k = 32, .num_trees = 8, .leaf_size = 100};
-    prm.alpha = alpha;
-    auto ix = build_pynndescent<Metric>(ds.base, prm);
-    auto pts = bench::graph_sweep(ix, ds.base, ds.queries, gt, beams);
-    bench::print_sweep(ds.name + " ParlayPyNN", pts);
-    print_zoom(ds.name + " ParlayPyNN", pts);
-  }
+  struct Row {
+    std::string title;
+    IndexSpec spec;
+    const std::vector<std::uint32_t>& efforts;
+    const char* effort_name;
+  };
+  std::vector<Row> rows = {
+      {"ParlayDiskANN",
+       {.algorithm = "diskann", .metric = metric, .dtype = dtype,
+        .params = DiskANNParams{.degree_bound = 32, .beam_width = 64,
+                                .alpha = alpha}},
+       beams, "beam"},
+      {"ParlayHNSW",
+       {.algorithm = "hnsw", .metric = metric, .dtype = dtype,
+        .params = HNSWParams{.m = 16, .ef_construction = 64,
+                             .alpha = std::min(alpha, 1.0f)}},
+       beams, "beam"},
+      {"ParlayHCNNG",
+       {.algorithm = "hcnng", .metric = metric, .dtype = dtype,
+        .params = HCNNGParams{.num_trees = 12, .leaf_size = 300}},
+       beams, "beam"},
+      {"ParlayPyNN",
+       {.algorithm = "pynndescent", .metric = metric, .dtype = dtype,
+        .params = PyNNDescentParams{.k = 32, .num_trees = 8, .leaf_size = 100,
+                                    .alpha = alpha}},
+       beams, "beam"},
+  };
   // Two FAISS configurations (the paper's pairs of centroid counts / PQ
   // widths for the 100M builds); IVF + PQ like the paper's FAISS setup.
   for (std::size_t divisor : {400u, 100u}) {
@@ -68,24 +62,20 @@ void run_dataset(const Dataset<T>& ds, float alpha) {
         std::max<std::size_t>(8, ds.base.size() / divisor));
     prm.pq.num_subspaces = 16;
     prm.pq.num_codes = 64;
-    auto ix = IVFPQ<Metric, T>::build(ds.base, prm);
-    std::vector<bench::SweepPoint> pts;
-    for (std::uint32_t nprobe : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
-      IVFQueryParams qp{.nprobe = nprobe, .k = 10};
-      char label[48];
-      std::snprintf(label, sizeof(label), "c=%u nprobe=%u",
-                    prm.ivf.num_centroids, nprobe);
-      pts.push_back(bench::run_queries(
-          label,
-          [&](std::size_t q) {
-            return ix.query(ds.queries[static_cast<PointId>(q)], ds.base, qp);
-          },
-          ds.queries, gt));
-    }
-    bench::print_sweep(
-        ds.name + " FAISS-IVFPQ (" + std::to_string(prm.ivf.num_centroids) +
-            " centroids)",
-        pts);
+    rows.push_back({"FAISS-IVFPQ (" + std::to_string(prm.ivf.num_centroids) +
+                        " centroids)",
+                    {.algorithm = "ivf_pq", .metric = metric, .dtype = dtype,
+                     .params = prm},
+                    probes, "nprobe"});
+  }
+
+  for (const auto& row : rows) {
+    auto index = make_index(row.spec);
+    index.build(ds.base);
+    auto pts = bench::index_sweep(index, ds.queries, gt, row.efforts, {0.0f},
+                                  row.effort_name);
+    bench::print_sweep(ds.name + " " + row.title, pts);
+    print_zoom(ds.name + " " + row.title, pts);
   }
 }
 

@@ -1,18 +1,12 @@
 // Figure 5: single-thread QPS-recall on BIGANN-1M (ANN-benchmarks setting).
 // All seven implementations: the four Parlay graph algorithms plus
-// FAISS-IVF (flat), FAISS-PQ (IVF-PQ) and FALCONN (LSH).
+// FAISS-IVF (flat), FAISS-PQ (IVF-PQ) and FALCONN (LSH) — every one built
+// and queried through the unified API, so the whole figure is one loop of
+// (title, spec, effort settings) over index_sweep.
 //
 // Expected shape: graph algorithms dominate at high recall; IVF-flat is
 // competitive only at low recall; PQ trades recall for speed; LSH trails.
 #include "bench_common.h"
-
-#include "algorithms/diskann.h"
-#include "algorithms/hcnng.h"
-#include "algorithms/hnsw.h"
-#include "algorithms/pynndescent.h"
-#include "ivf/ivf_flat.h"
-#include "ivf/ivf_pq.h"
-#include "lsh/lsh.h"
 
 int main(int argc, char** argv) {
   using namespace ann;
@@ -23,91 +17,65 @@ int main(int argc, char** argv) {
   auto ds = make_bigann_like(n, nq, 42);
   auto gt = compute_ground_truth<EuclideanSquared>(ds.base, ds.queries, 10);
   const std::vector<std::uint32_t> beams{10, 15, 20, 30, 50, 80, 120};
+  // For the bucketed baselines beam_width is the effort knob: nprobe for the
+  // IVF family, multiprobe for LSH.
+  const std::vector<std::uint32_t> probes{1, 2, 4, 8, 16, 32};
+  const std::vector<std::uint32_t> multiprobes{0, 2, 4, 8};
 
-  // Build with all workers (the figure constrains QUERY threads).
-  DiskANNParams dprm{.degree_bound = 32, .beam_width = 64};
-  auto diskann_ix = build_diskann<EuclideanSquared>(ds.base, dprm);
-  HNSWParams hprm{.m = 16, .ef_construction = 64};
-  auto hnsw_ix = build_hnsw<EuclideanSquared>(ds.base, hprm);
-  HCNNGParams cprm{.num_trees = 12, .leaf_size = 300};
-  auto hcnng_ix = build_hcnng<EuclideanSquared>(ds.base, cprm);
-  PyNNDescentParams pprm{.k = 32, .num_trees = 8, .leaf_size = 100};
-  auto pynn_ix = build_pynndescent<EuclideanSquared>(ds.base, pprm);
-  IVFParams iprm{.num_centroids = static_cast<std::uint32_t>(
-                     std::max<std::size_t>(16, n / 200))};
-  auto ivf_ix = IVFFlat<EuclideanSquared, std::uint8_t>::build(ds.base, iprm);
+  auto ivf_centroids =
+      static_cast<std::uint32_t>(std::max<std::size_t>(16, n / 200));
   IVFPQParams pqprm;
-  pqprm.ivf.num_centroids = iprm.num_centroids;
+  pqprm.ivf.num_centroids = ivf_centroids;
   pqprm.pq.num_subspaces = 16;
   pqprm.pq.num_codes = 64;
   pqprm.rerank = 60;
-  auto pq_ix = IVFPQ<EuclideanSquared, std::uint8_t>::build(ds.base, pqprm);
-  LSHParams lprm{.num_tables = 10, .num_bits = 10};
-  auto lsh_ix = LSHIndex<EuclideanSquared, std::uint8_t>::build(ds.base, lprm);
 
-  parlay::set_num_workers(1);  // the single-thread query setting
+  struct Row {
+    const char* title;
+    IndexSpec spec;
+    const std::vector<std::uint32_t>& efforts;
+    const char* effort_name;
+  };
+  const std::vector<Row> rows = {
+      {"ParlayDiskANN (1 thread)",
+       {.algorithm = "diskann", .metric = "euclidean", .dtype = "uint8",
+        .params = DiskANNParams{.degree_bound = 32, .beam_width = 64}},
+       beams, "beam"},
+      {"ParlayHNSW (1 thread)",
+       {.algorithm = "hnsw", .metric = "euclidean", .dtype = "uint8",
+        .params = HNSWParams{.m = 16, .ef_construction = 64}},
+       beams, "beam"},
+      {"ParlayHCNNG (1 thread)",
+       {.algorithm = "hcnng", .metric = "euclidean", .dtype = "uint8",
+        .params = HCNNGParams{.num_trees = 12, .leaf_size = 300}},
+       beams, "beam"},
+      {"ParlayPyNN (1 thread)",
+       {.algorithm = "pynndescent", .metric = "euclidean", .dtype = "uint8",
+        .params = PyNNDescentParams{.k = 32, .num_trees = 8, .leaf_size = 100}},
+       beams, "beam"},
+      {"FAISS-IVF (1 thread)",
+       {.algorithm = "ivf_flat", .metric = "euclidean", .dtype = "uint8",
+        .params = IVFParams{.num_centroids = ivf_centroids}},
+       probes, "nprobe"},
+      {"FAISS-PQ (1 thread)",
+       {.algorithm = "ivf_pq", .metric = "euclidean", .dtype = "uint8",
+        .params = pqprm},
+       probes, "nprobe"},
+      {"FALCONN-LSH (1 thread)",
+       {.algorithm = "lsh", .metric = "euclidean", .dtype = "uint8",
+        .params = LSHParams{.num_tables = 10, .num_bits = 10}},
+       multiprobes, "multiprobe"},
+  };
 
-  bench::print_sweep("ParlayDiskANN (1 thread)",
-                     bench::graph_sweep(diskann_ix, ds.base, ds.queries, gt,
-                                        beams));
-  bench::print_sweep("ParlayHNSW (1 thread)",
-                     bench::graph_sweep(hnsw_ix, ds.base, ds.queries, gt,
-                                        beams));
-  bench::print_sweep("ParlayHCNNG (1 thread)",
-                     bench::graph_sweep(hcnng_ix, ds.base, ds.queries, gt,
-                                        beams));
-  bench::print_sweep("ParlayPyNN (1 thread)",
-                     bench::graph_sweep(pynn_ix, ds.base, ds.queries, gt,
-                                        beams));
-
-  {
-    std::vector<bench::SweepPoint> pts;
-    for (std::uint32_t nprobe : {1u, 2u, 4u, 8u, 16u, 32u}) {
-      IVFQueryParams qp{.nprobe = nprobe, .k = 10};
-      char label[32];
-      std::snprintf(label, sizeof(label), "nprobe=%u", nprobe);
-      pts.push_back(bench::run_queries(
-          label,
-          [&](std::size_t q) {
-            return ivf_ix.query(ds.queries[static_cast<PointId>(q)], ds.base,
-                                qp);
-          },
-          ds.queries, gt));
-    }
-    bench::print_sweep("FAISS-IVF (1 thread)", pts);
+  for (const auto& row : rows) {
+    // Build with all workers (the figure constrains QUERY threads).
+    auto index = make_index(row.spec);
+    index.build(ds.base);
+    parlay::set_num_workers(1);
+    bench::print_sweep(row.title,
+                       bench::index_sweep(index, ds.queries, gt, row.efforts,
+                                          {0.0f}, row.effort_name));
+    parlay::set_num_workers(0);
   }
-  {
-    std::vector<bench::SweepPoint> pts;
-    for (std::uint32_t nprobe : {1u, 2u, 4u, 8u, 16u, 32u}) {
-      IVFQueryParams qp{.nprobe = nprobe, .k = 10};
-      char label[32];
-      std::snprintf(label, sizeof(label), "nprobe=%u", nprobe);
-      pts.push_back(bench::run_queries(
-          label,
-          [&](std::size_t q) {
-            return pq_ix.query(ds.queries[static_cast<PointId>(q)], ds.base,
-                               qp);
-          },
-          ds.queries, gt));
-    }
-    bench::print_sweep("FAISS-PQ (1 thread)", pts);
-  }
-  {
-    std::vector<bench::SweepPoint> pts;
-    for (std::uint32_t probes : {0u, 2u, 4u, 8u}) {
-      LSHQueryParams qp{.k = 10, .multiprobe = probes};
-      char label[32];
-      std::snprintf(label, sizeof(label), "multiprobe=%u", probes);
-      pts.push_back(bench::run_queries(
-          label,
-          [&](std::size_t q) {
-            return lsh_ix.query(ds.queries[static_cast<PointId>(q)], ds.base,
-                                qp);
-          },
-          ds.queries, gt));
-    }
-    bench::print_sweep("FALCONN-LSH (1 thread)", pts);
-  }
-  parlay::set_num_workers(0);
   return 0;
 }

@@ -3,18 +3,13 @@
 //
 // For each size, each algorithm's search parameter is grown until average
 // recall reaches 0.8, then QPS and dist-comps are reported at that setting
-// — exactly the paper's "fixed recall" methodology.
+// — exactly the paper's "fixed recall" methodology. All five algorithms run
+// through the unified AnyIndex API, so the whole figure is one loop.
 //
 // Expected shapes: build times slightly superlinear for the graph
 // algorithms; QPS at fixed recall decreases with size; HCNNG/PyNN drop
 // faster than DiskANN/HNSW (their edges express only close neighbors).
 #include "bench_common.h"
-
-#include "algorithms/diskann.h"
-#include "algorithms/hcnng.h"
-#include "algorithms/hnsw.h"
-#include "algorithms/pynndescent.h"
-#include "ivf/ivf_pq.h"
 
 namespace {
 
@@ -42,80 +37,54 @@ int main(int argc, char** argv) {
                     "QPS@0.8", "dist_comps@0.8"});
 
   const std::vector<std::uint32_t> beams{10, 15, 20, 30, 50, 80, 120, 180, 250};
+  const std::vector<std::uint32_t> probes{1, 2, 4, 8, 16, 32, 64, 128};
   for (std::size_t n : sizes) {
     auto ds = make_spacev_like(n, nq, 43);
     auto gt = compute_ground_truth<EuclideanSquared>(ds.base, ds.queries, 10);
 
-    {
-      DiskANNParams prm{.degree_bound = 32, .beam_width = 64};
-      GraphIndex<EuclideanSquared, std::int8_t> ix;
-      double bt = bench::time_s([&] {
-        ix = build_diskann<EuclideanSquared>(ds.base, prm);
-      });
-      auto pt = at_target(bench::graph_sweep(ix, ds.base, ds.queries, gt, beams));
-      table.add_row({"ParlayDiskANN", std::to_string(n), ann::fmt(bt, 2),
-                     pt.setting, ann::fmt(pt.recall, 3), ann::fmt(pt.qps, 0),
-                     ann::fmt(pt.comps_per_query, 0)});
-    }
-    {
-      HNSWParams prm{.m = 16, .ef_construction = 64};
-      HNSWIndex<EuclideanSquared, std::int8_t> ix;
-      double bt = bench::time_s([&] {
-        ix = build_hnsw<EuclideanSquared>(ds.base, prm);
-      });
-      auto pt = at_target(bench::graph_sweep(ix, ds.base, ds.queries, gt, beams));
-      table.add_row({"ParlayHNSW", std::to_string(n), ann::fmt(bt, 2),
-                     pt.setting, ann::fmt(pt.recall, 3), ann::fmt(pt.qps, 0),
-                     ann::fmt(pt.comps_per_query, 0)});
-    }
-    {
-      HCNNGParams prm{.num_trees = 12, .leaf_size = 300};
-      GraphIndex<EuclideanSquared, std::int8_t> ix;
-      double bt = bench::time_s([&] {
-        ix = build_hcnng<EuclideanSquared>(ds.base, prm);
-      });
-      auto pt = at_target(bench::graph_sweep(ix, ds.base, ds.queries, gt, beams));
-      table.add_row({"ParlayHCNNG", std::to_string(n), ann::fmt(bt, 2),
-                     pt.setting, ann::fmt(pt.recall, 3), ann::fmt(pt.qps, 0),
-                     ann::fmt(pt.comps_per_query, 0)});
-    }
-    {
-      PyNNDescentParams prm{.k = 32, .num_trees = 8, .leaf_size = 100};
-      GraphIndex<EuclideanSquared, std::int8_t> ix;
-      double bt = bench::time_s([&] {
-        ix = build_pynndescent<EuclideanSquared>(ds.base, prm);
-      });
-      auto pt = at_target(bench::graph_sweep(ix, ds.base, ds.queries, gt, beams));
-      table.add_row({"ParlayPyNN", std::to_string(n), ann::fmt(bt, 2),
-                     pt.setting, ann::fmt(pt.recall, 3), ann::fmt(pt.qps, 0),
-                     ann::fmt(pt.comps_per_query, 0)});
-    }
-    {
-      IVFPQParams prm;
-      prm.ivf.num_centroids =
-          static_cast<std::uint32_t>(std::max<std::size_t>(8, n / 200));
-      prm.pq.num_subspaces = 16;
-      prm.pq.num_codes = 64;
-      IVFPQ<EuclideanSquared, std::int8_t> ix;
-      double bt = bench::time_s([&] {
-        ix = IVFPQ<EuclideanSquared, std::int8_t>::build(ds.base, prm);
-      });
-      std::vector<bench::SweepPoint> pts;
-      for (std::uint32_t nprobe : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
-        IVFQueryParams qp{.nprobe = nprobe, .k = 10};
-        char label[32];
-        std::snprintf(label, sizeof(label), "nprobe=%u", nprobe);
-        pts.push_back(bench::run_queries(
-            label,
-            [&](std::size_t q) {
-              return ix.query(ds.queries[static_cast<PointId>(q)], ds.base,
-                              qp);
-            },
-            ds.queries, gt));
-      }
-      auto pt = at_target(pts);
-      table.add_row({"FAISS-IVFPQ", std::to_string(n), ann::fmt(bt, 2),
-                     pt.setting, ann::fmt(pt.recall, 3), ann::fmt(pt.qps, 0),
+    IVFPQParams pqprm;
+    pqprm.ivf.num_centroids =
+        static_cast<std::uint32_t>(std::max<std::size_t>(8, n / 200));
+    pqprm.pq.num_subspaces = 16;
+    pqprm.pq.num_codes = 64;
+
+    struct Row {
+      const char* title;
+      IndexSpec spec;
+      const std::vector<std::uint32_t>& efforts;
+      const char* effort_name;
+    };
+    const std::vector<Row> rows = {
+        {"ParlayDiskANN",
+         {.algorithm = "diskann", .metric = "euclidean", .dtype = "int8",
+          .params = DiskANNParams{.degree_bound = 32, .beam_width = 64}},
+         beams, "beam"},
+        {"ParlayHNSW",
+         {.algorithm = "hnsw", .metric = "euclidean", .dtype = "int8",
+          .params = HNSWParams{.m = 16, .ef_construction = 64}},
+         beams, "beam"},
+        {"ParlayHCNNG",
+         {.algorithm = "hcnng", .metric = "euclidean", .dtype = "int8",
+          .params = HCNNGParams{.num_trees = 12, .leaf_size = 300}},
+         beams, "beam"},
+        {"ParlayPyNN",
+         {.algorithm = "pynndescent", .metric = "euclidean", .dtype = "int8",
+          .params = PyNNDescentParams{.k = 32, .num_trees = 8,
+                                      .leaf_size = 100}},
+         beams, "beam"},
+        {"FAISS-IVFPQ",
+         {.algorithm = "ivf_pq", .metric = "euclidean", .dtype = "int8",
+          .params = pqprm},
+         probes, "nprobe"},
+    };
+    for (const auto& row : rows) {
+      auto index = make_index(row.spec);
+      double bt = bench::time_s([&] { index.build(ds.base); });
+      auto pt = at_target(bench::index_sweep(index, ds.queries, gt,
+                                             row.efforts, {0.0f},
+                                             row.effort_name));
+      table.add_row({row.title, std::to_string(n), ann::fmt(bt, 2), pt.setting,
+                     ann::fmt(pt.recall, 3), ann::fmt(pt.qps, 0),
                      ann::fmt(pt.comps_per_query, 0)});
     }
   }

@@ -5,8 +5,6 @@
 // given recall but a lower recall ceiling per probed list count.
 #include "bench_common.h"
 
-#include "ivf/ivf_pq.h"
-
 namespace {
 
 using namespace ann;
@@ -14,29 +12,21 @@ using namespace ann;
 template <typename Metric, typename T>
 void run_dataset(const Dataset<T>& ds) {
   auto gt = compute_ground_truth<Metric>(ds.base, ds.queries, 10);
+  const std::vector<std::uint32_t> probes{1, 2, 4, 8, 16, 32, 64, 128};
   for (std::size_t divisor : {400u, 100u}) {
     IVFPQParams prm;
     prm.ivf.num_centroids = static_cast<std::uint32_t>(
         std::max<std::size_t>(8, ds.base.size() / divisor));
     prm.pq.num_subspaces = 16;
     prm.pq.num_codes = 64;
-    auto ix = IVFPQ<Metric, T>::build(ds.base, prm);
-    std::vector<bench::SweepPoint> pts;
-    for (std::uint32_t nprobe : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
-      IVFQueryParams qp{.nprobe = nprobe, .k = 10};
-      char label[32];
-      std::snprintf(label, sizeof(label), "nprobe=%u", nprobe);
-      pts.push_back(bench::run_queries(
-          label,
-          [&](std::size_t q) {
-            return ix.query(ds.queries[static_cast<PointId>(q)], ds.base, qp);
-          },
-          ds.queries, gt));
-    }
+    auto index = make_index("ivf_pq", metric_api_name<Metric>(),
+                            dtype_name<T>(), IndexSpec{.params = prm});
+    index.build(ds.base);
     bench::print_sweep(ds.name + " IVFPQ, " +
                            std::to_string(prm.ivf.num_centroids) +
                            " centroids",
-                       pts);
+                       bench::index_sweep(index, ds.queries, gt, probes,
+                                          {0.0f}, "nprobe"));
   }
 }
 

@@ -3,13 +3,10 @@
 // synthetic stand-ins; the paper reports hours, we report seconds — the
 // reproducible signal is the RELATIVE ordering, in particular IVF building
 // 1.5-3x faster than the graph algorithms).
+//
+// All builders go through the unified API: one IndexSpec per row, one
+// AnyIndex::build per timing.
 #include "bench_common.h"
-
-#include "algorithms/diskann.h"
-#include "algorithms/hcnng.h"
-#include "algorithms/hnsw.h"
-#include "algorithms/pynndescent.h"
-#include "ivf/ivf_flat.h"
 
 namespace {
 
@@ -17,37 +14,37 @@ using namespace ann;
 
 // Metric per dataset mirrors the paper: L2 for BIGANN/MSSPACEV, inner
 // product for TEXT2IMAGE (with alpha <= 1.0, appendix A).
-template <typename Metric, typename T>
-void dataset_column(ann::Table& table, const Dataset<T>& ds, float alpha) {
-  DiskANNParams dprm{.degree_bound = 32, .beam_width = 48, .alpha = alpha};
-  HNSWParams hprm{.m = 16, .ef_construction = 48,
-                  .alpha = std::min(alpha, 1.0f)};
-  HCNNGParams cprm{.num_trees = 10, .leaf_size = 300};
-  PyNNDescentParams pprm{.k = 24, .num_trees = 6, .leaf_size = 100};
-  pprm.alpha = alpha;
-  IVFParams iprm{.num_centroids = static_cast<std::uint32_t>(
-                     std::max<std::size_t>(16, ds.base.size() / 256))};
-
-  table.add_row({"DiskANN", ds.name,
-                 ann::fmt(bench::time_s([&] {
-                   build_diskann<Metric>(ds.base, dprm);
-                 }), 3)});
-  table.add_row({"HNSW", ds.name,
-                 ann::fmt(bench::time_s([&] {
-                   build_hnsw<Metric>(ds.base, hprm);
-                 }), 3)});
-  table.add_row({"HCNNG", ds.name,
-                 ann::fmt(bench::time_s([&] {
-                   build_hcnng<Metric>(ds.base, cprm);
-                 }), 3)});
-  table.add_row({"pyNNDescent", ds.name,
-                 ann::fmt(bench::time_s([&] {
-                   build_pynndescent<Metric>(ds.base, pprm);
-                 }), 3)});
-  table.add_row({"FAISS-IVF", ds.name,
-                 ann::fmt(bench::time_s([&] {
-                   IVFFlat<Metric, T>::build(ds.base, iprm);
-                 }), 3)});
+template <typename T>
+void dataset_column(ann::Table& table, const Dataset<T>& ds,
+                    const std::string& metric, float alpha) {
+  const std::string dtype = dtype_name<T>();
+  auto ivf_centroids = static_cast<std::uint32_t>(
+      std::max<std::size_t>(16, ds.base.size() / 256));
+  const std::vector<std::pair<const char*, IndexSpec>> rows = {
+      {"DiskANN",
+       {.algorithm = "diskann", .metric = metric, .dtype = dtype,
+        .params = DiskANNParams{.degree_bound = 32, .beam_width = 48,
+                                .alpha = alpha}}},
+      {"HNSW",
+       {.algorithm = "hnsw", .metric = metric, .dtype = dtype,
+        .params = HNSWParams{.m = 16, .ef_construction = 48,
+                             .alpha = std::min(alpha, 1.0f)}}},
+      {"HCNNG",
+       {.algorithm = "hcnng", .metric = metric, .dtype = dtype,
+        .params = HCNNGParams{.num_trees = 10, .leaf_size = 300}}},
+      {"pyNNDescent",
+       {.algorithm = "pynndescent", .metric = metric, .dtype = dtype,
+        .params = PyNNDescentParams{.k = 24, .num_trees = 6, .leaf_size = 100,
+                                    .alpha = alpha}}},
+      {"FAISS-IVF",
+       {.algorithm = "ivf_flat", .metric = metric, .dtype = dtype,
+        .params = IVFParams{.num_centroids = ivf_centroids}}},
+  };
+  for (const auto& [name, spec] : rows) {
+    auto index = make_index(spec);
+    table.add_row({name, ds.name,
+                   ann::fmt(bench::time_s([&] { index.build(ds.base); }), 3)});
+  }
 }
 
 }  // namespace
@@ -58,12 +55,12 @@ int main(int argc, char** argv) {
   std::printf("Table 1 reproduction: build times (seconds), n=%zu per dataset\n",
               n);
   ann::Table table({"algorithm", "dataset", "build_s"});
-  auto bigann = make_bigann_like(n, 10, 42);
-  dataset_column<EuclideanSquared>(table, bigann, 1.2f);
-  auto spacev = make_spacev_like(n, 10, 43);
-  dataset_column<EuclideanSquared>(table, spacev, 1.2f);
-  auto t2i = make_text2image_like(n, 10, 44);
-  dataset_column<NegInnerProduct>(table, t2i, 1.0f);
+  auto bigann = ann::make_bigann_like(n, 10, 42);
+  dataset_column(table, bigann, "euclidean", 1.2f);
+  auto spacev = ann::make_spacev_like(n, 10, 43);
+  dataset_column(table, spacev, "euclidean", 1.2f);
+  auto t2i = ann::make_text2image_like(n, 10, 44);
+  dataset_column(table, t2i, "mips", 1.0f);
   table.print();
   return 0;
 }

@@ -1,65 +1,79 @@
 // Determinism for vector databases (the paper's motivation, §1): systems
 // needing persistence, crash recovery or replication (Pinecone, Weaviate,
 // Lucene) must be able to REBUILD an identical index. Lock-based parallel
-// builders cannot promise that; every ParlayANN builder can.
+// builders cannot promise that; every builder behind ann::make_index can.
 //
-// This example rebuilds the same index under different worker counts and
-// byte-compares the graphs, then demonstrates the converse: the lock-based
-// "original" builder produces different graphs run-to-run.
+// This example rebuilds each graph index under different worker counts,
+// saves each build through the unified container format, and byte-compares
+// the files — the strongest form of the claim: not just equal query
+// results, but bit-identical persisted state. (The converse — the
+// lock-based "original" builder producing different graphs run-to-run — is
+// demonstrated by bench_fig1_scalability and tests/test_baselines.cpp.)
 //
 //   $ ./examples/deterministic_rebuild
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
 
-#include "algorithms/baseline_incremental.h"
-#include "algorithms/diskann.h"
-#include "algorithms/hcnng.h"
-#include "algorithms/hnsw.h"
-#include "algorithms/pynndescent.h"
+#include "api/ann.h"
 #include "core/dataset.h"
 #include "parlay/parallel.h"
+
+namespace {
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+}  // namespace
 
 int main() {
   using namespace ann;
   auto ds = make_spacev_like(5000, 10, 7);
+  auto dir = std::filesystem::temp_directory_path();
   int failures = 0;
 
-  auto check = [&](const char* name, auto build) {
-    parlay::set_num_workers(1);
-    auto a = build();
-    parlay::set_num_workers(4);
-    auto b = build();
-    parlay::set_num_workers(8);
-    auto c = build();
-    bool same = (a == b) && (b == c);
-    std::printf("%-16s rebuild identical across 1/4/8 workers: %s\n", name,
-                same ? "YES" : "NO");
-    if (!same) ++failures;
+  const std::vector<std::pair<const char*, IndexSpec>> specs = {
+      {"ParlayDiskANN",
+       {.algorithm = "diskann", .metric = "euclidean", .dtype = "int8",
+        .params = DiskANNParams{.degree_bound = 24, .beam_width = 48}}},
+      {"ParlayHNSW",
+       {.algorithm = "hnsw", .metric = "euclidean", .dtype = "int8",
+        .params = HNSWParams{.m = 12, .ef_construction = 48}}},
+      {"ParlayHCNNG",
+       {.algorithm = "hcnng", .metric = "euclidean", .dtype = "int8",
+        .params = HCNNGParams{.num_trees = 8, .leaf_size = 200}}},
+      {"ParlayPyNN",
+       {.algorithm = "pynndescent", .metric = "euclidean", .dtype = "int8",
+        .params = PyNNDescentParams{.k = 16, .num_trees = 4,
+                                    .leaf_size = 100}}},
   };
 
-  DiskANNParams dprm{.degree_bound = 24, .beam_width = 48};
-  check("ParlayDiskANN", [&] {
-    return build_diskann<EuclideanSquared>(ds.base, dprm).graph;
-  });
-  HNSWParams hprm{.m = 12, .ef_construction = 48};
-  check("ParlayHNSW", [&] {
-    return build_hnsw<EuclideanSquared>(ds.base, hprm).layers[0];
-  });
-  HCNNGParams cprm{.num_trees = 8, .leaf_size = 200};
-  check("ParlayHCNNG", [&] {
-    return build_hcnng<EuclideanSquared>(ds.base, cprm).graph;
-  });
-  PyNNDescentParams pprm{.k = 16, .num_trees = 4, .leaf_size = 100};
-  check("ParlayPyNN", [&] {
-    return build_pynndescent<EuclideanSquared>(ds.base, pprm).graph;
-  });
-
-  // The contrast: the lock-based builder under parallelism.
-  parlay::set_num_workers(8);
-  auto l1 = build_locked_vamana<EuclideanSquared>(ds.base, dprm).graph;
-  auto l2 = build_locked_vamana<EuclideanSquared>(ds.base, dprm).graph;
-  std::printf("%-16s rebuild identical across two 8-worker runs: %s "
-              "(non-determinism is expected here)\n",
-              "locked-original", l1 == l2 ? "YES" : "NO");
+  for (const auto& [name, spec] : specs) {
+    std::string reference;
+    bool same = true;
+    for (int workers : {1, 4, 8}) {
+      parlay::set_num_workers(workers);
+      auto index = make_index(spec);
+      index.build(ds.base);
+      auto path = (dir / ("rebuild_" + spec.algorithm + ".pann")).string();
+      index.save(path);
+      auto bytes = file_bytes(path);
+      std::filesystem::remove(path);
+      if (reference.empty()) {
+        reference = std::move(bytes);
+      } else if (bytes != reference) {
+        same = false;
+      }
+    }
+    std::printf("%-16s persisted index identical across 1/4/8 workers: %s\n",
+                name, same ? "YES" : "NO");
+    if (!same) ++failures;
+  }
   parlay::set_num_workers(0);
   return failures == 0 ? 0 : 1;
 }

@@ -2,6 +2,10 @@
 // consolidation — the maintenance loop of a vector database built on the
 // deterministic batch machinery (see src/algorithms/dynamic_index.h).
 //
+// DynamicDiskANN is a mutable index and sits below the immutable AnyIndex
+// API (src/api/) for now; growing the unified surface to cover updates is
+// an open roadmap item.
+//
 //   $ ./examples/dynamic_updates
 #include <cstdio>
 

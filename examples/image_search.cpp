@@ -2,34 +2,26 @@
 // introduction): build two different graph indexes over byte-quantized image
 // descriptors, persist the better one to disk, reload it, and serve queries
 // — the life cycle of an index in an image-dedup / reverse-image-search
-// service.
+// service. Both candidates run behind the same AnyIndex handle, so the
+// comparison, persistence, and serving code never mentions an algorithm.
 //
 //   $ ./examples/image_search [n]
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 
-#include "algorithms/diskann.h"
-#include "algorithms/hcnng.h"
+#include "api/ann.h"
 #include "core/dataset.h"
 #include "core/ground_truth.h"
-#include "core/io.h"
 #include "core/recall.h"
-#include "parlay/parallel.h"
 
 namespace {
 
-template <typename Index>
-double score(const Index& index, const ann::PointSet<std::uint8_t>& base,
+double score(const ann::AnyIndex& index,
              const ann::PointSet<std::uint8_t>& queries,
              const ann::GroundTruth& gt, std::uint32_t beam) {
-  ann::SearchParams sp{.beam_width = beam, .k = 10};
-  std::vector<std::vector<ann::PointId>> results;
-  for (std::size_t q = 0; q < queries.size(); ++q) {
-    results.push_back(
-        index.query(queries[static_cast<ann::PointId>(q)], base, sp));
-  }
-  return ann::average_recall(results, gt, 10);
+  return ann::average_recall(
+      index.batch_search(queries, {.beam_width = beam, .k = 10}), gt, 10);
 }
 
 }  // namespace
@@ -43,32 +35,34 @@ int main(int argc, char** argv) {
   auto gt = compute_ground_truth<EuclideanSquared>(ds.base, ds.queries, 10);
 
   std::printf("[2/4] building candidate indexes (DiskANN vs HCNNG)...\n");
-  DiskANNParams dprm{.degree_bound = 32, .beam_width = 64};
-  auto diskann = build_diskann<EuclideanSquared>(ds.base, dprm);
-  HCNNGParams cprm{.num_trees = 12, .leaf_size = 300};
-  auto hcnng = build_hcnng<EuclideanSquared>(ds.base, cprm);
-  double r_diskann = score(diskann, ds.base, ds.queries, gt, 40);
-  double r_hcnng = score(hcnng, ds.base, ds.queries, gt, 40);
+  auto diskann = make_index(
+      {.algorithm = "diskann", .metric = "euclidean", .dtype = "uint8",
+       .params = DiskANNParams{.degree_bound = 32, .beam_width = 64}});
+  diskann.build(ds.base);
+  auto hcnng = make_index(
+      {.algorithm = "hcnng", .metric = "euclidean", .dtype = "uint8",
+       .params = HCNNGParams{.num_trees = 12, .leaf_size = 300}});
+  hcnng.build(ds.base);
+  double r_diskann = score(diskann, ds.queries, gt, 40);
+  double r_hcnng = score(hcnng, ds.queries, gt, 40);
   std::printf("      DiskANN recall@beam40: %.4f   HCNNG: %.4f\n", r_diskann,
               r_hcnng);
 
-  std::printf("[3/4] persisting the stronger index + vectors to disk...\n");
-  auto dir = std::filesystem::temp_directory_path();
-  auto graph_path = (dir / "image_index.graph").string();
-  auto data_path = (dir / "image_vectors.bin").string();
-  const auto& best = r_diskann >= r_hcnng ? diskann : hcnng;
-  save_graph(best.graph, graph_path);
-  save_bin(ds.base, data_path);
+  std::printf("[3/4] persisting the stronger index to disk...\n");
+  auto path = (std::filesystem::temp_directory_path() / "image_index.pann")
+                  .string();
+  const AnyIndex& best = r_diskann >= r_hcnng ? diskann : hcnng;
+  best.save(path);
 
   std::printf("[4/4] cold start: reloading and serving queries...\n");
-  auto graph = load_graph(graph_path);
-  auto vectors = load_bin<std::uint8_t>(data_path);
-  GraphIndex<EuclideanSquared, std::uint8_t> served{std::move(graph),
-                                                    best.start};
-  double r_served = score(served, vectors, ds.queries, gt, 40);
+  // The serving process knows only the file; the container header tells it
+  // everything (algorithm, metric, dtype, build params, and the vectors).
+  auto served = AnyIndex::load(path);
+  std::printf("      loaded a '%s' index over %zu points\n",
+              served.spec().algorithm.c_str(), served.stats().num_points);
+  double r_served = score(served, ds.queries, gt, 40);
   std::printf("      served recall matches in-memory build: %.4f\n", r_served);
 
-  std::filesystem::remove(graph_path);
-  std::filesystem::remove(data_path);
+  std::filesystem::remove(path);
   return r_served > 0.8 ? 0 : 1;
 }

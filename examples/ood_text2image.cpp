@@ -1,17 +1,27 @@
 // Out-of-distribution text-to-image retrieval (the paper's TEXT2IMAGE
 // workload and its headline finding, §5.4): image embeddings indexed under
 // maximum inner product, queried with TEXT embeddings from a different
-// distribution. Graph indexes adapt; IVF collapses.
+// distribution. Graph indexes adapt; IVF collapses. Both contenders are
+// plain AnyIndex handles — only the spec differs.
 //
 //   $ ./examples/ood_text2image [n]
 #include <cstdio>
 #include <cstdlib>
 
-#include "algorithms/diskann.h"
+#include "api/ann.h"
 #include "core/dataset.h"
 #include "core/ground_truth.h"
 #include "core/recall.h"
-#include "ivf/ivf_pq.h"
+
+namespace {
+
+double score(const ann::AnyIndex& index, const ann::PointSet<float>& queries,
+             const ann::GroundTruth& gt, std::uint32_t effort) {
+  return ann::average_recall(
+      index.batch_search(queries, {.beam_width = effort, .k = 10}), gt, 10);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ann;
@@ -23,8 +33,11 @@ int main(int argc, char** argv) {
   auto gt = compute_ground_truth<NegInnerProduct>(ds.base, ds.queries, 10);
 
   // Graph index. MIPS requires alpha <= 1.0 (paper, appendix A).
-  DiskANNParams dprm{.degree_bound = 32, .beam_width = 64, .alpha = 1.0f};
-  auto graph_ix = build_diskann<NegInnerProduct>(ds.base, dprm);
+  auto graph_ix = make_index(
+      {.algorithm = "diskann", .metric = "mips", .dtype = "float",
+       .params = DiskANNParams{.degree_bound = 32, .beam_width = 64,
+                               .alpha = 1.0f}});
+  graph_ix.build(ds.base);
 
   // IVF+PQ baseline, FAISS-style.
   IVFPQParams iprm;
@@ -32,28 +45,18 @@ int main(int argc, char** argv) {
       static_cast<std::uint32_t>(std::max<std::size_t>(16, n / 200));
   iprm.pq.num_subspaces = 16;
   iprm.pq.num_codes = 64;
-  auto ivf_ix = IVFPQ<NegInnerProduct, float>::build(ds.base, iprm);
+  auto ivf_ix = make_index({.algorithm = "ivf_pq", .metric = "mips",
+                            .dtype = "float", .params = iprm});
+  ivf_ix.build(ds.base);
 
   std::printf("\n%-28s %8s\n", "configuration", "recall");
   for (std::uint32_t beam : {20u, 60u, 150u}) {
-    SearchParams sp{.beam_width = beam, .k = 10};
-    std::vector<std::vector<PointId>> results;
-    for (std::size_t q = 0; q < ds.queries.size(); ++q) {
-      results.push_back(
-          graph_ix.query(ds.queries[static_cast<PointId>(q)], ds.base, sp));
-    }
     std::printf("graph (DiskANN, beam=%-4u) %8.4f\n", beam,
-                average_recall(results, gt, 10));
+                score(graph_ix, ds.queries, gt, beam));
   }
   double best_ivf = 0;
   for (std::uint32_t nprobe : {4u, 16u, 64u}) {
-    IVFQueryParams qp{.nprobe = nprobe, .k = 10};
-    std::vector<std::vector<PointId>> results;
-    for (std::size_t q = 0; q < ds.queries.size(); ++q) {
-      results.push_back(
-          ivf_ix.query(ds.queries[static_cast<PointId>(q)], ds.base, qp));
-    }
-    double r = average_recall(results, gt, 10);
+    double r = score(ivf_ix, ds.queries, gt, nprobe);
     best_ivf = std::max(best_ivf, r);
     std::printf("IVF-PQ (nprobe=%-4u)        %8.4f\n", nprobe, r);
   }

@@ -1,14 +1,14 @@
-// Quickstart: build a deterministic parallel DiskANN index over a synthetic
-// point set, run a few queries, and score recall against exact ground truth.
+// Quickstart: the 5-line public API flow — declare an IndexSpec, make the
+// index through the registry, build, search, done. Then the rest of the
+// life cycle: batch queries, recall scoring, and save/load round-trip.
 //
 //   $ ./examples/quickstart
 //
-// This touches the whole public API surface in ~60 lines: dataset
-// generation, index construction, beam-search queries, ground truth and
-// recall scoring.
+// Swap the algorithm string for any registered backend ("hnsw", "hcnng",
+// "pynndescent", "ivf_flat", "ivf_pq", "lsh") — nothing else changes.
 #include <cstdio>
 
-#include "algorithms/diskann.h"
+#include "api/ann.h"
 #include "core/dataset.h"
 #include "core/ground_truth.h"
 #include "core/recall.h"
@@ -22,27 +22,37 @@ int main() {
   std::printf("dataset: %zu points, %zu dims\n", ds.base.size(),
               ds.base.dims());
 
-  // 2. Build. All ParlayANN builders are deterministic: same input + params
-  //    => bit-identical graph, regardless of how many workers run.
-  DiskANNParams params{.degree_bound = 32, .beam_width = 64, .alpha = 1.2f};
-  auto index = build_diskann<EuclideanSquared>(ds.base, params);
-  std::printf("built DiskANN graph: %zu vertices, %zu edges, medoid=%u\n",
-              index.graph.size(), index.graph.num_edges(), index.start);
+  // 2. The whole public API in five lines: spec -> index -> build -> search.
+  IndexSpec spec{.algorithm = "diskann", .metric = "euclidean",
+                 .dtype = "uint8",
+                 .params = DiskANNParams{.degree_bound = 32, .beam_width = 64,
+                                         .alpha = 1.2f}};
+  AnyIndex index = make_index(spec);
+  index.build(ds.base);  // deterministic: same input => bit-identical index
+  auto neighbors = index.search(ds.queries[0], {.beam_width = 40, .k = 10});
 
-  // 3. Query: 10 nearest neighbors with a beam of 40.
-  SearchParams search{.beam_width = 40, .k = 10};
-  auto neighbors = index.query(ds.queries[0], ds.base, search);
+  auto stats = index.stats();
+  std::printf("built %s index: %zu points, %.0f edges\n",
+              stats.algorithm.c_str(), stats.num_points,
+              stats.detail("num_edges"));
   std::printf("query 0 neighbors:");
-  for (PointId id : neighbors) std::printf(" %u", id);
+  for (const auto& nb : neighbors) std::printf(" %u", nb.id);
   std::printf("\n");
 
-  // 4. Score 10@10 recall over the whole query set.
+  // 3. Score 10@10 recall over the whole query set (parallel fan-out).
   auto gt = compute_ground_truth<EuclideanSquared>(ds.base, ds.queries, 10);
-  std::vector<std::vector<PointId>> results;
-  for (std::size_t q = 0; q < ds.queries.size(); ++q) {
-    results.push_back(index.query(ds.queries[q], ds.base, search));
-  }
+  auto results = index.batch_search(ds.queries, {.beam_width = 40, .k = 10});
   std::printf("10@10 recall over %zu queries: %.4f\n", ds.queries.size(),
               average_recall(results, gt, 10));
-  return 0;
+
+  // 4. Persist and cold-start: the container header carries the spec, so
+  //    load needs no knowledge of what was saved.
+  index.save("quickstart_index.pann");
+  auto served = AnyIndex::load("quickstart_index.pann");
+  auto again = served.search(ds.queries[0], {.beam_width = 40, .k = 10});
+  std::printf("reloaded as '%s', results identical: %s\n",
+              served.spec().algorithm.c_str(),
+              again == neighbors ? "YES" : "NO");
+  std::remove("quickstart_index.pann");
+  return again == neighbors ? 0 : 1;
 }

@@ -1,0 +1,326 @@
+// Backend adapters: one TypedBackend<T> implementation per index family,
+// bridging the per-algorithm builders onto the uniform AnyIndex surface.
+//
+// QueryParams mapping (QueryParams is beam_search.h's SearchParams):
+//   * graph backends (diskann, hnsw, hcnng, pynndescent): used verbatim as
+//     the beam-search parameters;
+//   * ivf_flat / ivf_pq: beam_width is the effort knob -> nprobe (clamped to
+//     the centroid count inside the scan);
+//   * lsh: beam_width -> multiprobe buckets per table (clamped to num_bits).
+//
+// range_search: graph backends run core/range_search.h's beam+flood; the
+// bucketed backends (ivf_flat, ivf_pq, lsh) fall back to an exact linear
+// scan over their owned points — correct for any radius, and these
+// baselines have no graph to flood through.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/any_index.h"
+#include "api/index_spec.h"
+#include "core/index_io.h"
+#include "core/range_search.h"
+#include "ivf/ivf_flat.h"
+#include "ivf/ivf_pq.h"
+#include "lsh/lsh.h"
+
+namespace ann {
+
+namespace adapters {
+
+// Exact range scan used by the bucketed backends.
+template <typename Metric, typename T>
+std::vector<Neighbor> exact_range_scan(const PointSet<T>& points,
+                                       const T* query, float radius) {
+  std::vector<Neighbor> matches;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    float d = Metric::distance(query, points[static_cast<PointId>(i)],
+                               points.dims());
+    if (d <= radius) matches.push_back({static_cast<PointId>(i), d});
+  }
+  std::sort(matches.begin(), matches.end());
+  return matches;
+}
+
+// --- flat-graph backends (diskann / hcnng / pynndescent) ---------------------
+
+template <typename Metric, typename T, typename Params>
+class FlatGraphBackend final : public TypedBackend<T> {
+ public:
+  using Builder = GraphIndex<Metric, T> (*)(const PointSet<T>&, const Params&);
+
+  FlatGraphBackend(Params params, Builder builder)
+      : params_(std::move(params)), builder_(builder) {}
+
+  void build(PointSet<T> points) override {
+    points_ = std::move(points);
+    index_ = builder_(points_, params_);
+  }
+
+  std::vector<Neighbor> search(const T* query,
+                               const QueryParams& params) const override {
+    auto res = index_.query_full(query, points_, params);
+    auto out = std::move(res.frontier);
+    if (out.size() > params.k) out.resize(params.k);
+    return out;
+  }
+
+  std::vector<Neighbor> range_search(
+      const T* query, const RangeSearchParams& params) const override {
+    std::vector<PointId> starts{index_.start};
+    return ann::range_search<Metric>(query, points_, index_.graph, starts,
+                                     params)
+        .matches;
+  }
+
+  void save_payload(std::FILE* f, const std::string& path) const override {
+    ioutil::write_points(f, points_, path);
+    write_graph_index_payload(f, index_, path);
+  }
+
+  void load_payload(std::FILE* f, const std::string& path) override {
+    points_ = ioutil::read_points<T>(f, path);
+    index_ = read_graph_index_payload<Metric, T>(f, path);
+  }
+
+  IndexStats stats() const override {
+    IndexStats s;
+    s.num_points = points_.size();
+    s.dims = points_.dims();
+    s.details = {
+        {"num_edges", static_cast<double>(index_.graph.num_edges())},
+        {"max_degree", static_cast<double>(index_.graph.max_degree())},
+        {"start", static_cast<double>(index_.start)}};
+    return s;
+  }
+
+  std::size_t num_points() const override { return points_.size(); }
+
+ private:
+  Params params_;
+  Builder builder_;
+  PointSet<T> points_;
+  GraphIndex<Metric, T> index_;
+};
+
+// --- hnsw --------------------------------------------------------------------
+
+template <typename Metric, typename T>
+class HNSWBackend final : public TypedBackend<T> {
+ public:
+  explicit HNSWBackend(HNSWParams params) : params_(std::move(params)) {}
+
+  void build(PointSet<T> points) override {
+    points_ = std::move(points);
+    index_ = build_hnsw<Metric>(points_, params_);
+  }
+
+  std::vector<Neighbor> search(const T* query,
+                               const QueryParams& params) const override {
+    auto res = index_.query_full(query, points_, params);
+    auto out = std::move(res.frontier);
+    if (out.size() > params.k) out.resize(params.k);
+    return out;
+  }
+
+  std::vector<Neighbor> range_search(
+      const T* query, const RangeSearchParams& params) const override {
+    // Descend the hierarchy to the bottom layer, then beam+flood there.
+    std::vector<PointId> starts{index_.descend_to(query, points_, 0)};
+    return ann::range_search<Metric>(query, points_, index_.layers[0], starts,
+                                     params)
+        .matches;
+  }
+
+  void save_payload(std::FILE* f, const std::string& path) const override {
+    ioutil::write_points(f, points_, path);
+    write_hnsw_index_payload(f, index_, path);
+  }
+
+  void load_payload(std::FILE* f, const std::string& path) override {
+    points_ = ioutil::read_points<T>(f, path);
+    index_ = read_hnsw_index_payload<Metric, T>(f, path);
+  }
+
+  IndexStats stats() const override {
+    IndexStats s;
+    s.num_points = points_.size();
+    s.dims = points_.dims();
+    std::size_t bottom_edges =
+        index_.layers.empty() ? 0 : index_.layers[0].num_edges();
+    s.details = {{"num_layers", static_cast<double>(index_.layers.size())},
+                 {"entry_level", static_cast<double>(index_.entry_level)},
+                 {"bottom_edges", static_cast<double>(bottom_edges)}};
+    return s;
+  }
+
+  std::size_t num_points() const override { return points_.size(); }
+
+ private:
+  HNSWParams params_;
+  PointSet<T> points_;
+  HNSWIndex<Metric, T> index_;
+};
+
+// --- ivf_flat ----------------------------------------------------------------
+
+template <typename Metric, typename T>
+class IVFFlatBackend final : public TypedBackend<T> {
+ public:
+  explicit IVFFlatBackend(IVFParams params) : params_(std::move(params)) {}
+
+  void build(PointSet<T> points) override {
+    points_ = std::move(points);
+    index_ = IVFFlat<Metric, T>::build(points_, params_);
+  }
+
+  std::vector<Neighbor> search(const T* query,
+                               const QueryParams& params) const override {
+    IVFQueryParams qp{.nprobe = std::max<std::uint32_t>(params.beam_width, 1),
+                      .k = params.k};
+    return index_.query_full(query, points_, qp);
+  }
+
+  std::vector<Neighbor> range_search(
+      const T* query, const RangeSearchParams& params) const override {
+    return exact_range_scan<Metric>(points_, query, params.radius);
+  }
+
+  void save_payload(std::FILE* f, const std::string& path) const override {
+    ioutil::write_points(f, points_, path);
+    index_.save_payload(f, path);
+  }
+
+  void load_payload(std::FILE* f, const std::string& path) override {
+    points_ = ioutil::read_points<T>(f, path);
+    index_ = IVFFlat<Metric, T>::load_payload(f, path);
+  }
+
+  IndexStats stats() const override {
+    IndexStats s;
+    s.num_points = points_.size();
+    s.dims = points_.dims();
+    s.details = {{"num_lists", static_cast<double>(index_.num_lists())}};
+    return s;
+  }
+
+  std::size_t num_points() const override { return points_.size(); }
+
+ private:
+  IVFParams params_;
+  PointSet<T> points_;
+  IVFFlat<Metric, T> index_;
+};
+
+// --- ivf_pq ------------------------------------------------------------------
+
+template <typename Metric, typename T>
+class IVFPQBackend final : public TypedBackend<T> {
+ public:
+  explicit IVFPQBackend(IVFPQParams params) : params_(std::move(params)) {}
+
+  void build(PointSet<T> points) override {
+    points_ = std::move(points);
+    index_ = IVFPQ<Metric, T>::build(points_, params_);
+  }
+
+  std::vector<Neighbor> search(const T* query,
+                               const QueryParams& params) const override {
+    IVFQueryParams qp{.nprobe = std::max<std::uint32_t>(params.beam_width, 1),
+                      .k = params.k};
+    return index_.query_full(query, points_, qp);
+  }
+
+  std::vector<Neighbor> range_search(
+      const T* query, const RangeSearchParams& params) const override {
+    return exact_range_scan<Metric>(points_, query, params.radius);
+  }
+
+  void save_payload(std::FILE* f, const std::string& path) const override {
+    ioutil::write_points(f, points_, path);
+    index_.save_payload(f, path);
+  }
+
+  void load_payload(std::FILE* f, const std::string& path) override {
+    points_ = ioutil::read_points<T>(f, path);
+    index_ = IVFPQ<Metric, T>::load_payload(f, path);
+  }
+
+  IndexStats stats() const override {
+    IndexStats s;
+    s.num_points = points_.size();
+    s.dims = points_.dims();
+    s.details = {
+        {"num_subspaces", static_cast<double>(index_.quantizer().num_subspaces())},
+        {"rerank", static_cast<double>(params_.rerank)}};
+    return s;
+  }
+
+  std::size_t num_points() const override { return points_.size(); }
+
+ private:
+  IVFPQParams params_;
+  PointSet<T> points_;
+  IVFPQ<Metric, T> index_;
+};
+
+// --- lsh ---------------------------------------------------------------------
+
+template <typename Metric, typename T>
+class LSHBackend final : public TypedBackend<T> {
+ public:
+  explicit LSHBackend(LSHParams params) : params_(std::move(params)) {}
+
+  void build(PointSet<T> points) override {
+    points_ = std::move(points);
+    index_ = LSHIndex<Metric, T>::build(points_, params_);
+  }
+
+  std::vector<Neighbor> search(const T* query,
+                               const QueryParams& params) const override {
+    LSHQueryParams qp{.k = params.k,
+                      .multiprobe =
+                          std::min(params.beam_width, params_.num_bits)};
+    return index_.query_full(query, points_, qp);
+  }
+
+  std::vector<Neighbor> range_search(
+      const T* query, const RangeSearchParams& params) const override {
+    return exact_range_scan<Metric>(points_, query, params.radius);
+  }
+
+  void save_payload(std::FILE* f, const std::string& path) const override {
+    ioutil::write_points(f, points_, path);
+    index_.save_payload(f, path);
+  }
+
+  void load_payload(std::FILE* f, const std::string& path) override {
+    points_ = ioutil::read_points<T>(f, path);
+    index_ = LSHIndex<Metric, T>::load_payload(f, path);
+  }
+
+  IndexStats stats() const override {
+    IndexStats s;
+    s.num_points = points_.size();
+    s.dims = points_.dims();
+    s.details = {{"num_tables", static_cast<double>(index_.num_tables())},
+                 {"num_bits", static_cast<double>(params_.num_bits)}};
+    return s;
+  }
+
+  std::size_t num_points() const override { return points_.size(); }
+
+ private:
+  LSHParams params_;
+  PointSet<T> points_;
+  LSHIndex<Metric, T> index_;
+};
+
+}  // namespace adapters
+
+}  // namespace ann

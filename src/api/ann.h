@@ -1,0 +1,21 @@
+// The public API in one include.
+//
+//   #include "api/ann.h"
+//
+//   ann::IndexSpec spec{.algorithm = "diskann", .metric = "euclidean",
+//                       .dtype = "uint8",
+//                       .params = ann::DiskANNParams{.degree_bound = 32}};
+//   ann::AnyIndex index = ann::make_index(spec);
+//   index.build(points);                                  // PointSet<uint8_t>
+//   auto hits = index.search(query, {.beam_width = 40, .k = 10});
+//   index.save("index.pann");                             // ...later...
+//   auto served = ann::AnyIndex::load("index.pann");      // any algorithm
+//
+// Algorithms: diskann, hnsw, hcnng, pynndescent, ivf_flat, ivf_pq, lsh.
+// Metrics:    euclidean, mips, cosine (ivf_pq: euclidean and mips only).
+// Dtypes:     float, uint8, int8.
+#pragma once
+
+#include "api/any_index.h"
+#include "api/index_spec.h"
+#include "api/registry.h"

@@ -1,0 +1,175 @@
+// ann::AnyIndex — the type-erased index handle behind the unified public
+// API. One surface for every builder in the repo:
+//
+//   build(points)                        construct over a PointSet<T>
+//   search(query, QueryParams)          -> std::vector<Neighbor>
+//   batch_search(queries, QueryParams)  parallel fan-out over a query set
+//   range_search(query, radius)         -> all points within radius
+//   save(path) / AnyIndex::load(path)   versioned container round-trip
+//   stats()                             algorithm/metric/dtype + detail KVs
+//
+// Erasure layout: AnyIndex owns a BackendBase; concrete backends derive from
+// TypedBackend<T> (the element type cannot be a virtual parameter, so the
+// typed surface lives one level down and AnyIndex's templated methods
+// dynamic_cast to it, turning dtype mismatches into clear runtime errors
+// instead of garbage reads).
+//
+// Backends own a copy of the indexed points, so a search needs nothing but
+// the query and saved indexes are self-contained (load needs no side file).
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "parlay/parallel.h"
+
+#include "api/index_spec.h"
+#include "core/beam_search.h"
+#include "core/points.h"
+#include "core/range_search.h"
+
+namespace ann {
+
+struct IndexStats {
+  std::string algorithm;
+  std::string metric;
+  std::string dtype;
+  std::size_t num_points = 0;
+  std::size_t dims = 0;
+  // Backend-specific figures (edges, layers, lists, ...).
+  std::vector<std::pair<std::string, double>> details;
+
+  double detail(const std::string& key, double fallback = 0.0) const {
+    return kv_get(details, key, fallback);
+  }
+};
+
+// Untyped backend surface: everything that does not mention T.
+class BackendBase {
+ public:
+  virtual ~BackendBase() = default;
+
+  // Payloads are self-contained (points + algorithm state); the container
+  // header preceding them is written/read by AnyIndex.
+  virtual void save_payload(std::FILE* f, const std::string& path) const = 0;
+  virtual void load_payload(std::FILE* f, const std::string& path) = 0;
+  virtual IndexStats stats() const = 0;
+  virtual std::size_t num_points() const = 0;
+};
+
+// Typed backend surface; concrete adapters (src/api/adapters.h) derive from
+// this for their element type.
+template <typename T>
+class TypedBackend : public BackendBase {
+ public:
+  // By value: AnyIndex::build copies from an lvalue or moves from an rvalue,
+  // so callers that hand over ownership pay no extra copy of the dataset.
+  virtual void build(PointSet<T> points) = 0;
+  virtual std::vector<Neighbor> search(const T* query,
+                                       const QueryParams& params) const = 0;
+  virtual std::vector<Neighbor> range_search(
+      const T* query, const RangeSearchParams& params) const = 0;
+};
+
+class AnyIndex {
+ public:
+  AnyIndex() = default;
+  AnyIndex(IndexSpec spec, std::unique_ptr<BackendBase> impl)
+      : spec_(std::move(spec)), impl_(std::move(impl)) {}
+
+  bool valid() const { return impl_ != nullptr; }
+  const IndexSpec& spec() const { return spec_; }
+
+  IndexStats stats() const {
+    require_impl("stats");
+    IndexStats s = impl_->stats();
+    s.algorithm = spec_.algorithm;
+    s.metric = spec_.metric;
+    s.dtype = spec_.dtype;
+    return s;
+  }
+
+  // The index keeps its own copy of the points (so searches need nothing
+  // but the query and saved files are self-contained); pass an rvalue to
+  // transfer ownership without copying the dataset.
+  template <typename T>
+  void build(const PointSet<T>& points) {
+    typed<T>("build").build(points);
+  }
+
+  template <typename T>
+  void build(PointSet<T>&& points) {
+    typed<T>("build").build(std::move(points));
+  }
+
+  template <typename T>
+  std::vector<Neighbor> search(const T* query,
+                               const QueryParams& params = {}) const {
+    const TypedBackend<T>& backend = typed<T>("search");
+    // Unbuilt (or built-over-empty) index: no neighbors, by definition —
+    // backends may assume a non-empty structure past this point.
+    if (backend.num_points() == 0) return {};
+    return backend.search(query, params);
+  }
+
+  // Parallel fan-out over a query set; results[q] matches search(queries[q]).
+  template <typename T>
+  std::vector<std::vector<Neighbor>> batch_search(
+      const PointSet<T>& queries, const QueryParams& params = {}) const {
+    const TypedBackend<T>& backend = typed<T>("batch_search");
+    std::vector<std::vector<Neighbor>> results(queries.size());
+    if (backend.num_points() == 0) return results;
+    parlay::parallel_for(0, queries.size(), [&](std::size_t q) {
+      results[q] = backend.search(queries[static_cast<PointId>(q)], params);
+    }, 1);
+    return results;
+  }
+
+  // All points within `radius` of the query, ascending by (dist, id).
+  template <typename T>
+  std::vector<Neighbor> range_search(const T* query, float radius) const {
+    RangeSearchParams params;
+    params.radius = radius;
+    return range_search(query, params);
+  }
+
+  template <typename T>
+  std::vector<Neighbor> range_search(const T* query,
+                                     const RangeSearchParams& params) const {
+    const TypedBackend<T>& backend = typed<T>("range_search");
+    if (backend.num_points() == 0) return {};
+    return backend.range_search(query, params);
+  }
+
+  void save(const std::string& path) const;  // defined with load in registry.h
+  static AnyIndex load(const std::string& path);
+
+ private:
+  void require_impl(const char* op) const {
+    if (!impl_) {
+      throw std::logic_error(std::string("AnyIndex::") + op +
+                             " on an empty handle (use ann::make_index)");
+    }
+  }
+
+  template <typename T>
+  TypedBackend<T>& typed(const char* op) const {
+    require_impl(op);
+    auto* backend = dynamic_cast<TypedBackend<T>*>(impl_.get());
+    if (backend == nullptr) {
+      throw std::invalid_argument(
+          std::string("AnyIndex::") + op + ": index holds dtype '" +
+          spec_.dtype + "' but was called with '" + dtype_name<T>() + "'");
+    }
+    return *backend;
+  }
+
+  IndexSpec spec_;
+  std::unique_ptr<BackendBase> impl_;
+};
+
+}  // namespace ann

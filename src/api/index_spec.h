@@ -1,0 +1,363 @@
+// ann::IndexSpec — one declarative description of an index: the algorithm
+// name, distance metric, and element type that key the registry, plus the
+// per-algorithm build parameters as a tagged variant (std::monostate means
+// "use the algorithm's defaults").
+//
+// The spec is the unit of persistence: AnyIndex::save writes it into the
+// container header (core/index_io.h) as a key/value map, and AnyIndex::load
+// reconstructs the exact same backend from it — so a saved index round-trips
+// without the caller knowing its concrete type.
+//
+// Query-time parameters are NOT part of the spec: every backend takes
+// ann::QueryParams, which is core/beam_search.h's SearchParams (the single
+// source of truth — the API aliases it rather than redefining the fields).
+// Backends without a beam interpret beam_width as their own effort knob
+// (IVF: nprobe, LSH: multiprobe); see src/api/adapters.h.
+#pragma once
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "algorithms/diskann.h"
+#include "algorithms/hcnng.h"
+#include "algorithms/hnsw.h"
+#include "algorithms/pynndescent.h"
+#include "core/beam_search.h"
+#include "core/distance.h"
+#include "ivf/ivf_flat.h"
+#include "ivf/ivf_pq.h"
+#include "lsh/lsh.h"
+
+namespace ann {
+
+// The uniform query-parameter surface (see header comment).
+using QueryParams = SearchParams;
+
+// --- canonical names for the (algorithm, metric, dtype) triple ---------------
+
+template <typename T>
+constexpr const char* dtype_name();
+template <>
+constexpr const char* dtype_name<float>() {
+  return "float";
+}
+template <>
+constexpr const char* dtype_name<std::uint8_t>() {
+  return "uint8";
+}
+template <>
+constexpr const char* dtype_name<std::int8_t>() {
+  return "int8";
+}
+
+template <typename Metric>
+constexpr const char* metric_api_name();
+template <>
+constexpr const char* metric_api_name<EuclideanSquared>() {
+  return "euclidean";
+}
+template <>
+constexpr const char* metric_api_name<NegInnerProduct>() {
+  return "mips";
+}
+template <>
+constexpr const char* metric_api_name<Cosine>() {
+  return "cosine";
+}
+
+// Accept common aliases; anything unrecognized passes through unchanged so
+// the registry reports it as unknown with the caller's spelling.
+inline std::string normalize_metric(std::string name) {
+  std::transform(name.begin(), name.end(), name.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (name == "l2" || name == "euclidean_sq" || name == "l2sq") {
+    return "euclidean";
+  }
+  if (name == "ip" || name == "inner_product" || name == "neg_inner_product" ||
+      name == "dot") {
+    return "mips";
+  }
+  if (name == "angular") return "cosine";
+  return name;
+}
+
+inline std::string normalize_dtype(std::string name) {
+  std::transform(name.begin(), name.end(), name.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (name == "float32" || name == "f32") return "float";
+  if (name == "u8" || name == "byte") return "uint8";
+  if (name == "i8") return "int8";
+  return name;
+}
+
+// --- the spec ----------------------------------------------------------------
+
+using AlgorithmParams =
+    std::variant<std::monostate, DiskANNParams, HNSWParams, HCNNGParams,
+                 PyNNDescentParams, IVFParams, IVFPQParams, LSHParams>;
+
+struct IndexSpec {
+  std::string algorithm;
+  std::string metric = "euclidean";
+  std::string dtype = "float";
+  AlgorithmParams params;  // monostate => algorithm defaults
+
+  // The build parameters as P, falling back to `defaults` when the variant
+  // holds monostate (or a different algorithm's params).
+  template <typename P>
+  P params_or(P defaults = P{}) const {
+    if (const P* p = std::get_if<P>(&params)) return *p;
+    return defaults;
+  }
+};
+
+// --- param <-> key/value map (the container-header encoding) -----------------
+//
+// Values are doubles: every tuning field is a small integer, flag, or float.
+// 64-bit seeds are split into two exact 32-bit halves (key_hi/key_lo) so a
+// full-width seed round-trips losslessly — rounding one would break the
+// determinism contract the spec carries.
+
+using ParamKVs = std::vector<std::pair<std::string, double>>;
+
+inline double kv_get(const ParamKVs& kvs, const std::string& key,
+                     double fallback) {
+  for (const auto& [k, v] : kvs) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+inline void kv_put_u64(ParamKVs& kvs, const std::string& key,
+                       std::uint64_t v) {
+  kvs.emplace_back(key + "_hi", static_cast<double>(v >> 32));
+  kvs.emplace_back(key + "_lo", static_cast<double>(v & 0xffffffffull));
+}
+
+inline std::uint64_t kv_get_u64(const ParamKVs& kvs, const std::string& key,
+                                std::uint64_t fallback) {
+  double hi = kv_get(kvs, key + "_hi", -1.0);
+  double lo = kv_get(kvs, key + "_lo", -1.0);
+  if (hi < 0.0 || lo < 0.0) return fallback;
+  return (static_cast<std::uint64_t>(hi) << 32) |
+         static_cast<std::uint64_t>(lo);
+}
+
+inline ParamKVs to_kv(const DiskANNParams& p) {
+  ParamKVs kvs = {{"degree_bound", static_cast<double>(p.degree_bound)},
+          {"beam_width", static_cast<double>(p.beam_width)},
+          {"alpha", p.alpha},
+          {"batch_cap_fraction", p.batch_cap_fraction},
+          {"prefix_doubling", p.prefix_doubling ? 1.0 : 0.0},
+          {"shuffle", p.shuffle ? 1.0 : 0.0}};
+  kv_put_u64(kvs, "seed", p.seed);
+  return kvs;
+}
+
+inline DiskANNParams diskann_params_from_kv(const ParamKVs& m) {
+  DiskANNParams d;
+  d.degree_bound =
+      static_cast<std::uint32_t>(kv_get(m, "degree_bound", d.degree_bound));
+  d.beam_width =
+      static_cast<std::uint32_t>(kv_get(m, "beam_width", d.beam_width));
+  d.alpha = static_cast<float>(kv_get(m, "alpha", d.alpha));
+  d.batch_cap_fraction = kv_get(m, "batch_cap_fraction", d.batch_cap_fraction);
+  d.prefix_doubling = kv_get(m, "prefix_doubling", d.prefix_doubling) != 0.0;
+  d.seed = kv_get_u64(m, "seed", d.seed);
+  d.shuffle = kv_get(m, "shuffle", d.shuffle) != 0.0;
+  return d;
+}
+
+inline ParamKVs to_kv(const HNSWParams& p) {
+  ParamKVs kvs = {{"m", static_cast<double>(p.m)},
+          {"ef_construction", static_cast<double>(p.ef_construction)},
+          {"alpha", p.alpha},
+          {"batch_cap_fraction", p.batch_cap_fraction},
+          {"shuffle", p.shuffle ? 1.0 : 0.0}};
+  kv_put_u64(kvs, "seed", p.seed);
+  return kvs;
+}
+
+inline HNSWParams hnsw_params_from_kv(const ParamKVs& m) {
+  HNSWParams h;
+  h.m = static_cast<std::uint32_t>(kv_get(m, "m", h.m));
+  h.ef_construction = static_cast<std::uint32_t>(
+      kv_get(m, "ef_construction", h.ef_construction));
+  h.alpha = static_cast<float>(kv_get(m, "alpha", h.alpha));
+  h.batch_cap_fraction = kv_get(m, "batch_cap_fraction", h.batch_cap_fraction);
+  h.seed = kv_get_u64(m, "seed", h.seed);
+  h.shuffle = kv_get(m, "shuffle", h.shuffle) != 0.0;
+  return h;
+}
+
+inline ParamKVs to_kv(const HCNNGParams& p) {
+  ParamKVs kvs = {{"num_trees", static_cast<double>(p.num_trees)},
+          {"leaf_size", static_cast<double>(p.leaf_size)},
+          {"mst_degree", static_cast<double>(p.mst_degree)},
+          {"mst_restriction", static_cast<double>(p.mst_restriction)},
+          {"restricted", p.restricted ? 1.0 : 0.0},
+          {"alpha", p.alpha}};
+  kv_put_u64(kvs, "seed", p.seed);
+  return kvs;
+}
+
+inline HCNNGParams hcnng_params_from_kv(const ParamKVs& m) {
+  HCNNGParams c;
+  c.num_trees = static_cast<std::uint32_t>(kv_get(m, "num_trees", c.num_trees));
+  c.leaf_size = static_cast<std::uint32_t>(kv_get(m, "leaf_size", c.leaf_size));
+  c.mst_degree =
+      static_cast<std::uint32_t>(kv_get(m, "mst_degree", c.mst_degree));
+  c.mst_restriction = static_cast<std::uint32_t>(
+      kv_get(m, "mst_restriction", c.mst_restriction));
+  c.restricted = kv_get(m, "restricted", c.restricted) != 0.0;
+  c.alpha = static_cast<float>(kv_get(m, "alpha", c.alpha));
+  c.seed = kv_get_u64(m, "seed", c.seed);
+  return c;
+}
+
+inline ParamKVs to_kv(const PyNNDescentParams& p) {
+  ParamKVs kvs = {{"k", static_cast<double>(p.k)},
+          {"num_trees", static_cast<double>(p.num_trees)},
+          {"leaf_size", static_cast<double>(p.leaf_size)},
+          {"alpha", p.alpha},
+          {"undirect_cap", static_cast<double>(p.undirect_cap)},
+          {"max_rounds", static_cast<double>(p.max_rounds)},
+          {"termination_frac", p.termination_frac},
+          {"block_size", static_cast<double>(p.block_size)}};
+  kv_put_u64(kvs, "seed", p.seed);
+  return kvs;
+}
+
+inline PyNNDescentParams pynndescent_params_from_kv(const ParamKVs& m) {
+  PyNNDescentParams p;
+  p.k = static_cast<std::uint32_t>(kv_get(m, "k", p.k));
+  p.num_trees = static_cast<std::uint32_t>(kv_get(m, "num_trees", p.num_trees));
+  p.leaf_size = static_cast<std::uint32_t>(kv_get(m, "leaf_size", p.leaf_size));
+  p.alpha = static_cast<float>(kv_get(m, "alpha", p.alpha));
+  p.undirect_cap =
+      static_cast<std::uint32_t>(kv_get(m, "undirect_cap", p.undirect_cap));
+  p.max_rounds =
+      static_cast<std::uint32_t>(kv_get(m, "max_rounds", p.max_rounds));
+  p.termination_frac = kv_get(m, "termination_frac", p.termination_frac);
+  p.block_size =
+      static_cast<std::uint32_t>(kv_get(m, "block_size", p.block_size));
+  p.seed = kv_get_u64(m, "seed", p.seed);
+  return p;
+}
+
+inline ParamKVs to_kv(const IVFParams& p) {
+  ParamKVs kvs = {{"num_centroids", static_cast<double>(p.num_centroids)},
+          {"kmeans_iters", static_cast<double>(p.kmeans_iters)}};
+  kv_put_u64(kvs, "seed", p.seed);
+  return kvs;
+}
+
+inline IVFParams ivf_params_from_kv(const ParamKVs& m) {
+  IVFParams p;
+  p.num_centroids =
+      static_cast<std::uint32_t>(kv_get(m, "num_centroids", p.num_centroids));
+  p.kmeans_iters =
+      static_cast<std::uint32_t>(kv_get(m, "kmeans_iters", p.kmeans_iters));
+  p.seed = kv_get_u64(m, "seed", p.seed);
+  return p;
+}
+
+inline ParamKVs to_kv(const IVFPQParams& p) {
+  ParamKVs kvs = {{"num_centroids", static_cast<double>(p.ivf.num_centroids)},
+          {"kmeans_iters", static_cast<double>(p.ivf.kmeans_iters)},
+          {"num_subspaces", static_cast<double>(p.pq.num_subspaces)},
+          {"num_codes", static_cast<double>(p.pq.num_codes)},
+          {"pq_kmeans_iters", static_cast<double>(p.pq.kmeans_iters)},
+          {"rerank", static_cast<double>(p.rerank)}};
+  kv_put_u64(kvs, "ivf_seed", p.ivf.seed);
+  kv_put_u64(kvs, "pq_seed", p.pq.seed);
+  return kvs;
+}
+
+inline IVFPQParams ivfpq_params_from_kv(const ParamKVs& m) {
+  IVFPQParams p;
+  p.ivf.num_centroids = static_cast<std::uint32_t>(
+      kv_get(m, "num_centroids", p.ivf.num_centroids));
+  p.ivf.kmeans_iters =
+      static_cast<std::uint32_t>(kv_get(m, "kmeans_iters", p.ivf.kmeans_iters));
+  p.ivf.seed = kv_get_u64(m, "ivf_seed", p.ivf.seed);
+  p.pq.num_subspaces =
+      static_cast<std::uint32_t>(kv_get(m, "num_subspaces", p.pq.num_subspaces));
+  p.pq.num_codes =
+      static_cast<std::uint32_t>(kv_get(m, "num_codes", p.pq.num_codes));
+  p.pq.kmeans_iters = static_cast<std::uint32_t>(
+      kv_get(m, "pq_kmeans_iters", p.pq.kmeans_iters));
+  p.pq.seed = kv_get_u64(m, "pq_seed", p.pq.seed);
+  p.rerank = static_cast<std::uint32_t>(kv_get(m, "rerank", p.rerank));
+  return p;
+}
+
+inline ParamKVs to_kv(const LSHParams& p) {
+  ParamKVs kvs = {{"num_tables", static_cast<double>(p.num_tables)},
+          {"num_bits", static_cast<double>(p.num_bits)}};
+  kv_put_u64(kvs, "seed", p.seed);
+  return kvs;
+}
+
+inline LSHParams lsh_params_from_kv(const ParamKVs& m) {
+  LSHParams p;
+  p.num_tables =
+      static_cast<std::uint32_t>(kv_get(m, "num_tables", p.num_tables));
+  p.num_bits = static_cast<std::uint32_t>(kv_get(m, "num_bits", p.num_bits));
+  p.seed = kv_get_u64(m, "seed", p.seed);
+  return p;
+}
+
+inline ParamKVs serialize_params(const AlgorithmParams& params) {
+  return std::visit(
+      [](const auto& p) -> ParamKVs {
+        if constexpr (std::is_same_v<std::decay_t<decltype(p)>,
+                                     std::monostate>) {
+          return {};
+        } else {
+          return to_kv(p);
+        }
+      },
+      params);
+}
+
+// True when the variant holds the builtin algorithm's params type (or
+// monostate = defaults). Unknown algorithm names pass — external backends
+// may interpret the variant however they like.
+inline bool params_match_algorithm(const std::string& algorithm,
+                                   const AlgorithmParams& params) {
+  if (std::holds_alternative<std::monostate>(params)) return true;
+  if (algorithm == "diskann") {
+    return std::holds_alternative<DiskANNParams>(params);
+  }
+  if (algorithm == "hnsw") return std::holds_alternative<HNSWParams>(params);
+  if (algorithm == "hcnng") return std::holds_alternative<HCNNGParams>(params);
+  if (algorithm == "pynndescent") {
+    return std::holds_alternative<PyNNDescentParams>(params);
+  }
+  if (algorithm == "ivf_flat") return std::holds_alternative<IVFParams>(params);
+  if (algorithm == "ivf_pq") return std::holds_alternative<IVFPQParams>(params);
+  if (algorithm == "lsh") return std::holds_alternative<LSHParams>(params);
+  return true;
+}
+
+// Rebuild the tagged variant from a container header. Unknown algorithms
+// yield monostate; the registry rejects them with a proper error.
+inline AlgorithmParams params_from_kv(const std::string& algorithm,
+                                      const ParamKVs& m) {
+  if (algorithm == "diskann") return diskann_params_from_kv(m);
+  if (algorithm == "hnsw") return hnsw_params_from_kv(m);
+  if (algorithm == "hcnng") return hcnng_params_from_kv(m);
+  if (algorithm == "pynndescent") return pynndescent_params_from_kv(m);
+  if (algorithm == "ivf_flat") return ivf_params_from_kv(m);
+  if (algorithm == "ivf_pq") return ivfpq_params_from_kv(m);
+  if (algorithm == "lsh") return lsh_params_from_kv(m);
+  return std::monostate{};
+}
+
+}  // namespace ann

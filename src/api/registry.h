@@ -1,0 +1,163 @@
+// ann::Registry — the factory behind ann::make_index. Backends register
+// under the (algorithm, metric, dtype) string triple; creation is a runtime
+// string lookup, so serving code can build any index from configuration:
+//
+//   auto index = ann::make_index("diskann", "euclidean", "float", spec);
+//
+// The builtin backends (diskann, hnsw, hcnng, pynndescent, ivf_flat,
+// ivf_pq, lsh — see src/api/adapters.h) are registered on first use via
+// ensure_builtin_backends(), compiled once into the core library. External
+// backends self-register from a .cpp with one macro:
+//
+//   ANN_REGISTER_INDEX("my_algo", "euclidean", "float", [](const IndexSpec& s) {
+//     return std::make_unique<MyBackend>(s);
+//   });
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/any_index.h"
+#include "api/index_spec.h"
+#include "core/index_io.h"
+
+namespace ann {
+
+class Registry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<BackendBase>(const IndexSpec&)>;
+
+  static Registry& instance() {
+    static Registry registry;
+    return registry;
+  }
+
+  // Last registration wins, so a plugin can deliberately override a builtin.
+  void register_backend(const std::string& algorithm, const std::string& metric,
+                        const std::string& dtype, Factory factory) {
+    factories_[key(algorithm, metric, dtype)] = std::move(factory);
+  }
+
+  // Registers only if the triple is free. The lazily-run builtin
+  // registration uses this so it can never clobber an external backend
+  // registered at static-init time under a builtin triple.
+  void register_backend_if_absent(const std::string& algorithm,
+                                  const std::string& metric,
+                                  const std::string& dtype, Factory factory) {
+    factories_.try_emplace(key(algorithm, metric, dtype), std::move(factory));
+  }
+
+  bool contains(const std::string& algorithm, const std::string& metric,
+                const std::string& dtype) const {
+    return factories_.count(
+               key(algorithm, normalize_metric(metric),
+                   normalize_dtype(dtype))) != 0;
+  }
+
+  // Distinct registered algorithm names, sorted.
+  std::vector<std::string> algorithms() const {
+    std::vector<std::string> names;
+    for (const auto& [k, factory] : factories_) {
+      std::string name = k.substr(0, k.find('/'));
+      if (names.empty() || names.back() != name) names.push_back(name);
+    }
+    return names;
+  }
+
+  std::unique_ptr<BackendBase> create(const IndexSpec& spec) const {
+    auto it = factories_.find(key(spec.algorithm, spec.metric, spec.dtype));
+    if (it == factories_.end()) {
+      std::string known;
+      for (const auto& name : algorithms()) {
+        known += known.empty() ? name : ", " + name;
+      }
+      throw std::invalid_argument(
+          "no index backend registered for algorithm='" + spec.algorithm +
+          "' metric='" + spec.metric + "' dtype='" + spec.dtype +
+          "' (registered algorithms: " + known + ")");
+    }
+    return it->second(spec);
+  }
+
+ private:
+  static std::string key(const std::string& algorithm,
+                         const std::string& metric, const std::string& dtype) {
+    return algorithm + "/" + metric + "/" + dtype;
+  }
+
+  std::map<std::string, Factory> factories_;
+};
+
+// Registers the builtin backends exactly once (idempotent, cheap after the
+// first call). Defined in src/api/builtin_backends.cpp so the template
+// instantiations compile once into the core library instead of into every
+// consumer translation unit.
+void ensure_builtin_backends();
+
+inline AnyIndex make_index(IndexSpec spec) {
+  ensure_builtin_backends();
+  spec.metric = normalize_metric(spec.metric);
+  spec.dtype = normalize_dtype(spec.dtype);
+  // A spec carrying a different algorithm's params would otherwise be
+  // silently dropped (params_or falls back to defaults) — reject it.
+  if (!params_match_algorithm(spec.algorithm, spec.params)) {
+    throw std::invalid_argument(
+        "IndexSpec.params holds a different algorithm's parameter struct "
+        "than algorithm='" + spec.algorithm + "'");
+  }
+  auto impl = Registry::instance().create(spec);
+  return AnyIndex(std::move(spec), std::move(impl));
+}
+
+inline AnyIndex make_index(const std::string& algorithm,
+                           const std::string& metric, const std::string& dtype,
+                           IndexSpec spec = {}) {
+  spec.algorithm = algorithm;
+  spec.metric = metric;
+  spec.dtype = dtype;
+  return make_index(std::move(spec));
+}
+
+// --- container round-trip ----------------------------------------------------
+
+inline void AnyIndex::save(const std::string& path) const {
+  require_impl("save");
+  auto f = internal::open_index_file(path, "wb");
+  IndexContainerHeader header{spec_.algorithm, spec_.metric, spec_.dtype,
+                              serialize_params(spec_.params)};
+  write_container_header(f.get(), header, path);
+  impl_->save_payload(f.get(), path);
+}
+
+inline AnyIndex AnyIndex::load(const std::string& path) {
+  auto f = internal::open_index_file(path, "rb");
+  IndexContainerHeader header = read_container_header(f.get(), path);
+  IndexSpec spec;
+  spec.algorithm = header.algorithm;
+  spec.metric = header.metric;
+  spec.dtype = header.dtype;
+  spec.params = params_from_kv(header.algorithm, header.params);
+  AnyIndex index = make_index(std::move(spec));
+  index.impl_->load_payload(f.get(), path);
+  return index;
+}
+
+// Self-registration for external backends; use from a .cpp file.
+#define ANN_CONCAT_INNER(a, b) a##b
+#define ANN_CONCAT(a, b) ANN_CONCAT_INNER(a, b)
+#define ANN_REGISTER_INDEX(algorithm, metric, dtype, ...)                \
+  namespace {                                                            \
+  const bool ANN_CONCAT(ann_index_registration_, __COUNTER__) =          \
+      (::ann::Registry::instance().register_backend(                     \
+           (algorithm), ::ann::normalize_metric(metric),                 \
+           ::ann::normalize_dtype(dtype), __VA_ARGS__),                  \
+       true);                                                            \
+  }
+
+}  // namespace ann

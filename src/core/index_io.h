@@ -2,19 +2,27 @@
 // service can persist an index and cold-start from it (the vector-database
 // life cycle that motivates determinism in §1). Layered formats:
 //
-//   GraphIndex : [magic "PANN" u32] [version u32] [start u32] [graph]
-//   HNSWIndex  : [magic "PANH" u32] [version u32] [entry u32]
-//                [entry_level u32] [num_layers u32] [levels u32 x n]
-//                [graph x num_layers]
+//   container  : [magic "PANX" u32] [version u32] [algorithm str]
+//                [metric str] [dtype str] [param count u32]
+//                [(key str, value f64) x count] [backend payload]
+//   GraphIndex : [magic "PANN" u32] [version u32] [graph payload]
+//   HNSWIndex  : [magic "PANH" u32] [version u32] [hnsw payload]
 //
-// The graph payload reuses save_graph/load_graph (shared with ParlayANN's
-// flat layout).
+// The container is the format behind `ann::AnyIndex::save/load` (src/api/):
+// its header carries everything needed to reconstruct the index through the
+// registry — algorithm name, metric, element type, and the build parameters
+// as a key/value map — so a saved index round-trips without the caller
+// knowing its concrete type. The per-algorithm formats remain for code that
+// works with a concrete GraphIndex/HNSWIndex.
 #pragma once
 
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "algorithms/common.h"
 #include "algorithms/hnsw.h"
@@ -24,160 +32,203 @@ namespace ann {
 
 namespace internal {
 
+inline constexpr std::uint32_t kContainerMagic = 0x50414e58;   // "PANX"
 inline constexpr std::uint32_t kGraphIndexMagic = 0x50414e4e;  // "PANN"
 inline constexpr std::uint32_t kHnswIndexMagic = 0x50414e48;   // "PANH"
 inline constexpr std::uint32_t kIndexVersion = 1;
+inline constexpr std::uint32_t kContainerVersion = 1;
 
-inline void write_u32(std::FILE* f, std::uint32_t v, const std::string& path) {
-  if (std::fwrite(&v, sizeof(v), 1, f) != 1) {
-    throw std::runtime_error("short write: " + path);
+}  // namespace internal
+
+// --- unified container header ------------------------------------------------
+
+// Everything the registry needs to reconstruct an index: the (algorithm,
+// metric, dtype) triple that keys the factory plus the build parameters as
+// an ordered key/value map. The api layer converts IndexSpec <-> this.
+struct IndexContainerHeader {
+  std::string algorithm;
+  std::string metric;
+  std::string dtype;
+  std::vector<std::pair<std::string, double>> params;
+};
+
+inline void write_container_header(std::FILE* f,
+                                   const IndexContainerHeader& h,
+                                   const std::string& path) {
+  ioutil::write_u32(f, internal::kContainerMagic, path);
+  ioutil::write_u32(f, internal::kContainerVersion, path);
+  ioutil::write_str(f, h.algorithm, path);
+  ioutil::write_str(f, h.metric, path);
+  ioutil::write_str(f, h.dtype, path);
+  ioutil::write_u32(f, static_cast<std::uint32_t>(h.params.size()), path);
+  for (const auto& [key, value] : h.params) {
+    ioutil::write_str(f, key, path);
+    ioutil::write_f64(f, value, path);
   }
 }
 
-inline std::uint32_t read_u32(std::FILE* f, const std::string& path) {
-  std::uint32_t v = 0;
-  if (std::fread(&v, sizeof(v), 1, f) != 1) {
-    throw std::runtime_error("short read: " + path);
+inline IndexContainerHeader read_container_header(std::FILE* f,
+                                                  const std::string& path) {
+  if (ioutil::read_u32(f, path) != internal::kContainerMagic) {
+    throw std::runtime_error("not an ann index container: " + path);
   }
-  return v;
+  if (ioutil::read_u32(f, path) != internal::kContainerVersion) {
+    throw std::runtime_error("unsupported container version: " + path);
+  }
+  IndexContainerHeader h;
+  h.algorithm = ioutil::read_str(f, path);
+  h.metric = ioutil::read_str(f, path);
+  h.dtype = ioutil::read_str(f, path);
+  std::uint32_t count = ioutil::read_u32(f, path);
+  h.params.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string key = ioutil::read_str(f, path);
+    double value = ioutil::read_f64(f, path);
+    h.params.emplace_back(std::move(key), value);
+  }
+  return h;
+}
+
+// --- graph payloads (shared by the legacy formats and the container) ---------
+
+inline void write_graph_payload(std::FILE* f, const Graph& g,
+                                const std::string& path) {
+  ioutil::write_u32(f, static_cast<std::uint32_t>(g.size()), path);
+  ioutil::write_u32(f, g.max_degree(), path);
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    auto neigh = g.neighbors(static_cast<PointId>(v));
+    ioutil::write_u32(f, static_cast<std::uint32_t>(neigh.size()), path);
+    ioutil::write_bytes(f, neigh.data(), neigh.size() * sizeof(PointId), path);
+  }
+}
+
+inline Graph read_graph_payload(std::FILE* f, const std::string& path) {
+  std::uint32_t n = ioutil::read_u32(f, path);
+  std::uint32_t deg = ioutil::read_u32(f, path);
+  // Corrupt-header guard (same standard as ioutil::read_points): fail with
+  // the format's clean error, not a huge allocation's bad_alloc.
+  if (static_cast<std::uint64_t>(n) * deg > (1ull << 40)) {
+    throw std::runtime_error("corrupt graph header: " + path);
+  }
+  Graph g(n, deg);
+  std::vector<PointId> buf(deg);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    std::uint32_t sz = ioutil::read_u32(f, path);
+    if (sz > deg) throw std::runtime_error("corrupt index: " + path);
+    ioutil::read_bytes(f, buf.data(), sz * sizeof(PointId), path);
+    g.set_neighbors(v, {buf.data(), sz});
+  }
+  return g;
+}
+
+template <typename Metric, typename T>
+void write_graph_index_payload(std::FILE* f, const GraphIndex<Metric, T>& index,
+                               const std::string& path) {
+  ioutil::write_u32(f, index.start, path);
+  write_graph_payload(f, index.graph, path);
+}
+
+template <typename Metric, typename T>
+GraphIndex<Metric, T> read_graph_index_payload(std::FILE* f,
+                                               const std::string& path) {
+  GraphIndex<Metric, T> index;
+  index.start = ioutil::read_u32(f, path);
+  index.graph = read_graph_payload(f, path);
+  return index;
+}
+
+template <typename Metric, typename T>
+void write_hnsw_index_payload(std::FILE* f, const HNSWIndex<Metric, T>& index,
+                              const std::string& path) {
+  ioutil::write_u32(f, index.entry, path);
+  ioutil::write_u32(f, index.entry_level, path);
+  ioutil::write_u32(f, static_cast<std::uint32_t>(index.layers.size()), path);
+  ioutil::write_u32(f, static_cast<std::uint32_t>(index.levels.size()), path);
+  ioutil::write_bytes(f, index.levels.data(),
+                      index.levels.size() * sizeof(std::uint32_t), path);
+  for (const auto& layer : index.layers) {
+    write_graph_payload(f, layer, path);
+  }
+}
+
+template <typename Metric, typename T>
+HNSWIndex<Metric, T> read_hnsw_index_payload(std::FILE* f,
+                                             const std::string& path) {
+  HNSWIndex<Metric, T> index;
+  index.entry = ioutil::read_u32(f, path);
+  index.entry_level = ioutil::read_u32(f, path);
+  std::uint32_t num_layers = ioutil::read_u32(f, path);
+  std::uint32_t n = ioutil::read_u32(f, path);
+  if (num_layers > 64 || n > (1u << 31)) {
+    throw std::runtime_error("corrupt hnsw header: " + path);
+  }
+  index.levels.resize(n);
+  ioutil::read_bytes(f, index.levels.data(), n * sizeof(std::uint32_t), path);
+  index.layers.reserve(num_layers);
+  for (std::uint32_t l = 0; l < num_layers; ++l) {
+    index.layers.push_back(read_graph_payload(f, path));
+  }
+  return index;
+}
+
+// --- legacy single-algorithm formats -----------------------------------------
+
+namespace internal {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+inline File open_index_file(const std::string& path, const char* mode) {
+  File f(std::fopen(path.c_str(), mode));
+  if (!f) throw std::runtime_error("cannot open: " + path);
+  return f;
 }
 
 }  // namespace internal
 
 template <typename Metric, typename T>
 void save_index(const GraphIndex<Metric, T>& index, const std::string& path) {
-  // Header via stdio, then delegate the graph to save_graph on a temp
-  // layout: simplest robust framing is header file + graph appended; to
-  // keep a single file we re-serialize the graph inline here.
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) throw std::runtime_error("cannot open: " + path);
-  internal::write_u32(f, internal::kGraphIndexMagic, path);
-  internal::write_u32(f, internal::kIndexVersion, path);
-  internal::write_u32(f, index.start, path);
-  internal::write_u32(f, static_cast<std::uint32_t>(index.graph.size()), path);
-  internal::write_u32(f, index.graph.max_degree(), path);
-  for (std::size_t v = 0; v < index.graph.size(); ++v) {
-    auto neigh = index.graph.neighbors(static_cast<PointId>(v));
-    internal::write_u32(f, static_cast<std::uint32_t>(neigh.size()), path);
-    if (!neigh.empty() &&
-        std::fwrite(neigh.data(), sizeof(PointId), neigh.size(), f) !=
-            neigh.size()) {
-      std::fclose(f);
-      throw std::runtime_error("short write: " + path);
-    }
-  }
-  std::fclose(f);
+  auto f = internal::open_index_file(path, "wb");
+  ioutil::write_u32(f.get(), internal::kGraphIndexMagic, path);
+  ioutil::write_u32(f.get(), internal::kIndexVersion, path);
+  write_graph_index_payload(f.get(), index, path);
 }
 
 template <typename Metric, typename T>
 GraphIndex<Metric, T> load_index(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) throw std::runtime_error("cannot open: " + path);
-  GraphIndex<Metric, T> index;
-  try {
-    if (internal::read_u32(f, path) != internal::kGraphIndexMagic) {
-      throw std::runtime_error("not a GraphIndex file: " + path);
-    }
-    if (internal::read_u32(f, path) != internal::kIndexVersion) {
-      throw std::runtime_error("unsupported index version: " + path);
-    }
-    index.start = internal::read_u32(f, path);
-    std::uint32_t n = internal::read_u32(f, path);
-    std::uint32_t deg = internal::read_u32(f, path);
-    index.graph = Graph(n, deg);
-    std::vector<PointId> buf(deg);
-    for (std::uint32_t v = 0; v < n; ++v) {
-      std::uint32_t sz = internal::read_u32(f, path);
-      if (sz > deg) throw std::runtime_error("corrupt index: " + path);
-      if (sz != 0 && std::fread(buf.data(), sizeof(PointId), sz, f) != sz) {
-        throw std::runtime_error("short read: " + path);
-      }
-      index.graph.set_neighbors(v, {buf.data(), sz});
-    }
-  } catch (...) {
-    std::fclose(f);
-    throw;
+  auto f = internal::open_index_file(path, "rb");
+  if (ioutil::read_u32(f.get(), path) != internal::kGraphIndexMagic) {
+    throw std::runtime_error("not a GraphIndex file: " + path);
   }
-  std::fclose(f);
-  return index;
+  if (ioutil::read_u32(f.get(), path) != internal::kIndexVersion) {
+    throw std::runtime_error("unsupported index version: " + path);
+  }
+  return read_graph_index_payload<Metric, T>(f.get(), path);
 }
 
 template <typename Metric, typename T>
 void save_hnsw_index(const HNSWIndex<Metric, T>& index,
                      const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) throw std::runtime_error("cannot open: " + path);
-  internal::write_u32(f, internal::kHnswIndexMagic, path);
-  internal::write_u32(f, internal::kIndexVersion, path);
-  internal::write_u32(f, index.entry, path);
-  internal::write_u32(f, index.entry_level, path);
-  internal::write_u32(f, static_cast<std::uint32_t>(index.layers.size()), path);
-  internal::write_u32(f, static_cast<std::uint32_t>(index.levels.size()), path);
-  if (!index.levels.empty() &&
-      std::fwrite(index.levels.data(), sizeof(std::uint32_t),
-                  index.levels.size(), f) != index.levels.size()) {
-    std::fclose(f);
-    throw std::runtime_error("short write: " + path);
-  }
-  for (const auto& layer : index.layers) {
-    internal::write_u32(f, static_cast<std::uint32_t>(layer.size()), path);
-    internal::write_u32(f, layer.max_degree(), path);
-    for (std::size_t v = 0; v < layer.size(); ++v) {
-      auto neigh = layer.neighbors(static_cast<PointId>(v));
-      internal::write_u32(f, static_cast<std::uint32_t>(neigh.size()), path);
-      if (!neigh.empty() &&
-          std::fwrite(neigh.data(), sizeof(PointId), neigh.size(), f) !=
-              neigh.size()) {
-        std::fclose(f);
-        throw std::runtime_error("short write: " + path);
-      }
-    }
-  }
-  std::fclose(f);
+  auto f = internal::open_index_file(path, "wb");
+  ioutil::write_u32(f.get(), internal::kHnswIndexMagic, path);
+  ioutil::write_u32(f.get(), internal::kIndexVersion, path);
+  write_hnsw_index_payload(f.get(), index, path);
 }
 
 template <typename Metric, typename T>
 HNSWIndex<Metric, T> load_hnsw_index(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) throw std::runtime_error("cannot open: " + path);
-  HNSWIndex<Metric, T> index;
-  try {
-    if (internal::read_u32(f, path) != internal::kHnswIndexMagic) {
-      throw std::runtime_error("not an HNSWIndex file: " + path);
-    }
-    if (internal::read_u32(f, path) != internal::kIndexVersion) {
-      throw std::runtime_error("unsupported index version: " + path);
-    }
-    index.entry = internal::read_u32(f, path);
-    index.entry_level = internal::read_u32(f, path);
-    std::uint32_t num_layers = internal::read_u32(f, path);
-    std::uint32_t n = internal::read_u32(f, path);
-    index.levels.resize(n);
-    if (n != 0 && std::fread(index.levels.data(), sizeof(std::uint32_t), n,
-                             f) != n) {
-      throw std::runtime_error("short read: " + path);
-    }
-    for (std::uint32_t l = 0; l < num_layers; ++l) {
-      std::uint32_t ln = internal::read_u32(f, path);
-      std::uint32_t deg = internal::read_u32(f, path);
-      Graph layer(ln, deg);
-      std::vector<PointId> buf(deg);
-      for (std::uint32_t v = 0; v < ln; ++v) {
-        std::uint32_t sz = internal::read_u32(f, path);
-        if (sz > deg) throw std::runtime_error("corrupt index: " + path);
-        if (sz != 0 && std::fread(buf.data(), sizeof(PointId), sz, f) != sz) {
-          throw std::runtime_error("short read: " + path);
-        }
-        layer.set_neighbors(v, {buf.data(), sz});
-      }
-      index.layers.push_back(std::move(layer));
-    }
-  } catch (...) {
-    std::fclose(f);
-    throw;
+  auto f = internal::open_index_file(path, "rb");
+  if (ioutil::read_u32(f.get(), path) != internal::kHnswIndexMagic) {
+    throw std::runtime_error("not an HNSWIndex file: " + path);
   }
-  std::fclose(f);
-  return index;
+  if (ioutil::read_u32(f.get(), path) != internal::kIndexVersion) {
+    throw std::runtime_error("unsupported index version: " + path);
+  }
+  return read_hnsw_index_payload<Metric, T>(f.get(), path);
 }
 
 }  // namespace ann

@@ -6,6 +6,8 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -13,6 +15,102 @@
 #include "points.h"
 
 namespace ann {
+
+// --- low-level binary stream primitives --------------------------------------
+//
+// Shared by every on-disk format layered above stdio (index containers,
+// per-algorithm payloads). All helpers throw std::runtime_error naming the
+// offending path on short reads/writes.
+namespace ioutil {
+
+inline void write_bytes(std::FILE* f, const void* data, std::size_t bytes,
+                        const std::string& path) {
+  if (bytes != 0 && std::fwrite(data, 1, bytes, f) != bytes) {
+    throw std::runtime_error("short write: " + path);
+  }
+}
+
+inline void read_bytes(std::FILE* f, void* data, std::size_t bytes,
+                       const std::string& path) {
+  if (bytes != 0 && std::fread(data, 1, bytes, f) != bytes) {
+    throw std::runtime_error("short read / truncated file: " + path);
+  }
+}
+
+inline void write_u32(std::FILE* f, std::uint32_t v, const std::string& path) {
+  write_bytes(f, &v, sizeof(v), path);
+}
+
+inline std::uint32_t read_u32(std::FILE* f, const std::string& path) {
+  std::uint32_t v = 0;
+  read_bytes(f, &v, sizeof(v), path);
+  return v;
+}
+
+inline void write_u64(std::FILE* f, std::uint64_t v, const std::string& path) {
+  write_bytes(f, &v, sizeof(v), path);
+}
+
+inline std::uint64_t read_u64(std::FILE* f, const std::string& path) {
+  std::uint64_t v = 0;
+  read_bytes(f, &v, sizeof(v), path);
+  return v;
+}
+
+inline void write_f64(std::FILE* f, double v, const std::string& path) {
+  write_bytes(f, &v, sizeof(v), path);
+}
+
+inline double read_f64(std::FILE* f, const std::string& path) {
+  double v = 0;
+  read_bytes(f, &v, sizeof(v), path);
+  return v;
+}
+
+inline void write_str(std::FILE* f, const std::string& s,
+                      const std::string& path) {
+  write_u32(f, static_cast<std::uint32_t>(s.size()), path);
+  write_bytes(f, s.data(), s.size(), path);
+}
+
+inline std::string read_str(std::FILE* f, const std::string& path) {
+  std::uint32_t len = read_u32(f, path);
+  if (len > (1u << 20)) throw std::runtime_error("corrupt string: " + path);
+  std::string s(len, '\0');
+  read_bytes(f, s.data(), len, path);
+  return s;
+}
+
+// Densely packed point rows (n, d, then n*d raw elements, no padding).
+template <typename T>
+void write_points(std::FILE* f, const PointSet<T>& points,
+                  const std::string& path) {
+  write_u64(f, points.size(), path);
+  write_u64(f, points.dims(), path);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    write_bytes(f, points[static_cast<PointId>(i)], points.dims() * sizeof(T),
+                path);
+  }
+}
+
+template <typename T>
+PointSet<T> read_points(std::FILE* f, const std::string& path) {
+  std::uint64_t n = read_u64(f, path);
+  std::uint64_t d = read_u64(f, path);
+  // Corruption guard: a bad header must fail cleanly, not drive a huge (or
+  // size_t-wrapping) allocation followed by out-of-bounds row writes.
+  if (d > (1ull << 24) || (d != 0 && n > (1ull << 48) / d)) {
+    throw std::runtime_error("corrupt points header: " + path);
+  }
+  PointSet<T> points(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    read_bytes(f, points.mutable_point(static_cast<PointId>(i)), d * sizeof(T),
+               path);
+  }
+  return points;
+}
+
+}  // namespace ioutil
 
 // --- .bin (BigANN competition format) ---------------------------------------
 

@@ -41,4 +41,16 @@ inline double average_recall(const std::vector<std::vector<PointId>>& results,
   return total / static_cast<double>(results.size());
 }
 
+// Same over Neighbor result sets (the AnyIndex search/batch_search shape).
+inline double average_recall(
+    const std::vector<std::vector<Neighbor>>& results, const GroundTruth& gt,
+    std::size_t k) {
+  std::vector<std::vector<PointId>> ids(results.size());
+  for (std::size_t q = 0; q < results.size(); ++q) {
+    ids[q].reserve(results[q].size());
+    for (const auto& nb : results[q]) ids[q].push_back(nb.id);
+  }
+  return average_recall(ids, gt, k);
+}
+
 }  // namespace ann

@@ -9,11 +9,14 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "parlay/sequence_ops.h"
 
 #include "core/beam_search.h"  // Neighbor
+#include "core/io.h"
 #include "core/points.h"
 #include "ivf/kmeans.h"
 
@@ -24,6 +27,40 @@ struct IVFParams {
   std::uint32_t kmeans_iters = 8;
   std::uint64_t seed = 8;
 };
+
+namespace internal {
+
+// Shared posting-list payload (IVF-Flat and IVF-PQ) with corrupt-header
+// guards: fail with a clean runtime_error, never a huge allocation.
+inline void write_posting_lists(std::FILE* f,
+                                const std::vector<std::vector<PointId>>& lists,
+                                const std::string& path) {
+  ioutil::write_u32(f, static_cast<std::uint32_t>(lists.size()), path);
+  for (const auto& list : lists) {
+    ioutil::write_u32(f, static_cast<std::uint32_t>(list.size()), path);
+    ioutil::write_bytes(f, list.data(), list.size() * sizeof(PointId), path);
+  }
+}
+
+inline std::vector<std::vector<PointId>> read_posting_lists(
+    std::FILE* f, const std::string& path) {
+  std::uint32_t num = ioutil::read_u32(f, path);
+  if (num > (1u << 28)) {
+    throw std::runtime_error("corrupt ivf header: " + path);
+  }
+  std::vector<std::vector<PointId>> lists(num);
+  for (auto& list : lists) {
+    std::uint32_t size = ioutil::read_u32(f, path);
+    if (size > (1u << 31)) {
+      throw std::runtime_error("corrupt ivf list: " + path);
+    }
+    list.resize(size);
+    ioutil::read_bytes(f, list.data(), list.size() * sizeof(PointId), path);
+  }
+  return lists;
+}
+
+}  // namespace internal
 
 struct IVFQueryParams {
   std::uint32_t nprobe = 4;
@@ -50,8 +87,9 @@ class IVFFlat {
     return index;
   }
 
-  std::vector<PointId> query(const T* q, const PointSet<T>& points,
-                             const IVFQueryParams& params) const {
+  // Candidates with exact distances, ascending by (dist, id).
+  std::vector<Neighbor> query_full(const T* q, const PointSet<T>& points,
+                                   const IVFQueryParams& params) const {
     const std::size_t d = points.dims();
     // Rank centroids under the index metric (float copy of q, computed once).
     std::vector<float> qf(d);
@@ -79,6 +117,12 @@ class IVFFlat {
         }
       }
     }
+    return best;
+  }
+
+  std::vector<PointId> query(const T* q, const PointSet<T>& points,
+                             const IVFQueryParams& params) const {
+    auto best = query_full(q, points, params);
     std::vector<PointId> ids(best.size());
     for (std::size_t i = 0; i < best.size(); ++i) ids[i] = best[i].id;
     return ids;
@@ -87,6 +131,18 @@ class IVFFlat {
   std::size_t num_lists() const { return lists_.size(); }
   const std::vector<PointId>& list(std::size_t c) const { return lists_[c]; }
   const PointSet<float>& centroids() const { return centroids_; }
+
+  void save_payload(std::FILE* f, const std::string& path) const {
+    ioutil::write_points(f, centroids_, path);
+    internal::write_posting_lists(f, lists_, path);
+  }
+
+  static IVFFlat load_payload(std::FILE* f, const std::string& path) {
+    IVFFlat index;
+    index.centroids_ = ioutil::read_points<float>(f, path);
+    index.lists_ = internal::read_posting_lists(f, path);
+    return index;
+  }
 
  private:
   PointSet<float> centroids_;

@@ -6,9 +6,12 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "core/beam_search.h"  // Neighbor
+#include "core/io.h"
 #include "core/points.h"
 #include "ivf/ivf_flat.h"
 #include "ivf/pq.h"
@@ -43,8 +46,10 @@ class IVFPQ {
     return index;
   }
 
-  std::vector<PointId> query(const T* q, const PointSet<T>& points,
-                             const IVFQueryParams& params) const {
+  // Candidates ascending by (dist, id); distances are exact when re-ranking
+  // is on (rerank > 0), otherwise compressed-domain ADC approximations.
+  std::vector<Neighbor> query_full(const T* q, const PointSet<T>& points,
+                                   const IVFQueryParams& params) const {
     const std::size_t d = points.dims();
     std::vector<float> qf(d);
     for (std::size_t j = 0; j < d; ++j) qf[j] = static_cast<float>(q[j]);
@@ -80,12 +85,42 @@ class IVFPQ {
       std::sort(best.begin(), best.end());
     }
     if (best.size() > params.k) best.resize(params.k);
+    return best;
+  }
+
+  std::vector<PointId> query(const T* q, const PointSet<T>& points,
+                             const IVFQueryParams& params) const {
+    auto best = query_full(q, points, params);
     std::vector<PointId> ids(best.size());
     for (std::size_t i = 0; i < best.size(); ++i) ids[i] = best[i].id;
     return ids;
   }
 
   const ProductQuantizer<T>& quantizer() const { return pq_; }
+
+  void save_payload(std::FILE* f, const std::string& path) const {
+    ioutil::write_points(f, centroids_, path);
+    internal::write_posting_lists(f, lists_, path);
+    pq_.save_payload(f, path);
+    ioutil::write_u64(f, codes_.size(), path);
+    ioutil::write_bytes(f, codes_.data(), codes_.size(), path);
+    ioutil::write_u32(f, rerank_, path);
+  }
+
+  static IVFPQ load_payload(std::FILE* f, const std::string& path) {
+    IVFPQ index;
+    index.centroids_ = ioutil::read_points<float>(f, path);
+    index.lists_ = internal::read_posting_lists(f, path);
+    index.pq_ = ProductQuantizer<T>::load_payload(f, path);
+    std::uint64_t num_codes = ioutil::read_u64(f, path);
+    if (num_codes > (1ull << 40)) {
+      throw std::runtime_error("corrupt pq codes header: " + path);
+    }
+    index.codes_.resize(num_codes);
+    ioutil::read_bytes(f, index.codes_.data(), index.codes_.size(), path);
+    index.rerank_ = ioutil::read_u32(f, path);
+    return index;
+  }
 
  private:
   PointSet<float> centroids_;

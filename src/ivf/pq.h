@@ -10,12 +10,15 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "parlay/parallel.h"
 
 #include "core/beam_search.h"  // Neighbor
 #include "core/distance.h"
+#include "core/io.h"
 #include "core/points.h"
 #include "ivf/kmeans.h"
 
@@ -134,6 +137,35 @@ class ProductQuantizer {
     std::size_t w = 0;
     for (const auto& cb : codebooks_) w = std::max(w, cb.size());
     return w;
+  }
+
+  void save_payload(std::FILE* f, const std::string& path) const {
+    ioutil::write_u32(f, m_, path);
+    ioutil::write_u64(f, d_, path);
+    for (std::uint32_t s = 0; s < m_; ++s) {
+      ioutil::write_u64(f, sub_dims_[s], path);
+      ioutil::write_u64(f, sub_offsets_[s], path);
+      ioutil::write_points(f, codebooks_[s], path);
+    }
+  }
+
+  static ProductQuantizer load_payload(std::FILE* f, const std::string& path) {
+    ProductQuantizer pq;
+    pq.m_ = ioutil::read_u32(f, path);
+    pq.d_ = ioutil::read_u64(f, path);
+    // Corrupt-header guard: fail cleanly, never allocate from garbage.
+    if (pq.m_ > (1u << 16) || pq.d_ > (1ull << 24)) {
+      throw std::runtime_error("corrupt pq header: " + path);
+    }
+    pq.sub_dims_.resize(pq.m_);
+    pq.sub_offsets_.resize(pq.m_);
+    pq.codebooks_.reserve(pq.m_);
+    for (std::uint32_t s = 0; s < pq.m_; ++s) {
+      pq.sub_dims_[s] = ioutil::read_u64(f, path);
+      pq.sub_offsets_[s] = ioutil::read_u64(f, path);
+      pq.codebooks_.push_back(ioutil::read_points<float>(f, path));
+    }
+    return pq;
   }
 
  private:

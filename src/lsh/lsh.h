@@ -12,6 +12,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -21,6 +23,7 @@
 
 #include "core/beam_search.h"  // Neighbor
 #include "core/distance.h"
+#include "core/io.h"
 #include "core/points.h"
 
 namespace ann {
@@ -69,8 +72,9 @@ class LSHIndex {
     return index;
   }
 
-  std::vector<PointId> query(const T* q, const PointSet<T>& points,
-                             const LSHQueryParams& params) const {
+  // Candidates with exact distances, ascending by (dist, id).
+  std::vector<Neighbor> query_full(const T* q, const PointSet<T>& points,
+                                   const LSHQueryParams& params) const {
     const std::size_t d = points.dims();
     std::vector<PointId> candidates;
     for (std::uint32_t t = 0; t < tables_.size(); ++t) {
@@ -100,12 +104,75 @@ class LSHIndex {
     }
     std::sort(ranked.begin(), ranked.end());
     if (ranked.size() > params.k) ranked.resize(params.k);
+    return ranked;
+  }
+
+  std::vector<PointId> query(const T* q, const PointSet<T>& points,
+                             const LSHQueryParams& params) const {
+    auto ranked = query_full(q, points, params);
     std::vector<PointId> ids(ranked.size());
     for (std::size_t i = 0; i < ranked.size(); ++i) ids[i] = ranked[i].id;
     return ids;
   }
 
   std::size_t num_tables() const { return tables_.size(); }
+
+  void save_payload(std::FILE* f, const std::string& path) const {
+    ioutil::write_u32(f, num_bits_, path);
+    ioutil::write_u32(f, static_cast<std::uint32_t>(planes_.size()), path);
+    for (const auto& plane : planes_) {
+      ioutil::write_u64(f, plane.size(), path);
+      ioutil::write_bytes(f, plane.data(), plane.size() * sizeof(float), path);
+    }
+    // Buckets in ascending hash order so the file is deterministic.
+    for (const auto& table : tables_) {
+      std::vector<std::uint32_t> hashes;
+      hashes.reserve(table.size());
+      for (const auto& [h, ids] : table) hashes.push_back(h);
+      std::sort(hashes.begin(), hashes.end());
+      ioutil::write_u32(f, static_cast<std::uint32_t>(hashes.size()), path);
+      for (std::uint32_t h : hashes) {
+        const auto& ids = table.at(h);
+        ioutil::write_u32(f, h, path);
+        ioutil::write_u32(f, static_cast<std::uint32_t>(ids.size()), path);
+        ioutil::write_bytes(f, ids.data(), ids.size() * sizeof(PointId), path);
+      }
+    }
+  }
+
+  static LSHIndex load_payload(std::FILE* f, const std::string& path) {
+    LSHIndex index;
+    index.num_bits_ = ioutil::read_u32(f, path);
+    std::uint32_t num_tables = ioutil::read_u32(f, path);
+    // Corrupt-header guard: fail cleanly instead of allocating huge tables.
+    if (index.num_bits_ > 32 || num_tables > (1u << 16)) {
+      throw std::runtime_error("corrupt lsh header: " + path);
+    }
+    index.planes_.resize(num_tables);
+    for (auto& plane : index.planes_) {
+      std::uint64_t size = ioutil::read_u64(f, path);
+      if (size > (1ull << 32)) {
+        throw std::runtime_error("corrupt lsh header: " + path);
+      }
+      plane.resize(size);
+      ioutil::read_bytes(f, plane.data(), plane.size() * sizeof(float), path);
+    }
+    index.tables_.resize(index.planes_.size());
+    for (auto& table : index.tables_) {
+      std::uint32_t buckets = ioutil::read_u32(f, path);
+      for (std::uint32_t b = 0; b < buckets; ++b) {
+        std::uint32_t h = ioutil::read_u32(f, path);
+        std::uint32_t size = ioutil::read_u32(f, path);
+        if (size > (1u << 31)) {
+          throw std::runtime_error("corrupt lsh bucket: " + path);
+        }
+        std::vector<PointId> ids(size);
+        ioutil::read_bytes(f, ids.data(), ids.size() * sizeof(PointId), path);
+        table.emplace(h, std::move(ids));
+      }
+    }
+    return index;
+  }
 
  private:
   static double gaussian(const parlay::random_source& rs, std::uint64_t i) {

@@ -26,7 +26,9 @@ TEST(BatchSchedule, PrefixDoublingShape) {
     EXPECT_EQ(lo, covered);
     std::size_t size = hi - lo;
     EXPECT_LE(size, 20u);  // theta cap
-    if (prev_size > 0 && prev_size < 20) EXPECT_GE(size, prev_size);
+    if (prev_size > 0 && prev_size < 20) {
+      EXPECT_GE(size, prev_size);
+    }
     prev_size = size;
     covered = hi;
   }

@@ -1,15 +1,15 @@
 // End-to-end integration: generate -> build -> persist -> reload -> serve,
 // across algorithms, element types, and metrics; plus cross-cutting checks
-// that exercise module seams rather than single modules.
+// that exercise module seams rather than single modules. The lifecycle and
+// cross-algorithm tests run through the unified public API (src/api/).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 
 #include "algorithms/diskann.h"
-#include "algorithms/hcnng.h"
-#include "algorithms/hnsw.h"
-#include "algorithms/pynndescent.h"
+#include "api/ann.h"
 #include "core/dataset.h"
 #include "core/index_io.h"
 #include "core/io.h"
@@ -26,26 +26,29 @@ std::string temp_path(const std::string& name) {
   return (std::filesystem::temp_directory_path() / name).string();
 }
 
+double api_recall(const ann::AnyIndex& index, const auto& queries,
+                  const ann::GroundTruth& gt, std::uint32_t beam) {
+  return ann::average_recall(
+      index.batch_search(queries, {.beam_width = beam, .k = 10}), gt, 10);
+}
+
 TEST(Integration, FullLifecycleUint8L2) {
-  // The complete service life cycle on the BIGANN-like family.
+  // The complete service life cycle on the BIGANN-like family, entirely
+  // through the public API: build -> save -> load -> serve. The saved
+  // container carries the vectors, so no side file is needed.
   auto ds = ann::make_bigann_like(1500, 30, 61);
-  ann::DiskANNParams prm{.degree_bound = 24, .beam_width = 48};
-  auto built = ann::build_diskann<EuclideanSquared>(ds.base, prm);
+  auto built = ann::make_index(
+      {.algorithm = "diskann", .metric = "euclidean", .dtype = "uint8",
+       .params = ann::DiskANNParams{.degree_bound = 24, .beam_width = 48}});
+  built.build(ds.base);
 
   auto ipath = temp_path("integ_index.pann");
-  auto dpath = temp_path("integ_vectors.bin");
-  ann::save_index(built, ipath);
-  ann::save_bin(ds.base, dpath);
-
-  auto index = ann::load_index<EuclideanSquared, std::uint8_t>(ipath);
-  auto base = ann::load_bin<std::uint8_t>(dpath);
-  ASSERT_TRUE(base == ds.base);
-
-  double recall = ann::testutil::measure_recall<EuclideanSquared>(
-      index, base, ds.queries, 48);
-  EXPECT_GT(recall, 0.9);
+  built.save(ipath);
+  auto index = ann::AnyIndex::load(ipath);
   std::remove(ipath.c_str());
-  std::remove(dpath.c_str());
+
+  auto gt = ann::compute_ground_truth<EuclideanSquared>(ds.base, ds.queries, 10);
+  EXPECT_GT(api_recall(index, ds.queries, gt, 48), 0.9);
 }
 
 TEST(Integration, AllAlgorithmsComparableAtMatchedParameters) {
@@ -54,45 +57,39 @@ TEST(Integration, AllAlgorithmsComparableAtMatchedParameters) {
   auto ds = ann::make_spacev_like(1500, 30, 62);
   auto gt = ann::compute_ground_truth<EuclideanSquared>(ds.base, ds.queries, 10);
 
-  ann::DiskANNParams dprm{.degree_bound = 32, .beam_width = 64};
-  auto diskann = ann::build_diskann<EuclideanSquared>(ds.base, dprm);
-  ann::HNSWParams hprm{.m = 16, .ef_construction = 64};
-  auto hnsw = ann::build_hnsw<EuclideanSquared>(ds.base, hprm);
-  ann::HCNNGParams cprm{.num_trees = 10, .leaf_size = 200};
-  auto hcnng = ann::build_hcnng<EuclideanSquared>(ds.base, cprm);
-  ann::PyNNDescentParams pprm{.k = 32, .num_trees = 6, .leaf_size = 100};
-  auto pynn = ann::build_pynndescent<EuclideanSquared>(ds.base, pprm);
-
-  auto recall_of = [&](const auto& ix) {
-    ann::SearchParams sp{.beam_width = 64, .k = 10};
-    std::vector<std::vector<PointId>> results;
-    for (std::size_t q = 0; q < ds.queries.size(); ++q) {
-      results.push_back(
-          ix.query(ds.queries[static_cast<PointId>(q)], ds.base, sp));
-    }
-    return ann::average_recall(results, gt, 10);
+  const std::vector<ann::IndexSpec> specs = {
+      {.algorithm = "diskann", .metric = "euclidean", .dtype = "int8",
+       .params = ann::DiskANNParams{.degree_bound = 32, .beam_width = 64}},
+      {.algorithm = "hnsw", .metric = "euclidean", .dtype = "int8",
+       .params = ann::HNSWParams{.m = 16, .ef_construction = 64}},
+      {.algorithm = "hcnng", .metric = "euclidean", .dtype = "int8",
+       .params = ann::HCNNGParams{.num_trees = 10, .leaf_size = 200}},
+      {.algorithm = "pynndescent", .metric = "euclidean", .dtype = "int8",
+       .params = ann::PyNNDescentParams{.k = 32, .num_trees = 6,
+                                        .leaf_size = 100}},
   };
-  double rd = recall_of(diskann), rh = recall_of(hnsw), rc = recall_of(hcnng),
-         rp = recall_of(pynn);
-  for (double r : {rd, rh, rc, rp}) EXPECT_GT(r, 0.85);
+  std::vector<double> recalls;
+  for (const auto& spec : specs) {
+    auto index = ann::make_index(spec);
+    index.build(ds.base);
+    recalls.push_back(api_recall(index, ds.queries, gt, 64));
+  }
+  for (double r : recalls) EXPECT_GT(r, 0.85);
   // Band width: no algorithm should be catastrophically behind.
-  double best = std::max({rd, rh, rc, rp});
-  for (double r : {rd, rh, rc, rp}) EXPECT_GT(r, best - 0.15);
+  double best = *std::max_element(recalls.begin(), recalls.end());
+  for (double r : recalls) EXPECT_GT(r, best - 0.15);
 }
 
 TEST(Integration, CosineMetricEndToEnd) {
   // Cosine distance through build + search (not just the kernel test).
   auto ds = ann::make_text2image_like(1000, 20, 63);
-  ann::DiskANNParams prm{.degree_bound = 32, .beam_width = 64, .alpha = 1.0f};
-  auto index = ann::build_diskann<Cosine>(ds.base, prm);
+  auto index = ann::make_index(
+      {.algorithm = "diskann", .metric = "cosine", .dtype = "float",
+       .params = ann::DiskANNParams{.degree_bound = 32, .beam_width = 64,
+                                    .alpha = 1.0f}});
+  index.build(ds.base);
   auto gt = ann::compute_ground_truth<Cosine>(ds.base, ds.queries, 10);
-  ann::SearchParams sp{.beam_width = 80, .k = 10};
-  std::vector<std::vector<PointId>> results;
-  for (std::size_t q = 0; q < ds.queries.size(); ++q) {
-    results.push_back(
-        index.query(ds.queries[static_cast<PointId>(q)], ds.base, sp));
-  }
-  EXPECT_GT(ann::average_recall(results, gt, 10), 0.7);
+  EXPECT_GT(api_recall(index, ds.queries, gt, 80), 0.7);
 }
 
 TEST(Integration, GroundTruthMetricsAgreeOnIdenticalRankings) {

@@ -60,7 +60,9 @@ TEST_P(BeamSweepL2, StructuralInvariants) {
     // Frontier: sorted strictly, capped at beam, all distances correct.
     ASSERT_LE(res.frontier.size(), static_cast<std::size_t>(beam));
     for (std::size_t i = 0; i < res.frontier.size(); ++i) {
-      if (i > 0) ASSERT_TRUE(res.frontier[i - 1] < res.frontier[i]);
+      if (i > 0) {
+        ASSERT_TRUE(res.frontier[i - 1] < res.frontier[i]);
+      }
       ASSERT_FLOAT_EQ(res.frontier[i].dist,
                       EuclideanSquared::distance(
                           ds_->queries[static_cast<PointId>(q)],

@@ -120,7 +120,9 @@ TEST_F(RangeSearchTest, GroundTruthSelfConsistent) {
   for (std::size_t q = 0; q < gt_.size(); ++q) {
     for (std::size_t i = 0; i < gt_[q].size(); ++i) {
       EXPECT_LE(gt_[q][i].dist, radius_);
-      if (i > 0) EXPECT_TRUE(gt_[q][i - 1] < gt_[q][i]);
+      if (i > 0) {
+        EXPECT_TRUE(gt_[q][i - 1] < gt_[q][i]);
+      }
     }
   }
 }
