@@ -1,10 +1,8 @@
 // Memory-bounded sharded build vs monolithic build: quality cost of the
 // divide-and-merge strategy (the original DiskANN system's billion-scale
-// recipe) under the deterministic batch machinery.
+// recipe) under the deterministic batch machinery — both driven through the
+// unified API ("diskann" vs "sharded_diskann" with ShardedBuildParams).
 #include "bench_common.h"
-
-#include "algorithms/diskann.h"
-#include "algorithms/sharded_build.h"
 
 int main(int argc, char** argv) {
   using namespace ann;
@@ -19,29 +17,27 @@ int main(int argc, char** argv) {
   DiskANNParams dprm{.degree_bound = 32, .beam_width = 64};
   ann::Table bt({"variant", "build_s", "edges"});
   {
-    GraphIndex<EuclideanSquared, std::uint8_t> ix;
-    double t = bench::time_s([&] {
-      ix = build_diskann<EuclideanSquared>(ds.base, dprm);
-    });
+    auto index = make_index({.algorithm = "diskann", .metric = "euclidean",
+                             .dtype = "uint8", .params = dprm});
+    double t = bench::time_s([&] { index.build(ds.base); });
     bt.add_row({"monolithic", ann::fmt(t, 2),
-                std::to_string(ix.graph.num_edges())});
+                ann::fmt(index.stats().detail("num_edges"), 0)});
     bench::print_sweep("monolithic",
-                       bench::graph_sweep(ix, ds.base, ds.queries, gt, beams));
+                       bench::index_sweep(index, ds.queries, gt, beams));
   }
   for (std::uint32_t shards : {4u, 8u}) {
-    ShardedBuildParams prm;
-    prm.num_shards = shards;
-    prm.overlap = 2;
-    prm.diskann = dprm;
-    GraphIndex<EuclideanSquared, std::uint8_t> ix;
-    double t = bench::time_s([&] {
-      ix = build_sharded_diskann<EuclideanSquared>(ds.base, prm);
-    });
+    auto index = make_index(
+        {.algorithm = "sharded_diskann", .metric = "euclidean",
+         .dtype = "uint8",
+         .params = ShardedBuildParams{.num_shards = shards, .overlap = 2,
+                                      .diskann = dprm}});
+    double t = bench::time_s([&] { index.build(ds.base); });
     char name[64];
     std::snprintf(name, sizeof(name), "sharded x%u (overlap 2)", shards);
-    bt.add_row({name, ann::fmt(t, 2), std::to_string(ix.graph.num_edges())});
+    bt.add_row({name, ann::fmt(t, 2),
+                ann::fmt(index.stats().detail("num_edges"), 0)});
     bench::print_sweep(name,
-                       bench::graph_sweep(ix, ds.base, ds.queries, gt, beams));
+                       bench::index_sweep(index, ds.queries, gt, beams));
   }
   std::printf("\n## build cost\n");
   bt.print();

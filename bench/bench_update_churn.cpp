@@ -1,0 +1,118 @@
+// Update-churn bench: rolling insert/erase/consolidate windows over the
+// unified mutable API (algorithm "dynamic_diskann"), measuring maintenance
+// throughput and recall drift as the index ages — the FreshDiskANN-style
+// workload the paper's determinism contract is meant to serve.
+//
+// Each window: insert a fresh batch, tombstone the oldest half-batch of
+// live points, measure recall against live-only ground truth; every second
+// window runs a consolidate pass. Accepts the standard scale argument
+// (`bench_update_churn 0.02` is the ctest smoke setting).
+#include "bench_common.h"
+
+#include <set>
+
+namespace {
+
+// Recall@10 of the index over live points only: ground truth is computed
+// over the live subset and mapped back to global ids.
+double live_recall(const ann::AnyIndex& index,
+                   const ann::PointSet<std::uint8_t>& base,
+                   const std::vector<unsigned char>& alive,
+                   std::size_t limit,
+                   const ann::PointSet<std::uint8_t>& queries) {
+  using ann::PointId;
+  ann::PointSet<std::uint8_t> live(0, base.dims());
+  std::vector<PointId> live_ids;
+  for (std::size_t i = 0; i < limit; ++i) {
+    if (alive[i]) {
+      live.append(base[static_cast<PointId>(i)]);
+      live_ids.push_back(static_cast<PointId>(i));
+    }
+  }
+  auto gt = ann::compute_ground_truth<ann::EuclideanSquared>(live, queries, 10);
+  auto results = index.batch_search(queries, {.beam_width = 64, .k = 10});
+  double total = 0;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    std::set<PointId> got;
+    for (const auto& nb : results[q]) got.insert(nb.id);
+    std::size_t hits = 0;
+    auto row = gt.row(q);
+    for (const auto& nb : row) hits += got.count(live_ids[nb.id]);
+    total += static_cast<double>(hits) / static_cast<double>(row.size());
+  }
+  return total / static_cast<double>(queries.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ann;
+  double s = bench::scale_arg(argc, argv);
+  const std::size_t initial = bench::scaled(6000, s);
+  const std::size_t window = bench::scaled(1500, s);
+  const std::size_t num_windows = 4;
+  const std::size_t nq = 64;
+  const std::size_t total = initial + num_windows * window;
+
+  std::printf("Update churn over dynamic_diskann (BIGANN-like, "
+              "initial=%zu, %zu windows of +%zu/-%zu)\n",
+              initial, num_windows, window, window / 2);
+  auto ds = make_bigann_like(total, nq, 42);
+
+  auto index = make_index(
+      {.algorithm = "dynamic_diskann", .metric = "euclidean", .dtype = "uint8",
+       .params = DiskANNParams{.degree_bound = 32, .beam_width = 64}});
+
+  std::vector<unsigned char> alive(total, 0);
+  double t_load =
+      bench::time_s([&] { index.insert(ds.base.slice(0, initial)); });
+  for (std::size_t i = 0; i < initial; ++i) alive[i] = 1;
+  std::size_t inserted = initial;   // points fed to the index so far
+  std::size_t erase_cursor = 0;     // oldest not-yet-tombstoned id
+
+  ann::Table table({"window", "live", "deleted", "insert_pts_s", "erase_pts_s",
+                    "consolidate_s", "recall10@10"});
+  table.add_row({"load", std::to_string(initial), "0",
+                 ann::fmt(static_cast<double>(initial) / t_load, 0), "-", "-",
+                 ann::fmt(live_recall(index, ds.base, alive, inserted,
+                                      ds.queries), 4)});
+
+  double window_recall = 0;
+  for (std::size_t w = 0; w < num_windows; ++w) {
+    double t_ins = bench::time_s([&] {
+      index.insert(ds.base.slice(inserted, inserted + window));
+    });
+    for (std::size_t i = inserted; i < inserted + window; ++i) alive[i] = 1;
+    inserted += window;
+
+    // Tombstone the oldest half-window of still-live points.
+    std::vector<PointId> dead;
+    while (dead.size() < window / 2 && erase_cursor < inserted) {
+      if (alive[erase_cursor]) {
+        dead.push_back(static_cast<PointId>(erase_cursor));
+        alive[erase_cursor] = 0;
+      }
+      ++erase_cursor;
+    }
+    double t_del = bench::time_s([&] { index.erase(dead); });
+
+    double t_cons = 0;
+    bool consolidated = (w % 2) == 1;
+    if (consolidated) t_cons = bench::time_s([&] { index.consolidate(); });
+
+    auto stats = index.stats();
+    window_recall = live_recall(index, ds.base, alive, inserted, ds.queries);
+    table.add_row(
+        {std::to_string(w + 1), ann::fmt(stats.detail("num_live"), 0),
+         ann::fmt(stats.detail("num_deleted"), 0),
+         ann::fmt(static_cast<double>(window) / t_ins, 0),
+         ann::fmt(static_cast<double>(dead.size()) / std::max(t_del, 1e-9), 0),
+         consolidated ? ann::fmt(t_cons, 3) : "-",
+         ann::fmt(window_recall, 4)});
+  }
+  table.print();
+
+  // The mutable path must keep finding live points as the index churns; a
+  // non-zero exit lets the ctest smoke run catch regressions.
+  return window_recall > 0.5 ? 0 : 1;
+}

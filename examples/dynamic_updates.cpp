@@ -1,69 +1,73 @@
-// Dynamic index life cycle: batch inserts, tombstone deletes, and
-// consolidation — the maintenance loop of a vector database built on the
-// deterministic batch machinery (see src/algorithms/dynamic_index.h).
+// Dynamic index life cycle through the unified API: batch inserts,
+// tombstone deletes, consolidation, and persistence — the maintenance loop
+// of a vector database built on the deterministic batch machinery.
 //
-// DynamicDiskANN is a mutable index and sits below the immutable AnyIndex
-// API (src/api/) for now; growing the unified surface to cover updates is
-// an open roadmap item.
+// The "dynamic_diskann" backend (src/algorithms/dynamic_index.h behind
+// ann::AnyIndex's mutable surface) opts into insert/erase/consolidate;
+// build-once backends report supports_updates() == false and throw
+// ann::unsupported_operation on mutation calls. A mutated index save/loads
+// through the same container format as every other backend, tombstone state
+// included.
 //
 //   $ ./examples/dynamic_updates
 #include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
 
-#include "algorithms/dynamic_index.h"
+#include "api/ann.h"
 #include "core/dataset.h"
 #include "core/ground_truth.h"
 #include "core/recall.h"
-
-namespace {
-
-ann::PointSet<std::uint8_t> slice(const ann::PointSet<std::uint8_t>& ps,
-                                  std::size_t lo, std::size_t hi) {
-  ann::PointSet<std::uint8_t> out(hi - lo, ps.dims());
-  for (std::size_t i = lo; i < hi; ++i) {
-    out.set_point(static_cast<ann::PointId>(i - lo),
-                  ps[static_cast<ann::PointId>(i)]);
-  }
-  return out;
-}
-
-}  // namespace
 
 int main() {
   using namespace ann;
   auto ds = make_bigann_like(12000, 100, 42);
   auto gt = compute_ground_truth<EuclideanSquared>(ds.base, ds.queries, 10);
 
-  DiskANNParams prm{.degree_bound = 32, .beam_width = 64};
-  DynamicDiskANN<EuclideanSquared, std::uint8_t> index(128, prm);
+  IndexSpec spec{.algorithm = "dynamic_diskann", .metric = "euclidean",
+                 .dtype = "uint8",
+                 .params = DiskANNParams{.degree_bound = 32, .beam_width = 64}};
+  AnyIndex index = make_index(spec);
+  std::printf("supports_updates: dynamic_diskann=%s diskann=%s\n",
+              index.supports_updates() ? "yes" : "no",
+              make_index("diskann", "euclidean", "uint8").supports_updates()
+                  ? "yes" : "no");
 
-  auto report = [&](const char* stage) {
-    SearchParams sp{.beam_width = 48, .k = 10};
-    std::vector<std::vector<PointId>> results;
-    for (std::size_t q = 0; q < ds.queries.size(); ++q) {
-      results.push_back(index.query(ds.queries[static_cast<PointId>(q)], sp));
-    }
-    std::printf("%-28s live=%-6zu deleted=%-5zu recall(vs full set)=%.4f\n",
-                stage, index.num_live(), index.num_deleted(),
+  auto report = [&](const char* stage, const AnyIndex& ix) {
+    auto results = ix.batch_search(ds.queries, {.beam_width = 48, .k = 10});
+    auto stats = ix.stats();
+    std::printf("%-28s live=%-6.0f deleted=%-5.0f recall(vs full set)=%.4f\n",
+                stage, stats.detail("num_live"), stats.detail("num_deleted"),
                 average_recall(results, gt, 10));
   };
 
   std::printf("day 0: initial load of 8k vectors\n");
-  index.insert(slice(ds.base, 0, 8000));
-  report("  after initial load");
+  index.insert(ds.base.slice(0, 8000));
+  report("  after initial load", index);
 
   std::printf("day 1: 4k new vectors arrive\n");
-  index.insert(slice(ds.base, 8000, 12000));
-  report("  after incremental insert");
+  PointId first = index.insert(ds.base.slice(8000, 12000));
+  std::printf("  (new ids start at %u)\n", first);
+  report("  after incremental insert", index);
 
   std::printf("day 2: 1k vectors taken down (tombstoned)\n");
   std::vector<PointId> dead;
   for (PointId i = 0; i < 3000; i += 3) dead.push_back(i);
   index.erase(dead);
-  report("  after deletes");
+  report("  after deletes", index);
 
   std::printf("day 3: maintenance window - consolidate\n");
   index.consolidate();
-  report("  after consolidate");
+  report("  after consolidate", index);
+
+  std::printf("day 4: persist and cold-start (tombstones travel with it)\n");
+  auto path = (std::filesystem::temp_directory_path() /
+               "dynamic_updates.pann").string();
+  index.save(path);
+  auto served = AnyIndex::load(path);
+  std::filesystem::remove(path);
+  report("  served from disk", served);
 
   std::printf("\n(recall is scored against the FULL ground truth, so rows "
               "after the delete include intentionally-missing points; the "

@@ -16,11 +16,14 @@
 //     are cleared.
 //
 // Every operation is deterministic under the same contract as the static
-// builders.
+// builders. The index is reachable through the unified API as algorithm
+// "dynamic_diskann" (src/api/adapters.h wraps it behind AnyIndex's mutable
+// surface and persists its tombstone state through the container format).
 #pragma once
 
 #include <cassert>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "parlay/parallel.h"
@@ -54,33 +57,15 @@ class DynamicDiskANN {
     assert(batch.dims() == points_.dims());
     const std::size_t old_n = points_.size();
     points_.append_all(batch);
-    deleted_.resize(points_.size(), 0);
-    graph_.resize(points_.size());
+    return link_appended(old_n, batch);
+  }
 
-    std::vector<PointId> ids(batch.size());
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      ids[i] = static_cast<PointId>(old_n + i);
-    }
-    if (old_n == 0) {
-      // Bootstrap: medoid of the first batch becomes the entry point and is
-      // excluded from insertion (as in the static builder).
-      start_ = find_medoid<Metric>(points_);
-      std::erase(ids, start_);
-    }
-    // Chunk like prefix doubling: each chunk is at most ~2% of the index it
-    // searches, but at least a constant so small updates stay cheap.
-    std::size_t pos = 0;
-    while (pos < ids.size()) {
-      std::size_t base = std::max<std::size_t>(old_n + pos, 50);
-      std::size_t chunk = std::max<std::size_t>(1, base / 50);
-      std::size_t end = std::min(ids.size(), pos + chunk);
-      internal::diskann_batch_insert<Metric>(
-          graph_, points_,
-          std::span<const PointId>(ids.data() + pos, end - pos), start_,
-          params_);
-      pos = end;
-    }
-    return static_cast<PointId>(old_n);
+  // Initial-load overload taking ownership of the dataset (no copy of the
+  // rows); on a non-empty index falls back to the appending path.
+  PointId insert(PointSet<T>&& batch) {
+    if (points_.size() != 0) return insert(batch);
+    points_ = std::move(batch);
+    return link_appended(0, points_);
   }
 
   // Tombstone points. They stop appearing in query results immediately;
@@ -138,8 +123,8 @@ class DynamicDiskANN {
     }, 1);
   }
 
-  // k nearest LIVE neighbors.
-  std::vector<PointId> query(const T* q, const SearchParams& params) const {
+  // k nearest LIVE neighbors with distances.
+  std::vector<Neighbor> query_full(const T* q, const SearchParams& params) const {
     if (start_ == kInvalidPoint) return {};
     // Oversearch: tombstones occupy beam slots, so widen proportionally to
     // the deleted fraction.
@@ -152,17 +137,77 @@ class DynamicDiskANN {
         std::max(live_frac, 0.1));
     std::vector<PointId> starts{start_};
     auto res = beam_search<Metric>(q, points_, graph_, starts, sp);
-    std::vector<PointId> out;
+    std::vector<Neighbor> out;
     for (const auto& nb : res.frontier) {
       if (!deleted_[nb.id]) {
-        out.push_back(nb.id);
+        out.push_back(nb);
         if (out.size() >= params.k) break;
       }
     }
     return out;
   }
 
+  // k nearest LIVE neighbors.
+  std::vector<PointId> query(const T* q, const SearchParams& params) const {
+    auto full = query_full(q, params);
+    std::vector<PointId> out;
+    out.reserve(full.size());
+    for (const auto& nb : full) out.push_back(nb.id);
+    return out;
+  }
+
+  // --- persistence hooks (the container format's dynamic-state payload) ------
+
+  const std::vector<unsigned char>& deleted_flags() const { return deleted_; }
+
+  // Reinstall persisted state wholesale (the AnyIndex::load path). The
+  // deleted count is recomputed from the bitmap, so the bitmap is the single
+  // source of truth on disk.
+  void restore(PointSet<T> points, Graph graph, PointId start,
+               std::vector<unsigned char> deleted) {
+    points_ = std::move(points);
+    graph_ = std::move(graph);
+    start_ = start;
+    deleted_ = std::move(deleted);
+    deleted_.resize(points_.size(), 0);
+    num_deleted_ = 0;
+    for (unsigned char d : deleted_) num_deleted_ += (d != 0) ? 1 : 0;
+  }
+
  private:
+  // Link points [old_n, points_.size()) into the graph; `fresh` views just
+  // the appended rows (its medoid seeds the entry point on bootstrap).
+  PointId link_appended(std::size_t old_n, const PointSet<T>& fresh) {
+    deleted_.resize(points_.size(), 0);
+    graph_.resize(points_.size());
+
+    std::vector<PointId> ids(points_.size() - old_n);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      ids[i] = static_cast<PointId>(old_n + i);
+    }
+    if (start_ == kInvalidPoint && !ids.empty()) {
+      // Bootstrap (first load, or re-bootstrap after every point was
+      // erased): the medoid of the incoming batch becomes the entry point
+      // and is excluded from insertion (as in the static builder).
+      start_ = static_cast<PointId>(old_n) + find_medoid<Metric>(fresh);
+      std::erase(ids, start_);
+    }
+    // Chunk like prefix doubling: each chunk is at most ~2% of the index it
+    // searches, but at least a constant so small updates stay cheap.
+    std::size_t pos = 0;
+    while (pos < ids.size()) {
+      std::size_t base = std::max<std::size_t>(old_n + pos, 50);
+      std::size_t chunk = std::max<std::size_t>(1, base / 50);
+      std::size_t end = std::min(ids.size(), pos + chunk);
+      internal::diskann_batch_insert<Metric>(
+          graph_, points_,
+          std::span<const PointId>(ids.data() + pos, end - pos), start_,
+          params_);
+      pos = end;
+    }
+    return static_cast<PointId>(old_n);
+  }
+
   void relocate_start() {
     // Deterministic: the first live point becomes the new entry.
     start_ = kInvalidPoint;

@@ -12,15 +12,24 @@
 // bucketed backends (ivf_flat, ivf_pq, lsh) fall back to an exact linear
 // scan over their owned points — correct for any radius, and these
 // baselines have no graph to flood through.
+//
+// DynamicDiskANNBackend is the one mutable adapter: it additionally derives
+// from MutableTypedBackend<T>, mapping AnyIndex::insert/erase/consolidate
+// onto DynamicDiskANN and persisting the tombstone state through the
+// container's dynamic-state payload (core/index_io.h) so a mutated index
+// round-trips through save/load.
 #pragma once
 
 #include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <span>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "algorithms/dynamic_index.h"
 #include "api/any_index.h"
 #include "api/index_spec.h"
 #include "core/index_io.h"
@@ -106,6 +115,127 @@ class FlatGraphBackend final : public TypedBackend<T> {
   Builder builder_;
   PointSet<T> points_;
   GraphIndex<Metric, T> index_;
+};
+
+// --- dynamic_diskann (the mutable backend) -----------------------------------
+
+template <typename Metric, typename T>
+class DynamicDiskANNBackend final : public TypedBackend<T>,
+                                    public MutableTypedBackend<T> {
+ public:
+  explicit DynamicDiskANNBackend(DiskANNParams params)
+      : params_(std::move(params)) {}
+
+  // build == fresh index + one bulk insert: the dynamic machinery chunks the
+  // batch internally, so a bulk load goes through the same deterministic
+  // schedule an incremental load would. The by-value parameter is moved
+  // straight into the index — no extra copy of the dataset.
+  void build(PointSet<T> points) override {
+    index_ = std::make_unique<Index>(points.dims(), params_);
+    if (points.size() > 0) index_->insert(std::move(points));
+  }
+
+  PointId insert(const PointSet<T>& batch) override {
+    // An empty index has no committed dims (e.g. a pre-insert save records
+    // dims 0), so the first batch (re)establishes them.
+    if (index_ == nullptr ||
+        (index_->size() == 0 && index_->points().dims() != batch.dims())) {
+      index_ = std::make_unique<Index>(batch.dims(), params_);
+    } else if (batch.dims() != index_->points().dims()) {
+      throw std::invalid_argument(
+          "dynamic_diskann insert: batch has dims " +
+          std::to_string(batch.dims()) + " but index holds dims " +
+          std::to_string(index_->points().dims()));
+    }
+    return index_->insert(batch);
+  }
+
+  void erase(std::span<const PointId> ids) override {
+    if (index_ != nullptr) index_->erase(ids);
+  }
+
+  void consolidate() override {
+    if (index_ != nullptr) index_->consolidate();
+  }
+
+  std::vector<Neighbor> search(const T* query,
+                               const QueryParams& params) const override {
+    auto out = index_->query_full(query, params);
+    if (out.size() > params.k) out.resize(params.k);
+    return out;
+  }
+
+  std::vector<Neighbor> range_search(
+      const T* query, const RangeSearchParams& params) const override {
+    if (index_->start() == kInvalidPoint) return {};
+    std::vector<PointId> starts{index_->start()};
+    auto matches = ann::range_search<Metric>(query, index_->points(),
+                                             index_->graph(), starts, params)
+                       .matches;
+    // Tombstones stay navigable but must never be returned.
+    std::erase_if(matches,
+                  [&](const Neighbor& nb) { return index_->is_deleted(nb.id); });
+    return matches;
+  }
+
+  void save_payload(std::FILE* f, const std::string& path) const override {
+    const Index& index = ensure_index();
+    ioutil::write_points(f, index.points(), path);
+    DynamicIndexState state{index.start(), index.deleted_flags()};
+    write_dynamic_state_payload(f, state, path);
+    write_graph_payload(f, index.graph(), path);
+  }
+
+  void load_payload(std::FILE* f, const std::string& path) override {
+    auto points = ioutil::read_points<T>(f, path);
+    DynamicIndexState state = read_dynamic_state_payload(f, path);
+    Graph graph = read_graph_payload(f, path);
+    // Cross-payload consistency: a crafted/corrupt file must fail with a
+    // clean error here, not an out-of-bounds read on the first search.
+    if (graph.size() != points.size() ||
+        state.deleted.size() != points.size() ||
+        (state.start != kInvalidPoint && state.start >= points.size())) {
+      throw std::runtime_error("corrupt dynamic index payload: " + path);
+    }
+    index_ = std::make_unique<Index>(points.dims(), params_);
+    index_->restore(std::move(points), std::move(graph), state.start,
+                    std::move(state.deleted));
+  }
+
+  IndexStats stats() const override {
+    IndexStats s;
+    if (index_ == nullptr) return s;
+    s.num_points = index_->size();
+    s.dims = index_->points().dims();
+    s.details = {
+        {"num_live", static_cast<double>(index_->num_live())},
+        {"num_deleted", static_cast<double>(index_->num_deleted())},
+        {"num_edges", static_cast<double>(index_->graph().num_edges())},
+        {"max_degree", static_cast<double>(index_->graph().max_degree())},
+        {"start", static_cast<double>(index_->start())}};
+    return s;
+  }
+
+  std::size_t num_points() const override {
+    return index_ == nullptr ? 0 : index_->size();
+  }
+
+ private:
+  using Index = DynamicDiskANN<Metric, T>;
+
+  // save_payload on a never-built handle still needs a (empty) index to
+  // serialize; materialize one lazily. Dims are unknown until the first
+  // batch, so an empty save records dims 0.
+  const Index& ensure_index() const {
+    if (index_ == nullptr) {
+      const_cast<DynamicDiskANNBackend*>(this)->index_ =
+          std::make_unique<Index>(0, params_);
+    }
+    return *index_;
+  }
+
+  DiskANNParams params_;
+  std::unique_ptr<Index> index_;
 };
 
 // --- hnsw --------------------------------------------------------------------

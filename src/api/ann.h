@@ -11,7 +11,16 @@
 //   index.save("index.pann");                             // ...later...
 //   auto served = ann::AnyIndex::load("index.pann");      // any algorithm
 //
-// Algorithms: diskann, hnsw, hcnng, pynndescent, ivf_flat, ivf_pq, lsh.
+// Mutable indexes (backends that opt in, e.g. dynamic_diskann):
+//
+//   auto dyn = ann::make_index("dynamic_diskann", "euclidean", "uint8");
+//   dyn.insert(batch);            // initial load and growth, same call
+//   dyn.erase(ids);               // tombstone; never returned again
+//   dyn.consolidate();            // maintenance: splice tombstones out
+//   dyn.save("dyn.pann");         // update state persists too
+//
+// Algorithms: diskann, dynamic_diskann, sharded_diskann, hnsw, hcnng,
+//             pynndescent, ivf_flat, ivf_pq, lsh.
 // Metrics:    euclidean, mips, cosine (ivf_pq: euclidean and mips only).
 // Dtypes:     float, uint8, int8.
 #pragma once

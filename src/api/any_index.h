@@ -5,6 +5,8 @@
 //   search(query, QueryParams)          -> std::vector<Neighbor>
 //   batch_search(queries, QueryParams)  parallel fan-out over a query set
 //   range_search(query, radius)         -> all points within radius
+//   insert(points) / erase(ids) /       mutation, on backends that opt in
+//   consolidate()                       (supports_updates() probes for it)
 //   save(path) / AnyIndex::load(path)   versioned container round-trip
 //   stats()                             algorithm/metric/dtype + detail KVs
 //
@@ -12,7 +14,11 @@
 // TypedBackend<T> (the element type cannot be a virtual parameter, so the
 // typed surface lives one level down and AnyIndex's templated methods
 // dynamic_cast to it, turning dtype mismatches into clear runtime errors
-// instead of garbage reads).
+// instead of garbage reads). Mutability is a second, optional capability:
+// backends that support updates additionally derive from
+// MutableTypedBackend<T>; calling a mutating method on any other backend
+// throws unsupported_operation (mirroring the dtype-mismatch design — a
+// clear runtime error, not a silent no-op).
 //
 // Backends own a copy of the indexed points, so a search needs nothing but
 // the query and saved indexes are self-contained (load needs no side file).
@@ -20,6 +26,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -33,6 +40,14 @@
 #include "core/range_search.h"
 
 namespace ann {
+
+// Thrown when a capability the backend does not implement is invoked
+// (e.g. insert on a build-once index). Distinct from std::invalid_argument
+// so callers can branch on "wrong call" vs "backend cannot do this at all".
+class unsupported_operation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
 
 struct IndexStats {
   std::string algorithm;
@@ -73,6 +88,31 @@ class TypedBackend : public BackendBase {
                                        const QueryParams& params) const = 0;
   virtual std::vector<Neighbor> range_search(
       const T* query, const RangeSearchParams& params) const = 0;
+};
+
+// Optional mutation capability, untyped half: erase and consolidate never
+// mention T. Backends that support updates derive from the typed class
+// below; AnyIndex probes for this base to answer supports_updates().
+class MutableBackendBase {
+ public:
+  virtual ~MutableBackendBase() = default;
+
+  // Tombstone the given ids; they stop appearing in query results
+  // immediately. Ids are validated by AnyIndex before this is called.
+  virtual void erase(std::span<const PointId> ids) = 0;
+
+  // Splice tombstoned points out of the index structure (maintenance).
+  virtual void consolidate() = 0;
+};
+
+// Typed half of the mutation capability.
+template <typename T>
+class MutableTypedBackend : public MutableBackendBase {
+ public:
+  // Append a batch of points; returns the id of the first inserted point
+  // (ids are contiguous). Must reject a dims mismatch with
+  // std::invalid_argument.
+  virtual PointId insert(const PointSet<T>& points) = 0;
 };
 
 class AnyIndex {
@@ -145,10 +185,63 @@ class AnyIndex {
     return backend.range_search(query, params);
   }
 
+  // --- mutation (optional capability) ----------------------------------------
+
+  // True when the backend implements insert/erase/consolidate. False for
+  // build-once backends and for an empty handle.
+  bool supports_updates() const {
+    return dynamic_cast<const MutableBackendBase*>(impl_.get()) != nullptr;
+  }
+
+  // Append a batch of points; returns the id of the first inserted point
+  // (ids are contiguous). Works on an empty index (insert doubles as the
+  // initial load) or on top of a previous build.
+  template <typename T>
+  PointId insert(const PointSet<T>& points) {
+    mutable_base("insert");
+    auto* backend = dynamic_cast<MutableTypedBackend<T>*>(impl_.get());
+    if (backend == nullptr) {
+      throw std::invalid_argument(
+          std::string("AnyIndex::insert: index holds dtype '") + spec_.dtype +
+          "' but was called with '" + dtype_name<T>() + "'");
+    }
+    return backend->insert(points);
+  }
+
+  // Tombstone points: they stop appearing in search results immediately;
+  // structural cleanup is deferred to consolidate(). Out-of-range ids are
+  // rejected up front (the whole batch is applied or none of it).
+  void erase(std::span<const PointId> ids) {
+    MutableBackendBase& backend = mutable_base("erase");
+    const std::size_t n = impl_->num_points();
+    for (PointId id : ids) {
+      if (id >= n) {
+        throw std::out_of_range("AnyIndex::erase: id " + std::to_string(id) +
+                                " out of range (index holds " +
+                                std::to_string(n) + " points)");
+      }
+    }
+    backend.erase(ids);
+  }
+
+  // Maintenance: splice tombstoned points out of the index structure.
+  void consolidate() { mutable_base("consolidate").consolidate(); }
+
   void save(const std::string& path) const;  // defined with load in registry.h
   static AnyIndex load(const std::string& path);
 
  private:
+  MutableBackendBase& mutable_base(const char* op) const {
+    require_impl(op);
+    auto* backend = dynamic_cast<MutableBackendBase*>(impl_.get());
+    if (backend == nullptr) {
+      throw unsupported_operation(
+          std::string("AnyIndex::") + op + ": backend '" + spec_.algorithm +
+          "' does not support updates (see supports_updates())");
+    }
+    return *backend;
+  }
+
   void require_impl(const char* op) const {
     if (!impl_) {
       throw std::logic_error(std::string("AnyIndex::") + op +

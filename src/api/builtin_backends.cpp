@@ -1,8 +1,8 @@
 // Registers every builtin backend with the registry: the full cross product
-// of {diskann, hnsw, hcnng, pynndescent, ivf_flat, lsh} x {euclidean, mips,
-// cosine} x {float, uint8, int8}, plus ivf_pq for euclidean and mips only
-// (its ADC tables require a metric that decomposes over PQ subspaces as a
-// sum, which cosine does not).
+// of {diskann, dynamic_diskann, sharded_diskann, hnsw, hcnng, pynndescent,
+// ivf_flat, lsh} x {euclidean, mips, cosine} x {float, uint8, int8}, plus
+// ivf_pq for euclidean and mips only (its ADC tables require a metric that
+// decomposes over PQ subspaces as a sum, which cosine does not).
 //
 // Compiled once into the core library — the heavy builder templates are
 // instantiated here instead of in every consumer translation unit. The
@@ -12,9 +12,11 @@
 #include "api/registry.h"
 
 #include "algorithms/diskann.h"
+#include "algorithms/dynamic_index.h"
 #include "algorithms/hcnng.h"
 #include "algorithms/hnsw.h"
 #include "algorithms/pynndescent.h"
+#include "algorithms/sharded_build.h"
 
 namespace ann {
 
@@ -29,6 +31,15 @@ void register_for_metric_dtype(Registry& r) {
     using Backend = adapters::FlatGraphBackend<Metric, T, DiskANNParams>;
     return std::make_unique<Backend>(spec.params_or<DiskANNParams>(),
                                      &build_diskann<Metric, T>);
+  });
+  r.register_backend_if_absent("dynamic_diskann", metric, dtype, [](const IndexSpec& spec) {
+    return std::make_unique<adapters::DynamicDiskANNBackend<Metric, T>>(
+        spec.params_or<DiskANNParams>());
+  });
+  r.register_backend_if_absent("sharded_diskann", metric, dtype, [](const IndexSpec& spec) {
+    using Backend = adapters::FlatGraphBackend<Metric, T, ShardedBuildParams>;
+    return std::make_unique<Backend>(spec.params_or<ShardedBuildParams>(),
+                                     &build_sharded_diskann<Metric, T>);
   });
   r.register_backend_if_absent("hcnng", metric, dtype, [](const IndexSpec& spec) {
     using Backend = adapters::FlatGraphBackend<Metric, T, HCNNGParams>;

@@ -27,6 +27,7 @@
 #include "algorithms/hcnng.h"
 #include "algorithms/hnsw.h"
 #include "algorithms/pynndescent.h"
+#include "algorithms/sharded_build.h"
 #include "core/beam_search.h"
 #include "core/distance.h"
 #include "ivf/ivf_flat.h"
@@ -99,7 +100,8 @@ inline std::string normalize_dtype(std::string name) {
 
 using AlgorithmParams =
     std::variant<std::monostate, DiskANNParams, HNSWParams, HCNNGParams,
-                 PyNNDescentParams, IVFParams, IVFPQParams, LSHParams>;
+                 PyNNDescentParams, IVFParams, IVFPQParams, LSHParams,
+                 ShardedBuildParams>;
 
 struct IndexSpec {
   std::string algorithm;
@@ -313,6 +315,38 @@ inline LSHParams lsh_params_from_kv(const ParamKVs& m) {
   return p;
 }
 
+inline ParamKVs to_kv(const ShardedBuildParams& p) {
+  ParamKVs kvs = {{"num_shards", static_cast<double>(p.num_shards)},
+          {"overlap", static_cast<double>(p.overlap)},
+          {"kmeans_iters", static_cast<double>(p.kmeans_iters)}};
+  kv_put_u64(kvs, "seed", p.seed);
+  // The nested per-shard build parameters, namespaced so keys like "seed"
+  // cannot collide with the sharding-level ones.
+  for (const auto& [key, value] : to_kv(p.diskann)) {
+    kvs.emplace_back("diskann_" + key, value);
+  }
+  return kvs;
+}
+
+inline ShardedBuildParams sharded_params_from_kv(const ParamKVs& m) {
+  ShardedBuildParams p;
+  p.num_shards =
+      static_cast<std::uint32_t>(kv_get(m, "num_shards", p.num_shards));
+  p.overlap = static_cast<std::uint32_t>(kv_get(m, "overlap", p.overlap));
+  p.kmeans_iters =
+      static_cast<std::uint32_t>(kv_get(m, "kmeans_iters", p.kmeans_iters));
+  p.seed = kv_get_u64(m, "seed", p.seed);
+  ParamKVs nested;
+  const std::string prefix = "diskann_";
+  for (const auto& [key, value] : m) {
+    if (key.rfind(prefix, 0) == 0) {
+      nested.emplace_back(key.substr(prefix.size()), value);
+    }
+  }
+  p.diskann = diskann_params_from_kv(nested);
+  return p;
+}
+
 inline ParamKVs serialize_params(const AlgorithmParams& params) {
   return std::visit(
       [](const auto& p) -> ParamKVs {
@@ -332,8 +366,13 @@ inline ParamKVs serialize_params(const AlgorithmParams& params) {
 inline bool params_match_algorithm(const std::string& algorithm,
                                    const AlgorithmParams& params) {
   if (std::holds_alternative<std::monostate>(params)) return true;
-  if (algorithm == "diskann") {
+  // dynamic_diskann shares DiskANNParams with the static builder (it runs
+  // the same batch-insert machinery incrementally).
+  if (algorithm == "diskann" || algorithm == "dynamic_diskann") {
     return std::holds_alternative<DiskANNParams>(params);
+  }
+  if (algorithm == "sharded_diskann") {
+    return std::holds_alternative<ShardedBuildParams>(params);
   }
   if (algorithm == "hnsw") return std::holds_alternative<HNSWParams>(params);
   if (algorithm == "hcnng") return std::holds_alternative<HCNNGParams>(params);
@@ -350,7 +389,10 @@ inline bool params_match_algorithm(const std::string& algorithm,
 // yield monostate; the registry rejects them with a proper error.
 inline AlgorithmParams params_from_kv(const std::string& algorithm,
                                       const ParamKVs& m) {
-  if (algorithm == "diskann") return diskann_params_from_kv(m);
+  if (algorithm == "diskann" || algorithm == "dynamic_diskann") {
+    return diskann_params_from_kv(m);
+  }
+  if (algorithm == "sharded_diskann") return sharded_params_from_kv(m);
   if (algorithm == "hnsw") return hnsw_params_from_kv(m);
   if (algorithm == "hcnng") return hcnng_params_from_kv(m);
   if (algorithm == "pynndescent") return pynndescent_params_from_kv(m);

@@ -7,6 +7,10 @@
 //                [(key str, value f64) x count] [backend payload]
 //   GraphIndex : [magic "PANN" u32] [version u32] [graph payload]
 //   HNSWIndex  : [magic "PANH" u32] [version u32] [hnsw payload]
+//   dyn. state : [magic "PAND" u32] [version u32] [start u32] [n u64]
+//                [tombstone bitmap, (n+7)/8 bytes] — the mutable backends'
+//                update state (embedded inside their container payload so a
+//                mutated index round-trips through save/load)
 //
 // The container is the format behind `ann::AnyIndex::save/load` (src/api/):
 // its header carries everything needed to reconstruct the index through the
@@ -32,11 +36,13 @@ namespace ann {
 
 namespace internal {
 
-inline constexpr std::uint32_t kContainerMagic = 0x50414e58;   // "PANX"
-inline constexpr std::uint32_t kGraphIndexMagic = 0x50414e4e;  // "PANN"
-inline constexpr std::uint32_t kHnswIndexMagic = 0x50414e48;   // "PANH"
+inline constexpr std::uint32_t kContainerMagic = 0x50414e58;     // "PANX"
+inline constexpr std::uint32_t kGraphIndexMagic = 0x50414e4e;    // "PANN"
+inline constexpr std::uint32_t kHnswIndexMagic = 0x50414e48;     // "PANH"
+inline constexpr std::uint32_t kDynamicStateMagic = 0x50414e44;  // "PAND"
 inline constexpr std::uint32_t kIndexVersion = 1;
 inline constexpr std::uint32_t kContainerVersion = 1;
+inline constexpr std::uint32_t kDynamicStateVersion = 1;
 
 }  // namespace internal
 
@@ -87,6 +93,57 @@ inline IndexContainerHeader read_container_header(std::FILE* f,
     h.params.emplace_back(std::move(key), value);
   }
   return h;
+}
+
+// --- dynamic (mutable) index state -------------------------------------------
+
+// The update state a mutable backend must persist beyond its points and
+// graph: the entry point and the tombstone bitmap. The deleted count is
+// derived from the bitmap on load, so the two can never disagree. Flags are
+// packed 8-per-byte with deterministic zero padding in the last byte — the
+// same erase schedule always produces byte-identical state.
+struct DynamicIndexState {
+  PointId start = kInvalidPoint;
+  std::vector<unsigned char> deleted;  // one 0/1 flag per point
+};
+
+inline void write_dynamic_state_payload(std::FILE* f,
+                                        const DynamicIndexState& state,
+                                        const std::string& path) {
+  ioutil::write_u32(f, internal::kDynamicStateMagic, path);
+  ioutil::write_u32(f, internal::kDynamicStateVersion, path);
+  ioutil::write_u32(f, state.start, path);
+  const std::size_t n = state.deleted.size();
+  ioutil::write_u64(f, n, path);
+  std::vector<unsigned char> packed((n + 7) / 8, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (state.deleted[i]) packed[i / 8] |= static_cast<unsigned char>(1u << (i % 8));
+  }
+  ioutil::write_bytes(f, packed.data(), packed.size(), path);
+}
+
+inline DynamicIndexState read_dynamic_state_payload(std::FILE* f,
+                                                    const std::string& path) {
+  if (ioutil::read_u32(f, path) != internal::kDynamicStateMagic) {
+    throw std::runtime_error("not a dynamic-state payload: " + path);
+  }
+  if (ioutil::read_u32(f, path) != internal::kDynamicStateVersion) {
+    throw std::runtime_error("unsupported dynamic-state version: " + path);
+  }
+  DynamicIndexState state;
+  state.start = ioutil::read_u32(f, path);
+  std::uint64_t n = ioutil::read_u64(f, path);
+  // Corrupt-header guard, same standard as the other payload readers.
+  if (n > (1ull << 40)) {
+    throw std::runtime_error("corrupt dynamic-state header: " + path);
+  }
+  std::vector<unsigned char> packed((n + 7) / 8, 0);
+  ioutil::read_bytes(f, packed.data(), packed.size(), path);
+  state.deleted.resize(n, 0);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    state.deleted[i] = (packed[i / 8] >> (i % 8)) & 1u;
+  }
+  return state;
 }
 
 // --- graph payloads (shared by the legacy formats and the container) ---------

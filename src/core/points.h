@@ -71,6 +71,16 @@ class PointSet {
     return out;
   }
 
+  // A new point set holding rows [lo, hi) (used for feeding a dataset to a
+  // mutable index in batches).
+  PointSet slice(std::size_t lo, std::size_t hi) const {
+    assert(lo <= hi && hi <= n_);
+    PointSet out(hi - lo, d_);
+    std::memcpy(out.data_.data(), data_.data() + lo * stride_,
+                (hi - lo) * stride_ * sizeof(T));
+    return out;
+  }
+
   bool operator==(const PointSet& o) const {
     if (n_ != o.n_ || d_ != o.d_) return false;
     for (std::size_t i = 0; i < n_; ++i) {

@@ -15,15 +15,6 @@ using ann::EuclideanSquared;
 using ann::PointId;
 using ann::SearchParams;
 
-ann::PointSet<std::uint8_t> slice(const ann::PointSet<std::uint8_t>& ps,
-                                  std::size_t lo, std::size_t hi) {
-  ann::PointSet<std::uint8_t> out(hi - lo, ps.dims());
-  for (std::size_t i = lo; i < hi; ++i) {
-    out.set_point(static_cast<PointId>(i - lo), ps[static_cast<PointId>(i)]);
-  }
-  return out;
-}
-
 double dynamic_recall(const DynamicDiskANN<EuclideanSquared, std::uint8_t>& ix,
                       const ann::PointSet<std::uint8_t>& queries,
                       const ann::GroundTruth& gt, std::uint32_t beam) {
@@ -40,10 +31,10 @@ TEST(DynamicIndex, IncrementalInsertMatchesStaticQuality) {
   DiskANNParams prm{.degree_bound = 24, .beam_width = 48};
   DynamicDiskANN<EuclideanSquared, std::uint8_t> ix(128, prm);
   // Insert in 4 uneven batches.
-  ix.insert(slice(ds.base, 0, 100));
-  ix.insert(slice(ds.base, 100, 700));
-  ix.insert(slice(ds.base, 700, 1500));
-  ix.insert(slice(ds.base, 1500, 2000));
+  ix.insert(ds.base.slice(0, 100));
+  ix.insert(ds.base.slice(100, 700));
+  ix.insert(ds.base.slice(700, 1500));
+  ix.insert(ds.base.slice(1500, 2000));
   EXPECT_EQ(ix.size(), 2000u);
   EXPECT_TRUE(ix.points() == ds.base);
 

@@ -1,0 +1,334 @@
+// Mutable-surface conformance for the unified API (src/api/): insert/erase/
+// consolidate on AnyIndex, the dynamic_diskann and sharded_diskann
+// backends, persisted update state, and the error paths of the capability
+// design (non-mutable backends throw ann::unsupported_operation).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "api/ann.h"
+#include "core/dataset.h"
+#include "core/ground_truth.h"
+#include "core/recall.h"
+#include "parlay/parallel.h"
+#include "test_helpers.h"
+
+namespace {
+
+using ann::AnyIndex;
+using ann::DiskANNParams;
+using ann::IndexSpec;
+using ann::PointId;
+using ann::QueryParams;
+
+const QueryParams kEffort{.beam_width = 64, .k = 10};
+
+IndexSpec dynamic_spec() {
+  return {.algorithm = "dynamic_diskann", .metric = "euclidean",
+          .dtype = "uint8",
+          .params = DiskANNParams{.degree_bound = 24, .beam_width = 48}};
+}
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(MutableIndex, SupportsUpdatesCapability) {
+  EXPECT_TRUE(ann::make_index("dynamic_diskann", "euclidean", "uint8")
+                  .supports_updates());
+  for (const std::string alg :
+       {"diskann", "sharded_diskann", "hnsw", "hcnng", "pynndescent",
+        "ivf_flat", "lsh"}) {
+    EXPECT_FALSE(ann::make_index(alg, "euclidean", "uint8").supports_updates())
+        << alg;
+  }
+  EXPECT_FALSE(AnyIndex{}.supports_updates());
+}
+
+TEST(MutableIndex, InsertThenSearchFindsNewPoints) {
+  auto ds = ann::make_bigann_like(1200, 10, 3);
+  auto index = ann::make_index(dynamic_spec());
+  EXPECT_EQ(index.insert(ds.base.slice(0, 1000)), 0u);
+  PointId first = index.insert(ds.base.slice(1000, 1200));
+  EXPECT_EQ(first, 1000u);
+  EXPECT_EQ(index.stats().num_points, 1200u);
+  // Every inserted point must be findable by its own vector (distance 0).
+  for (PointId i = 1000; i < 1200; i += 20) {
+    auto hits = index.search(ds.base[i], kEffort);
+    bool found = false;
+    for (const auto& nb : hits) found |= (nb.id == i);
+    EXPECT_TRUE(found) << "inserted point " << i << " not found";
+  }
+}
+
+TEST(MutableIndex, EraseHidesTombstonedIds) {
+  auto ds = ann::make_bigann_like(1000, 30, 5);
+  auto index = ann::make_index(dynamic_spec());
+  index.insert(ds.base);
+  std::vector<PointId> dead;
+  for (PointId i = 0; i < 1000; i += 3) dead.push_back(i);
+  index.erase(dead);
+
+  auto stats = index.stats();
+  EXPECT_EQ(stats.detail("num_deleted"), static_cast<double>(dead.size()));
+  EXPECT_EQ(stats.detail("num_live"),
+            static_cast<double>(1000 - dead.size()));
+  EXPECT_EQ(stats.num_points, 1000u);
+
+  std::set<PointId> dead_set(dead.begin(), dead.end());
+  auto results = index.batch_search(ds.queries, kEffort);
+  for (const auto& hits : results) {
+    for (const auto& nb : hits) {
+      EXPECT_EQ(dead_set.count(nb.id), 0u) << "deleted point " << nb.id
+                                           << " returned";
+    }
+  }
+  // Tombstones are hidden from range search as well.
+  for (std::size_t q = 0; q < ds.queries.size(); ++q) {
+    auto matches = index.range_search(
+        ds.queries[static_cast<PointId>(q)], 120000.0f);
+    for (const auto& nb : matches) {
+      EXPECT_EQ(dead_set.count(nb.id), 0u) << "deleted point in range result";
+    }
+  }
+}
+
+TEST(MutableIndex, ConsolidatePreservesLiveRecall) {
+  auto ds = ann::make_bigann_like(1500, 30, 7);
+  auto index = ann::make_index(dynamic_spec());
+  index.insert(ds.base);
+  std::vector<PointId> dead;
+  for (PointId i = 0; i < 1500; i += 4) dead.push_back(i);
+  index.erase(dead);
+
+  // Ground truth over live points only, mapped back to original ids.
+  ann::PointSet<std::uint8_t> live(0, 128);
+  std::vector<PointId> live_ids;
+  for (PointId i = 0; i < 1500; ++i) {
+    if (i % 4 != 0) {
+      live.append(ds.base[i]);
+      live_ids.push_back(i);
+    }
+  }
+  auto live_gt =
+      ann::compute_ground_truth<ann::EuclideanSquared>(live, ds.queries, 10);
+
+  auto live_recall = [&] {
+    auto results = index.batch_search(ds.queries, kEffort);
+    double total = 0;
+    for (std::size_t q = 0; q < ds.queries.size(); ++q) {
+      std::set<PointId> got;
+      for (const auto& nb : results[q]) got.insert(nb.id);
+      std::size_t hits = 0;
+      auto row = live_gt.row(q);
+      for (const auto& nb : row) hits += got.count(live_ids[nb.id]);
+      total += static_cast<double>(hits) / static_cast<double>(row.size());
+    }
+    return total / static_cast<double>(ds.queries.size());
+  };
+
+  double before = live_recall();
+  EXPECT_GT(before, 0.85);
+  std::size_t edges_before =
+      static_cast<std::size_t>(index.stats().detail("num_edges"));
+  EXPECT_GT(edges_before, 0u);
+
+  index.consolidate();
+  double after = live_recall();
+  EXPECT_GT(after, 0.85);
+  EXPECT_GT(after, before - 0.1);
+
+  auto stats = index.stats();
+  // Consolidation clears tombstones' adjacency lists but keeps them marked
+  // deleted; the edge-count detail reflects the post-consolidate graph.
+  EXPECT_EQ(stats.detail("num_deleted"), static_cast<double>(dead.size()));
+  EXPECT_GT(stats.detail("num_edges"), 0.0);
+  EXPECT_LT(stats.detail("num_edges"), static_cast<double>(edges_before));
+}
+
+TEST(MutableIndex, NonMutableBackendThrows) {
+  auto ds = ann::make_bigann_like(300, 5, 11);
+  for (const std::string alg : {"diskann", "sharded_diskann", "ivf_flat"}) {
+    auto index = ann::make_index(alg, "euclidean", "uint8");
+    index.build(ds.base);
+    EXPECT_THROW(index.insert(ds.base.slice(0, 10)),
+                 ann::unsupported_operation)
+        << alg;
+    std::vector<PointId> ids{1, 2};
+    EXPECT_THROW(index.erase(ids), ann::unsupported_operation) << alg;
+    EXPECT_THROW(index.consolidate(), ann::unsupported_operation) << alg;
+  }
+}
+
+TEST(MutableIndex, EraseOutOfRangeRejected) {
+  auto ds = ann::make_bigann_like(100, 2, 13);
+  auto index = ann::make_index(dynamic_spec());
+  index.insert(ds.base);
+  std::vector<PointId> bad{5, 500};
+  EXPECT_THROW(index.erase(bad), std::out_of_range);
+  // The rejected batch must not have been partially applied.
+  EXPECT_EQ(index.stats().detail("num_deleted"), 0.0);
+}
+
+TEST(MutableIndex, InsertDimsAndDtypeMismatchRejected) {
+  auto ds = ann::make_bigann_like(200, 2, 17);
+  auto index = ann::make_index(dynamic_spec());
+  index.insert(ds.base);  // dims = 128
+  ann::PointSet<std::uint8_t> wrong_dims(10, 64);
+  EXPECT_THROW(index.insert(wrong_dims), std::invalid_argument);
+  ann::PointSet<float> wrong_dtype(10, 128);
+  EXPECT_THROW(index.insert(wrong_dtype), std::invalid_argument);
+}
+
+TEST(MutableIndex, ReinsertAfterFullErase) {
+  auto ds = ann::make_bigann_like(200, 5, 31);
+  auto index = ann::make_index(dynamic_spec());
+  index.insert(ds.base.slice(0, 100));
+  std::vector<PointId> all;
+  for (PointId i = 0; i < 100; ++i) all.push_back(i);
+  index.erase(all);
+  EXPECT_TRUE(index.search(ds.queries[0], kEffort).empty());
+  // Inserting into a fully-tombstoned index must re-bootstrap the entry
+  // point among the new points (regression: it used to keep the invalid
+  // start and read out of bounds).
+  EXPECT_EQ(index.insert(ds.base.slice(100, 200)), 100u);
+  auto hits = index.search(ds.queries[0], kEffort);
+  EXPECT_FALSE(hits.empty());
+  for (const auto& nb : hits) EXPECT_GE(nb.id, 100u);
+}
+
+TEST(MutableIndex, EmptyHandleAndEmptyIndex) {
+  AnyIndex empty;
+  EXPECT_THROW(empty.consolidate(), std::logic_error);
+  // An un-inserted dynamic index searches to nothing but is valid.
+  auto index = ann::make_index(dynamic_spec());
+  std::vector<std::uint8_t> q(128, 0);
+  EXPECT_TRUE(index.search(q.data(), kEffort).empty());
+}
+
+TEST(MutableIndex, MutatedIndexRoundTrips) {
+  auto ds = ann::make_bigann_like(1200, 20, 19);
+  auto index = ann::make_index(dynamic_spec());
+  index.insert(ds.base.slice(0, 800));
+  std::vector<PointId> dead;
+  for (PointId i = 0; i < 800; i += 5) dead.push_back(i);
+  index.erase(dead);
+  index.consolidate();
+  index.insert(ds.base.slice(800, 1200));
+
+  auto before = index.batch_search(ds.queries, kEffort);
+  auto path = temp_path("mutable_round_trip.pann");
+  index.save(path);
+  auto loaded = AnyIndex::load(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(loaded.spec().algorithm, "dynamic_diskann");
+  EXPECT_TRUE(loaded.supports_updates());
+  auto after = loaded.batch_search(ds.queries, kEffort);
+  EXPECT_EQ(before, after);
+
+  auto stats = loaded.stats();
+  EXPECT_EQ(stats.detail("num_deleted"), static_cast<double>(dead.size()));
+  EXPECT_EQ(stats.detail("num_live"),
+            static_cast<double>(1200 - dead.size()));
+
+  // The loaded index keeps accepting updates: ids continue contiguously.
+  EXPECT_EQ(loaded.insert(ds.base.slice(0, 10)), 1200u);
+}
+
+TEST(MutableIndex, EmptySaveLoadThenInsert) {
+  auto ds = ann::make_bigann_like(200, 3, 37);
+  auto index = ann::make_index(dynamic_spec());
+  auto path = temp_path("mutable_empty.pann");
+  index.save(path);
+  auto loaded = AnyIndex::load(path);
+  std::remove(path.c_str());
+  EXPECT_TRUE(loaded.supports_updates());
+  // Regression: the dims-0 shell a pre-insert save records must adopt the
+  // first batch's dims instead of rejecting every insert forever.
+  EXPECT_EQ(loaded.insert(ds.base), 0u);
+  EXPECT_FALSE(loaded.search(ds.queries[0], kEffort).empty());
+}
+
+TEST(MutableIndex, DeterministicReplayByteIdentical) {
+  auto ds = ann::make_bigann_like(900, 1, 23);
+  // The same insert/erase/consolidate schedule from the same seed must
+  // produce a byte-identical saved container, regardless of worker count —
+  // the deterministic_rebuild contract extended to updates.
+  auto replay = [&](const std::string& tag) {
+    auto index = ann::make_index(dynamic_spec());
+    index.insert(ds.base.slice(0, 400));
+    index.insert(ds.base.slice(400, 700));
+    std::vector<PointId> dead;
+    for (PointId i = 0; i < 700; i += 7) dead.push_back(i);
+    index.erase(dead);
+    index.consolidate();
+    index.insert(ds.base.slice(700, 900));
+    auto path = temp_path("mutable_replay_" + tag + ".pann");
+    index.save(path);
+    auto bytes = file_bytes(path);
+    std::remove(path.c_str());
+    return bytes;
+  };
+  parlay::set_num_workers(1);
+  auto a = replay("w1");
+  parlay::set_num_workers(6);
+  auto b = replay("w6");
+  auto c = replay("w6_again");
+  parlay::set_num_workers(0);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b, c);
+}
+
+TEST(ShardedIndex, SpecParamsBuildAndRoundTrip) {
+  auto ds = ann::make_bigann_like(1200, 30, 29);
+  auto gt =
+      ann::compute_ground_truth<ann::EuclideanSquared>(ds.base, ds.queries, 10);
+  IndexSpec spec{
+      .algorithm = "sharded_diskann", .metric = "euclidean", .dtype = "uint8",
+      .params = ann::ShardedBuildParams{
+          .num_shards = 4, .overlap = 2,
+          .diskann = DiskANNParams{.degree_bound = 24, .beam_width = 48}}};
+  auto index = ann::make_index(spec);
+  index.build(ds.base);
+  auto results = index.batch_search(ds.queries, kEffort);
+  EXPECT_GE(ann::average_recall(results, gt, 10), 0.75);
+
+  auto path = temp_path("sharded_round_trip.pann");
+  index.save(path);
+  auto loaded = AnyIndex::load(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded.spec().algorithm, "sharded_diskann");
+  auto params = loaded.spec().params_or<ann::ShardedBuildParams>();
+  EXPECT_EQ(params.num_shards, 4u);
+  EXPECT_EQ(params.overlap, 2u);
+  EXPECT_EQ(params.diskann.degree_bound, 24u);
+  EXPECT_EQ(params.diskann.beam_width, 48u);
+  EXPECT_EQ(loaded.batch_search(ds.queries, kEffort), results);
+}
+
+TEST(ShardedIndex, WrongAlgorithmParamsThrow) {
+  // ShardedBuildParams on a non-sharded algorithm (and vice versa) must be
+  // rejected, not silently dropped.
+  EXPECT_THROW(ann::make_index({.algorithm = "diskann", .metric = "euclidean",
+                                .dtype = "uint8",
+                                .params = ann::ShardedBuildParams{}}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      ann::make_index({.algorithm = "sharded_diskann", .metric = "euclidean",
+                       .dtype = "uint8", .params = ann::HNSWParams{}}),
+      std::invalid_argument);
+}
+
+}  // namespace
