@@ -1,0 +1,237 @@
+// bench_qps — query hot-path throughput and correctness harness.
+//
+// Three sections:
+//   1. Distance-kernel throughput, single thread: the vectorized 8-lane
+//      kernels (core/distance.h) vs the retained sequential reference
+//      (ann::scalarref). The float L2 kernel is expected to clear 2x.
+//   2. Proof that the overhaul changed throughput, not results:
+//      * uint8 searches (integer accumulation is exact) must be
+//        BYTE-IDENTICAL between the vectorized and scalar-reference
+//        kernels — frontier and visited lists, ids and distances;
+//      * batch_search under 1 worker and under the default worker count
+//        must be element-wise identical for uint8 and float backends (the
+//        per-thread scratch pool must not leak state between queries).
+//      Any mismatch exits non-zero (this is the smoke-test contract).
+//   3. QPS-vs-recall sweep over every registered backend via the unified
+//      API (same recall as before the rewrite, by section 2's identity).
+//
+// Usage: bench_qps [scale]   (scale < 1 shrinks n and kernel rounds; the
+// ctest smoke target runs `bench_qps 0.05`. The 2x kernel-speedup check is
+// reported always but only enforced at scale >= 1, where timing is stable.)
+#include "bench_common.h"
+
+#include "algorithms/diskann.h"
+
+namespace {
+
+// Evaluations/second of Metric over a (query x points) sweep. The
+// accumulated checksum is returned through `sink` so the kernel calls
+// cannot be optimized away.
+template <typename Metric, typename T>
+double kernel_evals_per_sec(const ann::PointSet<T>& pts, const T* q,
+                            std::size_t rounds, double& sink) {
+  const std::size_t d = pts.dims();
+  const auto prep = Metric::prepare(q, d);
+  float acc = 0.0f;
+  double secs = bench::time_s([&] {
+    for (std::size_t r = 0; r < rounds; ++r) {
+      for (std::size_t i = 0; i < pts.size(); ++i) {
+        acc += Metric::eval(prep, q, pts[static_cast<ann::PointId>(i)], d);
+      }
+    }
+  });
+  sink += static_cast<double>(acc);
+  return static_cast<double>(rounds * pts.size()) / secs;
+}
+
+template <typename VecMetric, typename RefMetric, typename T>
+double kernel_row(const char* name, const ann::PointSet<T>& pts, const T* q,
+                  std::size_t rounds, double& sink, ann::Table& table) {
+  double ref = kernel_evals_per_sec<RefMetric>(pts, q, rounds, sink);
+  double vec = kernel_evals_per_sec<VecMetric>(pts, q, rounds, sink);
+  double speedup = vec / ref;
+  table.add_row({name, ann::fmt(ref / 1e6, 2), ann::fmt(vec / 1e6, 2),
+                 ann::fmt(speedup, 2)});
+  return speedup;
+}
+
+bool same_results(const std::vector<ann::Neighbor>& a,
+                  const std::vector<ann::Neighbor>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ann;
+  double s = bench::scale_arg(argc, argv);
+  const std::size_t n = bench::scaled(20000, s);
+  const std::size_t nq = 200;
+  const std::size_t rounds =
+      std::max<std::size_t>(4, static_cast<std::size_t>(256.0 * s));
+  int failures = 0;
+
+  std::printf("bench_qps: query hot-path throughput (n=%zu, nq=%zu)\n", n, nq);
+
+  // --- 1. kernel throughput, single thread -----------------------------------
+  {
+    parlay::set_num_workers(1);
+    auto u8 = make_uniform<std::uint8_t>(1024, 128, 0, 255, 11);
+    auto i8 = make_uniform<std::int8_t>(1024, 100, -127, 127, 12);
+    auto f32 = make_uniform<float>(1024, 200, -1, 1, 13);
+    auto qu8 = make_uniform<std::uint8_t>(1, 128, 0, 255, 14);
+    auto qi8 = make_uniform<std::int8_t>(1, 100, -127, 127, 15);
+    auto qf32 = make_uniform<float>(1, 200, -1, 1, 16);
+
+    double sink = 0.0;
+    Table table({"kernel", "scalar Mevals/s", "vectorized Mevals/s", "speedup"});
+    double float_l2_speedup = kernel_row<EuclideanSquared,
+                                         scalarref::EuclideanSquared>(
+        "L2 float d=200", f32, qf32[0], rounds, sink, table);
+    kernel_row<EuclideanSquared, scalarref::EuclideanSquared>(
+        "L2 uint8 d=128", u8, qu8[0], rounds, sink, table);
+    kernel_row<EuclideanSquared, scalarref::EuclideanSquared>(
+        "L2 int8 d=100", i8, qi8[0], rounds, sink, table);
+    kernel_row<NegInnerProduct, scalarref::NegInnerProduct>(
+        "MIPS float d=200", f32, qf32[0], rounds, sink, table);
+    kernel_row<Cosine, scalarref::Cosine>("cosine float d=200 (prenorm)", f32,
+                                          qf32[0], rounds, sink, table);
+    std::printf("\n## distance kernels, 1 thread (checksum %.3g)\n", sink);
+    table.print();
+
+    if (float_l2_speedup < 2.0) {
+      std::printf("float L2 kernel speedup %.2fx < 2x", float_l2_speedup);
+      if (s >= 1.0) {
+        std::printf(" — FAIL\n");
+        ++failures;
+      } else {
+        std::printf(" (not enforced at scale %.2f < 1)\n", s);
+      }
+    } else {
+      std::printf("float L2 kernel speedup %.2fx >= 2x — PASS\n",
+                  float_l2_speedup);
+    }
+    parlay::set_num_workers(0);
+  }
+
+  // --- 2. results are the scalar baseline's results ---------------------------
+  auto ds = make_bigann_like(n, nq, 42);
+  {
+    DiskANNParams prm{.degree_bound = 32, .beam_width = 64};
+    auto ix = build_diskann<EuclideanSquared>(ds.base, prm);
+    std::vector<PointId> starts{ix.start};
+    SearchParams sp{.beam_width = 40, .k = 10};
+    std::size_t mismatches = 0;
+    for (std::size_t q = 0; q < ds.queries.size(); ++q) {
+      auto vec = beam_search<EuclideanSquared>(
+          ds.queries[static_cast<PointId>(q)], ds.base, ix.graph, starts, sp);
+      auto ref = beam_search<scalarref::EuclideanSquared>(
+          ds.queries[static_cast<PointId>(q)], ds.base, ix.graph, starts, sp);
+      if (!same_results(vec.frontier, ref.frontier) ||
+          !same_results(vec.visited, ref.visited)) {
+        ++mismatches;
+      }
+    }
+    std::printf("\nuint8 search byte-identity vs scalar reference: %s "
+                "(%zu/%zu queries mismatched)\n",
+                mismatches == 0 ? "PASS" : "FAIL", mismatches,
+                ds.queries.size());
+    if (mismatches != 0) ++failures;
+  }
+
+  {
+    // Worker-count determinism through the public API, uint8 and float.
+    auto check_workers = [&](const char* label, auto& index, auto& queries) {
+      QueryParams qp{.beam_width = 40, .k = 10};
+      parlay::set_num_workers(1);
+      auto serial = index.batch_search(queries, qp);
+      parlay::set_num_workers(0);
+      auto parallel = index.batch_search(queries, qp);
+      std::size_t bad = 0;
+      for (std::size_t q = 0; q < queries.size(); ++q) {
+        if (!same_results(serial[q], parallel[q])) ++bad;
+      }
+      std::printf("%s batch_search 1-vs-N workers: %s (%zu mismatched)\n",
+                  label, bad == 0 ? "PASS" : "FAIL", bad);
+      if (bad != 0) ++failures;
+    };
+    auto u8_index = make_index("diskann", "euclidean", "uint8");
+    u8_index.build(ds.base);
+    check_workers("uint8", u8_index, ds.queries);
+
+    auto dsf = make_text2image_like(n, 64, 43);
+    auto f_index = make_index("diskann", "euclidean", "float");
+    f_index.build(dsf.base);
+    check_workers("float", f_index, dsf.queries);
+  }
+
+  // --- 3. QPS vs recall over every registered backend -------------------------
+  {
+    auto gt = compute_ground_truth<EuclideanSquared>(ds.base, ds.queries, 10);
+    const std::vector<std::uint32_t> beams{10, 20, 40, 80};
+    const std::vector<std::uint32_t> probes{1, 4, 16, 64};
+    auto ivf_centroids =
+        static_cast<std::uint32_t>(std::max<std::size_t>(16, n / 200));
+    IVFPQParams pqprm;
+    pqprm.ivf.num_centroids = ivf_centroids;
+    pqprm.rerank = 40;
+
+    struct Row {
+      const char* title;
+      IndexSpec spec;
+      const std::vector<std::uint32_t>& efforts;
+      const char* effort_name;
+    };
+    const std::vector<Row> rows = {
+        {"diskann",
+         {.algorithm = "diskann", .metric = "euclidean", .dtype = "uint8"},
+         beams, "beam"},
+        {"dynamic_diskann",
+         {.algorithm = "dynamic_diskann", .metric = "euclidean",
+          .dtype = "uint8"},
+         beams, "beam"},
+        {"sharded_diskann",
+         {.algorithm = "sharded_diskann", .metric = "euclidean",
+          .dtype = "uint8"},
+         beams, "beam"},
+        {"hnsw",
+         {.algorithm = "hnsw", .metric = "euclidean", .dtype = "uint8"},
+         beams, "beam"},
+        {"hcnng",
+         {.algorithm = "hcnng", .metric = "euclidean", .dtype = "uint8"},
+         beams, "beam"},
+        {"pynndescent",
+         {.algorithm = "pynndescent", .metric = "euclidean", .dtype = "uint8"},
+         beams, "beam"},
+        {"ivf_flat",
+         {.algorithm = "ivf_flat", .metric = "euclidean", .dtype = "uint8",
+          .params = IVFParams{.num_centroids = ivf_centroids}},
+         probes, "nprobe"},
+        {"ivf_pq",
+         {.algorithm = "ivf_pq", .metric = "euclidean", .dtype = "uint8",
+          .params = pqprm},
+         probes, "nprobe"},
+        {"lsh",
+         {.algorithm = "lsh", .metric = "euclidean", .dtype = "uint8"},
+         probes, "multiprobe"},
+    };
+    for (const auto& row : rows) {
+      auto index = make_index(row.spec);
+      index.build(ds.base);
+      bench::print_sweep(row.title,
+                         bench::index_sweep(index, ds.queries, gt, row.efforts,
+                                            {0.0f}, row.effort_name));
+    }
+  }
+
+  if (failures != 0) {
+    std::printf("\nbench_qps: %d verification(s) FAILED\n", failures);
+    return 1;
+  }
+  std::printf("\nbench_qps: all verifications passed\n");
+  return 0;
+}

@@ -42,16 +42,19 @@ namespace ann {
 
 namespace adapters {
 
-// Exact range scan used by the bucketed backends.
+// Exact range scan used by the bucketed backends (prepared-query kernels,
+// one batched distance-count bump for the whole scan).
 template <typename Metric, typename T>
 std::vector<Neighbor> exact_range_scan(const PointSet<T>& points,
                                        const T* query, float radius) {
+  const auto prep = Metric::prepare(query, points.dims());
   std::vector<Neighbor> matches;
   for (std::size_t i = 0; i < points.size(); ++i) {
-    float d = Metric::distance(query, points[static_cast<PointId>(i)],
-                               points.dims());
+    float d = Metric::eval(prep, query, points[static_cast<PointId>(i)],
+                           points.dims());
     if (d <= radius) matches.push_back({static_cast<PointId>(i), d});
   }
+  DistanceCounter::bump(points.size());
   std::sort(matches.begin(), matches.end());
   return matches;
 }

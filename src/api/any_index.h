@@ -156,7 +156,12 @@ class AnyIndex {
     return backend.search(query, params);
   }
 
-  // Parallel fan-out over a query set; results[q] matches search(queries[q]).
+  // Parallel fan-out over a query set; results[q] matches search(queries[q])
+  // element-wise under any worker count (the shared beam search is
+  // deterministic and its scratch state — visited tables, beam storage —
+  // comes from a per-thread SearchScratch pool, so concurrent queries never
+  // share mutable state and steady-state fan-out does no scratch
+  // allocation).
   template <typename T>
   std::vector<std::vector<Neighbor>> batch_search(
       const PointSet<T>& queries, const QueryParams& params = {}) const {

@@ -8,6 +8,26 @@
 // ties never depend on traversal order, and all inputs (graph, starts) are
 // deterministic upstream.
 //
+// Hot-path structure:
+//   * All distance evaluations go through the raw Metric::eval kernels with
+//     a per-query Metric::prepare context (Cosine hoists the query norm out
+//     of the inner loop); evaluations are counted locally and reported in
+//     one DistanceCounter::bump(n) per search.
+//   * Scratch state (the seen table, the beam, processed flags, the
+//     neighbor gather buffer) lives in a per-thread SearchScratch pool, so
+//     a steady-state query allocates nothing but its own result vectors.
+//     The pooled ApproxVisitedSet is epoch-cleared: resetting it between
+//     queries is O(1), not a table memset.
+//   * Neighbor expansion is two-phase: gather the unprocessed neighbor ids
+//     (issuing coordinate prefetches), then evaluate distances — by the
+//     time the kernel runs, the rows are on their way into cache.
+//   * A node is processed at most once, BY CONSTRUCTION: an exact
+//     processed-id set guards the expansion, so result.visited (the prune
+//     candidate pool during construction) never holds duplicates even when
+//     the approximate seen-table drops ids on collisions. Previously this
+//     invariant was only implied by the sorted beam's monotonicity; now it
+//     is enforced and tested.
+//
 // The same routine serves queries and index construction (the insert path of
 // the incremental algorithms uses the visited list as the prune candidate
 // pool), exactly as in ParlayANN where DiskANN/HCNNG/PyNNDescent share one
@@ -18,6 +38,7 @@
 #include <cstdint>
 #include <limits>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "distance.h"
@@ -50,8 +71,8 @@ struct SearchParams {
 struct SearchResult {
   // Best candidates seen, sorted ascending by (dist, id); size <= beam_width.
   std::vector<Neighbor> frontier;
-  // Processed ("visited") points in processing order. This is the candidate
-  // pool V handed to prune() during index construction.
+  // Processed ("visited") points in processing order, duplicate-free. This
+  // is the candidate pool V handed to prune() during index construction.
   std::vector<Neighbor> visited;
 
   std::vector<PointId> top_k_ids(std::size_t k) const {
@@ -64,25 +85,58 @@ struct SearchResult {
   }
 };
 
-// Beam search for `query` over graph g from the given start points.
-// VisitedSet is ApproxVisitedSet (default, the paper's optimization) or
-// ExactVisitedSet (reference; used by the ablation bench).
-template <typename Metric, typename T, typename VisitedSet = ApproxVisitedSet>
-SearchResult beam_search(const T* query, const PointSet<T>& points,
-                         const Graph& g, std::span<const PointId> starts,
-                         const SearchParams& params) {
+// Reusable per-thread search state. Everything a beam search (or the flood
+// phase of a range search) needs beyond its result vectors; pooled via
+// local_search_scratch() so steady-state queries do zero scratch
+// allocations. AnyIndex::batch_search's parallel fan-out picks up one
+// scratch per worker thread automatically.
+struct SearchScratch {
+  ApproxVisitedSet seen{0};
+  ExactIdSet processed_ids{0};
+  std::vector<Neighbor> beam;
+  std::vector<unsigned char> processed;  // parallel to beam
+  std::vector<PointId> gather;           // unseen neighbors of one node
+  std::vector<Neighbor> flood;           // range-search flood queue
+};
+
+inline SearchScratch& local_search_scratch() {
+  thread_local SearchScratch scratch;
+  return scratch;
+}
+
+namespace internal {
+
+// Prefetch the first cache lines of a coordinate row.
+template <typename T>
+inline void prefetch_point(const T* row, std::size_t d) {
+  const char* p = reinterpret_cast<const char*>(row);
+  __builtin_prefetch(p, 0, 3);
+  if (d * sizeof(T) > 64) __builtin_prefetch(p + 64, 0, 3);
+}
+
+template <typename Metric, typename T, typename VisitedSet>
+SearchResult beam_search_impl(const T* query, const PointSet<T>& points,
+                              const Graph& g, std::span<const PointId> starts,
+                              const SearchParams& params, VisitedSet& seen,
+                              SearchScratch& scratch) {
   const std::size_t L = std::max<std::size_t>(params.beam_width, 1);
   const std::size_t k = std::max<std::size_t>(params.k, 1);
+  const std::size_t dims = points.dims();
   const float cut = 1.0f + params.epsilon;
+  const auto prep = Metric::prepare(query, dims);
 
-  VisitedSet seen(L);
-  std::vector<Neighbor> beam;
+  std::vector<Neighbor>& beam = scratch.beam;
+  std::vector<unsigned char>& processed = scratch.processed;
+  beam.clear();
   beam.reserve(L + 1);
-  std::vector<unsigned char> processed;  // parallel to beam
+  processed.clear();
   processed.reserve(L + 1);
+  scratch.processed_ids.reset(
+      std::min<std::size_t>(params.visit_limit, 4 * L));
 
   SearchResult result;
   result.visited.reserve(std::min(params.visit_limit, 4 * L));
+  std::uint64_t evals = 0;
 
   auto insert_candidate = [&](PointId id, float dist) {
     Neighbor nb{id, dist};
@@ -100,7 +154,8 @@ SearchResult beam_search(const T* query, const PointSet<T>& points,
 
   for (PointId s : starts) {
     if (seen.test_and_set(s)) continue;
-    insert_candidate(s, Metric::distance(query, points[s], points.dims()));
+    ++evals;
+    insert_candidate(s, Metric::eval(prep, query, points[s], dims));
   }
 
   while (result.visited.size() < params.visit_limit) {
@@ -111,6 +166,15 @@ SearchResult beam_search(const T* query, const PointSet<T>& points,
 
     processed[pi] = 1;
     Neighbor current = beam[pi];
+    // Re-processing guard: the seen-table may drop an id on a collision, so
+    // it alone cannot keep an already-expanded node from re-entering the
+    // beam; this exact set can. With the current sorted beam the re-entry
+    // path is additionally blocked by monotonicity (once full, the beam's
+    // worst only tightens below any evicted id's fixed distance), but the
+    // duplicate-free visited contract is enforced HERE, not assumed from
+    // beam policy — tests/test_query_hot_path.cpp asserts it under
+    // collision-heavy tables.
+    if (!scratch.processed_ids.insert(current.id)) continue;
     result.visited.push_back(current);
 
     // (1+eps) pruning radius: current k-th nearest seen (or worst if < k).
@@ -120,9 +184,18 @@ SearchResult beam_search(const T* query, const PointSet<T>& points,
                       ? beam.back().dist
                       : std::numeric_limits<float>::infinity();
 
+    // Phase 1: gather unseen neighbors, prefetching their coordinates.
+    scratch.gather.clear();
     for (PointId nb_id : g.neighbors(current.id)) {
       if (seen.test_and_set(nb_id)) continue;
-      float d = Metric::distance(query, points[nb_id], points.dims());
+      scratch.gather.push_back(nb_id);
+      prefetch_point(points[nb_id], dims);
+    }
+    evals += scratch.gather.size();
+
+    // Phase 2: evaluate and queue.
+    for (PointId nb_id : scratch.gather) {
+      float d = Metric::eval(prep, query, points[nb_id], dims);
       if (d > worst) continue;
       if (params.epsilon > 0.0f && d > radius) continue;
       insert_candidate(nb_id, d);
@@ -131,8 +204,40 @@ SearchResult beam_search(const T* query, const PointSet<T>& points,
     }
   }
 
-  result.frontier = std::move(beam);
+  DistanceCounter::bump(evals);
+  result.frontier.assign(beam.begin(), beam.end());
   return result;
+}
+
+}  // namespace internal
+
+// Beam search for `query` over graph g from the given start points, using
+// the caller's scratch. VisitedSet is ApproxVisitedSet (default, the
+// paper's optimization — drawn from the scratch pool) or ExactVisitedSet
+// (reference; used by the ablation bench and property tests).
+template <typename Metric, typename T, typename VisitedSet = ApproxVisitedSet>
+SearchResult beam_search(const T* query, const PointSet<T>& points,
+                         const Graph& g, std::span<const PointId> starts,
+                         const SearchParams& params, SearchScratch& scratch) {
+  const std::size_t L = std::max<std::size_t>(params.beam_width, 1);
+  if constexpr (std::is_same_v<VisitedSet, ApproxVisitedSet>) {
+    scratch.seen.reset(L);
+    return internal::beam_search_impl<Metric>(query, points, g, starts, params,
+                                              scratch.seen, scratch);
+  } else {
+    VisitedSet seen(L);
+    return internal::beam_search_impl<Metric>(query, points, g, starts, params,
+                                              seen, scratch);
+  }
+}
+
+// Convenience overload on the per-thread scratch pool.
+template <typename Metric, typename T, typename VisitedSet = ApproxVisitedSet>
+SearchResult beam_search(const T* query, const PointSet<T>& points,
+                         const Graph& g, std::span<const PointId> starts,
+                         const SearchParams& params) {
+  return beam_search<Metric, T, VisitedSet>(query, points, g, starts, params,
+                                            local_search_scratch());
 }
 
 // Convenience wrapper: ids of the k approximate nearest neighbors.

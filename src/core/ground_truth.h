@@ -36,14 +36,15 @@ GroundTruth compute_ground_truth(const PointSet<T>& base,
   gt.entries.assign(queries.size() * k, Neighbor{});
   parlay::parallel_for(0, queries.size(), [&](std::size_t q) {
     const T* qp = queries[static_cast<PointId>(q)];
+    const auto prep = Metric::prepare(qp, base.dims());
     // Bounded max-heap over Neighbors (largest = worst at front).
     std::vector<Neighbor> heap;
     heap.reserve(k + 1);
     auto worse = [](const Neighbor& a, const Neighbor& b) { return a < b; };
     for (std::size_t i = 0; i < base.size(); ++i) {
       Neighbor nb{static_cast<PointId>(i),
-                  Metric::distance(qp, base[static_cast<PointId>(i)],
-                                   base.dims())};
+                  Metric::eval(prep, qp, base[static_cast<PointId>(i)],
+                               base.dims())};
       if (heap.size() < k) {
         heap.push_back(nb);
         std::push_heap(heap.begin(), heap.end(), worse);
@@ -53,6 +54,7 @@ GroundTruth compute_ground_truth(const PointSet<T>& base,
         std::push_heap(heap.begin(), heap.end(), worse);
       }
     }
+    DistanceCounter::bump(base.size());
     std::sort_heap(heap.begin(), heap.end(), worse);
     for (std::size_t j = 0; j < k; ++j) gt.entries[q * k + j] = heap[j];
   }, 1);

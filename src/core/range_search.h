@@ -10,9 +10,15 @@
 // processes its queue in insertion order and dedupes through the same
 // one-sided-error visited table as the beam search, so results are exact
 // over the reachable subgraph and deterministic.
+//
+// Hot-path notes: both phases draw their scratch (visited tables, flood
+// queue) from the per-thread SearchScratch pool, evaluate distances with
+// the raw prepared-query kernels, and report evaluation counts in batched
+// DistanceCounter::bump(n) calls.
 #pragma once
 
 #include <algorithm>
+#include <type_traits>
 #include <vector>
 
 #include "beam_search.h"
@@ -35,17 +41,20 @@ struct RangeResult {
   std::size_t flood_steps = 0;  // vertices expanded during the flood phase
 };
 
-template <typename Metric, typename T, typename VisitedSet = ApproxVisitedSet>
-RangeResult range_search(const T* query, const PointSet<T>& points,
-                         const Graph& g, std::span<const PointId> starts,
-                         const RangeSearchParams& params) {
-  // Phase 1: navigate into the query's neighborhood.
-  SearchParams sp{.beam_width = params.beam_width, .k = params.beam_width};
-  auto beam = beam_search<Metric, T, VisitedSet>(query, points, g, starts, sp);
+namespace internal {
+
+template <typename Metric, typename T, typename VisitedSet>
+RangeResult range_search_impl(const T* query, const PointSet<T>& points,
+                              const Graph& g,
+                              const SearchResult& beam,
+                              const RangeSearchParams& params,
+                              VisitedSet& seen, SearchScratch& scratch) {
+  const std::size_t dims = points.dims();
+  const auto prep = Metric::prepare(query, dims);
 
   RangeResult result;
-  VisitedSet seen(std::max<std::size_t>(params.beam_width, 64));
-  std::vector<Neighbor> queue;
+  std::vector<Neighbor>& queue = scratch.flood;
+  queue.clear();
 
   auto admit = [&](Neighbor nb) {
     if (nb.dist <= params.radius) {
@@ -61,15 +70,28 @@ RangeResult range_search(const T* query, const PointSet<T>& points,
   }
 
   // Phase 2: flood outward from every in-range point.
+  std::uint64_t evals = 0;
   for (std::size_t qi = 0;
        qi < queue.size() && result.flood_steps < params.flood_limit; ++qi) {
     Neighbor current = queue[qi];
     ++result.flood_steps;
+    scratch.gather.clear();
     for (PointId nb_id : g.neighbors(current.id)) {
       if (seen.test_and_set(nb_id)) continue;
-      float d = Metric::distance(query, points[nb_id], points.dims());
-      admit({nb_id, d});
+      scratch.gather.push_back(nb_id);
+      prefetch_point(points[nb_id], dims);
     }
+    evals += scratch.gather.size();
+    for (PointId nb_id : scratch.gather) {
+      admit({nb_id, Metric::eval(prep, query, points[nb_id], dims)});
+    }
+  }
+  DistanceCounter::bump(evals);
+  // Anti-pinning: a single huge-radius query must not strand its flood
+  // queue's capacity in the pooled scratch forever.
+  if (queue.capacity() > (std::size_t{1} << 16)) {
+    queue.clear();
+    queue.shrink_to_fit();
   }
 
   std::sort(result.matches.begin(), result.matches.end());
@@ -82,6 +104,33 @@ RangeResult range_search(const T* query, const PointSet<T>& points,
   return result;
 }
 
+}  // namespace internal
+
+template <typename Metric, typename T, typename VisitedSet = ApproxVisitedSet>
+RangeResult range_search(const T* query, const PointSet<T>& points,
+                         const Graph& g, std::span<const PointId> starts,
+                         const RangeSearchParams& params) {
+  SearchScratch& scratch = local_search_scratch();
+  // Phase 1: navigate into the query's neighborhood.
+  SearchParams sp{.beam_width = params.beam_width, .k = params.beam_width};
+  auto beam =
+      beam_search<Metric, T, VisitedSet>(query, points, g, starts, sp, scratch);
+
+  // The beam phase is done with the pooled seen-table, so the flood phase
+  // can reset and reuse it (the two phases intentionally do NOT share seen
+  // state: frontier/visited entries re-seed the flood).
+  const std::size_t flood_beam = std::max<std::size_t>(params.beam_width, 64);
+  if constexpr (std::is_same_v<VisitedSet, ApproxVisitedSet>) {
+    scratch.seen.reset(flood_beam);
+    return internal::range_search_impl<Metric>(query, points, g, beam, params,
+                                               scratch.seen, scratch);
+  } else {
+    VisitedSet seen(flood_beam);
+    return internal::range_search_impl<Metric>(query, points, g, beam, params,
+                                               seen, scratch);
+  }
+}
+
 // Exact range ground truth by brute force (per query, deterministic order).
 template <typename Metric, typename T>
 std::vector<std::vector<Neighbor>> range_ground_truth(
@@ -90,11 +139,13 @@ std::vector<std::vector<Neighbor>> range_ground_truth(
   parlay::parallel_for(0, queries.size(), [&](std::size_t q) {
     std::vector<Neighbor> row;
     const T* qp = queries[static_cast<PointId>(q)];
+    const auto prep = Metric::prepare(qp, base.dims());
     for (std::size_t i = 0; i < base.size(); ++i) {
-      float d = Metric::distance(qp, base[static_cast<PointId>(i)],
-                                 base.dims());
+      float d = Metric::eval(prep, qp, base[static_cast<PointId>(i)],
+                             base.dims());
       if (d <= radius) row.push_back({static_cast<PointId>(i), d});
     }
+    DistanceCounter::bump(base.size());
     std::sort(row.begin(), row.end());
     gt[q] = std::move(row);
   }, 1);

@@ -3,11 +3,33 @@
 // The paper reports "distance computations per query" (Figs. 3d-f, 6c) as a
 // machine-independent cost metric. We count every metric evaluation with
 // per-worker padded counters; the total is exact, cheap, and involves no
-// cross-thread contention. (The *count* may not be bit-stable across worker
-// counts for algorithms that early-exit on shared state — ours don't — but
-// query results themselves always are.)
+// cross-thread contention.
+//
+// Counting API:
+//   bump()   — one evaluation (used by the counted Metric::distance wrappers)
+//   bump(n)  — n evaluations at once. Hot loops (beam search, posting-list
+//              scans, k-means assignment) evaluate with the raw
+//              Metric::eval kernels and report per batch, so accounting
+//              never sits inside an inner loop.
+//
+// Accuracy caveats (also summarized in README "Performance"):
+//   * Slots are per-worker and worker ids live in [0, parlay::num_workers()).
+//     If the scheduler is configured with more than kMaxWorkers workers,
+//     ids alias slots modulo kMaxWorkers; external threads that never
+//     joined the scheduler all map to id 0. Both cases are multi-writer,
+//     which is why bump() is a relaxed fetch_add — totals stay exact.
+//   * The counter is one process-global set of slots. DistanceCounterScope
+//     zeroes it on construction, so scopes must not be nested or run
+//     concurrently from two external threads. Wrapping a parallel region
+//     (e.g. AnyIndex::batch_search) from its calling thread is safe and
+//     exact: each worker writes only its own slot and count() sums all
+//     slots after the region joins.
+//   * The *count* may not be bit-stable across worker counts for algorithms
+//     that early-exit on shared state — ours don't — but query results
+//     themselves always are (tests/test_query_hot_path.cpp asserts both).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
@@ -19,28 +41,43 @@ class DistanceCounter {
  public:
   static constexpr unsigned kMaxWorkers = 256;
 
-  static void bump() {
-    slots_[parlay::worker_id() % kMaxWorkers].count += 1;
+  static void bump(std::uint64_t n = 1) {
+    // Relaxed RMW, not a load/store pair: a slot is usually single-writer
+    // (one worker), but every external thread that never entered the
+    // scheduler maps to worker id 0, and >kMaxWorkers configurations alias
+    // slots — fetch_add keeps totals exact in both cases. Batched counting
+    // makes the RMW cost irrelevant (roughly one bump per search phase).
+    slots_[parlay::worker_id() % kMaxWorkers].count.fetch_add(
+        n, std::memory_order_relaxed);
   }
 
   static void reset() {
-    for (unsigned i = 0; i < kMaxWorkers; ++i) slots_[i].count = 0;
+    for (unsigned i = 0; i < kMaxWorkers; ++i) {
+      slots_[i].count.store(0, std::memory_order_relaxed);
+    }
   }
 
   static std::uint64_t total() {
     std::uint64_t sum = 0;
-    for (unsigned i = 0; i < kMaxWorkers; ++i) sum += slots_[i].count;
+    for (unsigned i = 0; i < kMaxWorkers; ++i) {
+      sum += slots_[i].count.load(std::memory_order_relaxed);
+    }
     return sum;
   }
 
  private:
   struct alignas(64) Slot {
-    std::uint64_t count;
+    // No default member initializer: slots_ is an inline static member of
+    // the enclosing class, which gcc rejects with one. Static storage
+    // duration zero-initializes the atomics (C++20 value-initialization).
+    std::atomic<std::uint64_t> count;
   };
   inline static Slot slots_[kMaxWorkers];
 };
 
-// RAII scope that zeroes the counter on entry and reports on demand.
+// RAII scope that zeroes the counter on entry and reports on demand. The
+// counter is process-global: create one scope at a time, from the thread
+// that drives the (possibly parallel) work being measured.
 class DistanceCounterScope {
  public:
   DistanceCounterScope() { DistanceCounter::reset(); }

@@ -1,16 +1,25 @@
-// Approximate membership structures for beam search (§4.5).
+// Membership structures for beam search (§4.5).
 //
-// The paper replaces per-point visited flags with "an optimized approximate
-// hash table with one-sided errors": a direct-mapped lossy table sized at
-// the square of the beam width, small enough for L1. A collision drops one
-// of the two ids, so a dropped point may be REVISITED (wasted work), but the
-// table never claims an unseen point was seen (no lost candidates) —
-// correctness is unaffected, only (rarely) cost.
+// ApproxVisitedSet — the paper's "optimized approximate hash table with
+// one-sided errors": a direct-mapped lossy table sized at the square of the
+// beam width, small enough for L1. A collision drops one of the two ids, so
+// a dropped point may be REVISITED (wasted work), but the table never claims
+// an unseen point was seen (no lost candidates) — correctness is unaffected,
+// only (rarely) cost. Built for pooling: clear() is O(1) via an epoch tag
+// (each slot stores (epoch, id); bumping the epoch invalidates every entry
+// without touching the table), and reset(beam_width) re-sizes-or-clears so
+// one table serves every query a thread ever runs.
+//
+// ExactIdSet — a small exact open-addressing set (linear probing, same
+// epoch-based O(1) clear, grows at 50% load). Beam search uses it to guard
+// against re-processing a node whose ApproxVisitedSet entry was dropped by
+// a collision; unlike the approximate table it never forgets.
 //
 // ExactVisitedSet is the std::unordered_set-based reference used by the
 // ablation bench (bench_ablation_visited_set) and property tests.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <unordered_set>
@@ -23,38 +32,171 @@ namespace ann {
 
 class ApproxVisitedSet {
  public:
-  // `beam_width` controls sizing: table = next power of two >= beam^2.
-  explicit ApproxVisitedSet(std::size_t beam_width) {
-    std::size_t want = beam_width * beam_width;
-    std::size_t cap = 64;
-    while (cap < want) cap <<= 1;
-    mask_ = cap - 1;
-    slots_.assign(cap, kInvalidPoint);
+  // `beam_width` controls sizing: table = next power of two >= beam^2 (and
+  // >= 64).
+  explicit ApproxVisitedSet(std::size_t beam_width) { reset(beam_width); }
+
+  // Size the table for `beam_width`, then forget every entry. O(1) unless
+  // the backing store must grow; a pooled set reused across searches
+  // reallocates only when a wider beam than ever before arrives. The
+  // EFFECTIVE table (the probed region, = capacity()) is always exactly the
+  // next power of two >= max(beam^2, 64), regardless of how large the
+  // retained allocation is: collision behavior — and therefore the
+  // distance-computation counts it induces — must depend only on the search
+  // parameters, never on what a pooled table served before (the
+  // DistanceCounter batch-total == serial-sum contract in stats.h).
+  void reset(std::size_t beam_width) {
+    std::size_t want = 64;
+    std::size_t target = std::max<std::size_t>(beam_width * beam_width, 64);
+    while (want < target) want <<= 1;
+    // Shrink threshold: a pooled scratch set must not pin the
+    // largest-ever allocation forever (one beam-4096 query would strand
+    // 128 MiB per thread). Generous hysteresis (16x + a 64K-slot floor)
+    // so mixed beam-width traffic almost never reallocates.
+    const bool far_too_big =
+        slots_.size() >= 16 * want && slots_.size() > (std::size_t{1} << 16);
+    if (slots_.size() < want || far_too_big) {
+      slots_.assign(want, 0);
+      epoch_ = 1;
+    } else {
+      clear();
+    }
+    mask_ = want - 1;
   }
 
   // Returns true if `id` was (still) recorded as seen; otherwise records it
-  // (unless the slot is taken by another id — one-sided error) and returns
-  // false.
+  // (unless the slot is taken by another live id — one-sided error) and
+  // returns false.
   bool test_and_set(PointId id) {
     std::size_t slot = parlay::hash64(id) & mask_;
-    if (slots_[slot] == id) return true;
-    if (slots_[slot] == kInvalidPoint) slots_[slot] = id;
-    // Slot held by a different id: drop the new one (keep-first policy);
-    // `id` may be revisited later, which is safe.
+    std::uint64_t want = pack(id);
+    std::uint64_t cur = slots_[slot];
+    if (cur == want) return true;
+    if (static_cast<std::uint32_t>(cur >> 32) != epoch_) {
+      slots_[slot] = want;  // empty or stale from a previous epoch
+    }
+    // else: slot held by a different live id — drop the new one (keep-first
+    // policy); `id` may be revisited later, which is safe.
     return false;
   }
 
   bool contains(PointId id) const {
-    return slots_[parlay::hash64(id) & mask_] == id;
+    return slots_[parlay::hash64(id) & mask_] == pack(id);
   }
 
-  void clear() { slots_.assign(slots_.size(), kInvalidPoint); }
+  // O(1): bump the epoch so every stored tag goes stale. The table is only
+  // rewritten on the 2^32 epoch wraparound (once a day per thread at
+  // ~50k queries/s — rare, and handled).
+  void clear() {
+    if (++epoch_ == 0) {
+      std::fill(slots_.begin(), slots_.end(), 0);
+      epoch_ = 1;
+    }
+  }
 
+  // Effective (probed) table size for the current beam width: the next
+  // power of two >= max(beam^2, 64). The retained allocation may be larger
+  // after pooled reuse, but only this region is ever addressed.
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::uint64_t pack(PointId id) const {
+    return (static_cast<std::uint64_t>(epoch_) << 32) | id;
+  }
+
+  std::size_t mask_ = 0;
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint64_t> slots_;  // (epoch << 32) | id; epoch 0 = empty
+};
+
+class ExactIdSet {
+ public:
+  explicit ExactIdSet(std::size_t expected = 0) { reset(expected); }
+
+  // Ensure room for `expected` ids without growth, then forget everything.
+  // O(1) unless the table must grow or is far oversized. Callers with an
+  // unbounded limit pass a small estimate; the set grows itself as needed.
+  void reset(std::size_t expected) {
+    std::size_t want = 64;
+    while (want < 2 * expected) want <<= 1;
+    // Same anti-pinning hysteresis as ApproxVisitedSet::reset: one deep
+    // search must not strand its largest-ever table in the pooled scratch
+    // for the process lifetime.
+    const bool far_too_big =
+        slots_.size() >= 16 * want && slots_.size() > (std::size_t{1} << 16);
+    if (slots_.size() < want || far_too_big) {
+      slots_.assign(want, 0);
+      mask_ = want - 1;
+      epoch_ = 1;
+    } else {
+      clear();
+    }
+    size_ = 0;
+  }
+
+  // Records `id`; returns true if it was newly inserted, false if present.
+  bool insert(PointId id) {
+    if (2 * (size_ + 1) > slots_.size()) grow();
+    std::size_t slot = parlay::hash64(id) & mask_;
+    std::uint64_t want = pack(id);
+    while (true) {
+      std::uint64_t cur = slots_[slot];
+      if (cur == want) return false;
+      if (static_cast<std::uint32_t>(cur >> 32) != epoch_) {
+        slots_[slot] = want;
+        ++size_;
+        return true;
+      }
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+  bool contains(PointId id) const {
+    std::size_t slot = parlay::hash64(id) & mask_;
+    std::uint64_t want = pack(id);
+    while (true) {
+      std::uint64_t cur = slots_[slot];
+      if (cur == want) return true;
+      if (static_cast<std::uint32_t>(cur >> 32) != epoch_) return false;
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+  void clear() {
+    if (++epoch_ == 0) {
+      std::fill(slots_.begin(), slots_.end(), 0);
+      epoch_ = 1;
+    }
+    size_ = 0;
+  }
+
+  std::size_t size() const { return size_; }
   std::size_t capacity() const { return slots_.size(); }
 
  private:
-  std::size_t mask_;
-  std::vector<PointId> slots_;
+  std::uint64_t pack(PointId id) const {
+    return (static_cast<std::uint64_t>(epoch_) << 32) | id;
+  }
+
+  void grow() {
+    std::vector<std::uint64_t> old = std::move(slots_);
+    slots_.assign(old.size() * 2, 0);
+    mask_ = slots_.size() - 1;
+    std::uint32_t live_epoch = epoch_;
+    epoch_ = 1;
+    for (std::uint64_t cur : old) {
+      if (static_cast<std::uint32_t>(cur >> 32) != live_epoch) continue;
+      PointId id = static_cast<PointId>(cur);
+      std::size_t slot = parlay::hash64(id) & mask_;
+      while (slots_[slot] != 0) slot = (slot + 1) & mask_;
+      slots_[slot] = pack(id);
+    }
+  }
+
+  std::size_t mask_ = 0;
+  std::uint32_t epoch_ = 0;
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> slots_;  // (epoch << 32) | id; epoch 0 = empty
 };
 
 class ExactVisitedSet {

@@ -87,27 +87,34 @@ class IVFFlat {
     return index;
   }
 
-  // Candidates with exact distances, ascending by (dist, id).
+  // Candidates with exact distances, ascending by (dist, id). Distance
+  // evaluations use the raw prepared-query kernels with one batched
+  // DistanceCounter::bump per phase (centroid ranking, list scan).
   std::vector<Neighbor> query_full(const T* q, const PointSet<T>& points,
                                    const IVFQueryParams& params) const {
     const std::size_t d = points.dims();
     // Rank centroids under the index metric (float copy of q, computed once).
     std::vector<float> qf(d);
     for (std::size_t j = 0; j < d; ++j) qf[j] = static_cast<float>(q[j]);
+    const auto cprep = Metric::prepare(qf.data(), d);
     std::vector<Neighbor> order(centroids_.size());
     for (std::uint32_t c = 0; c < centroids_.size(); ++c) {
-      order[c] = {c, Metric::distance(qf.data(), centroids_[c], d)};
+      order[c] = {c, Metric::eval(cprep, qf.data(), centroids_[c], d)};
     }
+    DistanceCounter::bump(centroids_.size());
     std::sort(order.begin(), order.end());
     const std::size_t probes =
         std::min<std::size_t>(params.nprobe, order.size());
 
     // Exhaustive scan of the probed lists.
+    const auto prep = Metric::prepare(q, d);
+    std::uint64_t evals = 0;
     std::vector<Neighbor> best;
     best.reserve(params.k + 1);
     for (std::size_t pi = 0; pi < probes; ++pi) {
+      evals += lists_[order[pi].id].size();
       for (PointId id : lists_[order[pi].id]) {
-        Neighbor nb{id, Metric::distance(q, points[id], d)};
+        Neighbor nb{id, Metric::eval(prep, q, points[id], d)};
         auto it = std::lower_bound(best.begin(), best.end(), nb);
         if (best.size() < params.k) {
           best.insert(it, nb);
@@ -117,6 +124,7 @@ class IVFFlat {
         }
       }
     }
+    DistanceCounter::bump(evals);
     return best;
   }
 

@@ -53,10 +53,12 @@ class IVFPQ {
     const std::size_t d = points.dims();
     std::vector<float> qf(d);
     for (std::size_t j = 0; j < d; ++j) qf[j] = static_cast<float>(q[j]);
+    const auto cprep = Metric::prepare(qf.data(), d);
     std::vector<Neighbor> order(centroids_.size());
     for (std::uint32_t c = 0; c < centroids_.size(); ++c) {
-      order[c] = {c, Metric::distance(qf.data(), centroids_[c], d)};
+      order[c] = {c, Metric::eval(cprep, qf.data(), centroids_[c], d)};
     }
+    DistanceCounter::bump(centroids_.size());
     std::sort(order.begin(), order.end());
     const std::size_t probes =
         std::min<std::size_t>(params.nprobe, order.size());
@@ -64,11 +66,13 @@ class IVFPQ {
     auto table = pq_.template adc_table<Metric>(q);
     const std::size_t shortlist =
         rerank_ > 0 ? std::max<std::size_t>(rerank_, params.k) : params.k;
+    std::uint64_t evals = 0;
     std::vector<Neighbor> best;
     best.reserve(shortlist + 1);
     for (std::size_t pi = 0; pi < probes; ++pi) {
+      evals += lists_[order[pi].id].size();
       for (PointId id : lists_[order[pi].id]) {
-        Neighbor nb{id, pq_.adc_distance(table, codes_.data(), id)};
+        Neighbor nb{id, pq_.adc_eval(table, codes_.data(), id)};
         auto it = std::lower_bound(best.begin(), best.end(), nb);
         if (best.size() < shortlist) {
           best.insert(it, nb);
@@ -79,11 +83,14 @@ class IVFPQ {
       }
     }
     if (rerank_ > 0) {
+      const auto prep = Metric::prepare(q, d);
       for (auto& nb : best) {
-        nb.dist = Metric::distance(q, points[nb.id], d);
+        nb.dist = Metric::eval(prep, q, points[nb.id], d);
       }
+      evals += best.size();
       std::sort(best.begin(), best.end());
     }
+    DistanceCounter::bump(evals);
     if (best.size() > params.k) best.resize(params.k);
     return best;
   }

@@ -21,16 +21,12 @@
 namespace ann {
 
 // Distance between a float centroid and a point of any element type
-// (counted as a distance comparison like every other kernel).
+// (counted as a distance comparison like every other kernel). Uses the
+// shared 8-lane L2 kernel with float accumulation for the mixed types.
 template <typename T>
 inline float centroid_distance(const float* c, const T* p, std::size_t d) {
   DistanceCounter::bump();
-  float acc = 0.0f;
-  for (std::size_t j = 0; j < d; ++j) {
-    float diff = c[j] - static_cast<float>(p[j]);
-    acc += diff * diff;
-  }
-  return acc;
+  return internal::l2_kernel<float, T, float>(c, p, d);
 }
 
 struct KMeansParams {
@@ -44,19 +40,21 @@ struct KMeansResult {
   std::vector<std::uint32_t> assignment;  // point -> cluster
 };
 
-// Index of the nearest centroid to p (ties -> smaller index).
+// Index of the nearest centroid to p (ties -> smaller index). One batched
+// DistanceCounter::bump per scan instead of one per centroid.
 template <typename T>
 std::uint32_t nearest_centroid(const PointSet<float>& centroids, const T* p,
                                std::size_t d) {
   std::uint32_t best = 0;
   float best_d = std::numeric_limits<float>::infinity();
   for (std::uint32_t c = 0; c < centroids.size(); ++c) {
-    float dist = centroid_distance(centroids[c], p, d);
+    float dist = internal::l2_kernel<float, T, float>(centroids[c], p, d);
     if (dist < best_d) {
       best_d = dist;
       best = c;
     }
   }
+  DistanceCounter::bump(centroids.size());
   return best;
 }
 

@@ -100,24 +100,34 @@ class ProductQuantizer {
       for (std::size_t j = 0; j < sub_dims_[s]; ++j) {
         sub[j] = static_cast<float>(q[sub_offsets_[s] + j]);
       }
+      const auto prep = Metric::prepare(sub.data(), sub_dims_[s]);
       for (std::uint32_t c = 0; c < codebooks_[s].size(); ++c) {
         table[s * width + c] =
-            Metric::distance(sub.data(), codebooks_[s][c], sub_dims_[s]);
+            Metric::eval(prep, sub.data(), codebooks_[s][c], sub_dims_[s]);
       }
+      DistanceCounter::bump(codebooks_[s].size());
     }
     return table;
   }
 
-  // Approximate distance of the i-th encoded vector via the ADC table.
-  float adc_distance(const std::vector<float>& table,
-                     const std::uint8_t* codes, std::size_t i) const {
-    DistanceCounter::bump();  // one compressed-domain comparison
+  // Raw table-lookup sum for the i-th encoded vector (uncounted; hot scan
+  // loops batch their own DistanceCounter::bump).
+  float adc_eval(const std::vector<float>& table, const std::uint8_t* codes,
+                 std::size_t i) const {
     std::size_t width = max_codes();
     float acc = 0.0f;
     for (std::uint32_t s = 0; s < m_; ++s) {
       acc += table[s * width + codes[i * m_ + s]];
     }
     return acc;
+  }
+
+  // Approximate distance of the i-th encoded vector via the ADC table,
+  // counted as one compressed-domain comparison.
+  float adc_distance(const std::vector<float>& table,
+                     const std::uint8_t* codes, std::size_t i) const {
+    DistanceCounter::bump();
+    return adc_eval(table, codes, i);
   }
 
   // Exact reconstruction distance (decode-and-compare); used in tests.

@@ -77,14 +77,16 @@ std::vector<PointId> pq_search_knn(const T* query, const PointSet<T>& points,
     }
   }
 
-  // Exact re-rank of the best compressed candidates.
+  // Exact re-rank of the best compressed candidates (one batched bump).
   std::size_t depth = std::min<std::size_t>(
       beam.size(), std::max<std::uint32_t>(rerank, params.k));
+  const auto prep = Metric::prepare(query, points.dims());
   std::vector<Neighbor> exact(depth);
   for (std::size_t i = 0; i < depth; ++i) {
-    exact[i] = {beam[i].id, Metric::distance(query, points[beam[i].id],
-                                             points.dims())};
+    exact[i] = {beam[i].id, Metric::eval(prep, query, points[beam[i].id],
+                                         points.dims())};
   }
+  DistanceCounter::bump(depth);
   std::sort(exact.begin(), exact.end());
   std::vector<PointId> out;
   for (std::size_t i = 0; i < exact.size() && out.size() < params.k; ++i) {

@@ -97,11 +97,13 @@ class LSHIndex {
     std::sort(candidates.begin(), candidates.end());
     candidates.erase(std::unique(candidates.begin(), candidates.end()),
                      candidates.end());
+    const auto prep = Metric::prepare(q, d);
     std::vector<Neighbor> ranked;
     ranked.reserve(candidates.size());
     for (PointId id : candidates) {
-      ranked.push_back({id, Metric::distance(q, points[id], d)});
+      ranked.push_back({id, Metric::eval(prep, q, points[id], d)});
     }
+    DistanceCounter::bump(candidates.size());
     std::sort(ranked.begin(), ranked.end());
     if (ranked.size() > params.k) ranked.resize(params.k);
     return ranked;

@@ -1,0 +1,160 @@
+// Vectorized distance kernels (core/distance.h): equivalence against the
+// retained scalar reference, the prepared-query protocol, and the batched
+// counting API.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/distance.h"
+#include "core/stats.h"
+
+namespace {
+
+using ann::Cosine;
+using ann::EuclideanSquared;
+using ann::NegInnerProduct;
+using ann::PointId;
+
+// Dimensions straddling the lane counts (8 float / 16 int), including the
+// sub-lane and remainder cases.
+const std::vector<std::size_t> kDims = {1, 3, 7, 8, 9, 15, 16, 17,
+                                        31, 64, 100, 127, 128, 200};
+
+template <typename T>
+std::vector<T> random_vec(std::size_t d, std::uint64_t seed, double lo,
+                          double hi) {
+  auto ps = ann::make_uniform<T>(1, d, lo, hi, seed);
+  return std::vector<T>(ps[0], ps[0] + d);
+}
+
+TEST(DistanceKernels, IntegerKernelsBitIdenticalToScalarReference) {
+  // Integer accumulation is exact, so lane order cannot change the result:
+  // the vectorized kernels must equal the sequential reference EXACTLY.
+  for (std::size_t d : kDims) {
+    auto a8 = random_vec<std::uint8_t>(d, 100 + d, 0, 255);
+    auto b8 = random_vec<std::uint8_t>(d, 200 + d, 0, 255);
+    EXPECT_EQ(EuclideanSquared::eval(a8.data(), b8.data(), d),
+              ann::scalarref::EuclideanSquared::eval(a8.data(), b8.data(), d))
+        << "uint8 L2 d=" << d;
+    EXPECT_EQ(NegInnerProduct::eval(a8.data(), b8.data(), d),
+              ann::scalarref::NegInnerProduct::eval(a8.data(), b8.data(), d))
+        << "uint8 MIPS d=" << d;
+
+    auto ai = random_vec<std::int8_t>(d, 300 + d, -127, 127);
+    auto bi = random_vec<std::int8_t>(d, 400 + d, -127, 127);
+    EXPECT_EQ(EuclideanSquared::eval(ai.data(), bi.data(), d),
+              ann::scalarref::EuclideanSquared::eval(ai.data(), bi.data(), d))
+        << "int8 L2 d=" << d;
+    EXPECT_EQ(NegInnerProduct::eval(ai.data(), bi.data(), d),
+              ann::scalarref::NegInnerProduct::eval(ai.data(), bi.data(), d))
+        << "int8 MIPS d=" << d;
+  }
+}
+
+TEST(DistanceKernels, FloatKernelsMatchReferenceWithinRounding) {
+  // Float lanes reassociate the sum relative to the sequential reference, so
+  // results agree to rounding, not bitwise — and are themselves exactly
+  // reproducible call to call (determinism is asserted separately below).
+  for (std::size_t d : kDims) {
+    auto a = random_vec<float>(d, 500 + d, -1, 1);
+    auto b = random_vec<float>(d, 600 + d, -1, 1);
+    float l2 = EuclideanSquared::eval(a.data(), b.data(), d);
+    float l2_ref = ann::scalarref::EuclideanSquared::eval(a.data(), b.data(), d);
+    EXPECT_NEAR(l2, l2_ref, 1e-4f * std::max(1.0f, std::abs(l2_ref)));
+
+    float mips = NegInnerProduct::eval(a.data(), b.data(), d);
+    float mips_ref =
+        ann::scalarref::NegInnerProduct::eval(a.data(), b.data(), d);
+    EXPECT_NEAR(mips, mips_ref, 1e-4f * std::max(1.0f, std::abs(mips_ref)));
+
+    float cos = Cosine::eval(a.data(), b.data(), d);
+    float cos_ref = ann::scalarref::Cosine::eval(a.data(), b.data(), d);
+    EXPECT_NEAR(cos, cos_ref, 1e-4f);
+  }
+}
+
+TEST(DistanceKernels, FloatKernelsAreDeterministic) {
+  for (std::size_t d : kDims) {
+    auto a = random_vec<float>(d, 700 + d, -10, 10);
+    auto b = random_vec<float>(d, 800 + d, -10, 10);
+    EXPECT_EQ(EuclideanSquared::eval(a.data(), b.data(), d),
+              EuclideanSquared::eval(a.data(), b.data(), d));
+    EXPECT_EQ(Cosine::eval(a.data(), b.data(), d),
+              Cosine::eval(a.data(), b.data(), d));
+  }
+}
+
+TEST(DistanceKernels, PreparedEvalBitIdenticalToPlainEval) {
+  // The prepared-query fast path (Cosine hoists the query norm) must return
+  // the exact same bits as the two-argument kernel for every metric.
+  for (std::size_t d : kDims) {
+    auto q = random_vec<float>(d, 900 + d, -1, 1);
+    auto b = random_vec<float>(d, 1000 + d, -1, 1);
+
+    auto l2p = EuclideanSquared::prepare(q.data(), d);
+    EXPECT_EQ(EuclideanSquared::eval(l2p, q.data(), b.data(), d),
+              EuclideanSquared::eval(q.data(), b.data(), d));
+
+    auto mipsp = NegInnerProduct::prepare(q.data(), d);
+    EXPECT_EQ(NegInnerProduct::eval(mipsp, q.data(), b.data(), d),
+              NegInnerProduct::eval(q.data(), b.data(), d));
+
+    auto cosp = Cosine::prepare(q.data(), d);
+    EXPECT_EQ(Cosine::eval(cosp, q.data(), b.data(), d),
+              Cosine::eval(q.data(), b.data(), d));
+
+    auto q8 = random_vec<std::uint8_t>(d, 1100 + d, 0, 255);
+    auto b8 = random_vec<std::uint8_t>(d, 1200 + d, 0, 255);
+    auto cosp8 = Cosine::prepare(q8.data(), d);
+    EXPECT_EQ(Cosine::eval(cosp8, q8.data(), b8.data(), d),
+              Cosine::eval(q8.data(), b8.data(), d));
+  }
+}
+
+TEST(DistanceKernels, CosineZeroNormGuard) {
+  std::vector<float> z(16, 0.0f);
+  std::vector<float> a(16, 1.0f);
+  EXPECT_FLOAT_EQ(Cosine::eval(a.data(), z.data(), 16), 1.0f);
+  EXPECT_FLOAT_EQ(Cosine::eval(z.data(), a.data(), 16), 1.0f);
+  auto prep = Cosine::prepare(z.data(), 16);
+  EXPECT_FLOAT_EQ(Cosine::eval(prep, z.data(), a.data(), 16), 1.0f);
+}
+
+TEST(DistanceKernels, BatchedBumpAndCountedDistance) {
+  ann::DistanceCounter::reset();
+  float a[4] = {1, 2, 3, 4}, b[4] = {4, 3, 2, 1};
+  // Raw eval is uncounted.
+  EuclideanSquared::eval(a, b, 4);
+  EXPECT_EQ(ann::DistanceCounter::total(), 0u);
+  // Counted wrapper bumps once per call.
+  EuclideanSquared::distance(a, b, 4);
+  Cosine::distance(a, b, 4);
+  EXPECT_EQ(ann::DistanceCounter::total(), 2u);
+  // Batched bump adds n at once.
+  ann::DistanceCounter::bump(40);
+  EXPECT_EQ(ann::DistanceCounter::total(), 42u);
+  ann::DistanceCounter::reset();
+  EXPECT_EQ(ann::DistanceCounter::total(), 0u);
+}
+
+TEST(DistanceKernels, MixedTypeKmeansKernelMatchesDefinition) {
+  // internal::l2_kernel<float, T, float> backs centroid_distance; check it
+  // against a double-precision reference within float rounding.
+  for (std::size_t d : kDims) {
+    auto c = random_vec<float>(d, 1300 + d, 0, 255);
+    auto p = random_vec<std::uint8_t>(d, 1400 + d, 0, 255);
+    double want = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      double diff = static_cast<double>(c[j]) - static_cast<double>(p[j]);
+      want += diff * diff;
+    }
+    float got = ann::internal::l2_kernel<float, std::uint8_t, float>(
+        c.data(), p.data(), d);
+    EXPECT_NEAR(got, want, 1e-3 * std::max(1.0, want));
+  }
+}
+
+}  // namespace

@@ -62,6 +62,88 @@ TEST(ApproxVisitedSet, CapacityIsPowerOfTwoAtLeastBeamSquared) {
   }
 }
 
+TEST(ApproxVisitedSet, EpochClearKeepsTableAndForgets) {
+  // clear() is O(1): it invalidates by epoch, never reallocating or
+  // rewriting the table — capacity is stable across thousands of reuses and
+  // old entries never resurface.
+  ApproxVisitedSet vs(32);
+  const std::size_t cap = vs.capacity();
+  for (std::uint32_t round = 0; round < 3000; ++round) {
+    PointId id = round * 7 + 1;
+    EXPECT_FALSE(vs.test_and_set(id)) << "stale entry in round " << round;
+    EXPECT_TRUE(vs.contains(id));
+    EXPECT_FALSE(vs.contains(id + 1));
+    vs.clear();
+    EXPECT_FALSE(vs.contains(id)) << "survived clear in round " << round;
+  }
+  EXPECT_EQ(vs.capacity(), cap);
+}
+
+TEST(ApproxVisitedSet, ResetSizesEffectiveTableFromBeamWidthAlone) {
+  ApproxVisitedSet vs(8);  // 64 slots
+  EXPECT_EQ(vs.capacity(), 64u);
+  vs.test_and_set(5);
+  vs.reset(100);  // needs >= 10000 slots
+  EXPECT_GE(vs.capacity(), 100u * 100u);
+  EXPECT_EQ(vs.capacity() & (vs.capacity() - 1), 0u);
+  EXPECT_FALSE(vs.contains(5)) << "reset must forget old entries";
+  // Pooled reuse keeps the larger allocation, but the EFFECTIVE table must
+  // track the requested beam exactly: collision behavior (and the distance
+  // counts it induces) may depend only on search parameters, never on what
+  // the pooled table served before.
+  vs.reset(4);
+  EXPECT_EQ(vs.capacity(), 64u);
+  ApproxVisitedSet fresh(4);
+  EXPECT_EQ(vs.capacity(), fresh.capacity());
+  // The shrink path (reset far below a large retained allocation) must
+  // behave exactly like a fresh table.
+  vs.test_and_set(9);
+  EXPECT_TRUE(vs.contains(9));
+  EXPECT_FALSE(vs.contains(5));
+  vs.reset(300);  // regrow after shrink
+  EXPECT_GE(vs.capacity(), 300u * 300u);
+  EXPECT_FALSE(vs.contains(9));
+}
+
+TEST(ExactIdSet, ExactInsertContainsAndEpochClear) {
+  ann::ExactIdSet set(16);
+  EXPECT_TRUE(set.insert(7));
+  EXPECT_FALSE(set.insert(7));
+  EXPECT_TRUE(set.contains(7));
+  EXPECT_FALSE(set.contains(8));
+  EXPECT_EQ(set.size(), 1u);
+  set.clear();
+  EXPECT_FALSE(set.contains(7));
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_TRUE(set.insert(7));
+}
+
+TEST(ExactIdSet, NeverForgetsAndGrowsPastReservation) {
+  // Unlike the approximate table, ExactIdSet must remember EVERY id, even
+  // far past the reset() estimate (it grows itself).
+  ann::ExactIdSet set(4);
+  parlay::random_source rs(23);
+  std::set<PointId> reference;
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    PointId id = static_cast<PointId>(rs.ith_rand_bounded(i, 1 << 20));
+    EXPECT_EQ(set.insert(id), reference.insert(id).second) << "id " << id;
+  }
+  EXPECT_EQ(set.size(), reference.size());
+  for (PointId id : reference) EXPECT_TRUE(set.contains(id));
+}
+
+TEST(ExactIdSet, ReuseAcrossManyEpochs) {
+  ann::ExactIdSet set(8);
+  for (std::uint32_t round = 0; round < 2000; ++round) {
+    for (PointId id = 0; id < 8; ++id) {
+      EXPECT_TRUE(set.insert(round * 100 + id));
+      EXPECT_FALSE(set.insert(round * 100 + id));
+    }
+    set.clear();
+  }
+  EXPECT_EQ(set.size(), 0u);
+}
+
 TEST(ExactVisitedSet, ExactSemantics) {
   ExactVisitedSet vs(10);
   EXPECT_FALSE(vs.test_and_set(3));
