@@ -1,0 +1,245 @@
+// bench_build_throughput — construction hot-path throughput and correctness
+// harness, the build-side twin of bench_qps.
+//
+// Three sections:
+//   1. Build-phase throughput, single thread: every graph builder
+//      instantiated twice — once on the overhauled stack (multi-lane
+//      kernels, kernel-protocol prune with pooled scratch, distance-reusing
+//      flat reverse-edge merge) and once on the full scalarref stack (the
+//      pre-overhaul sequential kernels AND the pre-overhaul prune, selected
+//      automatically by the uses_reference_prune dispatch in core/prune.h).
+//      The float diskann build is expected to clear 1.5x.
+//   2. Proof that the overhaul changed throughput, not results:
+//      * 1-worker and N-worker builds must produce BYTE-IDENTICAL graphs
+//        for every overhauled builder (diskann, hnsw, hcnng, pynndescent,
+//        hybrid), including a float-metric diskann build where any
+//        order-dependent float reuse would surface;
+//      * uint8 builds (integer kernels are exact) must be byte-identical
+//        between the overhauled and scalarref stacks for diskann, hcnng
+//        and pynndescent.
+//      Any mismatch exits non-zero (the smoke-test contract).
+//   3. Build throughput at the default worker count (informational).
+//
+// Usage: bench_build_throughput [scale]   (scale < 1 shrinks n; the ctest
+// smoke target runs `bench_build_throughput 0.05`. The 1.5x speedup check
+// is reported always but only enforced at scale >= 1, where timing is
+// stable; the identity gates are always enforced.)
+#include "bench_common.h"
+
+#include "algorithms/diskann.h"
+#include "algorithms/hcnng.h"
+#include "algorithms/hnsw.h"
+#include "algorithms/hybrid.h"
+#include "algorithms/pynndescent.h"
+
+namespace {
+
+// points/sec of one build invocation.
+template <typename BuildFn>
+double build_pts_per_sec(std::size_t n, BuildFn&& build) {
+  double secs = bench::time_s([&] { (void)build(); });
+  return static_cast<double>(n) / secs;
+}
+
+template <typename VecBuild, typename RefBuild>
+double stack_row(const char* name, std::size_t n, ann::Table& table,
+                 VecBuild&& vec_build, RefBuild&& ref_build) {
+  double ref = build_pts_per_sec(n, ref_build);
+  double vec = build_pts_per_sec(n, vec_build);
+  double speedup = vec / ref;
+  table.add_row({name, ann::fmt(ref, 0), ann::fmt(vec, 0),
+                 ann::fmt(speedup, 2)});
+  return speedup;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ann;
+  double s = bench::scale_arg(argc, argv);
+  const std::size_t n = bench::scaled(8000, s);
+  const std::size_t nid = bench::scaled(1200, std::max(s, 0.5));
+  int failures = 0;
+
+  std::printf("bench_build_throughput: construction hot path (n=%zu)\n", n);
+
+  auto f32 = make_text2image_like(n, 1, 31);
+  auto u8 = make_bigann_like(n, 1, 32);
+
+  const DiskANNParams dprm{.degree_bound = 32, .beam_width = 64};
+  const HNSWParams hprm{.m = 16, .ef_construction = 64};
+  const HCNNGParams cprm{.num_trees = 8, .leaf_size = 120};
+  const PyNNDescentParams pprm{.k = 16, .num_trees = 6, .leaf_size = 80};
+  HybridParams yprm;
+  yprm.backbone = HCNNGParams{.num_trees = 6, .leaf_size = 100};
+
+  // --- 1. single-thread build throughput, overhauled vs scalarref stack ------
+  double diskann_float_speedup = 0.0;
+  {
+    parlay::set_num_workers(1);
+    Table table({"builder (1 thread)", "scalarref pts/s", "overhauled pts/s",
+                 "speedup"});
+    diskann_float_speedup = stack_row(
+        "diskann float d=200", n, table,
+        [&] { return build_diskann<EuclideanSquared>(f32.base, dprm); },
+        [&] {
+          return build_diskann<scalarref::EuclideanSquared>(f32.base, dprm);
+        });
+    stack_row(
+        "diskann uint8 d=128", n, table,
+        [&] { return build_diskann<EuclideanSquared>(u8.base, dprm); },
+        [&] {
+          return build_diskann<scalarref::EuclideanSquared>(u8.base, dprm);
+        });
+    stack_row(
+        "hnsw float d=200", n, table,
+        [&] { return build_hnsw<EuclideanSquared>(f32.base, hprm); },
+        [&] {
+          return build_hnsw<scalarref::EuclideanSquared>(f32.base, hprm);
+        });
+    stack_row(
+        "hcnng float d=200", n, table,
+        [&] { return build_hcnng<EuclideanSquared>(f32.base, cprm); },
+        [&] {
+          return build_hcnng<scalarref::EuclideanSquared>(f32.base, cprm);
+        });
+    stack_row(
+        "pynndescent float d=200", n, table,
+        [&] { return build_pynndescent<EuclideanSquared>(f32.base, pprm); },
+        [&] {
+          return build_pynndescent<scalarref::EuclideanSquared>(f32.base,
+                                                                pprm);
+        });
+    stack_row(
+        "hybrid float d=200", n, table,
+        [&] { return build_hybrid<EuclideanSquared>(f32.base, yprm); },
+        [&] {
+          return build_hybrid<scalarref::EuclideanSquared>(f32.base, yprm);
+        });
+    std::printf("\n## build throughput, 1 thread, overhauled vs scalarref "
+                "stack\n");
+    table.print();
+
+    if (diskann_float_speedup < 1.5) {
+      std::printf("float diskann build speedup %.2fx < 1.5x",
+                  diskann_float_speedup);
+      if (s >= 1.0) {
+        std::printf(" — FAIL\n");
+        ++failures;
+      } else {
+        std::printf(" (not enforced at scale %.2f < 1)\n", s);
+      }
+    } else {
+      std::printf("float diskann build speedup %.2fx >= 1.5x — PASS\n",
+                  diskann_float_speedup);
+    }
+    parlay::set_num_workers(0);
+  }
+
+  // --- 2a. 1-vs-N-worker byte-identical graphs (always enforced) -------------
+  {
+    auto fid = make_text2image_like(nid, 1, 33);
+    auto uid = make_bigann_like(nid, 1, 34);
+    std::printf("\n## 1-vs-N-worker graph byte-identity\n");
+
+    auto check = [&](const char* name, bool ok) {
+      std::printf("%-28s %s\n", name, ok ? "PASS" : "FAIL");
+      if (!ok) ++failures;
+    };
+    auto flat_identical = [&](auto build) {
+      parlay::set_num_workers(1);
+      auto a = build();
+      parlay::set_num_workers(0);
+      auto b = build();
+      return a.graph == b.graph && a.start == b.start;
+    };
+
+    check("diskann uint8", flat_identical([&] {
+      return build_diskann<EuclideanSquared>(uid.base, dprm);
+    }));
+    check("diskann float cosine", flat_identical([&] {
+      DiskANNParams prm = dprm;
+      prm.alpha = 1.1f;
+      return build_diskann<Cosine>(fid.base, prm);
+    }));
+    check("hcnng uint8", flat_identical([&] {
+      return build_hcnng<EuclideanSquared>(uid.base, cprm);
+    }));
+    check("pynndescent uint8", flat_identical([&] {
+      return build_pynndescent<EuclideanSquared>(uid.base, pprm);
+    }));
+    check("hybrid float", flat_identical([&] {
+      return build_hybrid<EuclideanSquared>(fid.base, yprm);
+    }));
+    {
+      parlay::set_num_workers(1);
+      auto a = build_hnsw<EuclideanSquared>(uid.base, hprm);
+      parlay::set_num_workers(0);
+      auto b = build_hnsw<EuclideanSquared>(uid.base, hprm);
+      bool ok = a.layers.size() == b.layers.size() && a.entry == b.entry;
+      for (std::size_t l = 0; ok && l < a.layers.size(); ++l) {
+        ok = a.layers[l] == b.layers[l];
+      }
+      check("hnsw uint8 (all layers)", ok);
+    }
+  }
+
+  // --- 2b. overhauled stack == scalarref stack on exact integer kernels ------
+  {
+    auto uid = make_bigann_like(nid, 1, 35);
+    std::printf("\n## uint8 build byte-identity, overhauled vs scalarref "
+                "stack\n");
+    auto check = [&](const char* name, bool ok) {
+      std::printf("%-28s %s\n", name, ok ? "PASS" : "FAIL");
+      if (!ok) ++failures;
+    };
+    {
+      auto a = build_diskann<EuclideanSquared>(uid.base, dprm);
+      auto b = build_diskann<scalarref::EuclideanSquared>(uid.base, dprm);
+      check("diskann", a.graph == b.graph && a.start == b.start);
+    }
+    {
+      auto a = build_hcnng<EuclideanSquared>(uid.base, cprm);
+      auto b = build_hcnng<scalarref::EuclideanSquared>(uid.base, cprm);
+      check("hcnng", a.graph == b.graph && a.start == b.start);
+    }
+    {
+      auto a = build_pynndescent<EuclideanSquared>(uid.base, pprm);
+      auto b = build_pynndescent<scalarref::EuclideanSquared>(uid.base, pprm);
+      check("pynndescent", a.graph == b.graph && a.start == b.start);
+    }
+  }
+
+  // --- 3. build throughput at the default worker count (informational) -------
+  {
+    Table table({"builder (all workers)", "pts/s"});
+    table.add_row({"diskann float", ann::fmt(build_pts_per_sec(n, [&] {
+      return build_diskann<EuclideanSquared>(f32.base, dprm);
+    }), 0)});
+    table.add_row({"diskann uint8", ann::fmt(build_pts_per_sec(n, [&] {
+      return build_diskann<EuclideanSquared>(u8.base, dprm);
+    }), 0)});
+    table.add_row({"hnsw float", ann::fmt(build_pts_per_sec(n, [&] {
+      return build_hnsw<EuclideanSquared>(f32.base, hprm);
+    }), 0)});
+    table.add_row({"hcnng float", ann::fmt(build_pts_per_sec(n, [&] {
+      return build_hcnng<EuclideanSquared>(f32.base, cprm);
+    }), 0)});
+    table.add_row({"pynndescent float", ann::fmt(build_pts_per_sec(n, [&] {
+      return build_pynndescent<EuclideanSquared>(f32.base, pprm);
+    }), 0)});
+    table.add_row({"hybrid float", ann::fmt(build_pts_per_sec(n, [&] {
+      return build_hybrid<EuclideanSquared>(f32.base, yprm);
+    }), 0)});
+    std::printf("\n## build throughput, default workers, overhauled stack\n");
+    table.print();
+  }
+
+  if (failures != 0) {
+    std::printf("\nbench_build_throughput: %d verification(s) FAILED\n",
+                failures);
+    return 1;
+  }
+  std::printf("\nbench_build_throughput: all verifications passed\n");
+  return 0;
+}

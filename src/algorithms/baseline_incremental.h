@@ -43,12 +43,17 @@ class LockTable {
 namespace internal {
 
 // Beam search over a live, concurrently mutated graph: neighbor lists are
-// copied under the vertex lock before expansion.
+// copied under the vertex lock before expansion. Distance work runs on the
+// prepared raw kernels with one batched count per search (the lock
+// discipline stays the baseline's — that is what it measures).
 template <typename Metric, typename T>
 SearchResult locked_beam_search(const T* query, const PointSet<T>& points,
                                 const Graph& g, LockTable& locks,
                                 PointId start, const SearchParams& params) {
   const std::size_t L = std::max<std::size_t>(params.beam_width, 1);
+  const std::size_t dims = points.dims();
+  const auto prep = Metric::prepare(query, dims);
+  std::uint64_t evals = 0;
   ApproxVisitedSet seen(L);
   std::vector<Neighbor> beam;
   std::vector<unsigned char> processed;
@@ -69,7 +74,8 @@ SearchResult locked_beam_search(const T* query, const PointSet<T>& points,
   };
 
   seen.test_and_set(start);
-  insert_candidate(start, Metric::distance(query, points[start], points.dims()));
+  ++evals;
+  insert_candidate(start, Metric::eval(prep, query, points[start], dims));
 
   std::vector<PointId> neigh_copy;
   while (true) {
@@ -89,13 +95,15 @@ SearchResult locked_beam_search(const T* query, const PointSet<T>& points,
                                    : std::numeric_limits<float>::infinity();
     for (PointId nb_id : neigh_copy) {
       if (seen.test_and_set(nb_id)) continue;
-      float d = Metric::distance(query, points[nb_id], points.dims());
+      ++evals;
+      float d = Metric::eval(prep, query, points[nb_id], dims);
       if (d > worst) continue;
       insert_candidate(nb_id, d);
       worst = beam.size() >= L ? beam.back().dist
                                : std::numeric_limits<float>::infinity();
     }
   }
+  DistanceCounter::bump(evals);
   result.frontier = std::move(beam);
   return result;
 }

@@ -4,19 +4,78 @@
 // benches and examples consume.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "parlay/parallel.h"
 #include "parlay/random.h"
 #include "parlay/sequence_ops.h"
+#include "parlay/sort.h"
 
 #include "core/beam_search.h"
 #include "core/graph.h"
 #include "core/points.h"
 
 namespace ann {
+
+namespace internal {
+
+// Flat staging buffer for the lock-free reverse-edge merge phases (Alg. 3
+// lines 10-14), shared by the diskann / hnsw / hybrid batch inserters.
+//
+// Phase 1 writes each batch member's out-edges as (target, {source,
+// d(source, target)}) pairs into a fixed stride of `rev` — the distance was
+// just computed by the member's own search + prune, so carrying it here is
+// what lets phase 2 reuse it instead of evaluating d(target, source) again
+// (the kernels are bitwise symmetric). Unused slots keep the kInvalidPoint
+// key and stably sort to the end. One stable sort by target then replaces
+// the old vector-of-vectors + group_by_key merge: groups become contiguous
+// runs processed in place, so no per-group small vectors are ever
+// materialized, and the buffers are reused across batches (steady-state
+// batch inserts allocate nothing here).
+struct ReverseEdgeScratch {
+  std::vector<std::pair<PointId, Neighbor>> rev;
+  std::vector<std::size_t> starts;  // group boundaries + end sentinel
+
+  // Lay out `members * stride` empty slots (stride = per-member out-degree
+  // cap). assign() keeps the previous capacity.
+  void prepare(std::size_t members, std::size_t stride) {
+    rev.assign(members * stride, {kInvalidPoint, Neighbor{}});
+  }
+
+  // Stable-sort by target and compute the contiguous group runs over the
+  // valid prefix. Returns the group count; group g spans
+  // [starts[g], starts[g + 1]) with all pairs sharing rev[starts[g]].first.
+  // Within a run, pairs keep batch-member order (sort stability + the fixed
+  // member-indexed layout), matching the old group_by_key value order.
+  // Boundary detection is parallel (tabulate + pack_index, as group_by_key
+  // did) so the merge phase has no Theta(E) serial component.
+  std::size_t group() {
+    parlay::sort_by_key_inplace(rev);
+    // Padding slots carry the maximal key, so the valid prefix ends at the
+    // sorted partition point.
+    std::size_t valid = static_cast<std::size_t>(
+        std::partition_point(rev.begin(), rev.end(),
+                             [](const std::pair<PointId, Neighbor>& e) {
+                               return e.first != kInvalidPoint;
+                             }) -
+        rev.begin());
+    auto is_start =
+        parlay::tabulate(valid, [&](std::size_t i) -> unsigned char {
+          return (i == 0 || rev[i].first != rev[i - 1].first) ? 1 : 0;
+        });
+    auto start_idx = parlay::pack_index(is_start);
+    starts.assign(start_idx.begin(), start_idx.end());
+    std::size_t groups = starts.size();
+    starts.push_back(valid);
+    return groups;
+  }
+};
+
+}  // namespace internal
 
 // The point closest to the coordinate-wise mean — the canonical deterministic
 // entry point ("start point s") used by DiskANN-style indexes.
@@ -49,14 +108,19 @@ PointId find_medoid(const PointSet<T>& points) {
   for (std::size_t j = 0; j < d; ++j) {
     mean_t[j] = static_cast<T>(mean[j]);
   }
-  // Argmin distance to mean, deterministic tie-break by id.
+  // Argmin distance to mean, deterministic tie-break by id. The mean acts
+  // as the query: prepare it once, evaluate with the raw kernel, count the
+  // whole pass in one bump.
+  const T* mean_row = mean_t.data();
+  const auto prep = Metric::prepare(mean_row, d);
   auto best = parlay::reduce(
       parlay::tabulate(n, [&](std::size_t i) {
         return Neighbor{static_cast<PointId>(i),
-                        Metric::distance(mean_t.data(),
-                                         points[static_cast<PointId>(i)], d)};
+                        Metric::eval(prep, mean_row,
+                                     points[static_cast<PointId>(i)], d)};
       }),
       Neighbor{}, [](Neighbor a, Neighbor b) { return a < b ? a : b; });
+  DistanceCounter::bump(n);
   return best.id;
 }
 

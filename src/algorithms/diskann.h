@@ -20,7 +20,6 @@
 #include <vector>
 
 #include "parlay/parallel.h"
-#include "parlay/semisort.h"
 
 #include "algorithms/common.h"
 #include "core/beam_search.h"
@@ -44,49 +43,65 @@ namespace internal {
 
 // Insert one batch of points into g (Alg. 3, BatchInsert): phase 1 builds
 // each new point's out-list against the pre-batch snapshot; phase 2 adds
-// reverse edges via semisort and re-prunes overfull vertices.
+// reverse edges — staged as a flat (target, {source, dist}) buffer in
+// `rev_scratch`, semisorted, and merged per contiguous run — and re-prunes
+// overfull vertices with the already-known d(source, target) reused.
 template <typename Metric, typename T>
 void diskann_batch_insert(Graph& g, const PointSet<T>& points,
                           std::span<const PointId> batch, PointId medoid,
-                          const DiskANNParams& params) {
+                          const DiskANNParams& params,
+                          ReverseEdgeScratch& rev_scratch) {
   const PruneParams prune{params.degree_bound, params.alpha};
   std::vector<PointId> starts{medoid};
   SearchParams search{.beam_width = params.beam_width, .k = 1};
+  const std::size_t stride = params.degree_bound;
+  rev_scratch.prepare(batch.size(), stride);
+  auto* rev = rev_scratch.rev.data();
 
   // Phase 1: out-neighborhoods from the immutable snapshot. Batch members
-  // have no in-edges yet, so searches cannot observe these writes.
+  // have no in-edges yet, so searches cannot observe these writes. The
+  // pruned out-edges land directly in the reverse buffer, distances
+  // attached (the search already paid for them).
   parlay::parallel_for(0, batch.size(), [&](std::size_t i) {
     PointId p = batch[i];
     auto res = beam_search<Metric>(points[p], points, g, starts, search);
-    auto neigh = robust_prune<Metric>(p, std::move(res.visited), points, prune);
-    g.set_neighbors(p, neigh);
+    auto& ps = local_build_scratch();
+    auto kept = robust_prune_into<Metric>(p, res.visited, points, prune, ps);
+    g.set_neighbors(p, kept);
+    for (std::size_t j = 0; j < ps.result_nbrs.size(); ++j) {
+      rev[i * stride + j] = {ps.result_nbrs[j].id,
+                            Neighbor{p, ps.result_nbrs[j].dist}};
+    }
   }, 1);
 
   // Phase 2: reverse edges (target <- sources), merged per target without
-  // locks via semisort (deterministic group order).
-  auto edge_lists = parlay::tabulate(batch.size(), [&](std::size_t i) {
-    PointId p = batch[i];
-    auto neigh = g.neighbors(p);
-    std::vector<std::pair<PointId, PointId>> pairs;
-    pairs.reserve(neigh.size());
-    for (PointId q : neigh) pairs.push_back({q, p});
-    return pairs;
-  });
-  auto groups = parlay::group_by_key(parlay::flatten(edge_lists));
-
-  parlay::parallel_for(0, groups.size(), [&](std::size_t gi) {
-    PointId target = groups[gi].key;
-    const auto& sources = groups[gi].values;
-    std::size_t appended = g.append_neighbors(target, sources);
-    if (appended < sources.size() || g.degree(target) > params.degree_bound) {
-      // Overfull: rebuild the list from existing + all new candidates.
-      std::vector<PointId> cands(g.neighbors(target).begin(),
-                                 g.neighbors(target).end());
-      for (std::size_t i = appended; i < sources.size(); ++i) {
-        cands.push_back(sources[i]);
-      }
-      auto pruned = robust_prune_ids<Metric>(target, cands, points, prune);
-      g.set_neighbors(target, pruned);
+  // locks via the flat semisort (deterministic group order).
+  const std::size_t ngroups = rev_scratch.group();
+  parlay::parallel_for(0, ngroups, [&](std::size_t gi) {
+    const std::size_t lo = rev_scratch.starts[gi];
+    const std::size_t hi = rev_scratch.starts[gi + 1];
+    const PointId target = rev[lo].first;
+    auto& ps = local_build_scratch();
+    ps.merge_known.clear();
+    ps.merge_ids.clear();
+    for (std::size_t e = lo; e < hi; ++e) {
+      ps.merge_known.push_back(rev[e].second);
+      ps.merge_ids.push_back(rev[e].second.id);
+    }
+    // Snapshot the adjacency before appending: the append mutates the row,
+    // and the overfull re-prune needs the pre-append list as its
+    // unknown-distance half.
+    auto existing = g.neighbors(target);
+    ps.merge_existing.assign(existing.begin(), existing.end());
+    std::size_t appended = g.append_neighbors(target, ps.merge_ids);
+    if (appended < ps.merge_ids.size() ||
+        g.degree(target) > params.degree_bound) {
+      // Overfull: rebuild from existing + all new candidates — source
+      // distances reused, existing-neighbor distances evaluated once.
+      auto kept = robust_prune_mixed<Metric>(target, ps.merge_known,
+                                             ps.merge_existing, points, prune,
+                                             ps);
+      g.set_neighbors(target, kept);
     }
   }, 1);
 }
@@ -119,10 +134,11 @@ GraphIndex<Metric, T> build_diskann(const PointSet<T>& points,
                       ? BatchSchedule::prefix_doubling(
                             order.size(), params.batch_cap_fraction)
                       : BatchSchedule::sequential(order.size());
+  internal::ReverseEdgeScratch rev_scratch;  // reused across batches
   for (auto [lo, hi] : schedule.ranges) {
     internal::diskann_batch_insert<Metric>(
         index.graph, points, std::span<const PointId>(order).subspan(lo, hi - lo),
-        index.start, params);
+        index.start, params, rev_scratch);
   }
   return index;
 }

@@ -100,17 +100,23 @@ class DynamicDiskANN {
         }
       }
       if (!has_deleted_neighbor) return;
-      std::vector<PointId> cands;
+      // Inherited candidate lists are duplicate-heavy (several deleted
+      // neighbors can share live two-hop targets, which may also sit in
+      // v's own list); the prune entry dedups before any distance work.
+      auto& ps = local_build_scratch();
+      ps.merge_ids.clear();
       for (PointId u : graph_.neighbors(v)) {
         if (!deleted_[u]) {
-          cands.push_back(u);
+          ps.merge_ids.push_back(u);
         } else {
           for (PointId w : graph_.neighbors(u)) {
-            if (!deleted_[w] && w != v) cands.push_back(w);
+            if (!deleted_[w] && w != v) ps.merge_ids.push_back(w);
           }
         }
       }
-      replacement[vi] = robust_prune_ids<Metric>(v, cands, points_, prune);
+      auto kept =
+          robust_prune_ids_into<Metric>(v, ps.merge_ids, points_, prune, ps);
+      replacement[vi].assign(kept.begin(), kept.end());
       dirty[vi] = 1;
     }, 1);
     parlay::parallel_for(0, n, [&](std::size_t vi) {
@@ -194,6 +200,7 @@ class DynamicDiskANN {
     }
     // Chunk like prefix doubling: each chunk is at most ~2% of the index it
     // searches, but at least a constant so small updates stay cheap.
+    internal::ReverseEdgeScratch rev_scratch;  // reused across chunks
     std::size_t pos = 0;
     while (pos < ids.size()) {
       std::size_t base = std::max<std::size_t>(old_n + pos, 50);
@@ -202,7 +209,7 @@ class DynamicDiskANN {
       internal::diskann_batch_insert<Metric>(
           graph_, points_,
           std::span<const PointId>(ids.data() + pos, end - pos), start_,
-          params_);
+          params_, rev_scratch);
       pos = end;
     }
     return static_cast<PointId>(old_n);

@@ -110,16 +110,22 @@ std::vector<LeafEdge> leaf_candidate_edges(const PointSet<T>& points,
                                            std::span<const PointId> ids,
                                            const HCNNGParams& params) {
   const std::size_t m = ids.size();
+  const std::size_t dims = points.dims();
   std::vector<LeafEdge> edges;
   if (!params.restricted) {
+    // MST edge scoring on the raw kernels: row i is prepared once, its
+    // pair distances stream through eval, and the whole leaf reports one
+    // batched count.
     edges.reserve(m * (m - 1) / 2);
     for (std::uint32_t i = 0; i < m; ++i) {
+      const T* row = points[ids[i]];
+      const auto prep = Metric::prepare(row, dims);
       for (std::uint32_t j = i + 1; j < m; ++j) {
-        edges.push_back({Metric::distance(points[ids[i]], points[ids[j]],
-                                          points.dims()),
-                         i, j});
+        edges.push_back(
+            {Metric::eval(prep, row, points[ids[j]], dims), i, j});
       }
     }
+    DistanceCounter::bump(m * (m - 1) / 2);
     return edges;
   }
   const std::size_t l = std::min<std::size_t>(params.mst_restriction, m - 1);
@@ -128,9 +134,11 @@ std::vector<LeafEdge> leaf_candidate_edges(const PointSet<T>& points,
   for (std::uint32_t i = 0; i < m; ++i) {
     local.clear();
     local.reserve(m - 1);
+    const T* row = points[ids[i]];
+    const auto prep = Metric::prepare(row, dims);
     for (std::uint32_t j = 0; j < m; ++j) {
       if (j == i) continue;
-      float d = Metric::distance(points[ids[i]], points[ids[j]], points.dims());
+      float d = Metric::eval(prep, row, points[ids[j]], dims);
       local.push_back({d, std::min(i, j), std::max(i, j)});
     }
     std::partial_sort(local.begin(),
@@ -139,6 +147,7 @@ std::vector<LeafEdge> leaf_candidate_edges(const PointSet<T>& points,
     edges.insert(edges.end(), local.begin(),
                  local.begin() + static_cast<std::ptrdiff_t>(l));
   }
+  DistanceCounter::bump(m * (m - 1));
   // Dedup (i->j and j->i produce the same normalized edge).
   std::sort(edges.begin(), edges.end());
   edges.erase(std::unique(edges.begin(), edges.end(),
@@ -169,21 +178,30 @@ std::vector<std::pair<PointId, PointId>> cluster_recurse(
     }
     return out;
   }
-  // Two distinct pivots.
+  // Two distinct pivots. Each point is scored against both pivots exactly
+  // once (the old code re-evaluated all four distances inside the second
+  // filter): pivots are prepared like queries, sides are computed in one
+  // batched pass, and both filters read the precomputed flags.
   std::size_t i1 = node_rs.ith_rand_bounded(0, m);
   std::size_t i2 = node_rs.ith_rand_bounded(1, m - 1);
   if (i2 >= i1) ++i2;
   PointId p1 = ids[i1], p2 = ids[i2];
-  auto left = parlay::filter(ids, [&](PointId p) {
-    float d1 = Metric::distance(points[p], points[p1], points.dims());
-    float d2 = Metric::distance(points[p], points[p2], points.dims());
-    return d1 < d2 || (d1 == d2 && (p & 1) == 0);  // deterministic tie split
+  const std::size_t dims = points.dims();
+  const T* row1 = points[p1];
+  const T* row2 = points[p2];
+  const auto prep1 = Metric::prepare(row1, dims);
+  const auto prep2 = Metric::prepare(row2, dims);
+  auto goes_left = parlay::tabulate(m, [&](std::size_t i) -> unsigned char {
+    PointId p = ids[i];
+    float d1 = Metric::eval(prep1, row1, points[p], dims);
+    float d2 = Metric::eval(prep2, row2, points[p], dims);
+    return (d1 < d2 || (d1 == d2 && (p & 1) == 0)) ? 1 : 0;  // det. tie split
   });
-  auto right = parlay::filter(ids, [&](PointId p) {
-    float d1 = Metric::distance(points[p], points[p1], points.dims());
-    float d2 = Metric::distance(points[p], points[p2], points.dims());
-    return !(d1 < d2 || (d1 == d2 && (p & 1) == 0));
-  });
+  DistanceCounter::bump(2 * m);
+  auto left = parlay::pack(ids, goes_left);
+  auto right = parlay::pack(ids, parlay::tabulate(m, [&](std::size_t i) {
+    return static_cast<unsigned char>(goes_left[i] ^ 1);
+  }));
   // Degenerate split (coincident points): fall back to a halving split.
   if (left.empty() || right.empty()) {
     left.assign(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(m / 2));
@@ -236,8 +254,9 @@ GraphIndex<Metric, T> build_hcnng(const PointSet<T>& points,
     std::sort(targets.begin(), targets.end());
     targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
     if (targets.size() > cap) {
-      auto pruned = robust_prune_ids<Metric>(v, targets, points, prune);
-      index.graph.set_neighbors(v, pruned);
+      auto& ps = local_build_scratch();
+      auto kept = robust_prune_ids_into<Metric>(v, targets, points, prune, ps);
+      index.graph.set_neighbors(v, kept);
     } else {
       index.graph.set_neighbors(v, targets);
     }

@@ -22,7 +22,6 @@
 
 #include "parlay/parallel.h"
 #include "parlay/random.h"
-#include "parlay/semisort.h"
 
 #include "algorithms/common.h"
 #include "core/beam_search.h"
@@ -129,6 +128,7 @@ HNSWIndex<Metric, T> build_hnsw(const PointSet<T>& points,
   auto schedule = BatchSchedule::prefix_doubling(n - 1,
                                                  params.batch_cap_fraction);
   std::span<const PointId> rest(order.data() + 1, n - 1);
+  internal::ReverseEdgeScratch rev_scratch;  // reused across batches/layers
 
   for (auto [lo, hi] : schedule.ranges) {
     auto batch = rest.subspan(lo, hi - lo);
@@ -141,7 +141,9 @@ HNSWIndex<Metric, T> build_hnsw(const PointSet<T>& points,
     // against the pre-batch snapshot (nothing is written until every member
     // has finished searching, so a member can never encounter itself or a
     // partially-written row — batch members are mutually invisible).
-    std::vector<std::vector<std::vector<PointId>>> out_lists(batch.size());
+    // Out-lists keep their (id, dist) pairs: phase 2 reuses the distances
+    // for the reverse-edge re-prunes.
+    std::vector<std::vector<std::vector<Neighbor>>> out_lists(batch.size());
     parlay::parallel_for(0, batch.size(), [&](std::size_t i) {
       PointId p = batch[i];
       const std::uint32_t p_top = std::min(index.levels[p], link_top);
@@ -164,43 +166,55 @@ HNSWIndex<Metric, T> build_hnsw(const PointSet<T>& points,
         auto res = beam_search<Metric>(points[p], points, index.layers[layer],
                                        st, search);
         if (!res.frontier.empty()) ep = res.frontier[0].id;
-        out_lists[i][layer] = robust_prune<Metric>(
-            p, std::move(res.visited), points,
-            PruneParams{bound, params.alpha});
+        auto& ps = local_build_scratch();
+        robust_prune_into<Metric>(p, res.visited, points,
+                                  PruneParams{bound, params.alpha}, ps);
+        out_lists[i][layer].assign(ps.result_nbrs.begin(),
+                                   ps.result_nbrs.end());
       }
     }, 1);
 
     // Phase 2 per layer: install out-lists, then merge reverse edges via
-    // semisort and re-prune overfull vertices.
+    // the flat semisorted pair buffer and re-prune overfull vertices with
+    // the phase-1 distances reused.
+    std::vector<PointId> ids_buf;
     for (std::uint32_t layer = 0; layer <= link_top; ++layer) {
       Graph& g = index.layers[layer];
       std::uint32_t bound = (layer == 0) ? 2 * params.m : params.m;
       const PruneParams prune{bound, params.alpha};
-      auto edge_lists = parlay::tabulate(batch.size(), [&](std::size_t i) {
-        std::vector<std::pair<PointId, PointId>> pairs;
-        if (layer < out_lists[i].size()) {
-          for (PointId q : out_lists[i][layer]) pairs.push_back({q, batch[i]});
-        }
-        return pairs;
-      });
+      const std::size_t stride = bound;
+      rev_scratch.prepare(batch.size(), stride);
+      auto* rev = rev_scratch.rev.data();
       for (std::size_t i = 0; i < batch.size(); ++i) {
-        if (layer < out_lists[i].size()) {
-          g.set_neighbors(batch[i], out_lists[i][layer]);
+        if (layer >= out_lists[i].size()) continue;
+        const auto& row = out_lists[i][layer];
+        ids_buf.clear();
+        for (std::size_t j = 0; j < row.size(); ++j) {
+          ids_buf.push_back(row[j].id);
+          rev[i * stride + j] = {row[j].id, Neighbor{batch[i], row[j].dist}};
         }
+        g.set_neighbors(batch[i], ids_buf);
       }
-      auto groups = parlay::group_by_key(parlay::flatten(edge_lists));
-      parlay::parallel_for(0, groups.size(), [&](std::size_t gi) {
-        PointId target = groups[gi].key;
-        const auto& sources = groups[gi].values;
-        std::size_t appended = g.append_neighbors(target, sources);
-        if (appended < sources.size() || g.degree(target) > bound) {
-          std::vector<PointId> cands(g.neighbors(target).begin(),
-                                     g.neighbors(target).end());
-          for (std::size_t i = appended; i < sources.size(); ++i) {
-            cands.push_back(sources[i]);
-          }
-          auto pruned = robust_prune_ids<Metric>(target, cands, points, prune);
-          g.set_neighbors(target, pruned);
+      const std::size_t ngroups = rev_scratch.group();
+      parlay::parallel_for(0, ngroups, [&](std::size_t gi) {
+        const std::size_t lo = rev_scratch.starts[gi];
+        const std::size_t hi = rev_scratch.starts[gi + 1];
+        const PointId target = rev[lo].first;
+        auto& ps = local_build_scratch();
+        ps.merge_known.clear();
+        ps.merge_ids.clear();
+        for (std::size_t e = lo; e < hi; ++e) {
+          ps.merge_known.push_back(rev[e].second);
+          ps.merge_ids.push_back(rev[e].second.id);
+        }
+        auto existing = g.neighbors(target);
+        ps.merge_existing.assign(existing.begin(), existing.end());
+        std::size_t appended = g.append_neighbors(target, ps.merge_ids);
+        if (appended < ps.merge_ids.size() || g.degree(target) > bound) {
+          auto kept = robust_prune_mixed<Metric>(target, ps.merge_known,
+                                                 ps.merge_existing, points,
+                                                 prune, ps);
+          g.set_neighbors(target, kept);
         }
       }, 1);
     }

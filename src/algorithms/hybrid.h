@@ -21,7 +21,6 @@
 #include <vector>
 
 #include "parlay/parallel.h"
-#include "parlay/semisort.h"
 
 #include "algorithms/common.h"
 #include "algorithms/diskann.h"
@@ -60,8 +59,9 @@ GraphIndex<Metric, T> build_hybrid(const PointSet<T>& points,
     if (neigh.size() <= params.degree_bound) {
       index.graph.set_neighbors(v, neigh);
     } else {
-      auto pruned = robust_prune_ids<Metric>(v, neigh, points, prune);
-      index.graph.set_neighbors(v, pruned);
+      auto& ps = local_build_scratch();
+      auto kept = robust_prune_ids_into<Metric>(v, neigh, points, prune, ps);
+      index.graph.set_neighbors(v, kept);
     }
   }, 1);
 
@@ -71,55 +71,69 @@ GraphIndex<Metric, T> build_hybrid(const PointSet<T>& points,
   auto order = deterministic_permutation(n, params.seed);
   std::erase(order, index.start);
 
+  internal::ReverseEdgeScratch rev_scratch;  // reused across batches
   for (std::uint32_t round = 0; round < params.refine_rounds; ++round) {
     auto schedule = BatchSchedule::prefix_doubling(order.size(), 0.02);
     for (auto [lo, hi] : schedule.ranges) {
       auto batch = std::span<const PointId>(order).subspan(lo, hi - lo);
+      const std::size_t stride = params.degree_bound;
+      rev_scratch.prepare(batch.size(), stride);
+      auto* rev = rev_scratch.rev.data();
       // Compute refined out-lists against the snapshot, then install.
-      std::vector<std::vector<PointId>> out_lists(batch.size());
+      // Out-lists keep (id, dist): the reverse merge reuses the distances.
+      std::vector<std::vector<Neighbor>> out_lists(batch.size());
       parlay::parallel_for(0, batch.size(), [&](std::size_t i) {
         PointId p = batch[i];
         auto res =
             beam_search<Metric>(points[p], points, index.graph, starts, search);
-        // Merge search candidates with the existing (backbone) edges.
-        auto cands = std::move(res.visited);
-        for (PointId u : index.graph.neighbors(p)) {
-          cands.push_back(
-              {u, Metric::distance(points[p], points[u], points.dims())});
-        }
-        out_lists[i] = robust_prune<Metric>(p, std::move(cands), points, prune);
+        // Merge search candidates (distances known from the beam) with the
+        // existing (backbone) edges; the visited list usually already holds
+        // many of those edges, so the dedup-first entry skips their
+        // distance evaluations entirely.
+        auto& ps = local_build_scratch();
+        robust_prune_mixed<Metric>(p, res.visited, index.graph.neighbors(p),
+                                   points, prune, ps);
+        out_lists[i].assign(ps.result_nbrs.begin(), ps.result_nbrs.end());
       }, 1);
+      std::vector<PointId> ids_buf;
       for (std::size_t i = 0; i < batch.size(); ++i) {
-        index.graph.set_neighbors(batch[i], out_lists[i]);
-      }
-      // Reverse edges via semisort.
-      auto edge_lists = parlay::tabulate(batch.size(), [&](std::size_t i) {
-        std::vector<std::pair<PointId, PointId>> pairs;
-        for (PointId q : out_lists[i]) pairs.push_back({q, batch[i]});
-        return pairs;
-      });
-      auto groups = parlay::group_by_key(parlay::flatten(edge_lists));
-      parlay::parallel_for(0, groups.size(), [&](std::size_t gi) {
-        PointId target = groups[gi].key;
-        // Unlike insertion, refinement re-processes EXISTING points, so a
-        // source may already be among target's neighbors — filter first.
-        auto existing = index.graph.neighbors(target);
-        std::vector<PointId> fresh;
-        for (PointId s : groups[gi].values) {
-          bool present = false;
-          for (PointId e : existing) present |= (e == s);
-          if (!present) fresh.push_back(s);
+        const auto& row = out_lists[i];
+        ids_buf.clear();
+        for (std::size_t j = 0; j < row.size(); ++j) {
+          ids_buf.push_back(row[j].id);
+          rev[i * stride + j] = {row[j].id, Neighbor{batch[i], row[j].dist}};
         }
-        std::size_t appended = index.graph.append_neighbors(target, fresh);
-        if (appended < fresh.size() ||
+        index.graph.set_neighbors(batch[i], ids_buf);
+      }
+      // Reverse edges via the flat semisorted pair buffer.
+      const std::size_t ngroups = rev_scratch.group();
+      parlay::parallel_for(0, ngroups, [&](std::size_t gi) {
+        const std::size_t glo = rev_scratch.starts[gi];
+        const std::size_t ghi = rev_scratch.starts[gi + 1];
+        const PointId target = rev[glo].first;
+        auto& ps = local_build_scratch();
+        // Unlike insertion, refinement re-processes EXISTING points, so a
+        // source may already be among target's neighbors — filter first
+        // (set probe instead of the old quadratic membership scan).
+        auto existing = index.graph.neighbors(target);
+        ps.merge_existing.assign(existing.begin(), existing.end());
+        ps.dedup.reset(existing.size() + (ghi - glo));
+        for (PointId e : ps.merge_existing) ps.dedup.insert(e);
+        ps.merge_known.clear();
+        ps.merge_ids.clear();
+        for (std::size_t e = glo; e < ghi; ++e) {
+          if (!ps.dedup.insert(rev[e].second.id)) continue;
+          ps.merge_known.push_back(rev[e].second);
+          ps.merge_ids.push_back(rev[e].second.id);
+        }
+        std::size_t appended =
+            index.graph.append_neighbors(target, ps.merge_ids);
+        if (appended < ps.merge_ids.size() ||
             index.graph.degree(target) > params.degree_bound) {
-          std::vector<PointId> cands(index.graph.neighbors(target).begin(),
-                                     index.graph.neighbors(target).end());
-          for (std::size_t i = appended; i < fresh.size(); ++i) {
-            cands.push_back(fresh[i]);
-          }
-          auto pruned = robust_prune_ids<Metric>(target, cands, points, prune);
-          index.graph.set_neighbors(target, pruned);
+          auto kept = robust_prune_mixed<Metric>(target, ps.merge_known,
+                                                 ps.merge_existing, points,
+                                                 prune, ps);
+          index.graph.set_neighbors(target, kept);
         }
       }, 1);
     }

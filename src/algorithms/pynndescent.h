@@ -54,22 +54,27 @@ template <typename Metric, typename T>
 std::vector<std::pair<PointId, PointId>> pynn_leaf_edges(
     const PointSet<T>& points, std::span<const PointId> ids, std::uint32_t k) {
   const std::size_t m = ids.size();
+  const std::size_t dims = points.dims();
   std::vector<std::pair<PointId, PointId>> out;
   if (m <= 1) return out;
   const std::size_t kk = std::min<std::size_t>(k, m - 1);
   std::vector<Neighbor> local;
+  // Exact in-leaf K-NN on the raw kernels: each row prepared once, one
+  // batched count per leaf.
   for (std::size_t i = 0; i < m; ++i) {
     local.clear();
+    const T* row = points[ids[i]];
+    const auto prep = Metric::prepare(row, dims);
     for (std::size_t j = 0; j < m; ++j) {
       if (j == i) continue;
-      local.push_back({ids[j], Metric::distance(points[ids[i]], points[ids[j]],
-                                                points.dims())});
+      local.push_back({ids[j], Metric::eval(prep, row, points[ids[j]], dims)});
     }
     std::partial_sort(local.begin(),
                       local.begin() + static_cast<std::ptrdiff_t>(kk),
                       local.end());
     for (std::size_t j = 0; j < kk; ++j) out.push_back({ids[i], local[j].id});
   }
+  DistanceCounter::bump(m * (m - 1));
   return out;
 }
 
@@ -88,13 +93,24 @@ std::vector<std::pair<PointId, PointId>> pynn_cluster(
   std::size_t i2 = node_rs.ith_rand_bounded(1, m - 1);
   if (i2 >= i1) ++i2;
   PointId p1 = ids[i1], p2 = ids[i2];
-  auto is_left = [&](PointId p) {
-    float d1 = Metric::distance(points[p], points[p1], points.dims());
-    float d2 = Metric::distance(points[p], points[p2], points.dims());
-    return d1 < d2 || (d1 == d2 && (p & 1) == 0);
-  };
-  auto left = parlay::filter(ids, is_left);
-  auto right = parlay::filter(ids, [&](PointId p) { return !is_left(p); });
+  // One batched scoring pass per split (see hcnng.h: same prepared-pivot
+  // treatment, pivot-side evaluation is bitwise symmetric).
+  const std::size_t dims = points.dims();
+  const T* row1 = points[p1];
+  const T* row2 = points[p2];
+  const auto prep1 = Metric::prepare(row1, dims);
+  const auto prep2 = Metric::prepare(row2, dims);
+  auto goes_left = parlay::tabulate(m, [&](std::size_t i) -> unsigned char {
+    PointId p = ids[i];
+    float d1 = Metric::eval(prep1, row1, points[p], dims);
+    float d2 = Metric::eval(prep2, row2, points[p], dims);
+    return (d1 < d2 || (d1 == d2 && (p & 1) == 0)) ? 1 : 0;
+  });
+  DistanceCounter::bump(2 * m);
+  auto left = parlay::pack(ids, goes_left);
+  auto right = parlay::pack(ids, parlay::tabulate(m, [&](std::size_t i) {
+    return static_cast<unsigned char>(goes_left[i] ^ 1);
+  }));
   if (left.empty() || right.empty()) {
     left.assign(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(m / 2));
     right.assign(ids.begin() + static_cast<std::ptrdiff_t>(m / 2), ids.end());
@@ -183,10 +199,13 @@ GraphIndex<Metric, T> build_pynndescent(const PointSet<T>& points,
     targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
     std::vector<Neighbor> row;
     row.reserve(targets.size());
+    const T* vrow = points[v];
+    const auto prep = Metric::prepare(vrow, points.dims());
     for (PointId u : targets) {
       if (u == v) continue;
-      row.push_back({u, Metric::distance(points[v], points[u], points.dims())});
+      row.push_back({u, Metric::eval(prep, vrow, points[u], points.dims())});
     }
+    DistanceCounter::bump(row.size());
     std::sort(row.begin(), row.end());
     if (row.size() > params.k) row.resize(params.k);
     rows[v] = std::move(row);
@@ -213,12 +232,16 @@ GraphIndex<Metric, T> build_pynndescent(const PointSet<T>& points,
         std::sort(cands.begin(), cands.end());
         cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
         std::erase(cands, static_cast<PointId>(v));
+        // Local join on the raw kernels: v is the prepared query, its
+        // candidate row streams through eval with one count per join.
         std::vector<Neighbor> row;
         row.reserve(cands.size());
+        const T* vrow = points[static_cast<PointId>(v)];
+        const auto prep = Metric::prepare(vrow, points.dims());
         for (PointId u : cands) {
-          row.push_back({u, Metric::distance(points[static_cast<PointId>(v)],
-                                             points[u], points.dims())});
+          row.push_back({u, Metric::eval(prep, vrow, points[u], points.dims())});
         }
+        DistanceCounter::bump(row.size());
         std::sort(row.begin(), row.end());
         if (row.size() > params.k) row.resize(params.k);
         // Count changed slots vs the previous row.
@@ -242,12 +265,13 @@ GraphIndex<Metric, T> build_pynndescent(const PointSet<T>& points,
     }
   }
 
-  // --- Final alpha prune into the flat graph.
+  // --- Final alpha prune into the flat graph (row distances reused).
   const PruneParams prune{params.k, params.alpha};
   parlay::parallel_for(0, n, [&](std::size_t v) {
-    auto pruned = robust_prune<Metric>(static_cast<PointId>(v), rows[v],
-                                       points, prune);
-    index.graph.set_neighbors(static_cast<PointId>(v), pruned);
+    auto& ps = local_build_scratch();
+    auto kept = robust_prune_into<Metric>(static_cast<PointId>(v), rows[v],
+                                          points, prune, ps);
+    index.graph.set_neighbors(static_cast<PointId>(v), kept);
   }, 1);
   return index;
 }

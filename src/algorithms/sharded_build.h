@@ -106,8 +106,9 @@ GraphIndex<Metric, T> build_sharded_diskann(const PointSet<T>& points,
     targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
     std::erase(targets, v);
     if (targets.size() > params.diskann.degree_bound) {
-      auto pruned = robust_prune_ids<Metric>(v, targets, points, prune);
-      index.graph.set_neighbors(v, pruned);
+      auto& ps = local_build_scratch();
+      auto kept = robust_prune_ids_into<Metric>(v, targets, points, prune, ps);
+      index.graph.set_neighbors(v, kept);
     } else {
       index.graph.set_neighbors(v, targets);
     }

@@ -104,15 +104,17 @@ inline SearchScratch& local_search_scratch() {
   return scratch;
 }
 
-namespace internal {
-
-// Prefetch the first cache lines of a coordinate row.
+// Prefetch the first cache lines of a coordinate row. Shared with the
+// construction hot path (core/prune.h gathers candidate rows the same way
+// the beam loop gathers neighbor rows).
 template <typename T>
-inline void prefetch_point(const T* row, std::size_t d) {
+inline void beam_prefetch_point(const T* row, std::size_t d) {
   const char* p = reinterpret_cast<const char*>(row);
   __builtin_prefetch(p, 0, 3);
   if (d * sizeof(T) > 64) __builtin_prefetch(p + 64, 0, 3);
 }
+
+namespace internal {
 
 template <typename Metric, typename T, typename VisitedSet>
 SearchResult beam_search_impl(const T* query, const PointSet<T>& points,
@@ -189,7 +191,7 @@ SearchResult beam_search_impl(const T* query, const PointSet<T>& points,
     for (PointId nb_id : g.neighbors(current.id)) {
       if (seen.test_and_set(nb_id)) continue;
       scratch.gather.push_back(nb_id);
-      prefetch_point(points[nb_id], dims);
+      beam_prefetch_point(points[nb_id], dims);
     }
     evals += scratch.gather.size();
 

@@ -18,20 +18,21 @@
 //                              of the inner loop; eval(prep, ...) is
 //                              bit-identical to eval(q, b, d)
 //
-// Kernel shape: unrolled loops over independent accumulator lanes (8 for
-// float accumulation, 16 for the widened int32 accumulation of the
-// uint8/int8 types)
-// with a fixed reduction tree, so the loop-carried dependency of the naive
-// scalar loop disappears (ILP) and the compiler can keep the lanes in SIMD
-// registers (FMA-friendly). Integer point types (uint8/int8) accumulate in
-// int32, which is exact for dimensions up to ~33k (uint8 worst case:
-// 255^2 * d must stay below 2^31 — same bound the pre-vectorization
-// kernels had, and far above any ANN workload; beyond it int64
-// accumulation would be needed) — results are bit-identical to the
-// sequential scalar kernels under any lane order. Float accumulation uses a FIXED
-// lane-strided order: deterministic across runs, worker counts, and calls,
-// but reassociated relative to the old sequential loop, so float distances
-// may differ from it in the last ulp (see scalarref below).
+// Kernel shape: FLOAT accumulation unrolls over 8 independent accumulator
+// lanes with a fixed reduction tree, so the loop-carried dependency of the
+// naive scalar loop disappears (ILP) and the compiler keeps the lanes in
+// SIMD registers (FMA-friendly). The lane order is FIXED: deterministic
+// across runs, worker counts, and calls, but reassociated relative to the
+// old sequential loop, so float distances may differ from it in the last
+// ulp (see scalarref below). INTEGER point types (uint8/int8) accumulate in
+// int32 through the PLAIN sequential loop: integer addition is associative,
+// so the compiler already auto-vectorizes it with the optimal widening
+// pattern (16-bit diffs, widening multiply-add) — a hand-fixed int32 lane
+// layout measured ~0.5x of that on gcc -O2 and was removed. int32 is exact
+// for dimensions up to ~33k (uint8 worst case: 255^2 * d must stay below
+// 2^31 — far above any ANN workload; beyond it int64 accumulation would be
+// needed), so integer results are bit-identical to the sequential scalar
+// kernels regardless of loop shape.
 //
 // scalarref:: retains the pre-vectorization sequential kernels under the
 // same protocol. Tests and bench_qps instantiate searches against them to
@@ -42,6 +43,7 @@
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
 
 #include "stats.h"
 
@@ -63,20 +65,18 @@ struct AccumOf<std::int8_t> {
   using type = std::int32_t;
 };
 
-// Lane (accumulator) count per accumulator type, tuned on gcc -O2: float
-// reductions peak at 8 independent lanes (enough ILP to hide the FP add
-// latency; more starts spilling), int32 reductions at 16 (what the
-// vectorizer needs to pick the widened-multiply pattern). For integer
-// accumulation the count is a pure tuning knob — the math is exact either
-// way; for float it is part of the kernel contract (it fixes the
-// accumulation order).
+// Float accumulator lane count, tuned on gcc -O2: reductions peak at 8
+// independent lanes (enough ILP to hide the FP add latency; more starts
+// spilling). The count is part of the float kernel contract — it fixes the
+// accumulation order. Integer kernels carry no lane structure at all: int
+// accumulation is exact (associative), so the compiler is free to pick the
+// optimal widening-SIMD shape for the PLAIN loop (16-bit diffs,
+// widening-multiply-add squares), which measurably beats any hand-fixed
+// int32 lane layout — bench_qps showed the 16-lane variant at ~0.5x the
+// auto-vectorized plain loop on gcc -O2, so the lanes were removed.
 template <typename Acc>
 struct LanesOf {
   static constexpr std::size_t value = 8;
-};
-template <>
-struct LanesOf<std::int32_t> {
-  static constexpr std::size_t value = 16;
 };
 
 inline constexpr std::size_t kFloatLanes = LanesOf<float>::value;
@@ -93,40 +93,60 @@ inline float lane_sum(Acc (&acc)[L]) {
   return static_cast<float>(acc[0]);
 }
 
-// L2^2 with independent accumulator lanes; A and B may differ (the k-means
-// path compares float centroids against integer points).
+// L2^2; A and B may differ (the k-means path compares float centroids
+// against integer points). Integer accumulation uses the plain loop (exact
+// math — the compiler auto-vectorizes it with the optimal widening
+// pattern); float uses the fixed 8-lane structure (the accumulation order
+// is part of the contract).
 template <typename A, typename B, typename Acc>
 inline float l2_kernel(const A* a, const B* b, std::size_t d) {
-  constexpr std::size_t kLanes = LanesOf<Acc>::value;
-  Acc acc[kLanes] = {};
-  std::size_t i = 0;
-  for (; i + kLanes <= d; i += kLanes) {
-    for (std::size_t j = 0; j < kLanes; ++j) {
-      Acc diff = static_cast<Acc>(a[i + j]) - static_cast<Acc>(b[i + j]);
+  if constexpr (std::is_integral_v<Acc>) {
+    Acc acc = 0;
+    for (std::size_t i = 0; i < d; ++i) {
+      Acc diff = static_cast<Acc>(a[i]) - static_cast<Acc>(b[i]);
+      acc += diff * diff;
+    }
+    return static_cast<float>(acc);
+  } else {
+    constexpr std::size_t kLanes = LanesOf<Acc>::value;
+    Acc acc[kLanes] = {};
+    std::size_t i = 0;
+    for (; i + kLanes <= d; i += kLanes) {
+      for (std::size_t j = 0; j < kLanes; ++j) {
+        Acc diff = static_cast<Acc>(a[i + j]) - static_cast<Acc>(b[i + j]);
+        acc[j] += diff * diff;
+      }
+    }
+    for (std::size_t j = 0; j < kLanes && i < d; ++i, ++j) {
+      Acc diff = static_cast<Acc>(a[i]) - static_cast<Acc>(b[i]);
       acc[j] += diff * diff;
     }
+    return lane_sum(acc);
   }
-  for (std::size_t j = 0; j < kLanes && i < d; ++i, ++j) {
-    Acc diff = static_cast<Acc>(a[i]) - static_cast<Acc>(b[i]);
-    acc[j] += diff * diff;
-  }
-  return lane_sum(acc);
 }
 
 template <typename A, typename B, typename Acc>
 inline float dot_kernel(const A* a, const B* b, std::size_t d) {
-  constexpr std::size_t kLanes = LanesOf<Acc>::value;
-  Acc acc[kLanes] = {};
-  std::size_t i = 0;
-  for (; i + kLanes <= d; i += kLanes) {
-    for (std::size_t j = 0; j < kLanes; ++j) {
-      acc[j] += static_cast<Acc>(a[i + j]) * static_cast<Acc>(b[i + j]);
+  if constexpr (std::is_integral_v<Acc>) {
+    Acc acc = 0;
+    for (std::size_t i = 0; i < d; ++i) {
+      acc += static_cast<Acc>(a[i]) * static_cast<Acc>(b[i]);
     }
+    return static_cast<float>(acc);
+  } else {
+    constexpr std::size_t kLanes = LanesOf<Acc>::value;
+    Acc acc[kLanes] = {};
+    std::size_t i = 0;
+    for (; i + kLanes <= d; i += kLanes) {
+      for (std::size_t j = 0; j < kLanes; ++j) {
+        acc[j] += static_cast<Acc>(a[i + j]) * static_cast<Acc>(b[i + j]);
+      }
+    }
+    for (std::size_t j = 0; j < kLanes && i < d; ++i, ++j) {
+      acc[j] += static_cast<Acc>(a[i]) * static_cast<Acc>(b[i]);
+    }
+    return lane_sum(acc);
   }
-  for (std::size_t j = 0; j < kLanes && i < d; ++i, ++j) {
-    acc[j] += static_cast<Acc>(a[i]) * static_cast<Acc>(b[i]);
-  }
-  return lane_sum(acc);
 }
 
 // dot(a,b) and |b|^2 in one pass (the cosine fast path: |a|^2 is hoisted

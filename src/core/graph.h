@@ -10,10 +10,14 @@
 // by construction (reads hit the previous batch's snapshot).
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
+
+#include "parlay/sequence_ops.h"
 
 #include "points.h"
 
@@ -28,6 +32,53 @@ class Graph {
         max_degree_(max_degree),
         sizes_(n, 0),
         edges_(n * static_cast<std::size_t>(max_degree), kInvalidPoint) {}
+
+  // The cached edge count is an atomic, so copies and moves are spelled out
+  // (the cached value travels with the adjacency data it summarizes).
+  Graph(const Graph& o)
+      : n_(o.n_),
+        max_degree_(o.max_degree_),
+        sizes_(o.sizes_),
+        edges_(o.edges_),
+        cached_edges_(o.cached_edges_.load(std::memory_order_relaxed)) {}
+
+  Graph(Graph&& o) noexcept
+      : n_(std::exchange(o.n_, 0)),
+        max_degree_(std::exchange(o.max_degree_, 0)),
+        sizes_(std::move(o.sizes_)),
+        edges_(std::move(o.edges_)),
+        cached_edges_(o.cached_edges_.load(std::memory_order_relaxed)) {
+    o.sizes_.clear();
+    o.edges_.clear();
+    o.cached_edges_.store(0, std::memory_order_relaxed);
+  }
+
+  Graph& operator=(const Graph& o) {
+    if (this != &o) {
+      n_ = o.n_;
+      max_degree_ = o.max_degree_;
+      sizes_ = o.sizes_;
+      edges_ = o.edges_;
+      cached_edges_.store(o.cached_edges_.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    }
+    return *this;
+  }
+
+  Graph& operator=(Graph&& o) noexcept {
+    if (this != &o) {
+      n_ = std::exchange(o.n_, 0);
+      max_degree_ = std::exchange(o.max_degree_, 0);
+      sizes_ = std::move(o.sizes_);
+      edges_ = std::move(o.edges_);
+      o.sizes_.clear();
+      o.edges_.clear();
+      cached_edges_.store(o.cached_edges_.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+      o.cached_edges_.store(0, std::memory_order_relaxed);
+    }
+    return *this;
+  }
 
   std::size_t size() const { return n_; }
   std::uint32_t max_degree() const { return max_degree_; }
@@ -44,6 +95,7 @@ class Graph {
     PointId* dst = edges_.data() + row(v);
     for (std::size_t i = 0; i < neigh.size(); ++i) dst[i] = neigh[i];
     sizes_[v] = static_cast<std::uint32_t>(neigh.size());
+    invalidate_edge_count();
   }
 
   // Append edges up to capacity; returns the number actually appended.
@@ -55,10 +107,14 @@ class Graph {
       dst[sz++] = neigh[added++];
     }
     sizes_[v] = sz;
+    invalidate_edge_count();
     return added;
   }
 
-  void clear_neighbors(PointId v) { sizes_[v] = 0; }
+  void clear_neighbors(PointId v) {
+    sizes_[v] = 0;
+    invalidate_edge_count();
+  }
 
   // Grow to `n` vertices (new vertices start with empty adjacency); used by
   // the dynamic index. Shrinking is not supported.
@@ -67,12 +123,23 @@ class Graph {
     sizes_.resize(n, 0);
     edges_.resize(n * static_cast<std::size_t>(max_degree_), kInvalidPoint);
     n_ = n;
+    // New vertices are empty; an existing valid count stays valid.
   }
 
-  // Total directed edges.
+  // Total directed edges. Memoized: the first call after any mutation runs
+  // a parallel blocked reduce over the degree array; subsequent calls (the
+  // per-query stats() path) return the cached value. Follows the class
+  // concurrency contract — concurrent num_edges() calls are fine (they race
+  // only to store the same value); num_edges() concurrent with mutation is
+  // not, just as reading an adjacency list mid-write never was.
   std::size_t num_edges() const {
-    std::size_t total = 0;
-    for (auto s : sizes_) total += s;
+    std::int64_t cached = cached_edges_.load(std::memory_order_relaxed);
+    if (cached >= 0) return static_cast<std::size_t>(cached);
+    std::size_t total = parlay::reduce(
+        sizes_, std::size_t{0},
+        [](std::size_t a, std::size_t b) { return a + b; });
+    cached_edges_.store(static_cast<std::int64_t>(total),
+                        std::memory_order_relaxed);
     return total;
   }
 
@@ -95,10 +162,18 @@ class Graph {
     return static_cast<std::size_t>(v) * max_degree_;
   }
 
+  // Relaxed store, no RMW: mutators run from many workers at once (distinct
+  // vertices), and all of them only ever write the same sentinel.
+  void invalidate_edge_count() {
+    cached_edges_.store(-1, std::memory_order_relaxed);
+  }
+
   std::size_t n_;
   std::uint32_t max_degree_;
   std::vector<std::uint32_t> sizes_;
   std::vector<PointId> edges_;
+  // Cached num_edges(); -1 = stale. Mutable: memoization under const reads.
+  mutable std::atomic<std::int64_t> cached_edges_{0};
 };
 
 }  // namespace ann

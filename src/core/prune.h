@@ -6,6 +6,30 @@
 //
 // alpha > 1 keeps more/longer edges (denser graph); for inner-product
 // metrics the paper constrains alpha <= 1.0.
+//
+// Hot-path structure (mirrors core/beam_search.h, the query half):
+//   * The occlusion sweep runs on the raw multi-lane kernels: the kept
+//     candidate c is prepare()d once, then d(c, ·) streams over all
+//     surviving candidates with coordinate prefetch, evaluations counted
+//     locally and reported in ONE DistanceCounter::bump(n) per prune.
+//   * All working state (candidate buffer, pruned flags, result lists, the
+//     dedup table, merge staging buffers) lives in a per-thread PruneScratch
+//     from local_build_scratch(), so a steady-state prune allocates nothing;
+//     the *_into entry points return spans into that scratch, valid until
+//     the thread's next prune.
+//   * robust_prune_mixed is the dedup-first, distance-reusing entry for the
+//     reverse-edge merge phases: candidates arrive as known-distance
+//     Neighbors (beam-search visited lists, phase-1 out-edges) plus bare
+//     ids; ids are deduped against the known set BEFORE any kernel runs, so
+//     d(p, c) is evaluated at most once per distinct candidate.
+//
+// ann::scalarref keeps the pre-overhaul prune (per-pair counted
+// Metric::distance, fresh vectors per call, no dedup) under the same
+// signatures. The public entry points dispatch to it whenever the Metric is
+// a scalarref kernel, so instantiating a whole builder with
+// ann::scalarref::EuclideanSquared reproduces the entire pre-overhaul build
+// path — the quality/identity reference bench_build_throughput and
+// tests/test_prune_kernels.cpp measure against.
 #pragma once
 
 #include <algorithm>
@@ -14,6 +38,8 @@
 
 #include "beam_search.h"
 #include "points.h"
+#include "stats.h"
+#include "visited_set.h"
 
 namespace ann {
 
@@ -22,10 +48,15 @@ struct PruneParams {
   float alpha = 1.2f;
 };
 
-// Select up to `degree_bound` out-neighbors for point p from `candidates`
-// (each with a precomputed distance to p). Candidates may contain duplicates
-// and p itself; both are removed. Deterministic: candidates are first put in
-// (dist, id) order.
+// --- scalar reference prune --------------------------------------------------
+//
+// The pre-overhaul implementation, verbatim: one counted Metric::distance
+// per candidate pair, fresh vectors per call, duplicates filtered only at
+// the sorted-adjacent / kept-id checks. Not used by any production path;
+// tests assert the rewrite is bit-identical to it, bench_build_throughput
+// measures build throughput against it.
+namespace scalarref {
+
 template <typename Metric, typename T>
 std::vector<PointId> robust_prune(PointId p, std::vector<Neighbor> candidates,
                                   const PointSet<T>& points,
@@ -58,7 +89,6 @@ std::vector<PointId> robust_prune(PointId p, std::vector<Neighbor> candidates,
   return result;
 }
 
-// Convenience: prune a plain id list (distances to p computed here).
 template <typename Metric, typename T>
 std::vector<PointId> robust_prune_ids(PointId p,
                                       std::span<const PointId> candidate_ids,
@@ -70,7 +100,250 @@ std::vector<PointId> robust_prune_ids(PointId p,
     if (c == p || c == kInvalidPoint) continue;
     cands.push_back({c, Metric::distance(points[p], points[c], points.dims())});
   }
-  return robust_prune<Metric>(p, std::move(cands), points, params);
+  // Qualified: ADL on the ann-namespace arguments would otherwise pull the
+  // overhauled ann::robust_prune into the overload set.
+  return scalarref::robust_prune<Metric>(p, std::move(cands), points, params);
+}
+
+}  // namespace scalarref
+
+// True for the retained sequential reference kernels: builders instantiated
+// with a scalarref metric also get the scalarref (pre-overhaul) prune, so
+// one template argument flips the whole build stack for A/B benches.
+template <typename Metric>
+struct uses_reference_prune : std::false_type {};
+template <>
+struct uses_reference_prune<scalarref::EuclideanSquared> : std::true_type {};
+template <>
+struct uses_reference_prune<scalarref::NegInnerProduct> : std::true_type {};
+template <>
+struct uses_reference_prune<scalarref::Cosine> : std::true_type {};
+
+// Reusable per-thread prune state: the candidate buffer, pruned flags and
+// result lists of one prune, plus the dedup table and staging buffers the
+// reverse-edge merge phases use around it. Pooled via local_build_scratch()
+// so steady-state prunes allocate nothing. Spans returned by the *_into
+// entry points alias this scratch and stay valid until the owning thread's
+// next prune.
+struct PruneScratch {
+  std::vector<Neighbor> cands;        // working candidates, (dist, id)-sorted
+  std::vector<unsigned char> pruned;  // parallel to cands
+  std::vector<PointId> result;        // kept ids, selection order
+  std::vector<Neighbor> result_nbrs;  // kept (id, d(p, id)), selection order
+  ExactIdSet dedup{0};                // id dedup for the mixed entry
+  std::vector<PointId> gather;        // ids awaiting distance evaluation
+  // Merge-phase staging (reverse-edge processing around the prune itself).
+  std::vector<PointId> merge_ids;       // incoming source ids
+  std::vector<Neighbor> merge_known;    // incoming sources with known dists
+  std::vector<PointId> merge_existing;  // pre-append adjacency snapshot
+};
+
+inline PruneScratch& local_build_scratch() {
+  thread_local PruneScratch scratch;
+  return scratch;
+}
+
+namespace internal {
+
+// Core greedy selection over scratch.cands. Sorts (dist, id), drops exact
+// duplicate entries, then alternates keep-closest / occlusion-sweep. The
+// sweep prepares the kept point once and streams the surviving candidates
+// through the raw eval kernel with coordinate prefetch; evaluations are
+// counted locally and reported in one bump. Fills scratch.result and
+// scratch.result_nbrs. Selection logic is identical to the scalarref
+// reference — only the kernel entry and the counting are different.
+template <typename Metric, typename T>
+void robust_prune_core(PointId p, const PointSet<T>& points,
+                       const PruneParams& params, PruneScratch& s) {
+  std::sort(s.cands.begin(), s.cands.end());
+  // Exact-tie duplicates are adjacent after the sort; dropping them here
+  // keeps them out of every occlusion sweep. (Same-id candidates always tie
+  // exactly: every entry for an id carries the same bit pattern of d(p, id),
+  // whether reused from a search or evaluated here.)
+  s.cands.erase(std::unique(s.cands.begin(), s.cands.end(),
+                            [](const Neighbor& a, const Neighbor& b) {
+                              return a.id == b.id && a.dist == b.dist;
+                            }),
+                s.cands.end());
+  s.result.clear();
+  s.result_nbrs.clear();
+  s.pruned.assign(s.cands.size(), 0);
+  const std::size_t dims = points.dims();
+  const std::size_t n = s.cands.size();
+  std::uint64_t evals = 0;
+
+  PointId prev = kInvalidPoint;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (s.pruned[i]) continue;
+    PointId c = s.cands[i].id;
+    if (c == p || c == prev) continue;  // self-edge / duplicate remnant
+    prev = c;
+    s.result.push_back(c);
+    s.result_nbrs.push_back(s.cands[i]);
+    if (s.result.size() >= params.degree_bound) break;
+    // Occlusion sweep: prepare c once, stream d(c, ·) over the survivors.
+    const T* c_row = points[c];
+    const auto prep = Metric::prepare(c_row, dims);
+    std::size_t next = i + 1;  // prefetch cursor, one survivor ahead
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (s.pruned[j]) continue;
+      if (s.cands[j].id == c) {  // duplicate of the kept point
+        s.pruned[j] = 1;
+        continue;
+      }
+      if (next <= j) {
+        next = j + 1;
+        while (next < n && s.pruned[next]) ++next;
+        if (next < n) beam_prefetch_point(points[s.cands[next].id], dims);
+      }
+      float d_cc = Metric::eval(prep, c_row, points[s.cands[j].id], dims);
+      ++evals;
+      if (params.alpha * d_cc <= s.cands[j].dist) s.pruned[j] = 1;
+    }
+  }
+  DistanceCounter::bump(evals);
+}
+
+}  // namespace internal
+
+// Select up to `degree_bound` out-neighbors for point p from `candidates`
+// (each with a precomputed distance to p — the distance-reuse contract: a
+// caller holding d(p, c), e.g. from a beam-search visited list, never pays
+// for it again). Candidates may contain duplicates and p itself; both are
+// removed. Deterministic: candidates are canonicalized to (dist, id) order.
+// The returned span aliases `scratch` (valid until its next prune); the
+// kept (id, dist) pairs remain available in scratch.result_nbrs for
+// reverse-edge distance reuse.
+template <typename Metric, typename T>
+std::span<const PointId> robust_prune_into(PointId p,
+                                           std::span<const Neighbor> candidates,
+                                           const PointSet<T>& points,
+                                           const PruneParams& params,
+                                           PruneScratch& scratch) {
+  if constexpr (uses_reference_prune<Metric>::value) {
+    auto out = scalarref::robust_prune<Metric>(
+        p, std::vector<Neighbor>(candidates.begin(), candidates.end()), points,
+        params);
+    scratch.result.assign(out.begin(), out.end());
+    // Keep the (id, dist) view parallel to the result — callers staging
+    // reverse edges read it on both stacks. Linear lookup: reference-path
+    // cost is irrelevant by design.
+    scratch.result_nbrs.clear();
+    for (PointId id : scratch.result) {
+      for (const Neighbor& nb : candidates) {
+        if (nb.id == id) {
+          scratch.result_nbrs.push_back(nb);
+          break;
+        }
+      }
+    }
+    return scratch.result;
+  } else {
+    scratch.cands.assign(candidates.begin(), candidates.end());
+    internal::robust_prune_core<Metric>(p, points, params, scratch);
+    return scratch.result;
+  }
+}
+
+// Dedup-first, distance-reusing entry for the reverse-edge merge phases:
+// `known` carries candidates whose d(p, ·) the caller already holds;
+// `unknown_ids` are bare ids whose distances are evaluated here — but only
+// for ids not already present (known entries win, bare-id duplicates
+// collapse), so each distinct candidate costs at most one evaluation.
+// Evaluation uses the prepared query context for p with coordinate
+// prefetch and one batched count. Same aliasing contract as
+// robust_prune_into.
+template <typename Metric, typename T>
+std::span<const PointId> robust_prune_mixed(
+    PointId p, std::span<const Neighbor> known,
+    std::span<const PointId> unknown_ids, const PointSet<T>& points,
+    const PruneParams& params, PruneScratch& scratch) {
+  if constexpr (uses_reference_prune<Metric>::value) {
+    // Pre-overhaul behavior: caller-held distances are honored (the old
+    // Neighbor-list prune always was handed those for free), every bare id
+    // costs one counted distance call, and nothing is deduped before the
+    // prune's own adjacent-tie checks.
+    std::vector<Neighbor> cands(known.begin(), known.end());
+    cands.reserve(known.size() + unknown_ids.size());
+    for (PointId c : unknown_ids) {
+      if (c == p || c == kInvalidPoint) continue;
+      cands.push_back(
+          {c, Metric::distance(points[p], points[c], points.dims())});
+    }
+    auto saved = cands;  // robust_prune consumes its candidate list
+    auto out = scalarref::robust_prune<Metric>(p, std::move(cands), points,
+                                               params);
+    scratch.result.assign(out.begin(), out.end());
+    scratch.result_nbrs.clear();
+    for (PointId id : scratch.result) {
+      for (const Neighbor& nb : saved) {
+        if (nb.id == id) {
+          scratch.result_nbrs.push_back(nb);
+          break;
+        }
+      }
+    }
+    return scratch.result;
+  } else {
+    const std::size_t dims = points.dims();
+    scratch.dedup.reset(known.size() + unknown_ids.size());
+    scratch.cands.clear();
+    for (const Neighbor& nb : known) {
+      if (nb.id == p || nb.id == kInvalidPoint) continue;
+      if (scratch.dedup.insert(nb.id)) scratch.cands.push_back(nb);
+    }
+    // Two-phase like the beam loop: gather the distinct unseen ids with
+    // coordinate prefetch, then evaluate.
+    scratch.gather.clear();
+    for (PointId c : unknown_ids) {
+      if (c == p || c == kInvalidPoint) continue;
+      if (!scratch.dedup.insert(c)) continue;
+      scratch.gather.push_back(c);
+      beam_prefetch_point(points[c], dims);
+    }
+    if (!scratch.gather.empty()) {
+      const auto prep = Metric::prepare(points[p], dims);
+      for (PointId c : scratch.gather) {
+        scratch.cands.push_back(
+            {c, Metric::eval(prep, points[p], points[c], dims)});
+      }
+      DistanceCounter::bump(scratch.gather.size());
+    }
+    internal::robust_prune_core<Metric>(p, points, params, scratch);
+    return scratch.result;
+  }
+}
+
+// Bare-id entry (distances evaluated here, after dedup). Same aliasing
+// contract as robust_prune_into.
+template <typename Metric, typename T>
+std::span<const PointId> robust_prune_ids_into(
+    PointId p, std::span<const PointId> candidate_ids,
+    const PointSet<T>& points, const PruneParams& params,
+    PruneScratch& scratch) {
+  return robust_prune_mixed<Metric, T>(p, {}, candidate_ids, points, params,
+                                       scratch);
+}
+
+// --- owning-result conveniences (tests, cold paths) --------------------------
+
+template <typename Metric, typename T>
+std::vector<PointId> robust_prune(PointId p, std::vector<Neighbor> candidates,
+                                  const PointSet<T>& points,
+                                  const PruneParams& params) {
+  auto kept = robust_prune_into<Metric, T>(p, candidates, points, params,
+                                           local_build_scratch());
+  return {kept.begin(), kept.end()};
+}
+
+template <typename Metric, typename T>
+std::vector<PointId> robust_prune_ids(PointId p,
+                                      std::span<const PointId> candidate_ids,
+                                      const PointSet<T>& points,
+                                      const PruneParams& params) {
+  auto kept = robust_prune_ids_into<Metric, T>(p, candidate_ids, points,
+                                               params, local_build_scratch());
+  return {kept.begin(), kept.end()};
 }
 
 }  // namespace ann

@@ -79,7 +79,7 @@ RangeResult range_search_impl(const T* query, const PointSet<T>& points,
     for (PointId nb_id : g.neighbors(current.id)) {
       if (seen.test_and_set(nb_id)) continue;
       scratch.gather.push_back(nb_id);
-      prefetch_point(points[nb_id], dims);
+      beam_prefetch_point(points[nb_id], dims);
     }
     evals += scratch.gather.size();
     for (PointId nb_id : scratch.gather) {

@@ -95,6 +95,22 @@ TEST(DiskANN, DeterministicAcrossRunsAndWorkerCounts) {
   EXPECT_EQ(a.start, b.start);
 }
 
+TEST(DiskANN, ByteIdenticalGraphAcrossWorkerCountsFloatCosine) {
+  // Post-overhaul property: the distance-reusing prune pipeline and the
+  // flat reverse-edge merge must stay worker-count invariant on FLOAT
+  // metrics too, where any asymmetric reuse or order dependence would
+  // surface as a last-ulp divergence.
+  auto ds = ann::make_text2image_like(600, 1, 21);
+  DiskANNParams prm{.degree_bound = 16, .beam_width = 32, .alpha = 1.1f};
+  parlay::set_num_workers(1);
+  auto a = ann::build_diskann<ann::Cosine>(ds.base, prm);
+  parlay::set_num_workers(6);
+  auto b = ann::build_diskann<ann::Cosine>(ds.base, prm);
+  parlay::set_num_workers(0);
+  EXPECT_TRUE(a.graph == b.graph) << "float cosine graph differs across workers";
+  EXPECT_EQ(a.start, b.start);
+}
+
 TEST(DiskANN, SequentialScheduleMatchesQuality) {
   // Prefix doubling should be within a few recall points of the pure
   // sequential build (the paper reports ~1% QPS at matched recall).

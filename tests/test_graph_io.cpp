@@ -53,6 +53,32 @@ TEST(Graph, ClearAndNumEdges) {
   EXPECT_TRUE(g.neighbors(0).empty());
 }
 
+TEST(Graph, NumEdgesMemoizationTracksEveryMutation) {
+  // num_edges() caches its parallel reduce; every mutator must invalidate.
+  Graph g(64, 4);
+  EXPECT_EQ(g.num_edges(), 0u);  // fresh graph: cached zero
+  for (PointId v = 0; v < 64; ++v) {
+    std::vector<PointId> n{static_cast<PointId>((v + 1) % 64)};
+    g.set_neighbors(v, n);
+    ASSERT_EQ(g.num_edges(), static_cast<std::size_t>(v) + 1);
+  }
+  std::vector<PointId> extra{static_cast<PointId>(2), static_cast<PointId>(3)};
+  EXPECT_EQ(g.append_neighbors(0, extra), 2u);
+  EXPECT_EQ(g.num_edges(), 66u);
+  g.clear_neighbors(0);
+  EXPECT_EQ(g.num_edges(), 63u);
+  g.resize(100);  // new vertices are empty; count unchanged
+  EXPECT_EQ(g.num_edges(), 63u);
+  // Copies and moves carry the adjacency AND report the same count.
+  Graph copy = g;
+  EXPECT_EQ(copy.num_edges(), 63u);
+  Graph moved = std::move(copy);
+  EXPECT_EQ(moved.num_edges(), 63u);
+  EXPECT_TRUE(moved == g);
+  // Repeated reads return the cached value (and stay correct).
+  EXPECT_EQ(g.num_edges(), g.num_edges());
+}
+
 TEST(Graph, EqualityComparesStructure) {
   Graph a(3, 2), b(3, 2);
   std::vector<PointId> n{1};

@@ -95,6 +95,20 @@ TEST(HCNNG, DeterministicAcrossWorkerCounts) {
   EXPECT_TRUE(a.graph == b.graph);
 }
 
+TEST(HCNNG, ByteIdenticalGraphAcrossWorkerCountsFloat) {
+  // Post-overhaul: batched split scoring (pivot-side prepared kernels) and
+  // the kernel-protocol MST edge scoring must stay worker-count invariant
+  // on float data.
+  auto ds = ann::make_text2image_like(600, 1, 25);
+  HCNNGParams prm{.num_trees = 6, .leaf_size = 80};
+  parlay::set_num_workers(1);
+  auto a = ann::build_hcnng<ann::EuclideanSquared>(ds.base, prm);
+  parlay::set_num_workers(6);
+  auto b = ann::build_hcnng<ann::EuclideanSquared>(ds.base, prm);
+  parlay::set_num_workers(0);
+  EXPECT_TRUE(a.graph == b.graph) << "float graph differs across workers";
+}
+
 TEST(HCNNG, RestrictedMstMatchesFullMstQuality) {
   // §4.3: the edge-restricted MST must not lose QPS/recall.
   auto ds = ann::make_bigann_like(1200, 40, 11);

@@ -83,6 +83,23 @@ TEST(HNSW, DeterministicAcrossWorkerCounts) {
   EXPECT_EQ(a.entry, b.entry);
 }
 
+TEST(HNSW, ByteIdenticalLayersAcrossWorkerCountsFloat) {
+  // Post-overhaul: per-layer flat reverse-edge merges with reused float
+  // distances must stay worker-count invariant on every layer.
+  auto ds = ann::make_text2image_like(500, 1, 23);
+  HNSWParams prm{.m = 8, .ef_construction = 32};
+  parlay::set_num_workers(1);
+  auto a = ann::build_hnsw<ann::EuclideanSquared>(ds.base, prm);
+  parlay::set_num_workers(6);
+  auto b = ann::build_hnsw<ann::EuclideanSquared>(ds.base, prm);
+  parlay::set_num_workers(0);
+  ASSERT_EQ(a.layers.size(), b.layers.size());
+  for (std::size_t l = 0; l < a.layers.size(); ++l) {
+    EXPECT_TRUE(a.layers[l] == b.layers[l]) << "float layer " << l << " differs";
+  }
+  EXPECT_EQ(a.entry, b.entry);
+}
+
 TEST(HNSW, DescendReachesBottom) {
   auto ds = ann::make_bigann_like(1500, 10, 13);
   HNSWParams prm{.m = 8, .ef_construction = 48};

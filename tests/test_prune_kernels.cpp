@@ -1,0 +1,265 @@
+// The overhauled prune stack (core/prune.h) against the retained scalarref
+// reference implementation:
+//   * bit-identical neighbor lists across metrics, dtypes, and
+//     lane-straddling dimensions (the occlusion sweep's prepared eval must
+//     match the reference's per-pair counted distance bit for bit);
+//   * pooled scratch == fresh scratch (reuse must never leak state);
+//   * batched distance-comp counts == the reference's serial per-call sum
+//     on duplicate-free input, and strictly smaller once duplicates appear
+//     (the dedup-first fix);
+//   * the mixed known/unknown entry reuses caller-held distances and
+//     dedups before any kernel runs.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/distance.h"
+#include "core/prune.h"
+
+namespace {
+
+using ann::Neighbor;
+using ann::PointId;
+using ann::PointSet;
+using ann::PruneParams;
+using ann::PruneScratch;
+
+template <typename T>
+PointSet<T> uniform_points(std::size_t n, std::size_t d, std::uint64_t seed) {
+  if constexpr (std::is_same_v<T, std::uint8_t>) {
+    return ann::make_uniform<T>(n, d, 0, 255, seed);
+  } else if constexpr (std::is_same_v<T, std::int8_t>) {
+    return ann::make_uniform<T>(n, d, -127, 127, seed);
+  } else {
+    return ann::make_uniform<T>(n, d, -1.0, 1.0, seed);
+  }
+}
+
+template <typename Metric, typename T>
+void expect_matches_reference(std::size_t d, std::uint64_t seed, float alpha) {
+  const std::size_t n = 160;
+  auto ps = uniform_points<T>(n, d, seed);
+  std::vector<PointId> cands;
+  for (PointId i = 1; i < n; ++i) cands.push_back(i);
+  for (std::uint32_t R : {4u, 24u}) {
+    PruneParams prm{.degree_bound = R, .alpha = alpha};
+    auto ref = ann::scalarref::robust_prune_ids<Metric>(0, cands, ps, prm);
+    auto got = ann::robust_prune_ids<Metric>(0, cands, ps, prm);
+    ASSERT_EQ(got, ref) << Metric::kName << " d=" << d << " R=" << R;
+  }
+}
+
+TEST(PruneKernels, MatchesReferenceAcrossMetricsDtypesAndDims) {
+  // Dims straddle both lane widths (8 float lanes, 16 int lanes) and their
+  // remainders.
+  for (std::size_t d : {3u, 7u, 8u, 15u, 16u, 17u, 33u, 100u}) {
+    expect_matches_reference<ann::EuclideanSquared, float>(d, 41 + d, 1.2f);
+    expect_matches_reference<ann::EuclideanSquared, std::uint8_t>(d, 42 + d,
+                                                                  1.2f);
+    expect_matches_reference<ann::EuclideanSquared, std::int8_t>(d, 43 + d,
+                                                                 1.2f);
+    expect_matches_reference<ann::Cosine, float>(d, 44 + d, 1.1f);
+    expect_matches_reference<ann::NegInnerProduct, float>(d, 45 + d, 1.0f);
+    expect_matches_reference<ann::NegInnerProduct, std::int8_t>(d, 46 + d,
+                                                                1.0f);
+  }
+}
+
+TEST(PruneKernels, NeighborEntryMatchesReference) {
+  // The Neighbor-list entry (beam-search visited pool shape), distances
+  // precomputed by the caller as the search would have.
+  auto ps = uniform_points<float>(200, 24, 7);
+  std::vector<Neighbor> cands;
+  for (PointId i = 1; i < 200; ++i) {
+    cands.push_back(
+        {i, ann::EuclideanSquared::eval(ps[0], ps[i], ps.dims())});
+  }
+  PruneParams prm{.degree_bound = 20, .alpha = 1.2f};
+  auto ref =
+      ann::scalarref::robust_prune<ann::EuclideanSquared>(0, cands, ps, prm);
+  auto got = ann::robust_prune<ann::EuclideanSquared>(0, cands, ps, prm);
+  EXPECT_EQ(got, ref);
+}
+
+TEST(PruneKernels, PooledScratchMatchesFreshScratch) {
+  auto ps = uniform_points<float>(300, 17, 9);
+  PruneParams prm{.degree_bound = 16, .alpha = 1.2f};
+  // Alternate big and small prunes through the pooled scratch; every result
+  // must match a fresh scratch (no state may survive reuse).
+  for (std::size_t round = 0; round < 6; ++round) {
+    std::size_t take = (round % 2 == 0) ? 299 : 31;
+    std::vector<PointId> cands;
+    for (PointId i = 1; i <= take; ++i) cands.push_back(i);
+    PruneScratch fresh;
+    auto a = ann::robust_prune_ids_into<ann::EuclideanSquared>(0, cands, ps,
+                                                               prm, fresh);
+    auto b = ann::robust_prune_ids_into<ann::EuclideanSquared>(
+        0, cands, ps, prm, ann::local_build_scratch());
+    ASSERT_EQ(std::vector<PointId>(a.begin(), a.end()),
+              std::vector<PointId>(b.begin(), b.end()))
+        << "round " << round;
+  }
+}
+
+TEST(PruneKernels, ResultNeighborsParallelToResult) {
+  auto ps = uniform_points<float>(120, 12, 10);
+  std::vector<Neighbor> cands;
+  for (PointId i = 1; i < 120; ++i) {
+    cands.push_back(
+        {i, ann::EuclideanSquared::eval(ps[0], ps[i], ps.dims())});
+  }
+  PruneParams prm{.degree_bound = 12, .alpha = 1.2f};
+  PruneScratch s;
+  auto kept = ann::robust_prune_into<ann::EuclideanSquared>(0, cands, ps, prm,
+                                                            s);
+  ASSERT_EQ(s.result_nbrs.size(), kept.size());
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    EXPECT_EQ(s.result_nbrs[i].id, kept[i]);
+    EXPECT_EQ(s.result_nbrs[i].dist,
+              ann::EuclideanSquared::eval(ps[0], ps[kept[i]], ps.dims()));
+  }
+}
+
+TEST(PruneKernels, BatchedCountEqualsSerialSumOnDistinctInput) {
+  auto ps = uniform_points<std::uint8_t>(250, 32, 11);
+  std::vector<PointId> cands;
+  for (PointId i = 1; i < 250; ++i) cands.push_back(i);
+  for (float alpha : {1.0f, 1.2f}) {
+    PruneParams prm{.degree_bound = 24, .alpha = alpha};
+    std::uint64_t ref_count, new_count;
+    std::vector<PointId> ref, got;
+    {
+      ann::DistanceCounterScope scope;
+      ref = ann::scalarref::robust_prune_ids<ann::EuclideanSquared>(0, cands,
+                                                                    ps, prm);
+      ref_count = scope.count();
+    }
+    {
+      ann::DistanceCounterScope scope;
+      got = ann::robust_prune_ids<ann::EuclideanSquared>(0, cands, ps, prm);
+      new_count = scope.count();
+    }
+    EXPECT_EQ(got, ref);
+    EXPECT_EQ(new_count, ref_count)
+        << "batched bump(n) accounting must equal the per-call serial sum";
+    EXPECT_GT(new_count, 0u);
+  }
+}
+
+TEST(PruneKernels, DedupCutsDistanceCompsButNotResults) {
+  // The satellite fix: phase-2 candidate lists repeat ids (existing
+  // neighbor + new source overlap). The reference evaluates every copy; the
+  // overhauled entry dedups before any kernel runs.
+  auto ps = uniform_points<float>(200, 20, 13);
+  std::vector<PointId> dup_free, dups;
+  for (PointId i = 1; i < 200; ++i) dup_free.push_back(i);
+  for (int rep = 0; rep < 3; ++rep) {
+    dups.insert(dups.end(), dup_free.begin(), dup_free.end());
+  }
+  PruneParams prm{.degree_bound = 16, .alpha = 1.2f};
+  std::uint64_t count_dup_free, count_dups, ref_count_dups;
+  std::vector<PointId> a, b, ref;
+  {
+    ann::DistanceCounterScope scope;
+    a = ann::robust_prune_ids<ann::EuclideanSquared>(0, dup_free, ps, prm);
+    count_dup_free = scope.count();
+  }
+  {
+    ann::DistanceCounterScope scope;
+    b = ann::robust_prune_ids<ann::EuclideanSquared>(0, dups, ps, prm);
+    count_dups = scope.count();
+  }
+  {
+    ann::DistanceCounterScope scope;
+    ref = ann::scalarref::robust_prune_ids<ann::EuclideanSquared>(0, dups, ps,
+                                                                  prm);
+    ref_count_dups = scope.count();
+  }
+  EXPECT_EQ(a, b) << "duplicates must not change the pruned list";
+  EXPECT_EQ(b, ref);
+  EXPECT_EQ(count_dups, count_dup_free)
+      << "deduped entry must not pay for duplicate candidates";
+  EXPECT_LT(count_dups, ref_count_dups)
+      << "reference pays for every duplicate copy; the fix must not";
+}
+
+TEST(PruneKernels, MixedEntryReusesKnownDistances) {
+  auto ps = uniform_points<float>(180, 28, 15);
+  const std::size_t dims = ps.dims();
+  PruneParams prm{.degree_bound = 16, .alpha = 1.2f};
+  // known: ids 1..89 with caller-held distances; unknown: ids 60..179
+  // (overlapping 60..89) plus duplicates of 100..109.
+  std::vector<Neighbor> known;
+  for (PointId i = 1; i < 90; ++i) {
+    known.push_back({i, ann::EuclideanSquared::eval(ps[0], ps[i], dims)});
+  }
+  std::vector<PointId> unknown;
+  for (PointId i = 60; i < 180; ++i) unknown.push_back(i);
+  for (PointId i = 100; i < 110; ++i) unknown.push_back(i);
+  std::vector<PointId> all_ids;
+  for (PointId i = 1; i < 180; ++i) all_ids.push_back(i);
+
+  std::uint64_t mixed_count, ids_count;
+  PruneScratch s;
+  std::span<const PointId> kept_mixed;
+  {
+    ann::DistanceCounterScope scope;
+    kept_mixed = ann::robust_prune_mixed<ann::EuclideanSquared>(
+        0, known, unknown, ps, prm, s);
+    mixed_count = scope.count();
+  }
+  std::vector<PointId> mixed(kept_mixed.begin(), kept_mixed.end());
+  std::vector<PointId> from_ids;
+  {
+    ann::DistanceCounterScope scope;
+    from_ids =
+        ann::robust_prune_ids<ann::EuclideanSquared>(0, all_ids, ps, prm);
+    ids_count = scope.count();
+  }
+  EXPECT_EQ(mixed, from_ids)
+      << "mixed entry over known+unknown must equal the plain-ids prune over "
+         "the distinct union";
+  // The mixed entry skipped d(p, c) for all 89 known candidates; the
+  // occlusion sweeps are identical because the candidate sets are.
+  EXPECT_EQ(mixed_count + known.size(), ids_count);
+}
+
+TEST(PruneKernels, DegenerateInputs) {
+  auto ps = uniform_points<float>(10, 8, 17);
+  PruneParams prm{.degree_bound = 4, .alpha = 1.2f};
+  PruneScratch s;
+  // Empty.
+  auto kept = ann::robust_prune_ids_into<ann::EuclideanSquared>(
+      0, std::vector<PointId>{}, ps, prm, s);
+  EXPECT_TRUE(kept.empty());
+  // Only self and invalid ids.
+  std::vector<PointId> junk{0, 0, ann::kInvalidPoint};
+  kept = ann::robust_prune_ids_into<ann::EuclideanSquared>(0, junk, ps, prm, s);
+  EXPECT_TRUE(kept.empty());
+  // Self mixed into real candidates is dropped.
+  std::vector<PointId> with_self{0, 1, 2, 3};
+  kept = ann::robust_prune_ids_into<ann::EuclideanSquared>(0, with_self, ps,
+                                                           prm, s);
+  for (PointId id : kept) EXPECT_NE(id, 0u);
+}
+
+// The reference-prune dispatch: a builder instantiated with a scalarref
+// metric must run the scalarref prune (same results as the production
+// stack on integer data, where kernels are exact).
+TEST(PruneKernels, ScalarrefMetricDispatchMatchesProductionOnIntegers) {
+  static_assert(ann::uses_reference_prune<ann::scalarref::EuclideanSquared>::value);
+  static_assert(!ann::uses_reference_prune<ann::EuclideanSquared>::value);
+  auto ps = uniform_points<std::uint8_t>(150, 48, 19);
+  std::vector<PointId> cands;
+  for (PointId i = 1; i < 150; ++i) cands.push_back(i);
+  PruneParams prm{.degree_bound = 12, .alpha = 1.2f};
+  auto prod = ann::robust_prune_ids<ann::EuclideanSquared>(0, cands, ps, prm);
+  auto ref =
+      ann::robust_prune_ids<ann::scalarref::EuclideanSquared>(0, cands, ps,
+                                                              prm);
+  EXPECT_EQ(prod, ref);
+}
+
+}  // namespace

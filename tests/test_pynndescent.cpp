@@ -79,6 +79,20 @@ TEST(PyNN, DeterministicAcrossWorkerCounts) {
   EXPECT_TRUE(a.graph == b.graph);
 }
 
+TEST(PyNN, ByteIdenticalGraphAcrossWorkerCountsFloat) {
+  // Post-overhaul: batched local joins / neighbor-row evaluation and the
+  // distance-reusing final prune must stay worker-count invariant on float
+  // data.
+  auto ds = ann::make_text2image_like(500, 1, 27);
+  PyNNDescentParams prm{.k = 12, .num_trees = 4, .leaf_size = 60};
+  parlay::set_num_workers(1);
+  auto a = ann::build_pynndescent<ann::EuclideanSquared>(ds.base, prm);
+  parlay::set_num_workers(6);
+  auto b = ann::build_pynndescent<ann::EuclideanSquared>(ds.base, prm);
+  parlay::set_num_workers(0);
+  EXPECT_TRUE(a.graph == b.graph) << "float graph differs across workers";
+}
+
 TEST(PyNN, SmallBlockSizeSameResult) {
   // The memory-limiting batch size must not change the output (§4.4).
   auto ds = ann::make_bigann_like(500, 1, 11);
