@@ -23,6 +23,16 @@
 //             pynndescent, ivf_flat, ivf_pq, lsh.
 // Metrics:    euclidean, mips, cosine (ivf_pq: euclidean and mips only).
 // Dtypes:     float, uint8, int8.
+//
+// Serving (one layer up, include "serve/search_service.h"):
+//
+//   auto service = ann::serve<std::uint8_t>(std::move(index),
+//                                           {.max_batch = 64});
+//   auto future = service->submit(query, {.beam_width = 40, .k = 10});
+//
+// ann::SearchService is the async batching front end over batch_search —
+// submission queue, adaptive micro-batcher, backpressure, latency stats.
+// Operator guide: docs/SERVING.md; layer map: docs/ARCHITECTURE.md.
 #pragma once
 
 #include "api/any_index.h"

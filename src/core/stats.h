@@ -30,6 +30,7 @@
 #pragma once
 
 #include <atomic>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 
@@ -82,6 +83,80 @@ class DistanceCounterScope {
  public:
   DistanceCounterScope() { DistanceCounter::reset(); }
   std::uint64_t count() const { return DistanceCounter::total(); }
+};
+
+// Fixed-footprint latency recorder: log2 octaves with 4 linear sub-buckets
+// each (HDR-histogram-lite), so any nanosecond value lands in one of 252
+// counters with <= 25% relative error — enough resolution for serving
+// percentiles without per-sample storage. record() is a relaxed fetch_add,
+// safe from any thread; readers (percentile/mean) see a consistent-enough
+// snapshot for monitoring (counts may lag each other by in-flight samples).
+// Percentiles are reported as the upper bound of the rank's bucket, i.e.
+// conservatively high, never flattering.
+class LatencyHistogram {
+ public:
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  void record_ns(std::uint64_t ns) {
+    buckets_[bucket_of(ns)].fetch_add(1, std::memory_order_relaxed);
+    total_ns_.fetch_add(ns, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  double mean_ms() const {
+    std::uint64_t n = count();
+    if (n == 0) return 0.0;
+    return static_cast<double>(total_ns_.load(std::memory_order_relaxed)) /
+           static_cast<double>(n) / 1e6;
+  }
+
+  // p in [0, 100]; the latency at or below which p percent of recorded
+  // samples fall (bucket upper bound). 0 with no samples.
+  double percentile_ms(double p) const {
+    std::uint64_t n = count();
+    if (n == 0) return 0.0;
+    if (p < 0.0) p = 0.0;
+    if (p > 100.0) p = 100.0;
+    auto rank = static_cast<std::uint64_t>(p / 100.0 *
+                                           static_cast<double>(n) + 0.5);
+    if (rank == 0) rank = 1;
+    if (rank > n) rank = n;
+    std::uint64_t cumulative = 0;
+    for (unsigned b = 0; b < kBuckets; ++b) {
+      cumulative += buckets_[b].load(std::memory_order_relaxed);
+      if (cumulative >= rank) {
+        return static_cast<double>(upper_bound_ns(b)) / 1e6;
+      }
+    }
+    return static_cast<double>(upper_bound_ns(kBuckets - 1)) / 1e6;
+  }
+
+ private:
+  // Buckets 0..3 hold exact values 0..3; past that, octave o (the bit width
+  // minus one) splits into 4 linear sub-buckets keyed by the two bits below
+  // the leading bit.
+  static constexpr unsigned kBuckets = 4 + 62 * 4;
+
+  static unsigned bucket_of(std::uint64_t ns) {
+    if (ns < 4) return static_cast<unsigned>(ns);
+    unsigned octave = 63 - static_cast<unsigned>(std::countl_zero(ns));
+    auto sub = static_cast<unsigned>((ns >> (octave - 2)) & 3);
+    return 4 + (octave - 2) * 4 + sub;
+  }
+
+  static std::uint64_t upper_bound_ns(unsigned b) {
+    if (b < 4) return b;
+    unsigned octave = 2 + (b - 4) / 4;
+    unsigned sub = (b - 4) % 4;
+    std::uint64_t width = std::uint64_t{1} << (octave - 2);
+    return (std::uint64_t{1} << octave) + (sub + 1) * width - 1;
+  }
+
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> total_ns_{0};
+  std::atomic<std::uint64_t> count_{0};
 };
 
 }  // namespace ann

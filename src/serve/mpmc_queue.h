@@ -1,0 +1,123 @@
+// Bounded lock-free MPMC ring buffer (Dmitry Vyukov's array queue): each
+// cell carries a sequence number that encodes whose turn it is, so producers
+// and consumers claim cells with one CAS each and never take a lock. This is
+// the submission path of the serving layer — many client threads push, the
+// dispatcher pops — where a mutex-protected deque would serialize exactly
+// the threads we are trying to keep independent.
+//
+// Semantics:
+//   * try_push/try_pop never block; they return false when the ring is
+//     full/empty *at that instant*. A push can transiently fail while a
+//     concurrent pop is mid-flight in the target cell (the popper has
+//     claimed it but not yet republished its sequence); callers that have
+//     externally reserved space (SearchService's admission credits) retry.
+//   * Capacity is rounded up to a power of two (the sequence arithmetic
+//     needs it); callers wanting an exact bound enforce it outside, which
+//     is what SearchService does.
+//   * T must be default-constructible and movable (cells hold a T inline).
+//
+// Blocking, backpressure, and shutdown are deliberately NOT here: they need
+// policy (reject vs block, drain on stop) that belongs to the service, and
+// the repo's scheduler idiom — timed waits that tolerate missed wakeups —
+// works best when the waiting layer owns its own condition variables.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace ann {
+
+template <typename T>
+class BoundedMpmcQueue {
+ public:
+  explicit BoundedMpmcQueue(std::size_t capacity)
+      : ring_size_(round_up_pow2(capacity)),
+        mask_(ring_size_ - 1),
+        cells_(new Cell[ring_size_]) {
+    if (capacity == 0) {
+      throw std::invalid_argument(
+          "BoundedMpmcQueue: capacity must be positive");
+    }
+    for (std::size_t i = 0; i < ring_size_; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  BoundedMpmcQueue(const BoundedMpmcQueue&) = delete;
+  BoundedMpmcQueue& operator=(const BoundedMpmcQueue&) = delete;
+
+  // Number of cells in the ring (>= the requested capacity).
+  std::size_t ring_size() const { return ring_size_; }
+
+  bool try_push(T&& value) {
+    Cell* cell;
+    std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      auto diff = static_cast<std::intptr_t>(seq) -
+                  static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // ring full (or the target cell's pop is mid-flight)
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool try_pop(T& out) {
+    Cell* cell;
+    std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      auto diff = static_cast<std::intptr_t>(seq) -
+                  static_cast<std::intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    out = std::move(cell->value);
+    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::size_t> seq;
+    T value;
+  };
+
+  static std::size_t round_up_pow2(std::size_t v) {
+    std::size_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  std::size_t ring_size_;
+  std::size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  alignas(64) std::atomic<std::size_t> enqueue_pos_{0};
+  alignas(64) std::atomic<std::size_t> dequeue_pos_{0};
+};
+
+}  // namespace ann

@@ -1,0 +1,574 @@
+// ann::SearchService — the serving layer: an asynchronous batching front
+// end over AnyIndex::batch_search (see docs/SERVING.md for the operator
+// guide).
+//
+//   ann::AnyIndex index = ann::make_index(spec);
+//   index.build(points);
+//   ann::SearchService<std::uint8_t> service(std::move(index),
+//                                            {.max_batch = 64,
+//                                             .max_delay_ms = 1.0});
+//   auto future = service.submit(query, {.beam_width = 40, .k = 10});
+//   auto hits = future.get();          // std::vector<Neighbor>
+//   service.shutdown();                // drain + join (also in ~SearchService)
+//
+// Design:
+//   * Submission is a lock-light MPMC ring (serve/mpmc_queue.h) with exact
+//     admission control: an atomic credit counter bounds the queue at
+//     ServeParams::queue_capacity, and when it is full submit() either
+//     blocks (kBlock) or throws ann::queue_full (kReject).
+//   * A single dispatcher thread runs the adaptive micro-batcher: it
+//     coalesces queued requests until either max_batch requests are in hand
+//     or the OLDEST request has waited max_delay_ms, then executes the
+//     batch. Under saturation batches fill instantly (amortizing fan-out
+//     overhead); under trickle load the deadline bounds added latency.
+//   * Execution groups a flushed batch by identical QueryParams (per-request
+//     k / beam / epsilon / visit_limit overrides) and runs one
+//     AnyIndex::batch_search per group, so every request is answered with
+//     exactly the parameters it asked for.
+//   * Completion is per-request: submit() returns a std::future, or the
+//     callback overload invokes the callback on the dispatcher thread
+//     (callbacks must be fast and must not throw).
+//   * shutdown() stops admission (later submits throw std::logic_error),
+//     drains every request already accepted, then joins the dispatcher.
+//     Every future obtained from a successful submit() is fulfilled.
+//
+// Determinism boundary (engineered, tested in tests/test_serving.cpp):
+// arrival order — and therefore batch composition — is nondeterministic by
+// design, but the per-query engine below is deterministic and shares no
+// mutable state across queries, so each request's RESULT is element-wise
+// identical to a direct AnyIndex::batch_search with the same parameters, no
+// matter how the micro-batcher sliced the traffic.
+//
+// Scheduler interplay: the dispatcher drives parlay parallel regions (the
+// batch_search fan-out), and the scheduler allows one external driver at a
+// time. Multiple live services serialize their batch executions on an
+// internal mutex, but application threads must not drive parallel regions
+// of their own while a service is running. Client threads calling submit()
+// never touch the scheduler, so any number of them is fine.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/any_index.h"
+#include "core/stats.h"
+#include "serve/mpmc_queue.h"
+
+namespace ann {
+
+// Thrown by submit() under BackpressurePolicy::kReject when the submission
+// queue is at capacity. Distinct from logic errors: the request was
+// well-formed, the service is just saturated — callers typically retry
+// with backoff or shed the load.
+class queue_full : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class BackpressurePolicy {
+  kBlock,   // submit() waits for queue space: throttles producers to the
+            // service's throughput (closed-loop clients)
+  kReject,  // submit() throws ann::queue_full immediately: sheds load so
+            // producer latency stays bounded (open-loop clients)
+};
+
+struct ServeParams {
+  // Flush a batch when this many requests have coalesced.
+  std::size_t max_batch = 64;
+  // ... or when the oldest queued request has waited this long (the added
+  // latency bound under trickle load). 0 flushes whatever one drain finds.
+  double max_delay_ms = 1.0;
+  // Exact bound on queued-but-not-yet-dispatched requests.
+  std::size_t queue_capacity = 1024;
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+};
+
+// Snapshot of a service's counters, same idiom as IndexStats: the headline
+// figures as named fields plus everything as key/value details.
+struct ServeStats {
+  std::uint64_t submitted = 0;   // accepted into the queue
+  std::uint64_t completed = 0;   // futures fulfilled / callbacks run
+  std::uint64_t rejected = 0;    // thrown queue_full (kReject only)
+  std::uint64_t batches = 0;     // micro-batcher flushes
+  std::uint64_t dispatches = 0;  // batch_search calls (>= batches: one per
+                                 // distinct QueryParams group in a flush)
+  double uptime_s = 0;
+  double qps = 0;                  // completed / uptime
+  double mean_batch_occupancy = 0; // completed / batches
+  double mean_latency_ms = 0;      // submit -> completion, per request
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  std::uint64_t distance_comps = 0;  // summed over dispatched batches
+  std::size_t queue_depth = 0;       // instantaneous
+
+  std::vector<std::pair<std::string, double>> details;
+
+  double detail(const std::string& key, double fallback = 0.0) const {
+    return kv_get(details, key, fallback);
+  }
+};
+
+namespace internal {
+// One external thread may drive parlay parallel regions at a time (see
+// src/parlay/scheduler.h); every service's dispatcher funnels its
+// batch_search calls through this mutex so multiple live services coexist.
+inline std::mutex& serving_dispatch_mutex() {
+  static std::mutex m;
+  return m;
+}
+}  // namespace internal
+
+template <typename T>
+class SearchService {
+ public:
+  // Invoked on the dispatcher thread. Exactly one of (result, error) is
+  // meaningful: error is nullptr on success. Callbacks must be fast (they
+  // sit on the dispatch path) and must not throw.
+  using Callback =
+      std::function<void(std::vector<Neighbor> result, std::exception_ptr error)>;
+
+  // Takes ownership of a BUILT index (serving an empty index is rejected
+  // with std::invalid_argument, as is a dtype mismatch between T and the
+  // index, a zero queue_capacity, or a zero max_batch).
+  explicit SearchService(AnyIndex index, const ServeParams& params = {})
+      : index_(std::move(index)),
+        params_(validated(params)),
+        queue_(params.queue_capacity) {
+    if (!index_.valid()) {
+      throw std::invalid_argument(
+          "SearchService: index handle is empty (use ann::make_index)");
+    }
+    if (index_.spec().dtype != dtype_name<T>()) {
+      throw std::invalid_argument(
+          std::string("SearchService: index holds dtype '") +
+          index_.spec().dtype + "' but the service is instantiated for '" +
+          dtype_name<T>() + "'");
+    }
+    IndexStats s = index_.stats();  // throws std::logic_error on empty handle
+    if (s.num_points == 0 || s.dims == 0) {
+      throw std::invalid_argument(
+          "SearchService: index must be built and non-empty before serving");
+    }
+    dims_ = s.dims;
+    start_ = std::chrono::steady_clock::now();
+    dispatcher_ = std::thread([this] { dispatch_loop(); });
+  }
+
+  ~SearchService() { shutdown(); }
+
+  SearchService(const SearchService&) = delete;
+  SearchService& operator=(const SearchService&) = delete;
+
+  const AnyIndex& index() const { return index_; }
+  const ServeParams& params() const { return params_; }
+  std::size_t dims() const { return dims_; }
+
+  // --- submission ------------------------------------------------------------
+
+  // The query span must be exactly dims() long (std::invalid_argument
+  // otherwise); its contents are copied, so the caller's buffer may be
+  // reused the moment submit returns. Throws std::logic_error after
+  // shutdown and ann::queue_full when saturated under kReject.
+  std::future<std::vector<Neighbor>> submit(std::span<const T> query,
+                                            const QueryParams& params = {}) {
+    auto req = make_request(query, params);
+    auto future = req->promise.get_future();
+    enqueue(std::move(req));
+    return future;
+  }
+
+  // Pointer convenience overload; reads dims() elements.
+  std::future<std::vector<Neighbor>> submit(const T* query,
+                                            const QueryParams& params = {}) {
+    return submit(std::span<const T>(query, dims_), params);
+  }
+
+  // Callback completion path (no future allocated).
+  void submit(std::span<const T> query, const QueryParams& params,
+              Callback callback) {
+    auto req = make_request(query, params);
+    req->callback = std::move(callback);
+    enqueue(std::move(req));
+  }
+
+  // All-or-nothing batch submission: either every row is admitted (futures
+  // returned in row order) or none is — a kReject overflow throws
+  // queue_full without enqueueing anything, so no future is ever lost.
+  std::vector<std::future<std::vector<Neighbor>>> submit_batch(
+      const PointSet<T>& queries, const QueryParams& params = {}) {
+    if (queries.dims() != dims_) {
+      throw std::invalid_argument(
+          "SearchService::submit_batch: query batch has dims " +
+          std::to_string(queries.dims()) + " but the index holds dims " +
+          std::to_string(dims_));
+    }
+    const std::size_t n = queries.size();
+    std::vector<std::unique_ptr<Request>> requests;
+    std::vector<std::future<std::vector<Neighbor>>> futures;
+    requests.reserve(n);
+    futures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto req = make_request(
+          std::span<const T>(queries[static_cast<PointId>(i)], dims_), params);
+      futures.push_back(req->promise.get_future());
+      requests.push_back(std::move(req));
+    }
+    enqueue_all(requests);
+    return futures;
+  }
+
+  // --- lifecycle -------------------------------------------------------------
+
+  // Stop admission, drain every accepted request, join the dispatcher.
+  // Idempotent and safe to call concurrently; later submits throw
+  // std::logic_error. Every future from a successful submit is fulfilled
+  // before shutdown returns.
+  void shutdown() {
+    {
+      std::unique_lock<std::shared_mutex> lock(lifecycle_mutex_);
+      accepting_ = false;
+    }
+    stop_.store(true, std::memory_order_release);
+    { std::lock_guard<std::mutex> wake_lock(wake_mutex_); }
+    wake_cv_.notify_all();
+    space_cv_.notify_all();
+    std::lock_guard<std::mutex> join_lock(join_mutex_);
+    if (dispatcher_.joinable()) dispatcher_.join();
+  }
+
+  // --- monitoring ------------------------------------------------------------
+
+  ServeStats stats() const {
+    ServeStats s;
+    s.submitted = submitted_.load(std::memory_order_relaxed);
+    s.completed = completed_.load(std::memory_order_relaxed);
+    s.rejected = rejected_.load(std::memory_order_relaxed);
+    s.batches = batches_.load(std::memory_order_relaxed);
+    s.dispatches = dispatches_.load(std::memory_order_relaxed);
+    s.uptime_s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start_).count();
+    s.qps = s.uptime_s > 0
+                ? static_cast<double>(s.completed) / s.uptime_s
+                : 0.0;
+    s.mean_batch_occupancy =
+        s.batches > 0
+            ? static_cast<double>(s.completed) / static_cast<double>(s.batches)
+            : 0.0;
+    s.mean_latency_ms = latency_.mean_ms();
+    s.p50_ms = latency_.percentile_ms(50);
+    s.p95_ms = latency_.percentile_ms(95);
+    s.p99_ms = latency_.percentile_ms(99);
+    s.distance_comps = distance_comps_.load(std::memory_order_relaxed);
+    s.queue_depth = queued_.load(std::memory_order_relaxed);
+    s.details = {
+        {"submitted", static_cast<double>(s.submitted)},
+        {"completed", static_cast<double>(s.completed)},
+        {"rejected", static_cast<double>(s.rejected)},
+        {"batches", static_cast<double>(s.batches)},
+        {"dispatches", static_cast<double>(s.dispatches)},
+        {"uptime_s", s.uptime_s},
+        {"qps", s.qps},
+        {"mean_batch_occupancy", s.mean_batch_occupancy},
+        {"mean_latency_ms", s.mean_latency_ms},
+        {"p50_ms", s.p50_ms},
+        {"p95_ms", s.p95_ms},
+        {"p99_ms", s.p99_ms},
+        {"distance_comps", static_cast<double>(s.distance_comps)},
+        {"queue_depth", static_cast<double>(s.queue_depth)},
+    };
+    return s;
+  }
+
+ private:
+  struct Request {
+    std::vector<T> query;
+    QueryParams params;
+    std::promise<std::vector<Neighbor>> promise;
+    Callback callback;  // empty => promise completion path
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  static const ServeParams& validated(const ServeParams& params) {
+    if (params.max_batch == 0) {
+      throw std::invalid_argument("ServeParams: max_batch must be positive");
+    }
+    if (params.queue_capacity == 0) {
+      throw std::invalid_argument(
+          "ServeParams: queue_capacity must be positive");
+    }
+    if (params.max_delay_ms < 0) {
+      throw std::invalid_argument(
+          "ServeParams: max_delay_ms must be non-negative");
+    }
+    return params;
+  }
+
+  std::unique_ptr<Request> make_request(std::span<const T> query,
+                                        const QueryParams& params) {
+    if (query.size() != dims_) {
+      throw std::invalid_argument(
+          "SearchService::submit: query has " + std::to_string(query.size()) +
+          " elements but the index holds dims " + std::to_string(dims_));
+    }
+    auto req = std::make_unique<Request>();
+    req->query.assign(query.begin(), query.end());
+    req->params = params;
+    return req;
+  }
+
+  // Admission + push under one shared lifecycle lock: a request that gets
+  // in happened-before any shutdown flip, so the dispatcher's post-stop
+  // drain is guaranteed to see it. The kBlock wait loop drops the lock
+  // between attempts (a blocked producer must never stall shutdown) and
+  // uses the scheduler's timed-wait idiom, tolerating missed wakeups.
+  void enqueue(std::unique_ptr<Request> req) {
+    std::unique_ptr<Request>* one = &req;
+    enqueue_span({one, 1});
+  }
+
+  void enqueue_all(std::vector<std::unique_ptr<Request>>& requests) {
+    if (requests.empty()) return;
+    enqueue_span({requests.data(), requests.size()});
+  }
+
+  void enqueue_span(std::span<std::unique_ptr<Request>> requests) {
+    const std::size_t n = requests.size();
+    if (n > params_.queue_capacity) {
+      throw std::invalid_argument(
+          "SearchService::submit_batch: batch of " + std::to_string(n) +
+          " exceeds queue_capacity " + std::to_string(params_.queue_capacity));
+    }
+    for (;;) {
+      {
+        std::shared_lock<std::shared_mutex> lock(lifecycle_mutex_);
+        if (!accepting_) {
+          throw std::logic_error(
+              "SearchService::submit after shutdown");
+        }
+        std::size_t cur = queued_.load(std::memory_order_relaxed);
+        bool admitted = false;
+        while (cur + n <= params_.queue_capacity) {
+          if (queued_.compare_exchange_weak(cur, cur + n,
+                                            std::memory_order_relaxed)) {
+            admitted = true;
+            break;
+          }
+        }
+        if (admitted) {
+          auto now = std::chrono::steady_clock::now();
+          for (std::unique_ptr<Request>& req : requests) {
+            req->enqueued = now;
+            // Admission reserved a slot, so a push only fails transiently
+            // (a concurrent pop mid-flight in the target cell).
+            while (!queue_.try_push(std::move(req))) std::this_thread::yield();
+          }
+          submitted_.fetch_add(n, std::memory_order_relaxed);
+          // Lock-then-notify: acquiring wake_mutex_ serializes with the
+          // dispatcher's own queued_-check-then-wait (done under the same
+          // mutex), so its idle wait can be unbounded — no polling — with
+          // no lost-wakeup window.
+          { std::lock_guard<std::mutex> wake_lock(wake_mutex_); }
+          wake_cv_.notify_one();
+          return;
+        }
+        if (params_.backpressure == BackpressurePolicy::kReject) {
+          rejected_.fetch_add(n, std::memory_order_relaxed);
+          throw queue_full(
+              "SearchService: submission queue full (capacity " +
+              std::to_string(params_.queue_capacity) + ")");
+        }
+      }
+      std::unique_lock<std::mutex> wait_lock(space_mutex_);
+      space_cv_.wait_for(wait_lock, std::chrono::microseconds(200));
+    }
+  }
+
+  bool pop_one(std::unique_ptr<Request>& out) {
+    if (!queue_.try_pop(out)) return false;
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    if (params_.backpressure == BackpressurePolicy::kBlock) {
+      space_cv_.notify_all();
+    }
+    return true;
+  }
+
+  void dispatch_loop() {
+    const auto max_delay = std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double, std::milli>(params_.max_delay_ms));
+    std::vector<std::unique_ptr<Request>> batch;
+    batch.reserve(params_.max_batch);
+    for (;;) {
+      // Wait for the first request of the next batch (or drained stop).
+      // The idle wait is unbounded, not polled: producers and shutdown()
+      // acquire wake_mutex_ before notifying, and the queued_/stop_ check
+      // happens under it, so a wakeup can never be lost. A nonzero
+      // queued_ with a failing pop means a push is mid-flight — loop.
+      std::unique_ptr<Request> first;
+      while (!pop_one(first)) {
+        if (stop_.load(std::memory_order_acquire)) {
+          // One more look now that the stop flag (and so every push that
+          // preceded it) is visible: the post-shutdown drain guarantee.
+          if (pop_one(first)) break;
+          return;
+        }
+        std::unique_lock<std::mutex> lock(wake_mutex_);
+        if (queued_.load(std::memory_order_relaxed) == 0 &&
+            !stop_.load(std::memory_order_acquire)) {
+          wake_cv_.wait(lock);
+        }
+      }
+      batch.push_back(std::move(first));
+      const auto deadline = batch.front()->enqueued + max_delay;
+      // Coalesce until max_batch or the oldest request's deadline (skip
+      // the wait during shutdown: flush immediately).
+      while (batch.size() < params_.max_batch) {
+        std::unique_ptr<Request> next;
+        if (pop_one(next)) {
+          batch.push_back(std::move(next));
+          continue;
+        }
+        if (stop_.load(std::memory_order_acquire)) break;
+        if (std::chrono::steady_clock::now() >= deadline) break;
+        // Batch open: sleep straight toward the deadline; a new arrival's
+        // notify (or shutdown) wakes us early to keep filling.
+        std::unique_lock<std::mutex> lock(wake_mutex_);
+        if (queued_.load(std::memory_order_relaxed) == 0 &&
+            !stop_.load(std::memory_order_acquire)) {
+          wake_cv_.wait_until(lock, deadline);
+        }
+      }
+      execute_batch(batch);
+      batch.clear();
+    }
+  }
+
+  static bool same_params(const QueryParams& a, const QueryParams& b) {
+    return a.beam_width == b.beam_width && a.k == b.k &&
+           a.epsilon == b.epsilon && a.visit_limit == b.visit_limit;
+  }
+
+  void execute_batch(std::vector<std::unique_ptr<Request>>& batch) {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    std::vector<char> grouped(batch.size(), 0);
+    std::vector<std::size_t> group;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (grouped[i]) continue;
+      group.clear();
+      group.push_back(i);
+      grouped[i] = 1;
+      for (std::size_t j = i + 1; j < batch.size(); ++j) {
+        if (!grouped[j] &&
+            same_params(batch[i]->params, batch[j]->params)) {
+          group.push_back(j);
+          grouped[j] = 1;
+        }
+      }
+      execute_group(batch, group);
+    }
+  }
+
+  void execute_group(std::vector<std::unique_ptr<Request>>& batch,
+                     const std::vector<std::size_t>& group) {
+    dispatches_.fetch_add(1, std::memory_order_relaxed);
+    PointSet<T> queries(group.size(), dims_);
+    for (std::size_t g = 0; g < group.size(); ++g) {
+      queries.set_point(static_cast<PointId>(g), batch[group[g]]->query.data());
+    }
+    std::vector<std::vector<Neighbor>> results;
+    std::exception_ptr error;
+    const std::uint64_t comps_before = DistanceCounter::total();
+    try {
+      std::lock_guard<std::mutex> lock(internal::serving_dispatch_mutex());
+      results = index_.template batch_search<T>(queries,
+                                               batch[group[0]]->params);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    // Counter deltas, not a reset: the counter is process-global and a
+    // DistanceCounterScope may be live around the whole serving run.
+    const std::uint64_t comps_after = DistanceCounter::total();
+    if (comps_after >= comps_before) {
+      distance_comps_.fetch_add(comps_after - comps_before,
+                                std::memory_order_relaxed);
+    }
+    const auto now = std::chrono::steady_clock::now();
+    for (std::size_t g = 0; g < group.size(); ++g) {
+      Request& req = *batch[group[g]];
+      latency_.record_ns(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(now -
+                                                               req.enqueued)
+              .count()));
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      if (req.callback) {
+        try {
+          if (error) {
+            req.callback({}, error);
+          } else {
+            req.callback(std::move(results[g]), nullptr);
+          }
+        } catch (...) {
+          // The contract is "callbacks must not throw"; swallowing here
+          // keeps one misbehaving callback from killing the dispatcher
+          // (and with it every other in-flight request).
+        }
+      } else if (error) {
+        req.promise.set_exception(error);
+      } else {
+        req.promise.set_value(std::move(results[g]));
+      }
+    }
+  }
+
+  AnyIndex index_;
+  ServeParams params_;
+  std::size_t dims_ = 0;
+  std::chrono::steady_clock::time_point start_;
+
+  BoundedMpmcQueue<std::unique_ptr<Request>> queue_;
+  std::atomic<std::size_t> queued_{0};  // admission credits (exact bound)
+
+  std::shared_mutex lifecycle_mutex_;  // submit: shared / shutdown: unique
+  bool accepting_ = true;              // guarded by lifecycle_mutex_
+  std::atomic<bool> stop_{false};
+  std::mutex wake_mutex_;              // dispatcher idle/deadline waits
+  std::condition_variable wake_cv_;
+  std::mutex space_mutex_;             // kBlock producers waiting for space
+  std::condition_variable space_cv_;
+  std::mutex join_mutex_;              // serializes concurrent shutdown()s
+  std::thread dispatcher_;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> dispatches_{0};
+  std::atomic<std::uint64_t> distance_comps_{0};
+  LatencyHistogram latency_;
+};
+
+// Convenience entry mirroring make_index: take ownership of a built index,
+// return a running service.
+template <typename T>
+std::unique_ptr<SearchService<T>> serve(AnyIndex index,
+                                        const ServeParams& params = {}) {
+  return std::make_unique<SearchService<T>>(std::move(index), params);
+}
+
+}  // namespace ann

@@ -1,0 +1,471 @@
+// Serving-layer suite: the determinism boundary (batched-service results
+// element-wise identical to direct AnyIndex::batch_search), the adaptive
+// micro-batcher's two flush triggers, both backpressure policies, the
+// error paths, and submit/shutdown races. Runs under the ASan+UBSan CI job
+// like every other test.
+//
+// Scheduler interplay note: while a SearchService is live its dispatcher is
+// the one external thread driving parlay parallel regions, so the tests do
+// their own direct batch_search calls before the service starts or after
+// shutdown, never concurrently with it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "api/ann.h"
+#include "core/dataset.h"
+#include "serve/mpmc_queue.h"
+#include "serve/search_service.h"
+
+namespace ann {
+namespace {
+
+constexpr std::size_t kN = 2000;
+constexpr std::size_t kNumQueries = 64;
+
+const Dataset<std::uint8_t>& dataset() {
+  static Dataset<std::uint8_t> ds =
+      make_bigann_like(kN, kNumQueries, /*seed=*/7);
+  return ds;
+}
+
+AnyIndex make_built_index() {
+  IndexSpec spec{.algorithm = "diskann", .metric = "euclidean",
+                 .dtype = "uint8",
+                 .params = DiskANNParams{.degree_bound = 24, .beam_width = 48}};
+  AnyIndex index = make_index(spec);
+  index.build(dataset().base);
+  return index;
+}
+
+// --- the queue itself --------------------------------------------------------
+
+TEST(BoundedMpmcQueue, FifoSingleThread) {
+  BoundedMpmcQueue<int> q(4);
+  EXPECT_EQ(q.ring_size(), 4u);
+  int out = -1;
+  EXPECT_FALSE(q.try_pop(out));
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(int{i}));
+  EXPECT_FALSE(q.try_push(99));  // full
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(q.try_pop(out));
+}
+
+TEST(BoundedMpmcQueue, ZeroCapacityRejected) {
+  EXPECT_THROW(BoundedMpmcQueue<int>(0), std::invalid_argument);
+}
+
+TEST(BoundedMpmcQueue, ConcurrentProducersConsumersLoseNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  BoundedMpmcQueue<int> q(64);
+  std::atomic<long long> sum{0};
+  std::atomic<int> popped{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kProducers + 2);
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        int v = p * kPerProducer + i;
+        while (!q.try_push(std::move(v))) std::this_thread::yield();
+      }
+    });
+  }
+  for (int c = 0; c < 2; ++c) {
+    threads.emplace_back([&] {
+      int v;
+      while (popped.load() < kProducers * kPerProducer) {
+        if (q.try_pop(v)) {
+          sum.fetch_add(v);
+          popped.fetch_add(1);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const long long n = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+// --- result parity -----------------------------------------------------------
+
+// The acceptance-criteria test: results through the batching service are
+// element-wise identical to a direct batch_search with the same request
+// set, for every micro-batcher slicing the submission order produces.
+TEST(SearchService, ResultsMatchDirectBatchSearch) {
+  const auto& ds = dataset();
+  QueryParams qp{.beam_width = 32, .k = 10};
+
+  AnyIndex direct = make_built_index();
+  auto expected = direct.batch_search(ds.queries, qp);
+
+  SearchService<std::uint8_t> service(make_built_index(),
+                                      {.max_batch = 8, .max_delay_ms = 2.0});
+  std::vector<std::future<std::vector<Neighbor>>> futures;
+  futures.reserve(ds.queries.size());
+  for (std::size_t i = 0; i < ds.queries.size(); ++i) {
+    futures.push_back(service.submit(ds.queries[static_cast<PointId>(i)], qp));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get(), expected[i]) << "query " << i;
+  }
+  service.shutdown();
+  auto stats = service.stats();
+  EXPECT_EQ(stats.submitted, ds.queries.size());
+  EXPECT_EQ(stats.completed, ds.queries.size());
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_GE(stats.dispatches, stats.batches);
+  EXPECT_GT(stats.mean_batch_occupancy, 0.0);
+  EXPECT_LE(stats.mean_batch_occupancy,
+            static_cast<double>(service.params().max_batch));
+  EXPECT_GT(stats.distance_comps, 0u);
+  EXPECT_LE(stats.p50_ms, stats.p99_ms);
+}
+
+// Per-request QueryParams overrides: interleaved submissions with two
+// different (beam, k) settings each get answered with their own params.
+TEST(SearchService, PerRequestParamOverridesGroupCorrectly) {
+  const auto& ds = dataset();
+  QueryParams wide{.beam_width = 48, .k = 10};
+  QueryParams narrow{.beam_width = 16, .k = 5};
+
+  AnyIndex direct = make_built_index();
+  auto expect_wide = direct.batch_search(ds.queries, wide);
+  auto expect_narrow = direct.batch_search(ds.queries, narrow);
+
+  SearchService<std::uint8_t> service(make_built_index(),
+                                      {.max_batch = 16, .max_delay_ms = 2.0});
+  std::vector<std::future<std::vector<Neighbor>>> wide_futures;
+  std::vector<std::future<std::vector<Neighbor>>> narrow_futures;
+  for (std::size_t i = 0; i < ds.queries.size(); ++i) {
+    const auto* q = ds.queries[static_cast<PointId>(i)];
+    wide_futures.push_back(service.submit(q, wide));
+    narrow_futures.push_back(service.submit(q, narrow));
+  }
+  for (std::size_t i = 0; i < ds.queries.size(); ++i) {
+    EXPECT_EQ(wide_futures[i].get(), expect_wide[i]) << "wide query " << i;
+    EXPECT_EQ(narrow_futures[i].get(), expect_narrow[i])
+        << "narrow query " << i;
+  }
+  service.shutdown();
+  // Mixed-params flushes dispatch one batch_search per group.
+  auto stats = service.stats();
+  EXPECT_GE(stats.dispatches, stats.batches);
+}
+
+// submit_batch: one call, futures in row order, same parity.
+TEST(SearchService, SubmitBatchParity) {
+  const auto& ds = dataset();
+  QueryParams qp{.beam_width = 32, .k = 10};
+  AnyIndex direct = make_built_index();
+  auto expected = direct.batch_search(ds.queries, qp);
+
+  SearchService<std::uint8_t> service(make_built_index(),
+                                      {.max_batch = 32, .max_delay_ms = 1.0});
+  auto futures = service.submit_batch(ds.queries, qp);
+  ASSERT_EQ(futures.size(), ds.queries.size());
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get(), expected[i]) << "query " << i;
+  }
+}
+
+// Parity must hold when many client threads interleave their submissions
+// arbitrarily (the nondeterministic-arrival half of the determinism
+// boundary).
+TEST(SearchService, ConcurrentSubmittersStillGetExactResults) {
+  const auto& ds = dataset();
+  QueryParams qp{.beam_width = 32, .k = 10};
+  AnyIndex direct = make_built_index();
+  auto expected = direct.batch_search(ds.queries, qp);
+
+  SearchService<std::uint8_t> service(make_built_index(),
+                                      {.max_batch = 8, .max_delay_ms = 1.0});
+  constexpr int kThreads = 4;
+  std::vector<std::vector<std::size_t>> mismatches(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = static_cast<std::size_t>(t);
+           i < ds.queries.size(); i += kThreads) {
+        auto got =
+            service.submit(ds.queries[static_cast<PointId>(i)], qp).get();
+        if (got != expected[i]) mismatches[t].push_back(i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(mismatches[t].empty()) << "thread " << t;
+  }
+}
+
+// --- micro-batcher flush triggers --------------------------------------------
+
+// Deadline flush: with a huge max_batch, a single trickle request must not
+// wait for a batch to fill — the max-latency deadline flushes it.
+TEST(SearchService, DeadlineFlushFiresUnderTrickleLoad) {
+  const auto& ds = dataset();
+  SearchService<std::uint8_t> service(
+      make_built_index(),
+      {.max_batch = 1000, .max_delay_ms = 5.0, .queue_capacity = 16});
+  auto future = service.submit(ds.queries[0], {.beam_width = 32, .k = 10});
+  // Generous bound (sanitized single-core CI): the point is that it
+  // completes at all rather than waiting for 999 more requests.
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  auto stats = service.stats();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_DOUBLE_EQ(stats.mean_batch_occupancy, 1.0);
+}
+
+// Size flush: with a huge deadline, filling max_batch must flush without
+// waiting anywhere near the deadline.
+TEST(SearchService, MaxBatchFlushFiresBeforeDeadline) {
+  const auto& ds = dataset();
+  SearchService<std::uint8_t> service(
+      make_built_index(),
+      {.max_batch = 4, .max_delay_ms = 60000.0, .queue_capacity = 64});
+  std::vector<std::future<std::vector<Neighbor>>> futures;
+  for (std::size_t i = 0; i < 8; ++i) {
+    futures.push_back(
+        service.submit(ds.queries[static_cast<PointId>(i)],
+                       {.beam_width = 32, .k = 10}));
+  }
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(30)),
+              std::future_status::ready);
+  }
+  EXPECT_EQ(service.stats().completed, 8u);
+}
+
+// --- backpressure ------------------------------------------------------------
+
+// Plug the dispatcher with a callback that blocks on a latch; the queue
+// then fills deterministically and the policy is observable.
+TEST(SearchService, RejectPolicyThrowsQueueFullWhenSaturated) {
+  const auto& ds = dataset();
+  SearchService<std::uint8_t> service(
+      make_built_index(),
+      {.max_batch = 1, .max_delay_ms = 0.0, .queue_capacity = 2,
+       .backpressure = BackpressurePolicy::kReject});
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  std::atomic<int> callbacks_run{0};
+  // This request occupies the dispatcher (callbacks run on its thread).
+  service.submit(std::span<const std::uint8_t>(ds.queries[0], service.dims()),
+                 {.beam_width = 16, .k = 5},
+                 [&, gate](std::vector<Neighbor>, std::exception_ptr) {
+                   gate.wait();
+                   callbacks_run.fetch_add(1);
+                 });
+  // Wait until the dispatcher has picked it up (queue drains to 0).
+  while (service.stats().queue_depth != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Now fill the queue to capacity behind the stuck dispatcher...
+  std::vector<std::future<std::vector<Neighbor>>> queued;
+  for (int i = 0; i < 2; ++i) {
+    queued.push_back(service.submit(ds.queries[1], {.beam_width = 16, .k = 5}));
+  }
+  // ...and the next submit must be rejected, not blocked.
+  EXPECT_THROW(service.submit(ds.queries[2], {.beam_width = 16, .k = 5}),
+               queue_full);
+  EXPECT_GE(service.stats().rejected, 1u);
+  // All-or-nothing batch admission: a 2-row batch cannot fit either, and
+  // nothing from it may be enqueued.
+  EXPECT_THROW(service.submit_batch(ds.queries.slice(0, 2),
+                                    {.beam_width = 16, .k = 5}),
+               queue_full);
+  release.set_value();
+  for (auto& f : queued) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(30)),
+              std::future_status::ready);
+  }
+  service.shutdown();
+  EXPECT_EQ(callbacks_run.load(), 1);
+}
+
+TEST(SearchService, BlockPolicyThrottlesProducerUntilSpaceFrees) {
+  const auto& ds = dataset();
+  SearchService<std::uint8_t> service(
+      make_built_index(),
+      {.max_batch = 1, .max_delay_ms = 0.0, .queue_capacity = 1,
+       .backpressure = BackpressurePolicy::kBlock});
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  service.submit(std::span<const std::uint8_t>(ds.queries[0], service.dims()),
+                 {.beam_width = 16, .k = 5},
+                 [gate](std::vector<Neighbor>, std::exception_ptr) {
+                   gate.wait();
+                 });
+  while (service.stats().queue_depth != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto fill = service.submit(ds.queries[1], {.beam_width = 16, .k = 5});
+  // The queue (capacity 1) is now full; this submit must block...
+  std::atomic<bool> second_submitted{false};
+  std::thread blocked([&] {
+    auto f = service.submit(ds.queries[2], {.beam_width = 16, .k = 5});
+    second_submitted.store(true);
+    f.get();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(second_submitted.load());
+  // ...until the dispatcher frees space.
+  release.set_value();
+  blocked.join();
+  EXPECT_TRUE(second_submitted.load());
+  ASSERT_EQ(fill.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+}
+
+// --- error paths -------------------------------------------------------------
+
+TEST(SearchService, SubmitAfterShutdownThrowsCleanly) {
+  const auto& ds = dataset();
+  SearchService<std::uint8_t> service(make_built_index(), {});
+  service.shutdown();
+  service.shutdown();  // idempotent
+  EXPECT_THROW(service.submit(ds.queries[0]), std::logic_error);
+  EXPECT_THROW(service.submit_batch(ds.queries.slice(0, 2)),
+               std::logic_error);
+}
+
+TEST(SearchService, InvalidServeParamsRejectedAtConstruction) {
+  EXPECT_THROW(SearchService<std::uint8_t>(make_built_index(),
+                                           {.queue_capacity = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(SearchService<std::uint8_t>(make_built_index(),
+                                           {.max_batch = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(SearchService<std::uint8_t>(make_built_index(),
+                                           {.max_delay_ms = -1.0}),
+               std::invalid_argument);
+}
+
+TEST(SearchService, DimsMismatchedQueriesRejected) {
+  const auto& ds = dataset();
+  SearchService<std::uint8_t> service(make_built_index(), {});
+  // Batch with the wrong dimensionality.
+  PointSet<std::uint8_t> wrong(4, 32);
+  EXPECT_THROW(service.submit_batch(wrong), std::invalid_argument);
+  // Span with the wrong length.
+  EXPECT_THROW(service.submit(std::span<const std::uint8_t>(
+                   ds.queries[0], service.dims() - 1)),
+               std::invalid_argument);
+  // A batch larger than the queue can ever hold can never be admitted.
+  SearchService<std::uint8_t> tiny(make_built_index(), {.queue_capacity = 4});
+  EXPECT_THROW(tiny.submit_batch(ds.queries.slice(0, 8)),
+               std::invalid_argument);
+}
+
+TEST(SearchService, UnbuiltOrMismatchedIndexRejectedAtConstruction) {
+  // Built-but-empty / never-built index.
+  AnyIndex unbuilt = make_index("diskann", "euclidean", "uint8");
+  EXPECT_THROW(SearchService<std::uint8_t>(std::move(unbuilt), {}),
+               std::invalid_argument);
+  // dtype mismatch between the handle and the service instantiation.
+  EXPECT_THROW(SearchService<float>(make_built_index(), {}),
+               std::invalid_argument);
+  // Empty handle.
+  EXPECT_THROW(SearchService<std::uint8_t>(AnyIndex{}, {}),
+               std::invalid_argument);
+}
+
+// --- shutdown races ----------------------------------------------------------
+
+// Threads hammer submit while the main thread shuts the service down.
+// Invariant: every future from a submit() that did not throw is fulfilled
+// (the drain guarantee), and post-shutdown submits fail with logic_error,
+// never anything else. ASan/UBSan in CI watches the lifetime handoff.
+TEST(SearchService, ConcurrentSubmitAndShutdownDrainsAccepted) {
+  const auto& ds = dataset();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  auto service = std::make_unique<SearchService<std::uint8_t>>(
+      make_built_index(),
+      ServeParams{.max_batch = 16, .max_delay_ms = 0.5,
+                  .queue_capacity = 64});
+  std::atomic<int> accepted{0};
+  std::atomic<int> refused{0};
+  std::vector<std::vector<std::future<std::vector<Neighbor>>>> futures(
+      kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        try {
+          futures[t].push_back(service->submit(
+              ds.queries[static_cast<PointId>(i % ds.queries.size())],
+              {.beam_width = 16, .k = 5}));
+          accepted.fetch_add(1);
+        } catch (const std::logic_error&) {
+          refused.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  service->shutdown();
+  for (auto& t : threads) t.join();
+  int fulfilled = 0;
+  for (auto& per_thread : futures) {
+    for (auto& f : per_thread) {
+      ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+                std::future_status::ready);
+      EXPECT_FALSE(f.get().empty());
+      ++fulfilled;
+    }
+  }
+  EXPECT_EQ(fulfilled, accepted.load());
+  EXPECT_EQ(accepted.load() + refused.load(), kThreads * kPerThread);
+  EXPECT_EQ(service->stats().completed,
+            static_cast<std::uint64_t>(accepted.load()));
+}
+
+// Destroying the service without an explicit shutdown() must also drain.
+TEST(SearchService, DestructorDrainsInFlightRequests) {
+  const auto& ds = dataset();
+  std::vector<std::future<std::vector<Neighbor>>> futures;
+  {
+    SearchService<std::uint8_t> service(
+        make_built_index(),
+        {.max_batch = 8, .max_delay_ms = 5.0, .queue_capacity = 64});
+    for (std::size_t i = 0; i < 32; ++i) {
+      futures.push_back(service.submit(
+          ds.queries[static_cast<PointId>(i % ds.queries.size())],
+          {.beam_width = 16, .k = 5}));
+    }
+  }
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_FALSE(f.get().empty());
+  }
+}
+
+// The serve() convenience factory wires the same machinery.
+TEST(SearchService, ServeFactoryRoundTrip) {
+  const auto& ds = dataset();
+  auto service = serve<std::uint8_t>(make_built_index(), {.max_batch = 4});
+  auto hits = service->submit(ds.queries[0], {.beam_width = 32, .k = 10}).get();
+  EXPECT_EQ(hits.size(), 10u);
+  service->shutdown();
+}
+
+}  // namespace
+}  // namespace ann
