@@ -18,6 +18,14 @@
 // onto DynamicDiskANN and persisting the tombstone state through the
 // container's dynamic-state payload (core/index_io.h) so a mutated index
 // round-trips through save/load.
+//
+// filtered_search: the graph adapters override it with traversal-level
+// filtering (core/beam_search.h filtered_beam_search — the predicate gates
+// result admission while filtered-out points still conduct the walk) and
+// advertise supports_native_filtering(). The bucketed backends (ivf_flat,
+// ivf_pq, lsh) keep TypedBackend's post-filter fallback: their shortlists
+// are already formed by scanning closed candidate sets, so over-fetch +
+// filter is the natural (and still deterministic) strategy there.
 #pragma once
 
 #include <algorithm>
@@ -88,6 +96,20 @@ class FlatGraphBackend final : public TypedBackend<T> {
     return ann::range_search<Metric>(query, points_, index_.graph, starts,
                                      params)
         .matches;
+  }
+
+  bool supports_native_filtering() const override { return true; }
+
+  std::vector<Neighbor> filtered_search(
+      const T* query, const BoundFilter& filter,
+      const QueryParams& params) const override {
+    std::vector<PointId> starts{index_.start};
+    auto res = filtered_beam_search<Metric>(
+        query, points_, index_.graph, starts, params,
+        [&](PointId id) { return filter.matches(id); });
+    auto out = std::move(res.frontier);
+    if (out.size() > params.k) out.resize(params.k);
+    return out;
   }
 
   void save_payload(std::FILE* f, const std::string& path) const override {
@@ -181,6 +203,31 @@ class DynamicDiskANNBackend final : public TypedBackend<T>,
     return matches;
   }
 
+  bool supports_native_filtering() const override { return true; }
+
+  std::vector<Neighbor> filtered_search(
+      const T* query, const BoundFilter& filter,
+      const QueryParams& params) const override {
+    if (index_->start() == kInvalidPoint) return {};
+    // Tombstones are just another exclusion predicate here, so they compose
+    // with the caller's filter. Fold the tombstone oversearch (query_full's
+    // live-fraction widening) into the filter's traversal widening factor.
+    QueryParams sp = params;
+    double live_frac =
+        static_cast<double>(std::max<std::size_t>(index_->num_live(), 1)) /
+        static_cast<double>(std::max<std::size_t>(index_->size(), 1));
+    sp.filter_beam_factor = std::max(params.filter_beam_factor, 1.0f) /
+                            static_cast<float>(std::max(live_frac, 0.1));
+    std::vector<PointId> starts{index_->start()};
+    auto res = filtered_beam_search<Metric>(
+        query, index_->points(), index_->graph(), starts, sp, [&](PointId id) {
+          return !index_->is_deleted(id) && filter.matches(id);
+        });
+    auto out = std::move(res.frontier);
+    if (out.size() > params.k) out.resize(params.k);
+    return out;
+  }
+
   void save_payload(std::FILE* f, const std::string& path) const override {
     const Index& index = ensure_index();
     ioutil::write_points(f, index.points(), path);
@@ -268,6 +315,22 @@ class HNSWBackend final : public TypedBackend<T> {
     return ann::range_search<Metric>(query, points_, index_.layers[0], starts,
                                      params)
         .matches;
+  }
+
+  bool supports_native_filtering() const override { return true; }
+
+  std::vector<Neighbor> filtered_search(
+      const T* query, const BoundFilter& filter,
+      const QueryParams& params) const override {
+    // The upper layers only route; the predicate applies to the bottom-layer
+    // beam, exactly where the unfiltered search forms its results.
+    std::vector<PointId> starts{index_.descend_to(query, points_, 0)};
+    auto res = filtered_beam_search<Metric>(
+        query, points_, index_.layers[0], starts, params,
+        [&](PointId id) { return filter.matches(id); });
+    auto out = std::move(res.frontier);
+    if (out.size() > params.k) out.resize(params.k);
+    return out;
   }
 
   void save_payload(std::FILE* f, const std::string& path) const override {

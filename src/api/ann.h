@@ -19,6 +19,18 @@
 //   dyn.consolidate();            // maintenance: splice tombstones out
 //   dyn.save("dyn.pann");         // update state persists too
 //
+// Filtered search (labels + predicates, src/filter/ — guide: docs/FILTERS.md):
+//
+//   ann::LabelStore labels;                    // one label set per point
+//   for (...) labels.add_point_names({"shoes", "red"});
+//   index.attach_labels(std::move(labels));    // persists through save/load
+//   auto spec = ann::FilterSpec::match_any(index.labels(), {"shoes"});
+//   auto hits = index.filtered_search(query, spec, {.beam_width = 40, .k = 10});
+//
+// Every backend serves filtered_search/filtered_batch_search: graph
+// backends filter inside the traversal (supports_native_filtering()), the
+// bucketed baselines over-fetch and post-filter.
+//
 // Algorithms: diskann, dynamic_diskann, sharded_diskann, hnsw, hcnng,
 //             pynndescent, ivf_flat, ivf_pq, lsh.
 // Metrics:    euclidean, mips, cosine (ivf_pq: euclidean and mips only).

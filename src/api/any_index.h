@@ -5,10 +5,28 @@
 //   search(query, QueryParams)          -> std::vector<Neighbor>
 //   batch_search(queries, QueryParams)  parallel fan-out over a query set
 //   range_search(query, radius)         -> all points within radius
+//   attach_labels(store) / labels()     per-point label sets (src/filter/)
+//   filtered_search(query, spec, p)     predicate-constrained top-k
+//   filtered_batch_search(...)          same, parallel over a query set
 //   insert(points) / erase(ids) /       mutation, on backends that opt in
 //   consolidate()                       (supports_updates() probes for it)
 //   save(path) / AnyIndex::load(path)   versioned container round-trip
 //   stats()                             algorithm/metric/dtype + detail KVs
+//
+// k contract (uniform across all backends, enforced HERE so backends never
+// see a degenerate k): k == 0 returns an empty result; k > num_points is
+// clamped to num_points. Filtered over-fetch hits the k > n edge routinely,
+// which is why the clamp lives on the shared dispatch path rather than in
+// per-backend folklore.
+//
+// Filtered search: graph backends override filtered_search with native
+// traversal-level filtering (core/beam_search.h filtered_beam_search);
+// everything else inherits TypedBackend's post-filter fallback (over-fetch
+// by estimated selectivity, then filter + truncate — src/filter/
+// post_filter.h). supports_native_filtering() advertises which path runs.
+// Native-path results are byte-identical under any worker count for
+// label-based FilterSpecs; the std::function escape hatch is only as
+// deterministic as the callable it carries.
 //
 // Erasure layout: AnyIndex owns a BackendBase; concrete backends derive from
 // TypedBackend<T> (the element type cannot be a virtual parameter, so the
@@ -24,8 +42,10 @@
 // the query and saved indexes are self-contained (load needs no side file).
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -38,6 +58,9 @@
 #include "core/beam_search.h"
 #include "core/points.h"
 #include "core/range_search.h"
+#include "filter/filter_spec.h"
+#include "filter/label_store.h"
+#include "filter/post_filter.h"
 
 namespace ann {
 
@@ -74,6 +97,10 @@ class BackendBase {
   virtual void load_payload(std::FILE* f, const std::string& path) = 0;
   virtual IndexStats stats() const = 0;
   virtual std::size_t num_points() const = 0;
+
+  // True when filtered_search runs the predicate inside the traversal
+  // (graph backends); false means the post-filter fallback serves it.
+  virtual bool supports_native_filtering() const { return false; }
 };
 
 // Typed backend surface; concrete adapters (src/api/adapters.h) derive from
@@ -88,6 +115,22 @@ class TypedBackend : public BackendBase {
                                        const QueryParams& params) const = 0;
   virtual std::vector<Neighbor> range_search(
       const T* query, const RangeSearchParams& params) const = 0;
+
+  // Predicate-constrained top-k. This default is the generic post-filter
+  // fallback: over-fetch an unfiltered shortlist sized by the filter's
+  // estimated selectivity, drop non-matching entries, truncate to k. Graph
+  // backends override it with traversal-level filtering and flip
+  // supports_native_filtering(). AnyIndex has already clamped params.k and
+  // resolved filter_beam_factor by the time this runs.
+  virtual std::vector<Neighbor> filtered_search(
+      const T* query, const BoundFilter& filter,
+      const QueryParams& params) const {
+    const std::uint32_t fetch = post_filter_fetch_k(
+        params.k, num_points(), filter.estimated_selectivity(num_points()));
+    auto results = search(query, post_filter_params(params, fetch));
+    apply_post_filter(results, filter, params.k);
+    return results;
+  }
 };
 
 // Optional mutation capability, untyped half: erase and consolidate never
@@ -150,10 +193,11 @@ class AnyIndex {
   std::vector<Neighbor> search(const T* query,
                                const QueryParams& params = {}) const {
     const TypedBackend<T>& backend = typed<T>("search");
-    // Unbuilt (or built-over-empty) index: no neighbors, by definition —
-    // backends may assume a non-empty structure past this point.
-    if (backend.num_points() == 0) return {};
-    return backend.search(query, params);
+    // k contract + unbuilt-index handling: backends past this point see a
+    // non-empty structure and 1 <= k <= num_points.
+    auto p = clamp_k(params, backend.num_points());
+    if (!p) return {};
+    return backend.search(query, *p);
   }
 
   // Parallel fan-out over a query set; results[q] matches search(queries[q])
@@ -167,9 +211,10 @@ class AnyIndex {
       const PointSet<T>& queries, const QueryParams& params = {}) const {
     const TypedBackend<T>& backend = typed<T>("batch_search");
     std::vector<std::vector<Neighbor>> results(queries.size());
-    if (backend.num_points() == 0) return results;
+    auto p = clamp_k(params, backend.num_points());
+    if (!p) return results;
     parlay::parallel_for(0, queries.size(), [&](std::size_t q) {
-      results[q] = backend.search(queries[static_cast<PointId>(q)], params);
+      results[q] = backend.search(queries[static_cast<PointId>(q)], *p);
     }, 1);
     return results;
   }
@@ -188,6 +233,122 @@ class AnyIndex {
     const TypedBackend<T>& backend = typed<T>("range_search");
     if (backend.num_points() == 0) return {};
     return backend.range_search(query, params);
+  }
+
+  // --- labels + filtered search ----------------------------------------------
+
+  // Attach per-point label sets. The store must describe exactly the points
+  // the index holds (attach after build or load); it is persisted by save()
+  // and restored by load(). Stored shared, so long-running consumers (the
+  // serving layer) can hold the store across a hot-swap of the handle.
+  void attach_labels(LabelStore store) {
+    require_impl("attach_labels");
+    if (store.num_points() != impl_->num_points()) {
+      throw std::invalid_argument(
+          "AnyIndex::attach_labels: store covers " +
+          std::to_string(store.num_points()) + " points but the index holds " +
+          std::to_string(impl_->num_points()));
+    }
+    labels_ = std::make_shared<const LabelStore>(std::move(store));
+  }
+
+  bool has_labels() const { return labels_ != nullptr; }
+
+  const LabelStore& labels() const {
+    if (!labels_) {
+      throw std::logic_error(
+          "AnyIndex::labels: no LabelStore attached (attach_labels)");
+    }
+    return *labels_;
+  }
+
+  std::shared_ptr<const LabelStore> labels_ptr() const { return labels_; }
+
+  // True when the backend filters inside the traversal; false means the
+  // post-filter fallback serves filtered_search.
+  bool supports_native_filtering() const {
+    return impl_ != nullptr && impl_->supports_native_filtering();
+  }
+
+  // Predicate-constrained top-k: the k nearest points matching `filter`.
+  // May return fewer than k when the filter admits fewer matches (an empty
+  // vector when it admits none). An inactive filter degrades to search().
+  // filter_beam_factor <= 0 resolves to auto_filter_beam_factor of the
+  // filter's estimated selectivity here — a pure function of (spec, store),
+  // so the auto choice preserves determinism.
+  template <typename T>
+  std::vector<Neighbor> filtered_search(const T* query,
+                                        const FilterSpec& filter,
+                                        const QueryParams& params = {}) const {
+    const TypedBackend<T>& backend = typed<T>("filtered_search");
+    auto p = clamp_k(params, backend.num_points());
+    if (!p) return {};
+    if (!filter.active()) return backend.search(query, *p);
+    BoundFilter bound(filter, labels_.get());
+    resolve_filter_factor(*p, bound, backend.num_points());
+    return backend.filtered_search(query, bound, *p);
+  }
+
+  // Parallel filtered fan-out, one FilterSpec for the whole batch.
+  // results[q] matches filtered_search(queries[q], filter) element-wise
+  // under any worker count (native path; the post-filter path inherits the
+  // determinism of the underlying unfiltered search).
+  template <typename T>
+  std::vector<std::vector<Neighbor>> filtered_batch_search(
+      const PointSet<T>& queries, const FilterSpec& filter,
+      const QueryParams& params = {}) const {
+    const TypedBackend<T>& backend = typed<T>("filtered_batch_search");
+    std::vector<std::vector<Neighbor>> results(queries.size());
+    auto p = clamp_k(params, backend.num_points());
+    if (!p) return results;
+    if (!filter.active()) {
+      parlay::parallel_for(0, queries.size(), [&](std::size_t q) {
+        results[q] = backend.search(queries[static_cast<PointId>(q)], *p);
+      }, 1);
+      return results;
+    }
+    BoundFilter bound(filter, labels_.get());
+    resolve_filter_factor(*p, bound, backend.num_points());
+    parlay::parallel_for(0, queries.size(), [&](std::size_t q) {
+      results[q] = backend.filtered_search(queries[static_cast<PointId>(q)],
+                                           bound, *p);
+    }, 1);
+    return results;
+  }
+
+  // Parallel filtered fan-out with a per-query FilterSpec (the serving
+  // layer's shape: one request, one filter). filters.size() must equal
+  // queries.size().
+  template <typename T>
+  std::vector<std::vector<Neighbor>> filtered_batch_search(
+      const PointSet<T>& queries, std::span<const FilterSpec> filters,
+      const QueryParams& params = {}) const {
+    if (filters.size() != queries.size()) {
+      throw std::invalid_argument(
+          "AnyIndex::filtered_batch_search: " + std::to_string(queries.size()) +
+          " queries but " + std::to_string(filters.size()) + " filters");
+    }
+    const TypedBackend<T>& backend = typed<T>("filtered_batch_search");
+    std::vector<std::vector<Neighbor>> results(queries.size());
+    auto p = clamp_k(params, backend.num_points());
+    if (!p) return results;
+    // Bind (and validate) every spec up front, on the calling thread, so a
+    // missing LabelStore throws before any parallel work starts.
+    std::vector<std::optional<BoundFilter>> bound(filters.size());
+    for (std::size_t q = 0; q < filters.size(); ++q) {
+      if (filters[q].active()) bound[q].emplace(filters[q], labels_.get());
+    }
+    parlay::parallel_for(0, queries.size(), [&](std::size_t q) {
+      const T* query = queries[static_cast<PointId>(q)];
+      if (!bound[q]) {
+        results[q] = backend.search(query, *p);
+        return;
+      }
+      QueryParams qp = *p;
+      resolve_filter_factor(qp, *bound[q], backend.num_points());
+      results[q] = backend.filtered_search(query, *bound[q], qp);
+    }, 1);
+    return results;
   }
 
   // --- mutation (optional capability) ----------------------------------------
@@ -236,6 +397,29 @@ class AnyIndex {
   static AnyIndex load(const std::string& path);
 
  private:
+  // The k contract, applied once on the shared dispatch path: k == 0 (or an
+  // empty index) means "no results" — callers get an empty vector without
+  // the backend ever running; k > num_points clamps, since no backend can
+  // return more points than it holds and several would otherwise pad,
+  // throw, or truncate each in their own way.
+  static std::optional<QueryParams> clamp_k(const QueryParams& params,
+                                            std::size_t num_points) {
+    if (params.k == 0 || num_points == 0) return std::nullopt;
+    QueryParams p = params;
+    p.k = static_cast<std::uint32_t>(
+        std::min<std::size_t>(p.k, num_points));
+    return p;
+  }
+
+  static void resolve_filter_factor(QueryParams& params,
+                                    const BoundFilter& bound,
+                                    std::size_t num_points) {
+    if (params.filter_beam_factor <= 0.0f) {
+      params.filter_beam_factor =
+          auto_filter_beam_factor(bound.estimated_selectivity(num_points));
+    }
+  }
+
   MutableBackendBase& mutable_base(const char* op) const {
     require_impl(op);
     auto* backend = dynamic_cast<MutableBackendBase*>(impl_.get());
@@ -268,6 +452,7 @@ class AnyIndex {
 
   IndexSpec spec_;
   std::unique_ptr<BackendBase> impl_;
+  std::shared_ptr<const LabelStore> labels_;  // null until attach_labels/load
 };
 
 }  // namespace ann

@@ -133,6 +133,10 @@ inline void AnyIndex::save(const std::string& path) const {
                               serialize_params(spec_.params)};
   write_container_header(f.get(), header, path);
   impl_->save_payload(f.get(), path);
+  // Label payload trails the backend payload when labels are attached; its
+  // absence (EOF right after the backend payload) means "no labels", so
+  // unlabeled files are byte-identical to pre-label versions.
+  if (labels_) write_label_store_payload(f.get(), *labels_, path);
 }
 
 inline AnyIndex AnyIndex::load(const std::string& path) {
@@ -145,6 +149,13 @@ inline AnyIndex AnyIndex::load(const std::string& path) {
   spec.params = params_from_kv(header.algorithm, header.params);
   AnyIndex index = make_index(std::move(spec));
   index.impl_->load_payload(f.get(), path);
+  // Probe for a trailing label payload. One-byte lookahead keeps the
+  // container version unchanged: old files simply end here.
+  int probe = std::fgetc(f.get());
+  if (probe != EOF) {
+    std::ungetc(probe, f.get());
+    index.attach_labels(read_label_store_payload(f.get(), path));
+  }
   return index;
 }
 

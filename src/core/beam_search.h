@@ -35,6 +35,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <span>
@@ -66,6 +67,13 @@ struct SearchParams {
   std::uint32_t k = 10;           // neighbors requested
   float epsilon = 0.0f;           // (1+eps) pruning; paper uses eps <= 0.25
   std::size_t visit_limit = std::numeric_limits<std::size_t>::max();
+  // Filtered search only: traversal-beam widening multiplier. The traversal
+  // beam runs at ceil(beam_width * filter_beam_factor) while the result list
+  // stays at beam_width, so low-selectivity filters keep enough admissible
+  // candidates in flight. <= 0 means AUTO: AnyIndex resolves it from the
+  // filter's estimated selectivity (ann::auto_filter_beam_factor) before
+  // dispatch. Ignored by unfiltered search.
+  float filter_beam_factor = 0.0f;
 };
 
 struct SearchResult {
@@ -97,6 +105,7 @@ struct SearchScratch {
   std::vector<unsigned char> processed;  // parallel to beam
   std::vector<PointId> gather;           // unseen neighbors of one node
   std::vector<Neighbor> flood;           // range-search flood queue
+  std::vector<Neighbor> matched;         // filtered-search result list
 };
 
 inline SearchScratch& local_search_scratch() {
@@ -211,7 +220,180 @@ SearchResult beam_search_impl(const T* query, const PointSet<T>& points,
   return result;
 }
 
+// Filter-aware beam search. Structurally the same traversal as
+// beam_search_impl, with two changes:
+//
+//   * The predicate gates ADMISSION, not traversal. Every evaluated point
+//     still competes for the traversal beam (filtered-out points conduct the
+//     walk toward the filtered region — dropping them would disconnect the
+//     graph under selective filters), but only predicate-passing points
+//     enter the separate `matched` result list that becomes
+//     result.frontier.
+//   * The traversal beam is widened to Lt = ceil(L * filter_beam_factor):
+//     at selectivity s only ~s of traversal work lands on admissible points,
+//     so the frontier needs proportionally more slack to keep recall.
+//
+// The predicate is invoked only for candidates that could still improve the
+// matched list (list not full, or distance beats its current worst) — a
+// deterministic gate, since it depends only on distances and the (dist, id)
+// total order. Crucially the matched test happens BEFORE the traversal
+// beam's `worst`/epsilon cuts: a matching point too far to steer the walk
+// can still be a top-k result.
+//
+// result.frontier = matched (sorted, <= max(L, k) entries, all passing);
+// result.visited = full traversal list, same contract as unfiltered search.
+template <typename Metric, typename T, typename Pred, typename VisitedSet>
+SearchResult filtered_beam_search_impl(const T* query,
+                                       const PointSet<T>& points,
+                                       const Graph& g,
+                                       std::span<const PointId> starts,
+                                       const SearchParams& params,
+                                       const Pred& pred, VisitedSet& seen,
+                                       SearchScratch& scratch) {
+  const std::size_t L = std::max<std::size_t>(params.beam_width, 1);
+  const std::size_t k = std::max<std::size_t>(params.k, 1);
+  const float factor = std::max(params.filter_beam_factor, 1.0f);
+  const std::size_t Lt = std::max<std::size_t>(
+      L, static_cast<std::size_t>(
+             std::ceil(static_cast<double>(L) * factor)));
+  const std::size_t match_cap = std::max(L, k);
+  const std::size_t dims = points.dims();
+  const float cut = 1.0f + params.epsilon;
+  const auto prep = Metric::prepare(query, dims);
+
+  std::vector<Neighbor>& beam = scratch.beam;
+  std::vector<unsigned char>& processed = scratch.processed;
+  std::vector<Neighbor>& matched = scratch.matched;
+  beam.clear();
+  beam.reserve(Lt + 1);
+  processed.clear();
+  processed.reserve(Lt + 1);
+  matched.clear();
+  matched.reserve(match_cap + 1);
+  scratch.processed_ids.reset(
+      std::min<std::size_t>(params.visit_limit, 4 * Lt));
+
+  SearchResult result;
+  result.visited.reserve(std::min(params.visit_limit, 4 * Lt));
+  std::uint64_t evals = 0;
+
+  auto insert_candidate = [&](PointId id, float dist) {
+    Neighbor nb{id, dist};
+    auto it = std::lower_bound(beam.begin(), beam.end(), nb);
+    if (it != beam.end() && it->id == id && it->dist == dist) return;
+    if (beam.size() >= Lt) {
+      if (!(nb < beam.back())) return;
+      beam.pop_back();
+      processed.pop_back();
+    }
+    std::size_t pos = static_cast<std::size_t>(it - beam.begin());
+    beam.insert(beam.begin() + pos, nb);
+    processed.insert(processed.begin() + pos, 0);
+  };
+
+  // Admit `nb` to the matched list if the predicate passes. The bound check
+  // runs first so the (potentially costly) predicate is skipped for points
+  // that could not place anyway.
+  auto consider_match = [&](PointId id, float dist) {
+    Neighbor nb{id, dist};
+    if (matched.size() >= match_cap && !(nb < matched.back())) return;
+    if (!pred(id)) return;
+    auto it = std::lower_bound(matched.begin(), matched.end(), nb);
+    if (it != matched.end() && it->id == id && it->dist == dist) return;
+    if (matched.size() >= match_cap) matched.pop_back();
+    matched.insert(it, nb);
+  };
+
+  for (PointId s : starts) {
+    if (seen.test_and_set(s)) continue;
+    ++evals;
+    float d = Metric::eval(prep, query, points[s], dims);
+    consider_match(s, d);
+    insert_candidate(s, d);
+  }
+
+  while (result.visited.size() < params.visit_limit) {
+    std::size_t pi = 0;
+    while (pi < beam.size() && processed[pi]) ++pi;
+    if (pi == beam.size()) break;
+
+    processed[pi] = 1;
+    Neighbor current = beam[pi];
+    if (!scratch.processed_ids.insert(current.id)) continue;
+    result.visited.push_back(current);
+
+    float dk = beam.size() >= k ? beam[k - 1].dist : beam.back().dist;
+    float radius = dk < 0 ? dk / cut : dk * cut;
+    float worst = beam.size() >= Lt
+                      ? beam.back().dist
+                      : std::numeric_limits<float>::infinity();
+
+    scratch.gather.clear();
+    for (PointId nb_id : g.neighbors(current.id)) {
+      if (seen.test_and_set(nb_id)) continue;
+      scratch.gather.push_back(nb_id);
+      beam_prefetch_point(points[nb_id], dims);
+    }
+    evals += scratch.gather.size();
+
+    for (PointId nb_id : scratch.gather) {
+      float d = Metric::eval(prep, query, points[nb_id], dims);
+      // Matched admission precedes the traversal cuts: a passing point
+      // outside the traversal radius is still a candidate result.
+      consider_match(nb_id, d);
+      if (d > worst) continue;
+      if (params.epsilon > 0.0f && d > radius) continue;
+      insert_candidate(nb_id, d);
+      worst = beam.size() >= Lt ? beam.back().dist
+                                : std::numeric_limits<float>::infinity();
+    }
+  }
+
+  DistanceCounter::bump(evals);
+  result.frontier.assign(matched.begin(), matched.end());
+  return result;
+}
+
 }  // namespace internal
+
+// Filter-aware beam search: like beam_search, but only points for which
+// pred(id) is true enter the result frontier. Filtered-out points still
+// conduct the traversal. params.filter_beam_factor widens the traversal
+// beam (<= 1 means no widening at this layer; AnyIndex resolves AUTO before
+// calling down here).
+template <typename Metric, typename T, typename Pred,
+          typename VisitedSet = ApproxVisitedSet>
+SearchResult filtered_beam_search(const T* query, const PointSet<T>& points,
+                                  const Graph& g,
+                                  std::span<const PointId> starts,
+                                  const SearchParams& params, const Pred& pred,
+                                  SearchScratch& scratch) {
+  const std::size_t L = std::max<std::size_t>(params.beam_width, 1);
+  const float factor = std::max(params.filter_beam_factor, 1.0f);
+  const std::size_t Lt = std::max<std::size_t>(
+      L, static_cast<std::size_t>(std::ceil(static_cast<double>(L) * factor)));
+  if constexpr (std::is_same_v<VisitedSet, ApproxVisitedSet>) {
+    scratch.seen.reset(Lt);
+    return internal::filtered_beam_search_impl<Metric>(
+        query, points, g, starts, params, pred, scratch.seen, scratch);
+  } else {
+    VisitedSet seen(Lt);
+    return internal::filtered_beam_search_impl<Metric>(
+        query, points, g, starts, params, pred, seen, scratch);
+  }
+}
+
+// Convenience overload on the per-thread scratch pool.
+template <typename Metric, typename T, typename Pred,
+          typename VisitedSet = ApproxVisitedSet>
+SearchResult filtered_beam_search(const T* query, const PointSet<T>& points,
+                                  const Graph& g,
+                                  std::span<const PointId> starts,
+                                  const SearchParams& params,
+                                  const Pred& pred) {
+  return filtered_beam_search<Metric, T, Pred, VisitedSet>(
+      query, points, g, starts, params, pred, local_search_scratch());
+}
 
 // Beam search for `query` over graph g from the given start points, using
 // the caller's scratch. VisitedSet is ApproxVisitedSet (default, the

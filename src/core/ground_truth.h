@@ -61,4 +61,48 @@ GroundTruth compute_ground_truth(const PointSet<T>& base,
   return gt;
 }
 
+// Exact filtered ground truth: the true top-k among base points for which
+// pred(id) is true. When fewer than k points match, the row's tail is
+// padded with default Neighbor entries (id kInvalidPoint, dist +inf) —
+// filtered_recall in recall.h ignores the padding. The predicate is
+// evaluated once per (query, point) pair in a deterministic order.
+template <typename Metric, typename T, typename Pred>
+GroundTruth compute_filtered_ground_truth(const PointSet<T>& base,
+                                          const PointSet<T>& queries,
+                                          std::size_t k, const Pred& pred) {
+  k = std::min(k, base.size());
+  GroundTruth gt;
+  gt.k = k;
+  gt.entries.assign(queries.size() * k, Neighbor{});
+  if (k == 0) return gt;
+  parlay::parallel_for(0, queries.size(), [&](std::size_t q) {
+    const T* qp = queries[static_cast<PointId>(q)];
+    const auto prep = Metric::prepare(qp, base.dims());
+    std::vector<Neighbor> heap;
+    heap.reserve(k + 1);
+    auto worse = [](const Neighbor& a, const Neighbor& b) { return a < b; };
+    std::uint64_t evals = 0;
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      PointId id = static_cast<PointId>(i);
+      if (!pred(id)) continue;
+      ++evals;
+      Neighbor nb{id, Metric::eval(prep, qp, base[id], base.dims())};
+      if (heap.size() < k) {
+        heap.push_back(nb);
+        std::push_heap(heap.begin(), heap.end(), worse);
+      } else if (nb < heap.front()) {
+        std::pop_heap(heap.begin(), heap.end(), worse);
+        heap.back() = nb;
+        std::push_heap(heap.begin(), heap.end(), worse);
+      }
+    }
+    DistanceCounter::bump(evals);
+    std::sort_heap(heap.begin(), heap.end(), worse);
+    for (std::size_t j = 0; j < heap.size(); ++j) {
+      gt.entries[q * k + j] = heap[j];
+    }
+  }, 1);
+  return gt;
+}
+
 }  // namespace ann

@@ -11,6 +11,13 @@
 //                [tombstone bitmap, (n+7)/8 bytes] — the mutable backends'
 //                update state (embedded inside their container payload so a
 //                mutated index round-trips through save/load)
+//   labels     : [magic "PANL" u32] [version u32] [num_labels u32]
+//                [label name str x num_labels] [num_points u64]
+//                [(count u32, label id u32 x count) x num_points] — the
+//                LabelStore of a filtered index, appended after the backend
+//                payload when labels are attached (absent otherwise; old
+//                files simply end at the backend payload, so the container
+//                version is unchanged)
 //
 // The container is the format behind `ann::AnyIndex::save/load` (src/api/):
 // its header carries everything needed to reconstruct the index through the
@@ -31,6 +38,7 @@
 #include "algorithms/common.h"
 #include "algorithms/hnsw.h"
 #include "core/io.h"
+#include "filter/label_store.h"
 
 namespace ann {
 
@@ -40,9 +48,11 @@ inline constexpr std::uint32_t kContainerMagic = 0x50414e58;     // "PANX"
 inline constexpr std::uint32_t kGraphIndexMagic = 0x50414e4e;    // "PANN"
 inline constexpr std::uint32_t kHnswIndexMagic = 0x50414e48;     // "PANH"
 inline constexpr std::uint32_t kDynamicStateMagic = 0x50414e44;  // "PAND"
+inline constexpr std::uint32_t kLabelStoreMagic = 0x50414e4c;    // "PANL"
 inline constexpr std::uint32_t kIndexVersion = 1;
 inline constexpr std::uint32_t kContainerVersion = 1;
 inline constexpr std::uint32_t kDynamicStateVersion = 1;
+inline constexpr std::uint32_t kLabelStoreVersion = 1;
 
 }  // namespace internal
 
@@ -144,6 +154,70 @@ inline DynamicIndexState read_dynamic_state_payload(std::FILE* f,
     state.deleted[i] = (packed[i / 8] >> (i % 8)) & 1u;
   }
   return state;
+}
+
+// --- label store payload (filtered search) -----------------------------------
+
+// The LabelStore of a filtered index: interned dictionary (names in id
+// order) followed by each point's sorted label run. AnyIndex::save appends
+// this after the backend payload when labels are attached; the absence of
+// trailing bytes means "no labels", so unlabeled files are unchanged.
+inline void write_label_store_payload(std::FILE* f, const LabelStore& store,
+                                      const std::string& path) {
+  ioutil::write_u32(f, internal::kLabelStoreMagic, path);
+  ioutil::write_u32(f, internal::kLabelStoreVersion, path);
+  ioutil::write_u32(f, static_cast<std::uint32_t>(store.num_labels()), path);
+  for (std::size_t l = 0; l < store.num_labels(); ++l) {
+    ioutil::write_str(f, store.label_name(static_cast<LabelId>(l)), path);
+  }
+  ioutil::write_u64(f, store.num_points(), path);
+  for (std::size_t p = 0; p < store.num_points(); ++p) {
+    auto run = store.labels_of(static_cast<PointId>(p));
+    ioutil::write_u32(f, static_cast<std::uint32_t>(run.size()), path);
+    ioutil::write_bytes(f, run.data(), run.size() * sizeof(LabelId), path);
+  }
+}
+
+inline LabelStore read_label_store_payload(std::FILE* f,
+                                           const std::string& path) {
+  if (ioutil::read_u32(f, path) != internal::kLabelStoreMagic) {
+    throw std::runtime_error("not a label-store payload: " + path);
+  }
+  if (ioutil::read_u32(f, path) != internal::kLabelStoreVersion) {
+    throw std::runtime_error("unsupported label-store version: " + path);
+  }
+  std::uint32_t num_labels = ioutil::read_u32(f, path);
+  // Corrupt-header guard, same standard as the other payload readers.
+  if (num_labels > (1u << 28)) {
+    throw std::runtime_error("corrupt label-store header: " + path);
+  }
+  std::vector<std::string> names;
+  names.reserve(num_labels);
+  for (std::uint32_t l = 0; l < num_labels; ++l) {
+    names.push_back(ioutil::read_str(f, path));
+  }
+  std::uint64_t num_points = ioutil::read_u64(f, path);
+  if (num_points > (1ull << 40)) {
+    throw std::runtime_error("corrupt label-store header: " + path);
+  }
+  std::vector<std::uint64_t> offsets{0};
+  offsets.reserve(num_points + 1);
+  std::vector<LabelId> ids;
+  std::vector<LabelId> run;
+  for (std::uint64_t p = 0; p < num_points; ++p) {
+    std::uint32_t count = ioutil::read_u32(f, path);
+    if (count > num_labels) {
+      throw std::runtime_error("corrupt label-store payload: " + path);
+    }
+    run.resize(count);
+    ioutil::read_bytes(f, run.data(), count * sizeof(LabelId), path);
+    ids.insert(ids.end(), run.begin(), run.end());
+    offsets.push_back(ids.size());
+  }
+  // from_parts re-validates the CSR invariants (known ids, strictly
+  // increasing runs) and rebuilds the derived name map and counts.
+  return LabelStore::from_parts(std::move(names), std::move(offsets),
+                                std::move(ids));
 }
 
 // --- graph payloads (shared by the legacy formats and the container) ---------

@@ -53,4 +53,40 @@ inline double average_recall(
   return average_recall(ids, gt, k);
 }
 
+// Recall against a filtered ground truth (compute_filtered_ground_truth),
+// whose rows may be padded with invalid entries when fewer than k points
+// match the filter: score hits over the VALID truth entries only, so a
+// query whose filter admits 3 points and whose search returns those 3
+// scores 1.0, not 3/k. A row with zero valid entries contributes 1.0 (the
+// empty result is exactly right).
+inline double filtered_recall_of(std::span<const Neighbor> reported,
+                                 std::span<const Neighbor> truth,
+                                 std::size_t k) {
+  k = std::min(k, truth.size());
+  std::size_t valid = 0, hits = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (truth[i].id == kInvalidPoint) break;  // padding is a suffix
+    ++valid;
+    for (const auto& got : reported) {
+      if (got.id == truth[i].id) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  if (valid == 0) return 1.0;
+  return static_cast<double>(hits) / static_cast<double>(valid);
+}
+
+inline double average_filtered_recall(
+    const std::vector<std::vector<Neighbor>>& results, const GroundTruth& gt,
+    std::size_t k) {
+  if (results.empty()) return 1.0;
+  double total = 0.0;
+  for (std::size_t q = 0; q < results.size(); ++q) {
+    total += filtered_recall_of(results[q], gt.row(q), k);
+  }
+  return total / static_cast<double>(results.size());
+}
+
 }  // namespace ann

@@ -1,0 +1,191 @@
+// ann::FilterSpec — the predicate a filtered search evaluates per candidate.
+//
+// Two first-class modes over interned label ids:
+//   * match-any: the point carries at least one of the listed labels (OR)
+//   * match-all: the point carries every listed label (AND)
+// plus an arbitrary `std::function<bool(PointId)>` escape hatch that can be
+// used alone or ANDed onto a label clause. Label-based filters are pure
+// values over the attached LabelStore and are covered by the determinism
+// contract; the std::function hatch is explicitly NOT — a capture can close
+// over mutable state, so the library guarantees only that the predicate is
+// invoked deterministically (same candidate order for the same inputs),
+// not that an impure predicate yields reproducible results.
+//
+// FilterSpec itself is index-agnostic (ids, not names). BoundFilter pairs a
+// spec with the index's LabelStore at dispatch time and is what the search
+// kernels actually call.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/points.h"
+#include "filter/label_store.h"
+
+namespace ann {
+
+enum class FilterMode : std::uint8_t {
+  kNone = 0,      // no label clause (predicate-only or inactive)
+  kMatchAny = 1,  // point has >= 1 of `labels`
+  kMatchAll = 2,  // point has all of `labels`
+};
+
+struct FilterSpec {
+  FilterMode mode = FilterMode::kNone;
+  // Sorted + deduplicated by the factories below. May contain kInvalidLabel
+  // (from a name lookup that missed): an invalid id matches no point, so
+  // match-any over it is inert and match-all containing it is unsatisfiable.
+  std::vector<LabelId> labels;
+  // Escape hatch, ANDed with the label clause when both are present.
+  // Excluded from the determinism contract (see header comment).
+  std::function<bool(PointId)> predicate;
+
+  bool active() const {
+    return mode != FilterMode::kNone || static_cast<bool>(predicate);
+  }
+  bool uses_labels() const { return mode != FilterMode::kNone; }
+
+  // --- factories -------------------------------------------------------------
+
+  static FilterSpec match_any(std::vector<LabelId> ids) {
+    return make(FilterMode::kMatchAny, std::move(ids));
+  }
+  static FilterSpec match_all(std::vector<LabelId> ids) {
+    return make(FilterMode::kMatchAll, std::move(ids));
+  }
+  static FilterSpec match_any(const LabelStore& store,
+                              const std::vector<std::string>& names) {
+    return make(FilterMode::kMatchAny, lookup(store, names));
+  }
+  static FilterSpec match_all(const LabelStore& store,
+                              const std::vector<std::string>& names) {
+    return make(FilterMode::kMatchAll, lookup(store, names));
+  }
+  static FilterSpec where(std::function<bool(PointId)> fn) {
+    FilterSpec spec;
+    spec.predicate = std::move(fn);
+    return spec;
+  }
+
+  // Chain the escape hatch onto a label spec: match_any(...).and_where(fn).
+  FilterSpec and_where(std::function<bool(PointId)> fn) && {
+    predicate = std::move(fn);
+    return std::move(*this);
+  }
+
+ private:
+  static FilterSpec make(FilterMode mode, std::vector<LabelId> ids) {
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    FilterSpec spec;
+    spec.mode = mode;
+    spec.labels = std::move(ids);
+    return spec;
+  }
+  static std::vector<LabelId> lookup(const LabelStore& store,
+                                     const std::vector<std::string>& names) {
+    std::vector<LabelId> ids;
+    ids.reserve(names.size());
+    for (const auto& name : names) ids.push_back(store.find(name));
+    return ids;
+  }
+};
+
+// A FilterSpec bound to the index's LabelStore: the callable the search
+// kernels evaluate per candidate. Holds pointers only — both operands must
+// outlive the search call (AnyIndex guarantees this on its dispatch path).
+class BoundFilter {
+ public:
+  // `store` may be null only for predicate-only specs; a label clause with
+  // no attached store is a caller error surfaced here, at bind time, rather
+  // than deep inside a traversal.
+  BoundFilter(const FilterSpec& spec, const LabelStore* store)
+      : spec_(&spec), store_(store) {
+    if (spec.uses_labels() && store == nullptr) {
+      throw std::invalid_argument(
+          "filtered search: FilterSpec references labels but the index has "
+          "no LabelStore attached (AnyIndex::attach_labels)");
+    }
+  }
+
+  bool matches(PointId p) const {
+    switch (spec_->mode) {
+      case FilterMode::kNone:
+        break;
+      case FilterMode::kMatchAny: {
+        bool any = false;
+        for (LabelId l : spec_->labels) {
+          if (store_->has_label(p, l)) {
+            any = true;
+            break;
+          }
+        }
+        if (!any) return false;
+        break;
+      }
+      case FilterMode::kMatchAll:
+        for (LabelId l : spec_->labels) {
+          if (!store_->has_label(p, l)) return false;
+        }
+        break;
+    }
+    if (spec_->predicate && !spec_->predicate(p)) return false;
+    return true;
+  }
+
+  // Estimated fraction of the index the filter admits, from the store's
+  // per-label counts. Union bound for match-any (capped at 1), tightest
+  // single label for match-all — both cheap, deterministic, and good enough
+  // to size over-fetch and beam widening. A predicate-only spec has no
+  // statistics; assume a moderate 0.25 (documented in docs/FILTERS.md).
+  double estimated_selectivity(std::size_t num_points) const {
+    if (num_points == 0) return 1.0;
+    const double n = static_cast<double>(num_points);
+    double sel = 1.0;
+    switch (spec_->mode) {
+      case FilterMode::kNone:
+        sel = spec_->predicate ? 0.25 : 1.0;
+        break;
+      case FilterMode::kMatchAny: {
+        double total = 0.0;
+        for (LabelId l : spec_->labels) {
+          total += static_cast<double>(store_->label_count(l));
+        }
+        sel = std::min(1.0, total / n);
+        break;
+      }
+      case FilterMode::kMatchAll:
+        for (LabelId l : spec_->labels) {
+          sel = std::min(sel, static_cast<double>(store_->label_count(l)) / n);
+        }
+        break;
+    }
+    return sel;
+  }
+
+  const FilterSpec& spec() const { return *spec_; }
+
+ private:
+  const FilterSpec* spec_;
+  const LabelStore* store_;
+};
+
+// Resolve the adaptive traversal-widening factor for a filter of estimated
+// selectivity `sel`: at selectivity s only ~s of the beam's traversal work
+// lands on admissible points, so widen by ~1/sqrt(s) (sub-linear — graph
+// traversal still routes through filtered-out points, it just needs a wider
+// frontier to keep enough admissible candidates in flight). Clamped to
+// [1, 10]; a pure function of the spec + store, so the auto choice is part
+// of the deterministic pipeline.
+inline float auto_filter_beam_factor(double sel) {
+  const double s = std::clamp(sel, 0.01, 1.0);
+  return static_cast<float>(std::clamp(1.0 / std::sqrt(s), 1.0, 10.0));
+}
+
+}  // namespace ann

@@ -1,0 +1,174 @@
+// ann::LabelStore — per-point label sets for filtered search.
+//
+// Storage follows the repo's "arithmetic, not pointer chasing" layout rule:
+// labels are interned into a dictionary (LabelId = dense uint32, assigned in
+// interning order, so identical attach schedules produce identical ids) and
+// each point's label set is a sorted run in one flat CSR array. Looking up
+// "does point p carry label l" is a binary search over a run that is
+// typically a handful of entries — no per-point allocations, no hashing on
+// the query path.
+//
+// A LabelStore is attached to an index via AnyIndex::attach_labels (at build
+// time or onto a loaded index) and persists through AnyIndex::save/load as
+// the container's versioned label payload (core/index_io.h, magic "PANL").
+//
+// Determinism: the store is a pure value. Interning order defines ids,
+// add_point order defines the CSR, and per-point label runs are
+// sorted+deduplicated on insertion — the same label schedule always yields a
+// byte-identical store, which is what lets filtered search extend the
+// repo-wide determinism contract.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/points.h"
+
+namespace ann {
+
+using LabelId = std::uint32_t;
+inline constexpr LabelId kInvalidLabel = static_cast<LabelId>(-1);
+
+class LabelStore {
+ public:
+  LabelStore() = default;
+
+  // --- dictionary ------------------------------------------------------------
+
+  // Get-or-create the id for `name`. Ids are dense and assigned in first-
+  // intern order (deterministic for a fixed schedule).
+  LabelId intern(const std::string& name) {
+    auto it = by_name_.find(name);
+    if (it != by_name_.end()) return it->second;
+    LabelId id = static_cast<LabelId>(names_.size());
+    names_.push_back(name);
+    counts_.push_back(0);
+    by_name_.emplace(name, id);
+    return id;
+  }
+
+  // The id for `name`, or kInvalidLabel if it was never interned.
+  // kInvalidLabel matches no point, so an unknown name in a match-any spec
+  // is simply inert and in a match-all spec makes the filter unsatisfiable —
+  // no special-casing needed by callers.
+  LabelId find(const std::string& name) const {
+    auto it = by_name_.find(name);
+    return it == by_name_.end() ? kInvalidLabel : it->second;
+  }
+
+  const std::string& label_name(LabelId label) const {
+    return names_.at(label);
+  }
+
+  std::size_t num_labels() const { return names_.size(); }
+
+  // --- per-point label sets (points appended in id order) ---------------------
+
+  // Append point `num_points()`'s label set. Ids are sorted and deduplicated
+  // here, so the stored run order never depends on the caller's order.
+  // Unknown ids (>= num_labels()) are rejected with std::invalid_argument.
+  void add_point(std::span<const LabelId> labels) {
+    std::vector<LabelId> run(labels.begin(), labels.end());
+    std::sort(run.begin(), run.end());
+    run.erase(std::unique(run.begin(), run.end()), run.end());
+    for (LabelId l : run) {
+      if (l >= names_.size()) {
+        throw std::invalid_argument(
+            "LabelStore::add_point: label id " + std::to_string(l) +
+            " was never interned (" + std::to_string(names_.size()) +
+            " labels exist)");
+      }
+    }
+    ids_.insert(ids_.end(), run.begin(), run.end());
+    offsets_.push_back(ids_.size());
+    for (LabelId l : run) ++counts_[l];
+  }
+
+  // Convenience: intern each name, then add the point.
+  void add_point_names(const std::vector<std::string>& labels) {
+    std::vector<LabelId> run;
+    run.reserve(labels.size());
+    for (const auto& name : labels) run.push_back(intern(name));
+    add_point(run);
+  }
+
+  std::size_t num_points() const { return offsets_.size() - 1; }
+
+  std::span<const LabelId> labels_of(PointId p) const {
+    return {ids_.data() + offsets_[p], ids_.data() + offsets_[p + 1]};
+  }
+
+  // Binary search over the point's sorted run. kInvalidLabel never matches.
+  bool has_label(PointId p, LabelId label) const {
+    auto run = labels_of(p);
+    return std::binary_search(run.begin(), run.end(), label);
+  }
+
+  // Number of points carrying `label` — the selectivity statistic behind
+  // over-fetch estimation and adaptive beam widening. kInvalidLabel -> 0.
+  std::size_t label_count(LabelId label) const {
+    return label < counts_.size() ? counts_[label] : 0;
+  }
+
+  bool operator==(const LabelStore& o) const {
+    // by_name_/counts_ are derived from these three, so comparing the
+    // canonical arrays is the whole identity.
+    return names_ == o.names_ && offsets_ == o.offsets_ && ids_ == o.ids_;
+  }
+
+  // Reassemble a store from its canonical arrays (the payload-reader path).
+  // Validates the CSR invariants — monotone offsets bracketing ids_, every
+  // id a known label, runs strictly increasing (sorted + deduplicated) — so
+  // a corrupt payload fails here with a clean error, never as an
+  // out-of-bounds read on the first filtered search.
+  static LabelStore from_parts(std::vector<std::string> names,
+                               std::vector<std::uint64_t> offsets,
+                               std::vector<LabelId> ids) {
+    if (offsets.empty() || offsets.front() != 0 ||
+        offsets.back() != ids.size()) {
+      throw std::runtime_error("LabelStore: corrupt CSR offsets");
+    }
+    for (std::size_t i = 1; i < offsets.size(); ++i) {
+      if (offsets[i] < offsets[i - 1]) {
+        throw std::runtime_error("LabelStore: corrupt CSR offsets");
+      }
+      for (std::uint64_t j = offsets[i - 1]; j < offsets[i]; ++j) {
+        if (ids[j] >= names.size() ||
+            (j > offsets[i - 1] && ids[j] <= ids[j - 1])) {
+          throw std::runtime_error("LabelStore: corrupt label run");
+        }
+      }
+    }
+    LabelStore s;
+    s.names_ = std::move(names);
+    s.offsets_ = std::move(offsets);
+    s.ids_ = std::move(ids);
+    s.counts_.assign(s.names_.size(), 0);
+    for (LabelId l : s.ids_) ++s.counts_[l];
+    s.by_name_.reserve(s.names_.size());
+    for (std::size_t i = 0; i < s.names_.size(); ++i) {
+      if (!s.by_name_.emplace(s.names_[i], static_cast<LabelId>(i)).second) {
+        throw std::runtime_error("LabelStore: duplicate label name");
+      }
+    }
+    return s;
+  }
+
+  const std::vector<std::uint64_t>& offsets() const { return offsets_; }
+  const std::vector<LabelId>& flat_ids() const { return ids_; }
+
+ private:
+  std::vector<std::string> names_;                     // id -> name
+  std::unordered_map<std::string, LabelId> by_name_;   // name -> id
+  std::vector<std::uint64_t> offsets_{0};              // CSR, num_points()+1
+  std::vector<LabelId> ids_;                           // sorted per-point runs
+  std::vector<std::uint64_t> counts_;                  // points per label
+};
+
+}  // namespace ann

@@ -1,0 +1,66 @@
+// Generic post-filter fallback for backends without native (traversal-level)
+// filtering — IVF, LSH, PQ. The strategy is the classic one: over-fetch an
+// unfiltered shortlist sized by the filter's estimated selectivity, drop the
+// non-matching entries, truncate to k. Quality degrades gracefully with the
+// selectivity estimate (a too-small fetch loses tail results, never produces
+// wrong ones), and the path is exactly as deterministic as the underlying
+// unfiltered search.
+//
+// TypedBackend<T>::filtered_search in api/any_index.h is the single consumer;
+// backends that override it with a native path never touch this file.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/beam_search.h"
+#include "filter/filter_spec.h"
+
+namespace ann {
+
+// Shortlist size for a post-filtered top-k over `num_points` at estimated
+// selectivity `sel`: fetch 2x the expectation-matching k/sel (the 2x absorbs
+// estimate error and local clustering of matches), clamped to [k, n].
+inline std::uint32_t post_filter_fetch_k(std::uint32_t k,
+                                         std::size_t num_points,
+                                         double sel) {
+  const double s = std::clamp(sel, 1e-3, 1.0);
+  const double fetch = std::ceil(2.0 * static_cast<double>(k) / s);
+  const double n = static_cast<double>(num_points);
+  return static_cast<std::uint32_t>(std::clamp(
+      fetch, static_cast<double>(k), std::max(static_cast<double>(k), n)));
+}
+
+// Search params for the over-fetch: k raised to fetch_k, and the effort knob
+// (beam width for graphs, nprobe for IVF, multiprobe for LSH) scaled by the
+// same ratio so the wider shortlist is actually filled with real candidates
+// rather than padded from a beam sized for the original k.
+inline SearchParams post_filter_params(const SearchParams& params,
+                                       std::uint32_t fetch_k) {
+  SearchParams over = params;
+  over.k = fetch_k;
+  if (params.k > 0 && fetch_k > params.k) {
+    const std::uint64_t scaled =
+        static_cast<std::uint64_t>(params.beam_width) * fetch_k / params.k;
+    over.beam_width = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(std::max<std::uint64_t>(scaled, fetch_k),
+                                1u << 20));
+  }
+  return over;
+}
+
+// Drop non-matching entries in place and truncate to k. Order is preserved,
+// so the survivors stay sorted by (dist, id).
+inline void apply_post_filter(std::vector<Neighbor>& results,
+                              const BoundFilter& filter, std::uint32_t k) {
+  results.erase(std::remove_if(results.begin(), results.end(),
+                               [&](const Neighbor& n) {
+                                 return !filter.matches(n.id);
+                               }),
+                results.end());
+  if (results.size() > k) results.resize(k);
+}
+
+}  // namespace ann

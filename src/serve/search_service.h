@@ -25,6 +25,14 @@
 //     k / beam / epsilon / visit_limit overrides) and runs one
 //     AnyIndex::batch_search per group, so every request is answered with
 //     exactly the parameters it asked for.
+//   * Requests may carry a per-request ann::FilterSpec (the filtered submit
+//     overloads). Filtered requests group with requests carrying the SAME
+//     label clause (mode + label ids) and dispatch through one
+//     AnyIndex::filtered_batch_search; mixed filtered/unfiltered flushes
+//     simply split into groups. Specs carrying the std::function escape
+//     hatch never group (a callable has no equality), so each dispatches
+//     alone — correct, just unbatched. stats() reports the filtered request
+//     count and the mean estimated selectivity of dispatched filters.
 //   * Completion is per-request: submit() returns a std::future, or the
 //     callback overload invokes the callback on the dispatcher thread
 //     (callbacks must be fast and must not throw).
@@ -116,6 +124,10 @@ struct ServeStats {
   double p99_ms = 0;
   std::uint64_t distance_comps = 0;  // summed over dispatched batches
   std::size_t queue_depth = 0;       // instantaneous
+  std::uint64_t filtered = 0;        // requests dispatched with an active filter
+  // Mean estimated selectivity over dispatched filtered requests (0 when
+  // none ran): how much of the index the average filter admits.
+  double mean_filter_selectivity = 0;
 
   std::vector<std::pair<std::string, double>> details;
 
@@ -166,6 +178,7 @@ class SearchService {
           "SearchService: index must be built and non-empty before serving");
     }
     dims_ = s.dims;
+    num_points_ = s.num_points;
     start_ = std::chrono::steady_clock::now();
     dispatcher_ = std::thread([this] { dispatch_loop(); });
   }
@@ -207,11 +220,49 @@ class SearchService {
     enqueue(std::move(req));
   }
 
+  // --- filtered submission ---------------------------------------------------
+
+  // Per-request filtered search: the request is answered element-wise
+  // identically to AnyIndex::filtered_search(query, filter, params). A spec
+  // that references labels is rejected here (std::invalid_argument) when
+  // the served index has no LabelStore attached — at submit time, not as a
+  // failed future at dispatch time.
+  std::future<std::vector<Neighbor>> submit(std::span<const T> query,
+                                            const FilterSpec& filter,
+                                            const QueryParams& params = {}) {
+    auto req = make_request(query, params, filter);
+    auto future = req->promise.get_future();
+    enqueue(std::move(req));
+    return future;
+  }
+
+  std::future<std::vector<Neighbor>> submit(const T* query,
+                                            const FilterSpec& filter,
+                                            const QueryParams& params = {}) {
+    return submit(std::span<const T>(query, dims_), filter, params);
+  }
+
+  // Filtered callback completion path.
+  void submit(std::span<const T> query, const FilterSpec& filter,
+              const QueryParams& params, Callback callback) {
+    auto req = make_request(query, params, filter);
+    req->callback = std::move(callback);
+    enqueue(std::move(req));
+  }
+
   // All-or-nothing batch submission: either every row is admitted (futures
   // returned in row order) or none is — a kReject overflow throws
   // queue_full without enqueueing anything, so no future is ever lost.
   std::vector<std::future<std::vector<Neighbor>>> submit_batch(
       const PointSet<T>& queries, const QueryParams& params = {}) {
+    return submit_batch(queries, FilterSpec{}, params);
+  }
+
+  // Filtered batch submission: one FilterSpec applied to every row, same
+  // all-or-nothing admission as the unfiltered overload.
+  std::vector<std::future<std::vector<Neighbor>>> submit_batch(
+      const PointSet<T>& queries, const FilterSpec& filter,
+      const QueryParams& params = {}) {
     if (queries.dims() != dims_) {
       throw std::invalid_argument(
           "SearchService::submit_batch: query batch has dims " +
@@ -225,7 +276,8 @@ class SearchService {
     futures.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
       auto req = make_request(
-          std::span<const T>(queries[static_cast<PointId>(i)], dims_), params);
+          std::span<const T>(queries[static_cast<PointId>(i)], dims_), params,
+          filter);
       futures.push_back(req->promise.get_future());
       requests.push_back(std::move(req));
     }
@@ -276,6 +328,15 @@ class SearchService {
     s.p99_ms = latency_.percentile_ms(99);
     s.distance_comps = distance_comps_.load(std::memory_order_relaxed);
     s.queue_depth = queued_.load(std::memory_order_relaxed);
+    s.filtered = filtered_.load(std::memory_order_relaxed);
+    // Selectivity is accumulated in integer micro-units so the hot path
+    // needs no atomic<double> RMW (fetch_add on doubles is C++20-optional).
+    s.mean_filter_selectivity =
+        s.filtered > 0
+            ? static_cast<double>(selectivity_micro_.load(
+                  std::memory_order_relaxed)) /
+                  (1e6 * static_cast<double>(s.filtered))
+            : 0.0;
     s.details = {
         {"submitted", static_cast<double>(s.submitted)},
         {"completed", static_cast<double>(s.completed)},
@@ -291,6 +352,8 @@ class SearchService {
         {"p99_ms", s.p99_ms},
         {"distance_comps", static_cast<double>(s.distance_comps)},
         {"queue_depth", static_cast<double>(s.queue_depth)},
+        {"filtered", static_cast<double>(s.filtered)},
+        {"mean_filter_selectivity", s.mean_filter_selectivity},
     };
     return s;
   }
@@ -299,6 +362,7 @@ class SearchService {
   struct Request {
     std::vector<T> query;
     QueryParams params;
+    FilterSpec filter;  // inactive for plain submits
     std::promise<std::vector<Neighbor>> promise;
     Callback callback;  // empty => promise completion path
     std::chrono::steady_clock::time_point enqueued;
@@ -320,15 +384,22 @@ class SearchService {
   }
 
   std::unique_ptr<Request> make_request(std::span<const T> query,
-                                        const QueryParams& params) {
+                                        const QueryParams& params,
+                                        const FilterSpec& filter = {}) {
     if (query.size() != dims_) {
       throw std::invalid_argument(
           "SearchService::submit: query has " + std::to_string(query.size()) +
           " elements but the index holds dims " + std::to_string(dims_));
     }
+    if (filter.uses_labels() && !index_.has_labels()) {
+      throw std::invalid_argument(
+          "SearchService::submit: FilterSpec references labels but the "
+          "served index has no LabelStore attached");
+    }
     auto req = std::make_unique<Request>();
     req->query.assign(query.begin(), query.end());
     req->params = params;
+    req->filter = filter;
     return req;
   }
 
@@ -461,7 +532,18 @@ class SearchService {
 
   static bool same_params(const QueryParams& a, const QueryParams& b) {
     return a.beam_width == b.beam_width && a.k == b.k &&
-           a.epsilon == b.epsilon && a.visit_limit == b.visit_limit;
+           a.epsilon == b.epsilon && a.visit_limit == b.visit_limit &&
+           a.filter_beam_factor == b.filter_beam_factor;
+  }
+
+  // Two requests may share a filtered_batch_search call only when their
+  // filters are provably identical: same label clause and NO std::function
+  // escape hatch (callables have no equality, so a predicate-carrying spec
+  // never groups — it dispatches alone). Two inactive filters compare
+  // equal, so plain requests keep grouping as before.
+  static bool same_filter(const FilterSpec& a, const FilterSpec& b) {
+    if (a.predicate || b.predicate) return false;
+    return a.mode == b.mode && a.labels == b.labels;
   }
 
   void execute_batch(std::vector<std::unique_ptr<Request>>& batch) {
@@ -475,7 +557,8 @@ class SearchService {
       grouped[i] = 1;
       for (std::size_t j = i + 1; j < batch.size(); ++j) {
         if (!grouped[j] &&
-            same_params(batch[i]->params, batch[j]->params)) {
+            same_params(batch[i]->params, batch[j]->params) &&
+            same_filter(batch[i]->filter, batch[j]->filter)) {
           group.push_back(j);
           grouped[j] = 1;
         }
@@ -493,13 +576,30 @@ class SearchService {
     }
     std::vector<std::vector<Neighbor>> results;
     std::exception_ptr error;
+    const FilterSpec& filter = batch[group[0]]->filter;
     const std::uint64_t comps_before = DistanceCounter::total();
     try {
       std::lock_guard<std::mutex> lock(internal::serving_dispatch_mutex());
-      results = index_.template batch_search<T>(queries,
-                                               batch[group[0]]->params);
+      if (filter.active()) {
+        results = index_.template filtered_batch_search<T>(
+            queries, filter, batch[group[0]]->params);
+      } else {
+        results = index_.template batch_search<T>(queries,
+                                                 batch[group[0]]->params);
+      }
     } catch (...) {
       error = std::current_exception();
+    }
+    if (filter.active()) {
+      filtered_.fetch_add(group.size(), std::memory_order_relaxed);
+      // Counted even when the dispatch errored: the request was filtered
+      // traffic either way. Selectivity comes from the same estimator the
+      // search itself used to size its effort.
+      BoundFilter bound(filter, index_.labels_ptr().get());
+      const double sel = bound.estimated_selectivity(num_points_);
+      selectivity_micro_.fetch_add(
+          static_cast<std::uint64_t>(sel * 1e6) * group.size(),
+          std::memory_order_relaxed);
     }
     // Counter deltas, not a reset: the counter is process-global and a
     // DistanceCounterScope may be live around the whole serving run.
@@ -539,6 +639,7 @@ class SearchService {
   AnyIndex index_;
   ServeParams params_;
   std::size_t dims_ = 0;
+  std::size_t num_points_ = 0;  // for selectivity estimation in stats
   std::chrono::steady_clock::time_point start_;
 
   BoundedMpmcQueue<std::unique_ptr<Request>> queue_;
@@ -560,6 +661,8 @@ class SearchService {
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> dispatches_{0};
   std::atomic<std::uint64_t> distance_comps_{0};
+  std::atomic<std::uint64_t> filtered_{0};
+  std::atomic<std::uint64_t> selectivity_micro_{0};  // sum, micro-units
   LatencyHistogram latency_;
 };
 

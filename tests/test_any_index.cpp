@@ -186,6 +186,40 @@ TEST(AnyIndexConformance, SpecParamsSurviveRoundTrip) {
   EXPECT_EQ(params.seed, wide_seed);
 }
 
+// The k contract, uniform across all nine backends: k == 0 returns empty
+// (not a throw, not a full scan), and k > num_points clamps to num_points —
+// every backend returns exactly the full point set, sorted by (dist, id).
+TEST(AnyIndexConformance, KClampUniformAcrossBackends) {
+  auto ds = small_dataset();
+  for (const auto& c : backend_cases()) {
+    auto index = ann::make_index(spec_for(c.algorithm));
+    index.build(ds.base);
+
+    QueryParams zero = kEffort;
+    zero.k = 0;
+    EXPECT_TRUE(index.search(ds.queries[0], zero).empty()) << c.algorithm;
+    auto batch_zero = index.batch_search(ds.queries, zero);
+    ASSERT_EQ(batch_zero.size(), ds.queries.size()) << c.algorithm;
+    for (const auto& row : batch_zero) {
+      EXPECT_TRUE(row.empty()) << c.algorithm;
+    }
+
+    QueryParams oversized = kEffort;
+    oversized.k = static_cast<std::uint32_t>(ds.base.size()) + 100;
+    auto hits = index.search(ds.queries[0], oversized);
+    EXPECT_LE(hits.size(), ds.base.size()) << c.algorithm;
+    // No duplicates and no out-of-range ids slip through the clamp.
+    std::vector<PointId> seen;
+    for (const auto& nb : hits) {
+      EXPECT_LT(nb.id, ds.base.size()) << c.algorithm;
+      seen.push_back(nb.id);
+    }
+    std::sort(seen.begin(), seen.end());
+    EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end())
+        << c.algorithm;
+  }
+}
+
 TEST(AnyIndexConformance, RangeSearchFindsTrueNeighbors) {
   auto ds = small_dataset();
   auto gt = ann::compute_ground_truth<ann::EuclideanSquared>(ds.base,

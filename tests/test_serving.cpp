@@ -458,6 +458,120 @@ TEST(SearchService, DestructorDrainsInFlightRequests) {
   }
 }
 
+// --- filtered serving --------------------------------------------------------
+
+// Deterministic label schedule over the shared dataset: parity (sel ~0.5)
+// and decile (sel ~0.1) labels per point.
+AnyIndex make_labeled_index() {
+  AnyIndex index = make_built_index();
+  LabelStore labels;
+  for (std::size_t i = 0; i < kN; ++i) {
+    labels.add_point_names({i % 2 == 0 ? "even" : "odd",
+                            "decile_" + std::to_string(i % 10)});
+  }
+  index.attach_labels(std::move(labels));
+  return index;
+}
+
+// Filtered submissions through the service must be element-wise identical
+// to a direct filtered_batch_search with the same (filter, params) — the
+// serving determinism boundary extends to filtered traffic.
+TEST(SearchService, FilteredSubmitMatchesDirectFilteredBatchSearch) {
+  const auto& ds = dataset();
+  QueryParams qp{.beam_width = 32, .k = 10};
+
+  AnyIndex direct = make_labeled_index();
+  auto spec = FilterSpec::match_any(direct.labels(), {"decile_3"});
+  auto expected = direct.filtered_batch_search(ds.queries, spec, qp);
+
+  SearchService<std::uint8_t> service(make_labeled_index(),
+                                      {.max_batch = 8, .max_delay_ms = 2.0});
+  std::vector<std::future<std::vector<Neighbor>>> futures;
+  for (std::size_t i = 0; i < ds.queries.size(); ++i) {
+    futures.push_back(
+        service.submit(ds.queries[static_cast<PointId>(i)], spec, qp));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get(), expected[i]) << "query " << i;
+  }
+  service.shutdown();
+  auto stats = service.stats();
+  EXPECT_EQ(stats.filtered, ds.queries.size());
+  // decile_3 admits ~10% of the index; the estimator sees label counts.
+  EXPECT_NEAR(stats.mean_filter_selectivity, 0.1, 0.05);
+}
+
+// Mixed filtered/unfiltered traffic in the same flush: the micro-batcher
+// splits the flush into per-(params, filter) groups and each request is
+// answered with exactly its own filter.
+TEST(SearchService, MixedFilteredAndUnfilteredBatchesGroupCorrectly) {
+  const auto& ds = dataset();
+  QueryParams qp{.beam_width = 32, .k = 10};
+
+  AnyIndex direct = make_labeled_index();
+  auto even = FilterSpec::match_any(direct.labels(), {"even"});
+  auto expect_plain = direct.batch_search(ds.queries, qp);
+  auto expect_even = direct.filtered_batch_search(ds.queries, even, qp);
+
+  SearchService<std::uint8_t> service(make_labeled_index(),
+                                      {.max_batch = 16, .max_delay_ms = 2.0});
+  std::vector<std::future<std::vector<Neighbor>>> plain_futures;
+  std::vector<std::future<std::vector<Neighbor>>> even_futures;
+  for (std::size_t i = 0; i < ds.queries.size(); ++i) {
+    const auto* q = ds.queries[static_cast<PointId>(i)];
+    plain_futures.push_back(service.submit(q, qp));
+    even_futures.push_back(service.submit(q, even, qp));
+  }
+  for (std::size_t i = 0; i < ds.queries.size(); ++i) {
+    EXPECT_EQ(plain_futures[i].get(), expect_plain[i]) << "plain " << i;
+    EXPECT_EQ(even_futures[i].get(), expect_even[i]) << "filtered " << i;
+  }
+  service.shutdown();
+  auto stats = service.stats();
+  EXPECT_EQ(stats.filtered, ds.queries.size());
+  EXPECT_EQ(stats.completed, 2 * ds.queries.size());
+  // Mixed flushes dispatch at least one call per distinct filter group.
+  EXPECT_GE(stats.dispatches, stats.batches);
+  // Every filtered request carried the ~0.5-selectivity "even" label.
+  EXPECT_NEAR(stats.mean_filter_selectivity, 0.5, 0.05);
+}
+
+// Filtered submit_batch: one call, one FilterSpec for all rows.
+TEST(SearchService, FilteredSubmitBatchParity) {
+  const auto& ds = dataset();
+  QueryParams qp{.beam_width = 32, .k = 10};
+  AnyIndex direct = make_labeled_index();
+  auto spec = FilterSpec::match_all(direct.labels(), {"even", "decile_4"});
+  auto expected = direct.filtered_batch_search(ds.queries, spec, qp);
+
+  SearchService<std::uint8_t> service(make_labeled_index(),
+                                      {.max_batch = 32, .max_delay_ms = 1.0});
+  auto futures = service.submit_batch(ds.queries, spec, qp);
+  ASSERT_EQ(futures.size(), ds.queries.size());
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get(), expected[i]) << "query " << i;
+  }
+}
+
+// A label-referencing spec against an unlabeled index fails at submit time
+// with invalid_argument — not as a broken future at dispatch time. A
+// predicate-only spec needs no store and must be accepted.
+TEST(SearchService, LabelFilterWithoutStoreRejectedAtSubmit) {
+  const auto& ds = dataset();
+  SearchService<std::uint8_t> service(make_built_index(), {});
+  auto labeled = FilterSpec::match_any({LabelId{0}});
+  EXPECT_THROW(service.submit(ds.queries[0], labeled), std::invalid_argument);
+  EXPECT_THROW(service.submit_batch(ds.queries.slice(0, 2), labeled),
+               std::invalid_argument);
+  auto predicate_only =
+      FilterSpec::where([](PointId id) { return id % 2 == 0; });
+  auto hits =
+      service.submit(ds.queries[0], predicate_only, {.beam_width = 32, .k = 10})
+          .get();
+  for (const auto& nb : hits) EXPECT_EQ(nb.id % 2, 0u);
+  EXPECT_FALSE(hits.empty());
+}
+
 // The serve() convenience factory wires the same machinery.
 TEST(SearchService, ServeFactoryRoundTrip) {
   const auto& ds = dataset();
