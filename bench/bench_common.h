@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,33 @@ inline double scale_arg(int argc, char** argv, double fallback = 1.0) {
 inline std::size_t scaled(std::size_t n, double s) {
   auto v = static_cast<std::size_t>(static_cast<double>(n) * s);
   return v < 16 ? 16 : v;
+}
+
+// Real-data override: when the named environment variables point at
+// big-ann-benchmarks binary files (.fbin/.u8bin/.i8bin — see
+// ann::load_bin_slice), the bench swaps its synthetic stand-in for a prefix
+// slice of the real corpus at the SAME scaled sizes, so published curves
+// can be reproduced on actual BIGANN/MSSPACEV/TEXT2IMAGE shards without
+// recompiling. Returns false (leaving `ds` untouched) when either variable
+// is unset; malformed files fail loudly via load_bin_slice's validation.
+template <typename T>
+bool load_real_override(ann::Dataset<T>& ds, const char* base_env,
+                        const char* query_env, std::size_t n, std::size_t nq) {
+  const char* base_path = std::getenv(base_env);
+  const char* query_path = std::getenv(query_env);
+  if (base_path == nullptr || query_path == nullptr) return false;
+  ds.base = ann::load_bin_slice<T>(base_path, n);
+  ds.queries = ann::load_bin_slice<T>(query_path, nq);
+  if (ds.base.dims() != ds.queries.dims()) {
+    throw std::runtime_error(std::string("real-data override: base (") +
+                             base_path + ") and query (" + query_path +
+                             ") files disagree on dimension");
+  }
+  ds.name += "[real]";
+  std::printf("  real-data override: %s (%zu pts), %s (%zu queries), d=%zu\n",
+              base_path, ds.base.size(), query_path, ds.queries.size(),
+              ds.base.dims());
+  return true;
 }
 
 template <typename F>

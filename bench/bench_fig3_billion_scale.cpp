@@ -83,16 +83,25 @@ int main(int argc, char** argv) {
   const std::size_t n = bench::scaled(30000, s);
   const std::size_t nq = 200;
   std::printf("Fig.3 billion-scale reproduction (scaled stand-ins, n=%zu)\n", n);
+  // Each dataset honors a real-data override (ANN_BENCH_<DS>_BASE/_QUERY
+  // pointing at big-ann-benchmarks .u8bin/.i8bin/.fbin files); otherwise the
+  // synthetic stand-in is generated at the scaled size.
   {
     auto ds = make_bigann_like(n, nq, 42);
+    bench::load_real_override(ds, "ANN_BENCH_BIGANN_BASE",
+                              "ANN_BENCH_BIGANN_QUERY", n, nq);
     run_dataset<EuclideanSquared>(ds, 1.2f);
   }
   {
     auto ds = make_spacev_like(n, nq, 43);
+    bench::load_real_override(ds, "ANN_BENCH_SPACEV_BASE",
+                              "ANN_BENCH_SPACEV_QUERY", n, nq);
     run_dataset<EuclideanSquared>(ds, 1.2f);
   }
   {
     auto ds = make_text2image_like(n, nq, 44);
+    bench::load_real_override(ds, "ANN_BENCH_T2I_BASE",
+                              "ANN_BENCH_T2I_QUERY", n, nq);
     run_dataset<NegInnerProduct>(ds, 1.0f);  // MIPS: alpha <= 1.0 (appendix A)
   }
   return 0;

@@ -86,16 +86,23 @@ int main(int argc, char** argv) {
   const std::size_t n = bench::scaled(15000, s);
   const std::size_t nq = 150;
   std::printf("Fig.4 hundred-million-scale reproduction (n=%zu)\n", n);
+  // Real-data overrides: same environment variables as bench_fig3.
   {
     auto ds = make_bigann_like(n, nq, 42);
+    bench::load_real_override(ds, "ANN_BENCH_BIGANN_BASE",
+                              "ANN_BENCH_BIGANN_QUERY", n, nq);
     run_dataset<EuclideanSquared>(ds, 1.2f);
   }
   {
     auto ds = make_spacev_like(n, nq, 43);
+    bench::load_real_override(ds, "ANN_BENCH_SPACEV_BASE",
+                              "ANN_BENCH_SPACEV_QUERY", n, nq);
     run_dataset<EuclideanSquared>(ds, 1.2f);
   }
   {
     auto ds = make_text2image_like(n, nq, 44);
+    bench::load_real_override(ds, "ANN_BENCH_T2I_BASE",
+                              "ANN_BENCH_T2I_QUERY", n, nq);
     run_dataset<NegInnerProduct>(ds, 1.0f);
   }
   return 0;

@@ -140,6 +140,8 @@ GraphIndex<Metric, T> build_diskann(const PointSet<T>& points,
         index.graph, points, std::span<const PointId>(order).subspan(lo, hi - lo),
         index.start, params, rev_scratch);
   }
+  // Every degree is back under R; drop the append slack from resident memory.
+  index.graph.compact(params.degree_bound);
   return index;
 }
 

@@ -229,6 +229,10 @@ HNSWIndex<Metric, T> build_hnsw(const PointSet<T>& points,
       }
     }
   }
+  // Every layer's degrees are back under its bound; drop the append slack.
+  for (std::uint32_t l = 0; l < index.layers.size(); ++l) {
+    index.layers[l].compact((l == 0) ? 2 * params.m : params.m);
+  }
   return index;
 }
 

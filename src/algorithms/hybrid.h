@@ -138,6 +138,8 @@ GraphIndex<Metric, T> build_hybrid(const PointSet<T>& points,
       }, 1);
     }
   }
+  // Every degree is back under the bound; drop the append slack.
+  index.graph.compact(params.degree_bound);
   return index;
 }
 

@@ -113,6 +113,8 @@ GraphIndex<Metric, T> build_sharded_diskann(const PointSet<T>& points,
       index.graph.set_neighbors(v, targets);
     }
   }, 1);
+  // Every degree is under the bound; drop the append slack.
+  index.graph.compact(params.diskann.degree_bound);
   return index;
 }
 

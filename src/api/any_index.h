@@ -61,6 +61,7 @@
 #include "filter/filter_spec.h"
 #include "filter/label_store.h"
 #include "filter/post_filter.h"
+#include "quant/quant_spec.h"
 
 namespace ann {
 
@@ -78,6 +79,13 @@ struct IndexStats {
   std::string dtype;
   std::size_t num_points = 0;
   std::size_t dims = 0;
+  // Resident bytes of the index's owned state: coordinate rows, graph /
+  // bucket structures, codebooks and codes, label store. Excludes mmap'd
+  // file backing (evictable by the kernel — reported separately in details
+  // as "mapped_bytes" where present). The quantized tier's headline figure:
+  // attach_quantized with evict_raw shrinks this by roughly the point-set
+  // size.
+  std::size_t memory_bytes = 0;
   // Backend-specific figures (edges, layers, lists, ...).
   std::vector<std::pair<std::string, double>> details;
 
@@ -101,6 +109,54 @@ class BackendBase {
   // True when filtered_search runs the predicate inside the traversal
   // (graph backends); false means the post-filter fallback serves it.
   virtual bool supports_native_filtering() const { return false; }
+
+  // --- quantized tier (optional capability, src/quant/) ---------------------
+  //
+  // Backends that can traverse over compressed codes (the graph backends)
+  // override this block. The defaults make the capability absent: probes
+  // return false and actions throw unsupported_operation, mirroring the
+  // mutation capability's design.
+
+  // True when this backend type implements the quantized path at all
+  // (independent of whether a store is currently attached).
+  virtual bool supports_quantized_search() const { return false; }
+
+  // True once attach_quantized (or loading a file with a quant payload)
+  // installed a code store.
+  virtual bool has_quantized() const { return false; }
+
+  // Train a compressed code store over the indexed points per `spec` and
+  // enable quantized_search. With spec.evict_raw the full-precision rows
+  // are dropped afterwards (see QuantizedSpec).
+  virtual void attach_quantized(const QuantizedSpec& spec) {
+    (void)spec;
+    throw unsupported_operation(
+        "this backend does not support quantized search "
+        "(see supports_quantized_search())");
+  }
+
+  // Write the full-precision rows as a PANV vector store (the mmap rerank
+  // source) to `path`.
+  virtual void export_vector_store(const std::string& path) const {
+    (void)path;
+    throw unsupported_operation(
+        "this backend does not support quantized search "
+        "(see supports_quantized_search())");
+  }
+
+  // Container round-trip of the attached store ("PANQ" payload). Only
+  // invoked by the registry when has_quantized() / the file says so.
+  virtual void save_quantized_payload(std::FILE* f,
+                                      const std::string& path) const {
+    (void)f;
+    throw unsupported_operation("no quantized store to save: " + path);
+  }
+  virtual void load_quantized_payload(std::FILE* f, const std::string& path) {
+    (void)f;
+    throw std::runtime_error(
+        "index file carries a quantized payload but backend does not "
+        "support quantized search: " + path);
+  }
 };
 
 // Typed backend surface; concrete adapters (src/api/adapters.h) derive from
@@ -130,6 +186,18 @@ class TypedBackend : public BackendBase {
     auto results = search(query, post_filter_params(params, fetch));
     apply_post_filter(results, filter, params.k);
     return results;
+  }
+
+  // Quantized traversal + optional exact rerank (params.rerank_count).
+  // Overridden alongside attach_quantized; the default mirrors the
+  // capability-absent contract.
+  virtual std::vector<Neighbor> quantized_search(
+      const T* query, const QueryParams& params) const {
+    (void)query;
+    (void)params;
+    throw unsupported_operation(
+        "this backend does not support quantized search "
+        "(see supports_quantized_search())");
   }
 };
 
@@ -173,6 +241,9 @@ class AnyIndex {
     s.algorithm = spec_.algorithm;
     s.metric = spec_.metric;
     s.dtype = spec_.dtype;
+    // The label store is owned by the handle, not the backend, so its
+    // residency is accounted here.
+    if (labels_) s.memory_bytes += labels_->memory_bytes();
     return s;
   }
 
@@ -347,6 +418,65 @@ class AnyIndex {
       QueryParams qp = *p;
       resolve_filter_factor(qp, *bound[q], backend.num_points());
       results[q] = backend.filtered_search(query, *bound[q], qp);
+    }, 1);
+    return results;
+  }
+
+  // --- quantized tier (optional capability) ----------------------------------
+
+  // True when the backend type implements the quantized path (graph
+  // backends). False for the inverted-file/hash backends and empty handles.
+  bool supports_quantized_search() const {
+    return impl_ != nullptr && impl_->supports_quantized_search();
+  }
+
+  // True once a code store is attached (attach_quantized or load of a file
+  // carrying a quant payload).
+  bool has_quantized() const {
+    return impl_ != nullptr && impl_->has_quantized();
+  }
+
+  // Train a compressed code store over the indexed points and enable
+  // quantized_search (src/quant/ — the DiskANN memory-budget tier). Throws
+  // unsupported_operation on backends without the capability, and
+  // std::invalid_argument on a spec the index cannot honor (e.g. cosine
+  // metric, PQ subspaces > dims, mismatched vectors_path shape).
+  void attach_quantized(const QuantizedSpec& spec) {
+    require_impl("attach_quantized");
+    impl_->attach_quantized(spec);
+  }
+
+  // Write the index's full-precision rows as a PANV vector store at `path`
+  // — the file attach_quantized mmaps for exact rerank.
+  void export_vector_store(const std::string& path) const {
+    require_impl("export_vector_store");
+    impl_->export_vector_store(path);
+  }
+
+  // Top-k over the compressed codes, optionally re-scored from
+  // full-precision rows (params.rerank_count — clamped up to k). Same k
+  // contract as search(). Deterministic under any worker count.
+  template <typename T>
+  std::vector<Neighbor> quantized_search(const T* query,
+                                         const QueryParams& params = {}) const {
+    const TypedBackend<T>& backend = typed<T>("quantized_search");
+    auto p = clamp_k(params, backend.num_points());
+    if (!p) return {};
+    return backend.quantized_search(query, *p);
+  }
+
+  // Parallel quantized fan-out; results[q] matches quantized_search
+  // (queries[q]) element-wise under any worker count.
+  template <typename T>
+  std::vector<std::vector<Neighbor>> quantized_batch_search(
+      const PointSet<T>& queries, const QueryParams& params = {}) const {
+    const TypedBackend<T>& backend = typed<T>("quantized_batch_search");
+    std::vector<std::vector<Neighbor>> results(queries.size());
+    auto p = clamp_k(params, backend.num_points());
+    if (!p) return results;
+    parlay::parallel_for(0, queries.size(), [&](std::size_t q) {
+      results[q] =
+          backend.quantized_search(queries[static_cast<PointId>(q)], *p);
     }, 1);
     return results;
   }

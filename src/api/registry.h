@@ -133,10 +133,11 @@ inline void AnyIndex::save(const std::string& path) const {
                               serialize_params(spec_.params)};
   write_container_header(f.get(), header, path);
   impl_->save_payload(f.get(), path);
-  // Label payload trails the backend payload when labels are attached; its
-  // absence (EOF right after the backend payload) means "no labels", so
-  // unlabeled files are byte-identical to pre-label versions.
+  // Optional payloads trail the backend payload in a fixed order (labels,
+  // then quant); each is absent when the feature is unattached, so files
+  // without them are byte-identical to pre-feature versions.
   if (labels_) write_label_store_payload(f.get(), *labels_, path);
+  if (impl_->has_quantized()) impl_->save_quantized_payload(f.get(), path);
 }
 
 inline AnyIndex AnyIndex::load(const std::string& path) {
@@ -149,12 +150,26 @@ inline AnyIndex AnyIndex::load(const std::string& path) {
   spec.params = params_from_kv(header.algorithm, header.params);
   AnyIndex index = make_index(std::move(spec));
   index.impl_->load_payload(f.get(), path);
-  // Probe for a trailing label payload. One-byte lookahead keeps the
-  // container version unchanged: old files simply end here.
-  int probe = std::fgetc(f.get());
-  if (probe != EOF) {
-    std::ungetc(probe, f.get());
-    index.attach_labels(read_label_store_payload(f.get(), path));
+  // Dispatch the optional trailing payloads by magic probe. Old files end
+  // right after the backend payload and fall through untouched, keeping the
+  // container version unchanged. The 4-byte probe is pushed back with fseek
+  // (ungetc guarantees only one byte) — index containers are regular files.
+  for (;;) {
+    std::uint32_t magic = 0;
+    std::size_t got = std::fread(&magic, 1, sizeof(magic), f.get());
+    if (got == 0) break;  // clean EOF: no more payloads
+    if (got != sizeof(magic) ||
+        std::fseek(f.get(), -static_cast<long>(got), SEEK_CUR) != 0) {
+      throw std::runtime_error("corrupt trailing payload: " + path);
+    }
+    if (magic == internal::kLabelStoreMagic) {
+      index.attach_labels(read_label_store_payload(f.get(), path));
+    } else if (magic == internal::kQuantStoreMagic) {
+      index.impl_->load_quantized_payload(f.get(), path);
+    } else {
+      throw std::runtime_error("unknown trailing payload in index container: " +
+                               path);
+    }
   }
   return index;
 }

@@ -74,6 +74,12 @@ struct SearchParams {
   // filter's estimated selectivity (ann::auto_filter_beam_factor) before
   // dispatch. Ignored by unfiltered search.
   float filter_beam_factor = 0.0f;
+  // Quantized search only: number of top compressed-domain candidates to
+  // re-score from full-precision rows after the traversal (the DiskANN
+  // rerank knob). 0 disables rerank — results carry ADC distances.
+  // Clamped up to k and down to the frontier size at the rerank site.
+  // Ignored by full-precision search.
+  std::uint32_t rerank_count = 0;
 };
 
 struct SearchResult {
@@ -106,6 +112,14 @@ struct SearchScratch {
   std::vector<PointId> gather;           // unseen neighbors of one node
   std::vector<Neighbor> flood;           // range-search flood queue
   std::vector<Neighbor> matched;         // filtered-search result list
+  // Quantized-search buffers (src/quant/): the per-query ADC lookup table,
+  // a float image of the query for table filling, and the int8-quantized
+  // query. Sized once per (store, params) shape and reused — steady-state
+  // quantized queries allocate nothing, same contract as the rest of the
+  // scratch.
+  std::vector<float> adc_table;
+  std::vector<float> quant_query_f;
+  std::vector<std::int8_t> quant_query_i8;
 };
 
 inline SearchScratch& local_search_scratch() {
@@ -354,7 +368,125 @@ SearchResult filtered_beam_search_impl(const T* query,
   return result;
 }
 
+// Quantized beam search: the identical traversal as beam_search_impl,
+// except every distance is a compressed-domain evaluation through a
+// QuantView (qv.eval(id) — e.g. an ADC table-lookup sum over PQ codes, or
+// an int8 kernel; see src/quant/quantized_store.h). The full-precision rows
+// are never touched, which is what lets the raw coordinates live out of RAM
+// (mmap'd or evicted). Deterministic for the same reasons as the
+// full-precision walk: qv.eval is a pure function of (prepared query, id),
+// accumulated in a fixed order, and the beam keeps the (dist, id) total
+// order.
+//
+// Counting: each qv.eval counts as one distance evaluation, reported in a
+// single batched bump, matching beam_search_impl (table construction is
+// counted separately by the store's bind()).
+template <typename QuantView, typename VisitedSet>
+SearchResult quantized_beam_search_impl(const QuantView& qv, const Graph& g,
+                                        std::span<const PointId> starts,
+                                        const SearchParams& params,
+                                        VisitedSet& seen,
+                                        SearchScratch& scratch) {
+  const std::size_t L = std::max<std::size_t>(params.beam_width, 1);
+  const std::size_t k = std::max<std::size_t>(params.k, 1);
+  const float cut = 1.0f + params.epsilon;
+
+  std::vector<Neighbor>& beam = scratch.beam;
+  std::vector<unsigned char>& processed = scratch.processed;
+  beam.clear();
+  beam.reserve(L + 1);
+  processed.clear();
+  processed.reserve(L + 1);
+  scratch.processed_ids.reset(
+      std::min<std::size_t>(params.visit_limit, 4 * L));
+
+  SearchResult result;
+  result.visited.reserve(std::min(params.visit_limit, 4 * L));
+  std::uint64_t evals = 0;
+
+  auto insert_candidate = [&](PointId id, float dist) {
+    Neighbor nb{id, dist};
+    auto it = std::lower_bound(beam.begin(), beam.end(), nb);
+    if (it != beam.end() && it->id == id && it->dist == dist) return;
+    if (beam.size() >= L) {
+      if (!(nb < beam.back())) return;
+      beam.pop_back();
+      processed.pop_back();
+    }
+    std::size_t pos = static_cast<std::size_t>(it - beam.begin());
+    beam.insert(beam.begin() + pos, nb);
+    processed.insert(processed.begin() + pos, 0);
+  };
+
+  for (PointId s : starts) {
+    if (seen.test_and_set(s)) continue;
+    ++evals;
+    insert_candidate(s, qv.eval(s));
+  }
+
+  while (result.visited.size() < params.visit_limit) {
+    std::size_t pi = 0;
+    while (pi < beam.size() && processed[pi]) ++pi;
+    if (pi == beam.size()) break;
+
+    processed[pi] = 1;
+    Neighbor current = beam[pi];
+    if (!scratch.processed_ids.insert(current.id)) continue;
+    result.visited.push_back(current);
+
+    float dk = beam.size() >= k ? beam[k - 1].dist : beam.back().dist;
+    float radius = dk < 0 ? dk / cut : dk * cut;
+    float worst = beam.size() >= L
+                      ? beam.back().dist
+                      : std::numeric_limits<float>::infinity();
+
+    // Phase 1: gather unseen neighbors, prefetching their CODE rows (a few
+    // bytes each — one line usually covers several points).
+    scratch.gather.clear();
+    for (PointId nb_id : g.neighbors(current.id)) {
+      if (seen.test_and_set(nb_id)) continue;
+      scratch.gather.push_back(nb_id);
+      qv.prefetch(nb_id);
+    }
+    evals += scratch.gather.size();
+
+    for (PointId nb_id : scratch.gather) {
+      float d = qv.eval(nb_id);
+      if (d > worst) continue;
+      if (params.epsilon > 0.0f && d > radius) continue;
+      insert_candidate(nb_id, d);
+      worst = beam.size() >= L ? beam.back().dist
+                               : std::numeric_limits<float>::infinity();
+    }
+  }
+
+  DistanceCounter::bump(evals);
+  result.frontier.assign(beam.begin(), beam.end());
+  return result;
+}
+
 }  // namespace internal
+
+// Quantized beam search over a bound QuantView (see
+// src/quant/quantized_store.h: store.bind(query, scratch) produces the
+// view). Same VisitedSet dispatch as beam_search. Rerank is layered on top
+// by the caller (ann::exact_rerank) — this routine never reads coordinates.
+template <typename QuantView, typename VisitedSet = ApproxVisitedSet>
+SearchResult quantized_beam_search(const QuantView& qv, const Graph& g,
+                                   std::span<const PointId> starts,
+                                   const SearchParams& params,
+                                   SearchScratch& scratch) {
+  const std::size_t L = std::max<std::size_t>(params.beam_width, 1);
+  if constexpr (std::is_same_v<VisitedSet, ApproxVisitedSet>) {
+    scratch.seen.reset(L);
+    return internal::quantized_beam_search_impl(qv, g, starts, params,
+                                                scratch.seen, scratch);
+  } else {
+    VisitedSet seen(L);
+    return internal::quantized_beam_search_impl(qv, g, starts, params, seen,
+                                                scratch);
+  }
+}
 
 // Filter-aware beam search: like beam_search, but only points for which
 // pred(id) is true enter the result frontier. Filtered-out points still

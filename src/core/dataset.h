@@ -26,6 +26,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -221,6 +224,88 @@ inline Dataset<std::uint8_t> make_ssnpp_like(std::size_t n, std::size_t nq,
   internal::fill_latent(ds.base, spec, centers, proj, rs.fork(3));
   internal::fill_latent(ds.queries, spec, centers, proj, rs.fork(4));
   return ds;
+}
+
+// --- big-ann-benchmarks binary readers ---------------------------------------
+//
+// The competition distributes corpora as flat binary files: a u32 point
+// count, a u32 dimension count, then n*d row-major elements. The extension
+// names the element type: .fbin (float32), .u8bin (uint8), .i8bin (int8).
+//
+// load_bin_slice reads a PREFIX SLICE of up to max_points rows (0 = all):
+// the format stores rows contiguously, so the first k rows of a billion-row
+// file are themselves a valid smaller corpus — how the paper's scaling
+// curves subsample BIGANN. Validation is strict: the extension must match
+// T, the header must be sane, and the file size must be EXACTLY
+// 8 + n*d*sizeof(T) bytes (a truncated or padded download fails loudly
+// instead of yielding garbage rows).
+
+namespace internal {
+
+template <typename T>
+const char* bin_extension();
+template <>
+inline const char* bin_extension<float>() { return ".fbin"; }
+template <>
+inline const char* bin_extension<std::uint8_t>() { return ".u8bin"; }
+template <>
+inline const char* bin_extension<std::int8_t>() { return ".i8bin"; }
+
+}  // namespace internal
+
+template <typename T>
+PointSet<T> load_bin_slice(const std::string& path,
+                           std::size_t max_points = 0) {
+  const char* ext = internal::bin_extension<T>();
+  const std::size_t elen = std::string(ext).size();
+  if (path.size() < elen || path.compare(path.size() - elen, elen, ext) != 0) {
+    throw std::invalid_argument("load_bin_slice: '" + path +
+                                "' does not carry the expected extension " +
+                                ext + " for this element type");
+  }
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (!f) {
+    throw std::runtime_error("load_bin_slice: cannot open " + path);
+  }
+  std::uint32_t n32 = 0;
+  std::uint32_t d32 = 0;
+  if (std::fread(&n32, sizeof(n32), 1, f.get()) != 1 ||
+      std::fread(&d32, sizeof(d32), 1, f.get()) != 1) {
+    throw std::runtime_error("load_bin_slice: truncated header in " + path);
+  }
+  const std::size_t n = n32;
+  const std::size_t d = d32;
+  if (d == 0 || d > (1u << 16)) {
+    throw std::runtime_error("load_bin_slice: implausible dimension " +
+                             std::to_string(d) + " in " + path);
+  }
+  // Exact-size check against the FULL file, independent of the slice: a
+  // truncated tail would silently shrink later slices otherwise.
+  if (std::fseek(f.get(), 0, SEEK_END) != 0) {
+    throw std::runtime_error("load_bin_slice: seek failed on " + path);
+  }
+  const long end = std::ftell(f.get());
+  const unsigned long long expect =
+      8ull + static_cast<unsigned long long>(n) * d * sizeof(T);
+  if (end < 0 || static_cast<unsigned long long>(end) != expect) {
+    throw std::runtime_error(
+        "load_bin_slice: " + path + " holds " +
+        std::to_string(end < 0 ? 0 : end) + " bytes but the header (" +
+        std::to_string(n) + " x " + std::to_string(d) + ") requires " +
+        std::to_string(expect));
+  }
+  const std::size_t rows = (max_points == 0) ? n : std::min(n, max_points);
+  if (std::fseek(f.get(), 8, SEEK_SET) != 0) {
+    throw std::runtime_error("load_bin_slice: seek failed on " + path);
+  }
+  PointSet<T> out(rows, d);
+  if (rows > 0 &&
+      std::fread(out.mutable_point(0), sizeof(T), rows * d, f.get()) !=
+          rows * d) {
+    throw std::runtime_error("load_bin_slice: short read from " + path);
+  }
+  return out;
 }
 
 // Uniform random points (hard, structureless case for unit tests).

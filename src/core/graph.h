@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "parlay/parallel.h"
 #include "parlay/sequence_ops.h"
 
 #include "points.h"
@@ -126,6 +127,25 @@ class Graph {
     // New vertices are empty; an existing valid count stays valid.
   }
 
+  // Shrink the per-vertex slot count to `new_max_degree`. The batch builders
+  // allocate 2x degree slack so reverse-edge appends land before the
+  // re-prune; that slack is only needed while a build is in flight, but a
+  // static index would pay for it in resident memory forever. Every degree
+  // must already be <= new_max_degree (the builders' post-prune invariant).
+  void compact(std::uint32_t new_max_degree) {
+    if (new_max_degree >= max_degree_) return;
+    std::vector<PointId> packed(
+        n_ * static_cast<std::size_t>(new_max_degree), kInvalidPoint);
+    parlay::parallel_for(0, n_, [&](std::size_t v) {
+      assert(sizes_[v] <= new_max_degree);
+      const PointId* src = edges_.data() + v * max_degree_;
+      PointId* dst = packed.data() + v * static_cast<std::size_t>(new_max_degree);
+      for (std::uint32_t i = 0; i < sizes_[v]; ++i) dst[i] = src[i];
+    });
+    edges_ = std::move(packed);
+    max_degree_ = new_max_degree;
+  }
+
   // Total directed edges. Memoized: the first call after any mutation runs
   // a parallel blocked reduce over the degree array; subsequent calls (the
   // per-query stats() path) return the cached value. Follows the class
@@ -141,6 +161,12 @@ class Graph {
     cached_edges_.store(static_cast<std::int64_t>(total),
                         std::memory_order_relaxed);
     return total;
+  }
+
+  // Resident bytes of the adjacency storage (degree array + flat edges).
+  std::size_t memory_bytes() const {
+    return sizes_.capacity() * sizeof(std::uint32_t) +
+           edges_.capacity() * sizeof(PointId);
   }
 
   bool operator==(const Graph& o) const {

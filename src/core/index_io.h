@@ -18,6 +18,15 @@
 //                payload when labels are attached (absent otherwise; old
 //                files simply end at the backend payload, so the container
 //                version is unchanged)
+//   quant      : [magic "PANQ" u32] [version u32] [kind u32] [n u64] [d u64]
+//                [kind-specific body: PQ codebooks + n*m code bytes, or int8
+//                scale/offset + n*d codes + optional per-point sums] — the
+//                QuantizedStore of an index with an attached compressed
+//                tier (src/quant/quantized_store.h), appended after the
+//                label payload when present. Trailing payloads are
+//                dispatched by magic probe, so any combination of
+//                labels/quant round-trips and pre-quantization files load
+//                unchanged.
 //
 // The container is the format behind `ann::AnyIndex::save/load` (src/api/):
 // its header carries everything needed to reconstruct the index through the
@@ -49,10 +58,12 @@ inline constexpr std::uint32_t kGraphIndexMagic = 0x50414e4e;    // "PANN"
 inline constexpr std::uint32_t kHnswIndexMagic = 0x50414e48;     // "PANH"
 inline constexpr std::uint32_t kDynamicStateMagic = 0x50414e44;  // "PAND"
 inline constexpr std::uint32_t kLabelStoreMagic = 0x50414e4c;    // "PANL"
+inline constexpr std::uint32_t kQuantStoreMagic = 0x50414e51;    // "PANQ"
 inline constexpr std::uint32_t kIndexVersion = 1;
 inline constexpr std::uint32_t kContainerVersion = 1;
 inline constexpr std::uint32_t kDynamicStateVersion = 1;
 inline constexpr std::uint32_t kLabelStoreVersion = 1;
+inline constexpr std::uint32_t kQuantStoreVersion = 1;
 
 }  // namespace internal
 

@@ -81,6 +81,10 @@ class PointSet {
     return out;
   }
 
+  // Resident bytes of the coordinate array (including row padding) — the
+  // input to IndexStats::memory_bytes accounting.
+  std::size_t memory_bytes() const { return data_.capacity() * sizeof(T); }
+
   bool operator==(const PointSet& o) const {
     if (n_ != o.n_ || d_ != o.d_) return false;
     for (std::size_t i = 0; i < n_; ++i) {

@@ -116,6 +116,17 @@ class LabelStore {
     return label < counts_.size() ? counts_[label] : 0;
   }
 
+  // Resident bytes of the canonical arrays plus the name dictionary's
+  // string payloads (the hash map's node overhead is left out — it is
+  // implementation-defined and small next to the CSR).
+  std::size_t memory_bytes() const {
+    std::size_t bytes = offsets_.capacity() * sizeof(std::uint64_t) +
+                        ids_.capacity() * sizeof(LabelId) +
+                        counts_.capacity() * sizeof(std::uint64_t);
+    for (const auto& name : names_) bytes += sizeof(name) + name.capacity();
+    return bytes;
+  }
+
   bool operator==(const LabelStore& o) const {
     // by_name_/counts_ are derived from these three, so comparing the
     // canonical arrays is the whole identity.

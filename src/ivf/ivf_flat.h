@@ -140,6 +140,15 @@ class IVFFlat {
   const std::vector<PointId>& list(std::size_t c) const { return lists_[c]; }
   const PointSet<float>& centroids() const { return centroids_; }
 
+  // Resident bytes of centroids + posting lists (IndexStats accounting).
+  std::size_t memory_bytes() const {
+    std::size_t bytes = centroids_.memory_bytes();
+    for (const auto& list : lists_) {
+      bytes += sizeof(list) + list.capacity() * sizeof(PointId);
+    }
+    return bytes;
+  }
+
   void save_payload(std::FILE* f, const std::string& path) const {
     ioutil::write_points(f, centroids_, path);
     internal::write_posting_lists(f, lists_, path);

@@ -105,6 +105,16 @@ class IVFPQ {
 
   const ProductQuantizer<T>& quantizer() const { return pq_; }
 
+  // Resident bytes of centroids + posting lists + codebooks + codes.
+  std::size_t memory_bytes() const {
+    std::size_t bytes = centroids_.memory_bytes() + pq_.memory_bytes() +
+                        codes_.capacity();
+    for (const auto& list : lists_) {
+      bytes += sizeof(list) + list.capacity() * sizeof(PointId);
+    }
+    return bytes;
+  }
+
   void save_payload(std::FILE* f, const std::string& path) const {
     ioutil::write_points(f, centroids_, path);
     internal::write_posting_lists(f, lists_, path);

@@ -21,6 +21,7 @@
 #include "core/io.h"
 #include "core/points.h"
 #include "ivf/kmeans.h"
+#include "quant/quant_kernels.h"
 
 namespace ann {
 
@@ -88,38 +89,48 @@ class ProductQuantizer {
     return codes;
   }
 
-  // ADC lookup table for one query: m x codebook-size subdistances under
-  // Metric. Valid for metrics that decompose over subspaces as a sum
-  // (L2^2, negative inner product) — NOT cosine.
+  // Fill a caller-owned ADC table (m x max_codes() floats) for one query:
+  // per-subspace subdistances under Metric. Valid for metrics that decompose
+  // over subspaces as a sum (L2^2, negative inner product) — NOT cosine.
+  // `query_scratch` receives the float-cast query (subspaces are contiguous,
+  // so each subspace's slice is passed to the kernels in place); reusing a
+  // pooled buffer keeps the quantized search steady state allocation-free.
+  // Entries past a codebook's size are left untouched — codes never index
+  // them.
   template <typename Metric = EuclideanSquared>
-  std::vector<float> adc_table(const T* q) const {
-    std::size_t width = max_codes();
-    std::vector<float> table(m_ * width, 0.0f);
+  void fill_adc_table(const T* q, float* table,
+                      std::vector<float>& query_scratch) const {
+    const std::size_t width = max_codes();
+    query_scratch.resize(d_);
+    for (std::size_t j = 0; j < d_; ++j) {
+      query_scratch[j] = static_cast<float>(q[j]);
+    }
     for (std::uint32_t s = 0; s < m_; ++s) {
-      std::vector<float> sub(sub_dims_[s]);
-      for (std::size_t j = 0; j < sub_dims_[s]; ++j) {
-        sub[j] = static_cast<float>(q[sub_offsets_[s] + j]);
-      }
-      const auto prep = Metric::prepare(sub.data(), sub_dims_[s]);
+      const float* sub = query_scratch.data() + sub_offsets_[s];
+      const auto prep = Metric::prepare(sub, sub_dims_[s]);
       for (std::uint32_t c = 0; c < codebooks_[s].size(); ++c) {
         table[s * width + c] =
-            Metric::eval(prep, sub.data(), codebooks_[s][c], sub_dims_[s]);
+            Metric::eval(prep, sub, codebooks_[s][c], sub_dims_[s]);
       }
       DistanceCounter::bump(codebooks_[s].size());
     }
+  }
+
+  // Allocating wrapper around fill_adc_table (the IVF_PQ probe-scan shape).
+  template <typename Metric = EuclideanSquared>
+  std::vector<float> adc_table(const T* q) const {
+    std::vector<float> table(m_ * max_codes(), 0.0f);
+    std::vector<float> query_scratch;
+    fill_adc_table<Metric>(q, table.data(), query_scratch);
     return table;
   }
 
   // Raw table-lookup sum for the i-th encoded vector (uncounted; hot scan
-  // loops batch their own DistanceCounter::bump).
+  // loops batch their own DistanceCounter::bump). Delegates to the shared
+  // quant kernel — the single ADC inner loop in the codebase.
   float adc_eval(const std::vector<float>& table, const std::uint8_t* codes,
                  std::size_t i) const {
-    std::size_t width = max_codes();
-    float acc = 0.0f;
-    for (std::uint32_t s = 0; s < m_; ++s) {
-      acc += table[s * width + codes[i * m_ + s]];
-    }
-    return acc;
+    return quant::adc_sum(table.data(), max_codes(), codes + i * m_, m_);
   }
 
   // Approximate distance of the i-th encoded vector via the ADC table,
@@ -147,6 +158,15 @@ class ProductQuantizer {
     std::size_t w = 0;
     for (const auto& cb : codebooks_) w = std::max(w, cb.size());
     return w;
+  }
+
+  // Resident bytes of the trained codebooks (codes are owned by callers).
+  std::size_t memory_bytes() const {
+    std::size_t total =
+        sub_dims_.capacity() * sizeof(std::size_t) +
+        sub_offsets_.capacity() * sizeof(std::size_t);
+    for (const auto& cb : codebooks_) total += cb.memory_bytes();
+    return total;
   }
 
   void save_payload(std::FILE* f, const std::string& path) const {

@@ -119,6 +119,21 @@ class LSHIndex {
 
   std::size_t num_tables() const { return tables_.size(); }
 
+  // Resident bytes of hyperplanes + buckets (IndexStats accounting; the
+  // hash maps' node overhead is implementation-defined and left out).
+  std::size_t memory_bytes() const {
+    std::size_t bytes = 0;
+    for (const auto& plane : planes_) {
+      bytes += sizeof(plane) + plane.capacity() * sizeof(float);
+    }
+    for (const auto& table : tables_) {
+      for (const auto& [h, ids] : table) {
+        bytes += sizeof(h) + sizeof(ids) + ids.capacity() * sizeof(PointId);
+      }
+    }
+    return bytes;
+  }
+
   void save_payload(std::FILE* f, const std::string& path) const {
     ioutil::write_u32(f, num_bits_, path);
     ioutil::write_u32(f, static_cast<std::uint32_t>(planes_.size()), path);

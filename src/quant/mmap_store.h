@@ -1,0 +1,203 @@
+// Memory-mapped full-precision vector store — the rerank side of the
+// DiskANN recipe: graph traversal runs over compressed in-memory codes
+// (quantized_store.h) while the exact coordinates live in a file the kernel
+// pages in on demand, so they never count against the resident budget.
+//
+// On-disk format ("PANV", versioned, fixed 32-byte header):
+//
+//   [magic u32 "PANV"] [version u32] [dtype code u32] [element size u32]
+//   [n u64] [d u64] [n x d row-major elements, unpadded]
+//
+// Open() validates everything against the actual file size before the first
+// access — zero-length, truncated, wrong-magic, wrong-dtype and
+// trailing-garbage files all fail with a clean std::runtime_error naming
+// the path, never a SIGBUS on the first rerank. row() is bounds-checked
+// (it runs a handful of times per query, after the beam; the branch is
+// noise next to the page fault it may trigger).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "core/io.h"
+#include "core/points.h"
+
+namespace ann {
+
+namespace internal {
+inline constexpr std::uint32_t kVectorStoreMagic = 0x50414e56;  // "PANV"
+inline constexpr std::uint32_t kVectorStoreVersion = 1;
+inline constexpr std::size_t kVectorStoreHeaderBytes = 32;
+}  // namespace internal
+
+template <typename T>
+constexpr std::uint32_t vector_store_dtype_code();
+template <>
+constexpr std::uint32_t vector_store_dtype_code<float>() { return 0; }
+template <>
+constexpr std::uint32_t vector_store_dtype_code<std::uint8_t>() { return 1; }
+template <>
+constexpr std::uint32_t vector_store_dtype_code<std::int8_t>() { return 2; }
+
+// Write a PANV vector store holding all rows of `points` (unpadded).
+template <typename T>
+void write_vector_store(const std::string& path, const PointSet<T>& points) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot create vector store: " + path);
+  }
+  try {
+    ioutil::write_u32(f, internal::kVectorStoreMagic, path);
+    ioutil::write_u32(f, internal::kVectorStoreVersion, path);
+    ioutil::write_u32(f, vector_store_dtype_code<T>(), path);
+    ioutil::write_u32(f, static_cast<std::uint32_t>(sizeof(T)), path);
+    ioutil::write_u64(f, points.size(), path);
+    ioutil::write_u64(f, points.dims(), path);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      ioutil::write_bytes(f, points[static_cast<PointId>(i)],
+                          points.dims() * sizeof(T), path);
+    }
+  } catch (...) {
+    std::fclose(f);
+    throw;
+  }
+  if (std::fclose(f) != 0) {
+    throw std::runtime_error("short write: " + path);
+  }
+}
+
+// Read-only mmap over a PANV file. Move-only; the mapping lives as long as
+// the store object (unlinking the file underneath it is safe on POSIX).
+template <typename T>
+class MmapVectorStore {
+ public:
+  explicit MmapVectorStore(const std::string& path) : path_(path) {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      throw std::runtime_error("cannot open vector store: " + path);
+    }
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      throw std::runtime_error("cannot stat vector store: " + path);
+    }
+    const std::uint64_t file_size = static_cast<std::uint64_t>(st.st_size);
+    if (file_size < internal::kVectorStoreHeaderBytes) {
+      ::close(fd);
+      throw std::runtime_error(
+          "vector store truncated (smaller than its header): " + path);
+    }
+    void* map = ::mmap(nullptr, file_size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (map == MAP_FAILED) {
+      throw std::runtime_error("cannot mmap vector store: " + path);
+    }
+    base_ = map;
+    mapped_bytes_ = file_size;
+    try {
+      const std::uint32_t* h32 = static_cast<const std::uint32_t*>(map);
+      if (h32[0] != internal::kVectorStoreMagic) {
+        throw std::runtime_error("not a vector store (bad magic): " + path);
+      }
+      if (h32[1] != internal::kVectorStoreVersion) {
+        throw std::runtime_error("unsupported vector store version: " + path);
+      }
+      if (h32[2] != vector_store_dtype_code<T>() || h32[3] != sizeof(T)) {
+        throw std::runtime_error(
+            "vector store element type mismatch: " + path);
+      }
+      std::uint64_t n64 = 0, d64 = 0;
+      const unsigned char* hb = static_cast<const unsigned char*>(map);
+      std::memcpy(&n64, hb + 16, sizeof(n64));
+      std::memcpy(&d64, hb + 24, sizeof(d64));
+      if (d64 == 0 || d64 > (1ull << 24) || n64 > (1ull << 48) / d64) {
+        throw std::runtime_error("corrupt vector store header: " + path);
+      }
+      const std::uint64_t expected =
+          internal::kVectorStoreHeaderBytes + n64 * d64 * sizeof(T);
+      if (file_size < expected) {
+        throw std::runtime_error(
+            "vector store truncated (header promises more rows than the "
+            "file holds): " + path);
+      }
+      if (file_size > expected) {
+        throw std::runtime_error(
+            "vector store size mismatch (trailing bytes): " + path);
+      }
+      n_ = n64;
+      d_ = d64;
+      data_ = reinterpret_cast<const T*>(
+          static_cast<const unsigned char*>(map) +
+          internal::kVectorStoreHeaderBytes);
+    } catch (...) {
+      ::munmap(base_, mapped_bytes_);
+      throw;
+    }
+  }
+
+  ~MmapVectorStore() {
+    if (base_ != nullptr) ::munmap(base_, mapped_bytes_);
+  }
+
+  MmapVectorStore(const MmapVectorStore&) = delete;
+  MmapVectorStore& operator=(const MmapVectorStore&) = delete;
+
+  MmapVectorStore(MmapVectorStore&& o) noexcept
+      : path_(std::move(o.path_)),
+        base_(std::exchange(o.base_, nullptr)),
+        mapped_bytes_(std::exchange(o.mapped_bytes_, 0)),
+        data_(std::exchange(o.data_, nullptr)),
+        n_(std::exchange(o.n_, 0)),
+        d_(std::exchange(o.d_, 0)) {}
+
+  MmapVectorStore& operator=(MmapVectorStore&& o) noexcept {
+    if (this != &o) {
+      if (base_ != nullptr) ::munmap(base_, mapped_bytes_);
+      path_ = std::move(o.path_);
+      base_ = std::exchange(o.base_, nullptr);
+      mapped_bytes_ = std::exchange(o.mapped_bytes_, 0);
+      data_ = std::exchange(o.data_, nullptr);
+      n_ = std::exchange(o.n_, 0);
+      d_ = std::exchange(o.d_, 0);
+    }
+    return *this;
+  }
+
+  std::size_t size() const { return n_; }
+  std::size_t dims() const { return d_; }
+  const std::string& path() const { return path_; }
+
+  const T* row(PointId i) const {
+    if (i >= n_) {
+      throw std::out_of_range("MmapVectorStore::row: id " +
+                              std::to_string(i) + " out of range (" +
+                              std::to_string(n_) + " rows): " + path_);
+    }
+    return data_ + static_cast<std::size_t>(i) * d_;
+  }
+
+  // Bytes of the file mapping — file-backed and evictable, so NOT part of
+  // the resident-memory accounting (that is the whole point of the tier);
+  // reported separately in stats details.
+  std::size_t mapped_bytes() const { return mapped_bytes_; }
+
+ private:
+  std::string path_;
+  void* base_ = nullptr;
+  std::size_t mapped_bytes_ = 0;
+  const T* data_ = nullptr;
+  std::size_t n_ = 0;
+  std::size_t d_ = 0;
+};
+
+}  // namespace ann

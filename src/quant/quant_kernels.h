@@ -1,0 +1,57 @@
+// Shared compressed-domain distance kernels for the quantized tier
+// (src/quant/) and the IVF_PQ scan (src/ivf/) — ONE implementation of the
+// ADC inner loop, so the two paths cannot drift apart.
+//
+// Determinism contract (the ADC analogue of core/distance.h's fixed-lane
+// float kernels): adc_sum accumulates the per-subspace table entries in
+// SEQUENTIAL SUBSPACE ORDER, always. The loop is gather-bound — each term is
+// a data-dependent table lookup — so unlike the dense float kernels there is
+// no throughput to win by multi-lane reassociation, and keeping the plain
+// sequential order makes the quantized traversal bit-identical to the
+// historical pq.h scan and across worker counts. The int8 kernels accumulate
+// in integer arithmetic, which is exact and associative, so their order is
+// free (mirroring the plain-loop integer finding in core/distance.h).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ann::quant {
+
+// ADC table-lookup sum for one m-byte PQ code row against a prepared query
+// table (m x width floats, row s holding subspace s's subdistances).
+// THE deterministic ADC accumulation order — see the header comment.
+inline float adc_sum(const float* table, std::size_t width,
+                     const std::uint8_t* code, std::uint32_t m) {
+  float acc = 0.0f;
+  for (std::uint32_t s = 0; s < m; ++s) {
+    acc += table[s * width + code[s]];
+  }
+  return acc;
+}
+
+// Squared L2 between two int8 code rows. Exact integer accumulation: for
+// uint8 data stored as (x - 128) the offset cancels in the difference, so
+// this reproduces the full-precision integer distance bit-for-bit.
+inline std::int64_t i8_l2(const std::int8_t* a, const std::int8_t* b,
+                          std::size_t d) {
+  std::int64_t acc = 0;
+  for (std::size_t j = 0; j < d; ++j) {
+    std::int32_t diff =
+        static_cast<std::int32_t>(a[j]) - static_cast<std::int32_t>(b[j]);
+    acc += static_cast<std::int64_t>(diff) * diff;
+  }
+  return acc;
+}
+
+// Inner product between two int8 code rows (exact integer accumulation).
+inline std::int64_t i8_dot(const std::int8_t* a, const std::int8_t* b,
+                           std::size_t d) {
+  std::int64_t acc = 0;
+  for (std::size_t j = 0; j < d; ++j) {
+    acc += static_cast<std::int64_t>(a[j]) * static_cast<std::int64_t>(b[j]);
+  }
+  return acc;
+}
+
+}  // namespace ann::quant

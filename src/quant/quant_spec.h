@@ -1,0 +1,39 @@
+// Configuration for AnyIndex::attach_quantized — split from
+// quantized_store.h so the api layer can name the spec in its capability
+// virtuals without pulling the store implementation into every consumer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ivf/pq.h"  // PQParams
+
+namespace ann {
+
+enum class QuantKind : std::uint32_t {
+  kPQ = 0,    // product quantization: m code bytes per point + codebooks
+  kInt8 = 1,  // scalar quantization: d int8 codes per point, global scale
+};
+
+// attach_quantized(spec): train a compressed code store over the index's
+// points and enable the quantized traversal path.
+struct QuantizedSpec {
+  QuantKind kind = QuantKind::kPQ;
+
+  // kPQ only: codebook training parameters (reuses src/ivf/pq.h).
+  PQParams pq{};
+
+  // Optional PANV full-precision store (quant/mmap_store.h) used as the
+  // exact-rerank source; must hold exactly the index's rows (shape-checked
+  // at attach). Empty = rerank reads the in-RAM rows instead.
+  std::string vectors_path;
+
+  // Drop the in-RAM full-precision rows after training — the memory-budget
+  // mode. Full-precision search/range_search/filtered_search then throw
+  // ann::unsupported_operation; rerank (and save) need vectors_path. With
+  // no vectors_path this is the codes-only tier: quantized search still
+  // works, but rerank_count > 0 and save() throw.
+  bool evict_raw = false;
+};
+
+}  // namespace ann

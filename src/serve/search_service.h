@@ -33,6 +33,13 @@
 //     hatch never group (a callable has no equality), so each dispatches
 //     alone — correct, just unbatched. stats() reports the filtered request
 //     count and the mean estimated selectivity of dispatched filters.
+//   * Quantized traffic (the submit_quantized overloads) rides the same
+//     micro-batcher: quantized requests group only with other quantized
+//     requests carrying identical QueryParams (rerank_count included) and
+//     dispatch through one AnyIndex::quantized_batch_search. The served
+//     index must have a code store attached (AnyIndex::attach_quantized) —
+//     checked at submit time, not as a failed future at dispatch time.
+//     stats() reports the quantized request count.
 //   * Completion is per-request: submit() returns a std::future, or the
 //     callback overload invokes the callback on the dispatcher thread
 //     (callbacks must be fast and must not throw).
@@ -125,6 +132,7 @@ struct ServeStats {
   std::uint64_t distance_comps = 0;  // summed over dispatched batches
   std::size_t queue_depth = 0;       // instantaneous
   std::uint64_t filtered = 0;        // requests dispatched with an active filter
+  std::uint64_t quantized = 0;       // requests dispatched via quantized_search
   // Mean estimated selectivity over dispatched filtered requests (0 when
   // none ran): how much of the index the average filter admits.
   double mean_filter_selectivity = 0;
@@ -250,6 +258,39 @@ class SearchService {
     enqueue(std::move(req));
   }
 
+  // --- quantized submission --------------------------------------------------
+
+  // Per-request quantized search: answered element-wise identically to
+  // AnyIndex::quantized_search(query, params) — compressed-domain traversal
+  // plus exact rerank of the top params.rerank_count candidates. Rejected
+  // with std::invalid_argument at submit time when the served index has no
+  // code store attached (AnyIndex::attach_quantized / a loaded container
+  // carrying a quantized payload).
+  std::future<std::vector<Neighbor>> submit_quantized(
+      std::span<const T> query, const QueryParams& params = {}) {
+    auto req = make_request(query, params);
+    req->quantized = true;
+    require_quantized();
+    auto future = req->promise.get_future();
+    enqueue(std::move(req));
+    return future;
+  }
+
+  std::future<std::vector<Neighbor>> submit_quantized(
+      const T* query, const QueryParams& params = {}) {
+    return submit_quantized(std::span<const T>(query, dims_), params);
+  }
+
+  // Quantized callback completion path.
+  void submit_quantized(std::span<const T> query, const QueryParams& params,
+                        Callback callback) {
+    auto req = make_request(query, params);
+    req->quantized = true;
+    require_quantized();
+    req->callback = std::move(callback);
+    enqueue(std::move(req));
+  }
+
   // All-or-nothing batch submission: either every row is admitted (futures
   // returned in row order) or none is — a kReject overflow throws
   // queue_full without enqueueing anything, so no future is ever lost.
@@ -329,6 +370,7 @@ class SearchService {
     s.distance_comps = distance_comps_.load(std::memory_order_relaxed);
     s.queue_depth = queued_.load(std::memory_order_relaxed);
     s.filtered = filtered_.load(std::memory_order_relaxed);
+    s.quantized = quantized_.load(std::memory_order_relaxed);
     // Selectivity is accumulated in integer micro-units so the hot path
     // needs no atomic<double> RMW (fetch_add on doubles is C++20-optional).
     s.mean_filter_selectivity =
@@ -353,6 +395,7 @@ class SearchService {
         {"distance_comps", static_cast<double>(s.distance_comps)},
         {"queue_depth", static_cast<double>(s.queue_depth)},
         {"filtered", static_cast<double>(s.filtered)},
+        {"quantized", static_cast<double>(s.quantized)},
         {"mean_filter_selectivity", s.mean_filter_selectivity},
     };
     return s;
@@ -362,11 +405,20 @@ class SearchService {
   struct Request {
     std::vector<T> query;
     QueryParams params;
-    FilterSpec filter;  // inactive for plain submits
+    FilterSpec filter;       // inactive for plain submits
+    bool quantized = false;  // dispatch via quantized_batch_search
     std::promise<std::vector<Neighbor>> promise;
     Callback callback;  // empty => promise completion path
     std::chrono::steady_clock::time_point enqueued;
   };
+
+  void require_quantized() const {
+    if (!index_.has_quantized()) {
+      throw std::invalid_argument(
+          "SearchService::submit_quantized: the served index has no code "
+          "store attached (AnyIndex::attach_quantized)");
+    }
+  }
 
   static const ServeParams& validated(const ServeParams& params) {
     if (params.max_batch == 0) {
@@ -533,7 +585,8 @@ class SearchService {
   static bool same_params(const QueryParams& a, const QueryParams& b) {
     return a.beam_width == b.beam_width && a.k == b.k &&
            a.epsilon == b.epsilon && a.visit_limit == b.visit_limit &&
-           a.filter_beam_factor == b.filter_beam_factor;
+           a.filter_beam_factor == b.filter_beam_factor &&
+           a.rerank_count == b.rerank_count;
   }
 
   // Two requests may share a filtered_batch_search call only when their
@@ -557,6 +610,7 @@ class SearchService {
       grouped[i] = 1;
       for (std::size_t j = i + 1; j < batch.size(); ++j) {
         if (!grouped[j] &&
+            batch[i]->quantized == batch[j]->quantized &&
             same_params(batch[i]->params, batch[j]->params) &&
             same_filter(batch[i]->filter, batch[j]->filter)) {
           group.push_back(j);
@@ -578,9 +632,13 @@ class SearchService {
     std::exception_ptr error;
     const FilterSpec& filter = batch[group[0]]->filter;
     const std::uint64_t comps_before = DistanceCounter::total();
+    const bool quantized = batch[group[0]]->quantized;
     try {
       std::lock_guard<std::mutex> lock(internal::serving_dispatch_mutex());
-      if (filter.active()) {
+      if (quantized) {
+        results = index_.template quantized_batch_search<T>(
+            queries, batch[group[0]]->params);
+      } else if (filter.active()) {
         results = index_.template filtered_batch_search<T>(
             queries, filter, batch[group[0]]->params);
       } else {
@@ -589,6 +647,9 @@ class SearchService {
       }
     } catch (...) {
       error = std::current_exception();
+    }
+    if (quantized) {
+      quantized_.fetch_add(group.size(), std::memory_order_relaxed);
     }
     if (filter.active()) {
       filtered_.fetch_add(group.size(), std::memory_order_relaxed);
@@ -662,6 +723,7 @@ class SearchService {
   std::atomic<std::uint64_t> dispatches_{0};
   std::atomic<std::uint64_t> distance_comps_{0};
   std::atomic<std::uint64_t> filtered_{0};
+  std::atomic<std::uint64_t> quantized_{0};
   std::atomic<std::uint64_t> selectivity_micro_{0};  // sum, micro-units
   LatencyHistogram latency_;
 };

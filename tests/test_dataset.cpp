@@ -2,6 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
 
 #include "core/dataset.h"
 #include "core/distance.h"
@@ -107,6 +111,87 @@ TEST(Dataset, UniformRangeRespected) {
       EXPECT_LT(v, 3.0f);
     }
   }
+}
+
+// --- big-ann-benchmarks binary readers ---------------------------------------
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// Write a well-formed .bin file: u32 n, u32 d, then n*d elements.
+template <typename T>
+void write_bin(const std::string& path, const ann::PointSet<T>& points) {
+  std::ofstream out(path, std::ios::binary);
+  std::uint32_t n = static_cast<std::uint32_t>(points.size());
+  std::uint32_t d = static_cast<std::uint32_t>(points.dims());
+  out.write(reinterpret_cast<const char*>(&n), 4);
+  out.write(reinterpret_cast<const char*>(&d), 4);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    out.write(
+        reinterpret_cast<const char*>(points[static_cast<ann::PointId>(i)]),
+        static_cast<std::streamsize>(points.dims() * sizeof(T)));
+  }
+}
+
+TEST(BinReader, FullAndPrefixSliceRoundTrip) {
+  auto ds = ann::make_bigann_like(120, 10, 5);
+  auto path = temp_path("ann_test_reader.u8bin");
+  write_bin(path, ds.base);
+
+  auto full = ann::load_bin_slice<std::uint8_t>(path);
+  EXPECT_TRUE(full == ds.base);
+
+  // Prefix slice: the first 30 rows of the file are themselves a corpus.
+  auto slice = ann::load_bin_slice<std::uint8_t>(path, 30);
+  ASSERT_EQ(slice.size(), 30u);
+  ASSERT_EQ(slice.dims(), ds.base.dims());
+  for (std::size_t i = 0; i < 30; ++i) {
+    for (std::size_t j = 0; j < slice.dims(); ++j) {
+      ASSERT_EQ(slice[static_cast<ann::PointId>(i)][j],
+                ds.base[static_cast<ann::PointId>(i)][j]);
+    }
+  }
+  // A slice larger than the file clamps to the file.
+  EXPECT_EQ(ann::load_bin_slice<std::uint8_t>(path, 100000).size(), 120u);
+  std::remove(path.c_str());
+}
+
+TEST(BinReader, FailurePaths) {
+  auto ds = ann::make_bigann_like(50, 5, 5);
+  auto path = temp_path("ann_test_reader_bad.u8bin");
+  write_bin(path, ds.base);
+
+  // Extension must match the element type (the file holds uint8 rows).
+  EXPECT_THROW(ann::load_bin_slice<float>(path), std::invalid_argument);
+  // Missing file.
+  EXPECT_THROW(ann::load_bin_slice<std::uint8_t>(
+                   temp_path("ann_test_reader_missing.u8bin")),
+               std::runtime_error);
+  // Truncated tail: header promises more bytes than the file holds.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    bytes.resize(bytes.size() - 3);
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW(ann::load_bin_slice<std::uint8_t>(path), std::runtime_error);
+  // Trailing garbage: file larger than the header promises.
+  write_bin(path, ds.base);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out.put('\0');
+  }
+  EXPECT_THROW(ann::load_bin_slice<std::uint8_t>(path), std::runtime_error);
+  // Truncated header.
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write("\x05\x00", 2);
+  }
+  EXPECT_THROW(ann::load_bin_slice<std::uint8_t>(path), std::runtime_error);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -572,6 +572,87 @@ TEST(SearchService, LabelFilterWithoutStoreRejectedAtSubmit) {
   EXPECT_FALSE(hits.empty());
 }
 
+// --- quantized serving -------------------------------------------------------
+
+AnyIndex make_quantized_index() {
+  AnyIndex index = make_built_index();
+  index.attach_quantized({.kind = QuantKind::kInt8});
+  return index;
+}
+
+// Quantized submissions are answered element-wise identically to a direct
+// AnyIndex::quantized_search with the same params, for every batch slicing.
+TEST(SearchService, QuantizedSubmitMatchesDirectQuantizedSearch) {
+  const auto& ds = dataset();
+  QueryParams qp{.beam_width = 32, .k = 10, .rerank_count = 30};
+
+  AnyIndex direct = make_quantized_index();
+  auto expected = direct.quantized_batch_search(ds.queries, qp);
+
+  SearchService<std::uint8_t> service(make_quantized_index(),
+                                      {.max_batch = 8, .max_delay_ms = 2.0});
+  std::vector<std::future<std::vector<Neighbor>>> futures;
+  futures.reserve(ds.queries.size());
+  for (std::size_t i = 0; i < ds.queries.size(); ++i) {
+    futures.push_back(
+        service.submit_quantized(ds.queries[static_cast<PointId>(i)], qp));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get(), expected[i]) << "query " << i;
+  }
+  service.shutdown();
+  EXPECT_EQ(service.stats().quantized, ds.queries.size());
+}
+
+// Quantized and plain requests may share a flush but never a dispatch
+// group, and rerank_count differences split groups too — each request is
+// answered with exactly the path and params it asked for.
+TEST(SearchService, QuantizedAndPlainRequestsGroupSeparately) {
+  const auto& ds = dataset();
+  QueryParams plain{.beam_width = 32, .k = 10};
+  QueryParams rerank_a = plain;
+  rerank_a.rerank_count = 20;
+  QueryParams rerank_b = plain;
+  rerank_b.rerank_count = 40;
+
+  AnyIndex direct = make_quantized_index();
+  SearchService<std::uint8_t> service(make_quantized_index(),
+                                      {.max_batch = 16, .max_delay_ms = 5.0});
+  std::vector<std::future<std::vector<Neighbor>>> futures;
+  std::vector<std::vector<Neighbor>> expected;
+  for (std::size_t i = 0; i < 12; ++i) {
+    const std::uint8_t* q = ds.queries[static_cast<PointId>(i)];
+    switch (i % 3) {
+      case 0:
+        futures.push_back(service.submit(q, plain));
+        expected.push_back(direct.search(q, plain));
+        break;
+      case 1:
+        futures.push_back(service.submit_quantized(q, rerank_a));
+        expected.push_back(direct.quantized_search(q, rerank_a));
+        break;
+      default:
+        futures.push_back(service.submit_quantized(q, rerank_b));
+        expected.push_back(direct.quantized_search(q, rerank_b));
+        break;
+    }
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get(), expected[i]) << "request " << i;
+  }
+  service.shutdown();
+  EXPECT_EQ(service.stats().quantized, 8u);
+}
+
+// A quantized submit against an index with no code store fails at submit
+// time with invalid_argument, not as a broken future at dispatch time.
+TEST(SearchService, QuantizedSubmitWithoutStoreRejectedAtSubmit) {
+  const auto& ds = dataset();
+  SearchService<std::uint8_t> service(make_built_index(), {});
+  EXPECT_THROW(service.submit_quantized(ds.queries[0], {.k = 10}),
+               std::invalid_argument);
+}
+
 // The serve() convenience factory wires the same machinery.
 TEST(SearchService, ServeFactoryRoundTrip) {
   const auto& ds = dataset();
