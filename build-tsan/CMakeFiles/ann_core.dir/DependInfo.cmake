@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/builtin_backends.cpp" "CMakeFiles/ann_core.dir/src/api/builtin_backends.cpp.o" "gcc" "CMakeFiles/ann_core.dir/src/api/builtin_backends.cpp.o.d"
+  "/root/repo/src/core/io.cpp" "CMakeFiles/ann_core.dir/src/core/io.cpp.o" "gcc" "CMakeFiles/ann_core.dir/src/core/io.cpp.o.d"
+  "/root/repo/src/parlay/scheduler.cpp" "CMakeFiles/ann_core.dir/src/parlay/scheduler.cpp.o" "gcc" "CMakeFiles/ann_core.dir/src/parlay/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

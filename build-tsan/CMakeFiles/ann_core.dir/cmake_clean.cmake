@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ann_core.dir/src/api/builtin_backends.cpp.o"
+  "CMakeFiles/ann_core.dir/src/api/builtin_backends.cpp.o.d"
+  "CMakeFiles/ann_core.dir/src/core/io.cpp.o"
+  "CMakeFiles/ann_core.dir/src/core/io.cpp.o.d"
+  "CMakeFiles/ann_core.dir/src/parlay/scheduler.cpp.o"
+  "CMakeFiles/ann_core.dir/src/parlay/scheduler.cpp.o.d"
+  "libann_core.a"
+  "libann_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ann_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libann_core.a"
+)

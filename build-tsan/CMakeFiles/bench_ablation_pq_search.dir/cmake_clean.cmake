@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pq_search.dir/bench/bench_ablation_pq_search.cpp.o"
+  "CMakeFiles/bench_ablation_pq_search.dir/bench/bench_ablation_pq_search.cpp.o.d"
+  "bench_ablation_pq_search"
+  "bench_ablation_pq_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pq_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

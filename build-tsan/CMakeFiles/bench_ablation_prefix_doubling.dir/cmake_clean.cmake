@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_prefix_doubling.dir/bench/bench_ablation_prefix_doubling.cpp.o"
+  "CMakeFiles/bench_ablation_prefix_doubling.dir/bench/bench_ablation_prefix_doubling.cpp.o.d"
+  "bench_ablation_prefix_doubling"
+  "bench_ablation_prefix_doubling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_prefix_doubling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

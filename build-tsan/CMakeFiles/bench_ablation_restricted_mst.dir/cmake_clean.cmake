@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_restricted_mst.dir/bench/bench_ablation_restricted_mst.cpp.o"
+  "CMakeFiles/bench_ablation_restricted_mst.dir/bench/bench_ablation_restricted_mst.cpp.o.d"
+  "bench_ablation_restricted_mst"
+  "bench_ablation_restricted_mst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_restricted_mst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_visited_set.dir/bench/bench_ablation_visited_set.cpp.o"
+  "CMakeFiles/bench_ablation_visited_set.dir/bench/bench_ablation_visited_set.cpp.o.d"
+  "bench_ablation_visited_set"
+  "bench_ablation_visited_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_visited_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

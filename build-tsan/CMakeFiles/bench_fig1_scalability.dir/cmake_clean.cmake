@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_scalability.dir/bench/bench_fig1_scalability.cpp.o"
+  "CMakeFiles/bench_fig1_scalability.dir/bench/bench_fig1_scalability.cpp.o.d"
+  "bench_fig1_scalability"
+  "bench_fig1_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_billion_scale.dir/bench/bench_fig3_billion_scale.cpp.o"
+  "CMakeFiles/bench_fig3_billion_scale.dir/bench/bench_fig3_billion_scale.cpp.o.d"
+  "bench_fig3_billion_scale"
+  "bench_fig3_billion_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_billion_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_hundred_million.dir/bench/bench_fig4_hundred_million.cpp.o"
+  "CMakeFiles/bench_fig4_hundred_million.dir/bench/bench_fig4_hundred_million.cpp.o.d"
+  "bench_fig4_hundred_million"
+  "bench_fig4_hundred_million.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_hundred_million.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_single_thread.dir/bench/bench_fig5_single_thread.cpp.o"
+  "CMakeFiles/bench_fig5_single_thread.dir/bench/bench_fig5_single_thread.cpp.o.d"
+  "bench_fig5_single_thread"
+  "bench_fig5_single_thread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_single_thread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig5_single_thread.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_filtered_search.dir/bench/bench_filtered_search.cpp.o"
+  "CMakeFiles/bench_filtered_search.dir/bench/bench_filtered_search.cpp.o.d"
+  "bench_filtered_search"
+  "bench_filtered_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_filtered_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

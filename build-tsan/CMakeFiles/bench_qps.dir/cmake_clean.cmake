@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_qps.dir/bench/bench_qps.cpp.o"
+  "CMakeFiles/bench_qps.dir/bench/bench_qps.cpp.o.d"
+  "bench_qps"
+  "bench_qps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

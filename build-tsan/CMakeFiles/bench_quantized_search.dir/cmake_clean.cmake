@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quantized_search.dir/bench/bench_quantized_search.cpp.o"
+  "CMakeFiles/bench_quantized_search.dir/bench/bench_quantized_search.cpp.o.d"
+  "bench_quantized_search"
+  "bench_quantized_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quantized_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_range_search.dir/bench/bench_range_search.cpp.o"
+  "CMakeFiles/bench_range_search.dir/bench/bench_range_search.cpp.o.d"
+  "bench_range_search"
+  "bench_range_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_range_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_build_times.dir/bench/bench_table1_build_times.cpp.o"
+  "CMakeFiles/bench_table1_build_times.dir/bench/bench_table1_build_times.cpp.o.d"
+  "bench_table1_build_times"
+  "bench_table1_build_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_build_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_update_churn.dir/bench/bench_update_churn.cpp.o"
+  "CMakeFiles/bench_update_churn.dir/bench/bench_update_churn.cpp.o.d"
+  "bench_update_churn"
+  "bench_update_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_update_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

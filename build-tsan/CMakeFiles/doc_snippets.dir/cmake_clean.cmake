@@ -1,0 +1,10 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doc_snippets.dir/doc_snippets.gen.cpp.o"
+  "CMakeFiles/doc_snippets.dir/doc_snippets.gen.cpp.o.d"
+  "doc_snippets.gen.cpp"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doc_snippets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_deterministic_rebuild.dir/examples/deterministic_rebuild.cpp.o"
+  "CMakeFiles/example_deterministic_rebuild.dir/examples/deterministic_rebuild.cpp.o.d"
+  "example_deterministic_rebuild"
+  "example_deterministic_rebuild.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_deterministic_rebuild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

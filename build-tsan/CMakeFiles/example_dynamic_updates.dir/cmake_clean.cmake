@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dynamic_updates.dir/examples/dynamic_updates.cpp.o"
+  "CMakeFiles/example_dynamic_updates.dir/examples/dynamic_updates.cpp.o.d"
+  "example_dynamic_updates"
+  "example_dynamic_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dynamic_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

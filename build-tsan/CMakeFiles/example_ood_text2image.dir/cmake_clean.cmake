@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ood_text2image.dir/examples/ood_text2image.cpp.o"
+  "CMakeFiles/example_ood_text2image.dir/examples/ood_text2image.cpp.o.d"
+  "example_ood_text2image"
+  "example_ood_text2image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ood_text2image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_ood_text2image.
+# This may be replaced when dependencies are built.

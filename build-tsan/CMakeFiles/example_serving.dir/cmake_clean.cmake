@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_serving.dir/examples/serving.cpp.o"
+  "CMakeFiles/example_serving.dir/examples/serving.cpp.o.d"
+  "example_serving"
+  "example_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_any_index.dir/tests/test_any_index.cpp.o"
+  "CMakeFiles/test_any_index.dir/tests/test_any_index.cpp.o.d"
+  "test_any_index"
+  "test_any_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_any_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

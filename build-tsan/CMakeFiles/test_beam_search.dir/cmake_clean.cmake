@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_beam_search.dir/tests/test_beam_search.cpp.o"
+  "CMakeFiles/test_beam_search.dir/tests/test_beam_search.cpp.o.d"
+  "test_beam_search"
+  "test_beam_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_beam_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_beam_search.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_diskann.dir/tests/test_diskann.cpp.o"
+  "CMakeFiles/test_diskann.dir/tests/test_diskann.cpp.o.d"
+  "test_diskann"
+  "test_diskann.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_diskann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distance_kernels.dir/tests/test_distance_kernels.cpp.o"
+  "CMakeFiles/test_distance_kernels.dir/tests/test_distance_kernels.cpp.o.d"
+  "test_distance_kernels"
+  "test_distance_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distance_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

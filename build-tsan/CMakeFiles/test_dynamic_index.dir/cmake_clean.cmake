@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynamic_index.dir/tests/test_dynamic_index.cpp.o"
+  "CMakeFiles/test_dynamic_index.dir/tests/test_dynamic_index.cpp.o.d"
+  "test_dynamic_index"
+  "test_dynamic_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynamic_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_filtered_search.dir/tests/test_filtered_search.cpp.o"
+  "CMakeFiles/test_filtered_search.dir/tests/test_filtered_search.cpp.o.d"
+  "test_filtered_search"
+  "test_filtered_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_filtered_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

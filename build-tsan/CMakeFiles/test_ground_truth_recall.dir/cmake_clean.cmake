@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ground_truth_recall.dir/tests/test_ground_truth_recall.cpp.o"
+  "CMakeFiles/test_ground_truth_recall.dir/tests/test_ground_truth_recall.cpp.o.d"
+  "test_ground_truth_recall"
+  "test_ground_truth_recall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ground_truth_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ground_truth_recall.
+# This may be replaced when dependencies are built.

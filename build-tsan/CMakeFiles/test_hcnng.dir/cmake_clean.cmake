@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hcnng.dir/tests/test_hcnng.cpp.o"
+  "CMakeFiles/test_hcnng.dir/tests/test_hcnng.cpp.o.d"
+  "test_hcnng"
+  "test_hcnng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hcnng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hnsw.dir/tests/test_hnsw.cpp.o"
+  "CMakeFiles/test_hnsw.dir/tests/test_hnsw.cpp.o.d"
+  "test_hnsw"
+  "test_hnsw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hnsw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

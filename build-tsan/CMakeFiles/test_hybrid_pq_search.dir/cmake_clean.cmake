@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hybrid_pq_search.dir/tests/test_hybrid_pq_search.cpp.o"
+  "CMakeFiles/test_hybrid_pq_search.dir/tests/test_hybrid_pq_search.cpp.o.d"
+  "test_hybrid_pq_search"
+  "test_hybrid_pq_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hybrid_pq_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ivf.dir/tests/test_ivf.cpp.o"
+  "CMakeFiles/test_ivf.dir/tests/test_ivf.cpp.o.d"
+  "test_ivf"
+  "test_ivf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ivf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

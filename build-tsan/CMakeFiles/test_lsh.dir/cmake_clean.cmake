@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lsh.dir/tests/test_lsh.cpp.o"
+  "CMakeFiles/test_lsh.dir/tests/test_lsh.cpp.o.d"
+  "test_lsh"
+  "test_lsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

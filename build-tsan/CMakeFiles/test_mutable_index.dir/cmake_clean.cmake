@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mutable_index.dir/tests/test_mutable_index.cpp.o"
+  "CMakeFiles/test_mutable_index.dir/tests/test_mutable_index.cpp.o.d"
+  "test_mutable_index"
+  "test_mutable_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mutable_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_param_builders.dir/tests/test_param_builders.cpp.o"
+  "CMakeFiles/test_param_builders.dir/tests/test_param_builders.cpp.o.d"
+  "test_param_builders"
+  "test_param_builders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_param_builders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_param_datasets.dir/tests/test_param_datasets.cpp.o"
+  "CMakeFiles/test_param_datasets.dir/tests/test_param_datasets.cpp.o.d"
+  "test_param_datasets"
+  "test_param_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_param_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_param_primitives.dir/tests/test_param_primitives.cpp.o"
+  "CMakeFiles/test_param_primitives.dir/tests/test_param_primitives.cpp.o.d"
+  "test_param_primitives"
+  "test_param_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_param_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

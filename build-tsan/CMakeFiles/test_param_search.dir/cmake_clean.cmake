@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_param_search.dir/tests/test_param_search.cpp.o"
+  "CMakeFiles/test_param_search.dir/tests/test_param_search.cpp.o.d"
+  "test_param_search"
+  "test_param_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_param_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

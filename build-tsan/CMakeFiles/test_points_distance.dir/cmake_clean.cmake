@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_points_distance.dir/tests/test_points_distance.cpp.o"
+  "CMakeFiles/test_points_distance.dir/tests/test_points_distance.cpp.o.d"
+  "test_points_distance"
+  "test_points_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_points_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pq.dir/tests/test_pq.cpp.o"
+  "CMakeFiles/test_pq.dir/tests/test_pq.cpp.o.d"
+  "test_pq"
+  "test_pq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prune.dir/tests/test_prune.cpp.o"
+  "CMakeFiles/test_prune.dir/tests/test_prune.cpp.o.d"
+  "test_prune"
+  "test_prune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prune_kernels.dir/tests/test_prune_kernels.cpp.o"
+  "CMakeFiles/test_prune_kernels.dir/tests/test_prune_kernels.cpp.o.d"
+  "test_prune_kernels"
+  "test_prune_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prune_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

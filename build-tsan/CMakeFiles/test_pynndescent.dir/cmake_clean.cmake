@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pynndescent.dir/tests/test_pynndescent.cpp.o"
+  "CMakeFiles/test_pynndescent.dir/tests/test_pynndescent.cpp.o.d"
+  "test_pynndescent"
+  "test_pynndescent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pynndescent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

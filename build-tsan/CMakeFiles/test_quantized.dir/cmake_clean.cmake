@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quantized.dir/tests/test_quantized.cpp.o"
+  "CMakeFiles/test_quantized.dir/tests/test_quantized.cpp.o.d"
+  "test_quantized"
+  "test_quantized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quantized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_query_hot_path.dir/tests/test_query_hot_path.cpp.o"
+  "CMakeFiles/test_query_hot_path.dir/tests/test_query_hot_path.cpp.o.d"
+  "test_query_hot_path"
+  "test_query_hot_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_query_hot_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

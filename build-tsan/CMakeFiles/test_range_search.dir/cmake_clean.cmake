@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_range_search.dir/tests/test_range_search.cpp.o"
+  "CMakeFiles/test_range_search.dir/tests/test_range_search.cpp.o.d"
+  "test_range_search"
+  "test_range_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_range_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sequence_ops.dir/tests/test_sequence_ops.cpp.o"
+  "CMakeFiles/test_sequence_ops.dir/tests/test_sequence_ops.cpp.o.d"
+  "test_sequence_ops"
+  "test_sequence_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sequence_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serving.dir/tests/test_serving.cpp.o"
+  "CMakeFiles/test_serving.dir/tests/test_serving.cpp.o.d"
+  "test_serving"
+  "test_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sharded_index_io.dir/tests/test_sharded_index_io.cpp.o"
+  "CMakeFiles/test_sharded_index_io.dir/tests/test_sharded_index_io.cpp.o.d"
+  "test_sharded_index_io"
+  "test_sharded_index_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sharded_index_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sort_semisort.dir/tests/test_sort_semisort.cpp.o"
+  "CMakeFiles/test_sort_semisort.dir/tests/test_sort_semisort.cpp.o.d"
+  "test_sort_semisort"
+  "test_sort_semisort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sort_semisort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

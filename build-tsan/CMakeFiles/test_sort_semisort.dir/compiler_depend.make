@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_sort_semisort.
+# This may be replaced when dependencies are built.

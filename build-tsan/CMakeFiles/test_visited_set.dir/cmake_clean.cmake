@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_visited_set.dir/tests/test_visited_set.cpp.o"
+  "CMakeFiles/test_visited_set.dir/tests/test_visited_set.cpp.o.d"
+  "test_visited_set"
+  "test_visited_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_visited_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -199,6 +199,17 @@ class Graph {
   std::vector<std::uint32_t> sizes_;
   std::vector<PointId> edges_;
   // Cached num_edges(); -1 = stale. Mutable: memoization under const reads.
+  // Ordering proof (all accesses relaxed): the cached value is
+  // self-contained — num_edges() returns the loaded integer itself and
+  // never dereferences memory published by the store, so there is nothing
+  // for release/acquire to order. Under the class concurrency contract
+  // (readers never overlap mutators), every store that can race with a
+  // load writes a value derived deterministically from the same quiescent
+  // sizes_ array: concurrent num_edges() calls may both run the reduce,
+  // but they store the identical total, and a reader that observes the -1
+  // sentinel merely recomputes. Wrong answers would require a reader
+  // overlapping a mutator, which the contract (and the adjacency arrays
+  // themselves, which are non-atomic) already forbids.
   mutable std::atomic<std::int64_t> cached_edges_{0};
 };
 

@@ -268,6 +268,9 @@ std::span<const PointId> robust_prune_mixed(
     for (PointId c : unknown_ids) {
       if (c == p || c == kInvalidPoint) continue;
       cands.push_back(
+          // ann-lint: allow(counted-distance): scalarref dispatch branch
+          // (uses_reference_prune) — reproduces the pre-overhaul per-pair
+          // counted call for the A/B reference stack by design.
           {c, Metric::distance(points[p], points[c], points.dims())});
     }
     auto saved = cands;  // robust_prune consumes its candidate list

@@ -73,6 +73,15 @@ class DistanceCounter {
     // duration zero-initializes the atomics (C++20 value-initialization).
     std::atomic<std::uint64_t> count;
   };
+  // Ordering proof (all accesses relaxed): a counter slot is pure payload —
+  // no other memory is published through it, so release/acquire would order
+  // nothing. Exactness of total() is guaranteed structurally, not by the
+  // atomics: reset() and total() are called only from the thread driving
+  // the measured region (DistanceCounterScope contract above), before the
+  // region forks and after it joins, and the scheduler's fork/join edges
+  // are seq_cst — every worker's fetch_add therefore happens-after reset()
+  // and happens-before total(). TSan sees those same edges, which is why
+  // this file needs no tools/tsan.supp entry.
   inline static Slot slots_[kMaxWorkers];
 };
 
@@ -154,6 +163,16 @@ class LatencyHistogram {
     return (std::uint64_t{1} << octave) + (sub + 1) * width - 1;
   }
 
+  // Ordering proof (all accesses relaxed): each member is an independent
+  // monotone counter; no member's value is interpreted relative to another
+  // beyond monitoring tolerance (the class comment's "counts may lag each
+  // other by in-flight samples"), so there is no cross-field invariant for
+  // release/acquire to protect. Relaxed RMWs are still atomic RMWs: no
+  // increment is ever lost, so count() and mean_ms() converge to exact
+  // totals once recording threads quiesce. percentile_ms() tolerates a
+  // torn-across-buckets snapshot by construction — it reports a bucket
+  // upper bound, and the rank it seeks is recomputed from the same
+  // snapshot it scans.
   std::atomic<std::uint64_t> buckets_[kBuckets] = {};
   std::atomic<std::uint64_t> total_ns_{0};
   std::atomic<std::uint64_t> count_{0};

@@ -127,6 +127,8 @@ class LSHIndex {
       bytes += sizeof(plane) + plane.capacity() * sizeof(float);
     }
     for (const auto& table : tables_) {
+      // ann-lint: allow(unordered-iter): commutative sum — the result is
+      // independent of hash-iteration order.
       for (const auto& [h, ids] : table) {
         bytes += sizeof(h) + sizeof(ids) + ids.capacity() * sizeof(PointId);
       }
@@ -145,6 +147,8 @@ class LSHIndex {
     for (const auto& table : tables_) {
       std::vector<std::uint32_t> hashes;
       hashes.reserve(table.size());
+      // ann-lint: allow(unordered-iter): collect-then-sort — the hashes are
+      // sorted below, so the written file is order-independent.
       for (const auto& [h, ids] : table) hashes.push_back(h);
       std::sort(hashes.begin(), hashes.end());
       ioutil::write_u32(f, static_cast<std::uint32_t>(hashes.size()), path);

@@ -16,6 +16,21 @@
 #include <cstddef>
 #include <cstdint>
 
+// ThreadSanitizer does not model standalone std::atomic_thread_fence (gcc
+// warns with -Wtsan), so the fence-based deque protocol below would report
+// false races on the Job objects handed between owner and thief. Under a
+// TSan build the two remaining fences are replaced with per-operation
+// seq_cst orderings, which TSan models precisely and which are at least as
+// strong; the fence form stays the production fast path for weakly-ordered
+// hardware. See docs/STATIC_ANALYSIS.md ("TSan tier").
+#if defined(__SANITIZE_THREAD__)
+#define ANN_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ANN_TSAN_BUILD 1
+#endif
+#endif
+
 namespace parlay {
 namespace internal {
 
@@ -49,19 +64,39 @@ class WorkStealingDeque {
     [[maybe_unused]] std::int64_t t = top_.load(std::memory_order_acquire);
     assert(b - t < static_cast<std::int64_t>(kCapacity) &&
            "work-stealing deque overflow");
+    // Release store on the slot itself (not just on bottom_): a thief that
+    // locates the slot through any chain of top_/bottom_ reads gets a
+    // direct happens-before edge covering the Job's construction. This is
+    // what makes the handoff visible to TSan, and it closes the
+    // theoretical relaxed-restore window in pop_bottom where a thief could
+    // otherwise observe the slot without passing through the release store
+    // of bottom_ below.
     buffer_[static_cast<std::size_t>(b) & kMask].store(
-        job, std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_release);
-    bottom_.store(b + 1, std::memory_order_relaxed);
+        job, std::memory_order_release);
+    // Release store in place of the original release-fence + relaxed-store
+    // pair (the C11 formulation of Lê et al.): same ordering guarantee for
+    // readers of bottom_, one fewer fence TSan cannot see.
+    bottom_.store(b + 1, std::memory_order_release);
   }
 
   // Owner only. Returns nullptr if the deque is empty or the last job was
   // stolen concurrently.
   Job* pop_bottom() {
     std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    // The store-load barrier between publishing the decremented bottom_
+    // and reading top_ is the heart of Chase-Lev: without it the owner and
+    // a thief can both take the last job. Production uses the classic
+    // seq_cst fence; the TSan build expresses the same ordering through
+    // seq_cst on the two operations, which participate in the single total
+    // order S and therefore cannot be reordered against each other.
+#ifdef ANN_TSAN_BUILD
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+#else
     bottom_.store(b, std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_seq_cst);
     std::int64_t t = top_.load(std::memory_order_relaxed);
+#endif
     Job* job = nullptr;
     if (t <= b) {
       job = buffer_[static_cast<std::size_t>(b) & kMask].load(
@@ -83,12 +118,21 @@ class WorkStealingDeque {
 
   // Thieves. Returns nullptr on an empty deque or a lost race.
   Job* steal() {
+    // Same fence-vs-seq_cst split as pop_bottom: the load-load ordering of
+    // top_ before bottom_ must hold for the emptiness check to be sound.
+#ifdef ANN_TSAN_BUILD
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+#else
     std::int64_t t = top_.load(std::memory_order_acquire);
     std::atomic_thread_fence(std::memory_order_seq_cst);
     std::int64_t b = bottom_.load(std::memory_order_acquire);
+#endif
     if (t >= b) return nullptr;
+    // Acquire pairs with push_bottom's release store on the same slot,
+    // carrying the Job's construction into the thief before run().
     Job* job = buffer_[static_cast<std::size_t>(t) & kMask].load(
-        std::memory_order_relaxed);
+        std::memory_order_acquire);
     if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                       std::memory_order_relaxed)) {
       return nullptr;  // lost the race

@@ -23,6 +23,10 @@ std::uint64_t mix64(std::uint64_t z) {
 }
 
 unsigned default_num_workers() {
+  // getenv is not thread-safe against a concurrent setenv, but this runs
+  // once, under g_scheduler_mutex, before any worker thread exists — and
+  // the library never calls setenv.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("PARLAY_NUM_THREADS")) {
     int n = std::atoi(env);
     if (n > 0) return static_cast<unsigned>(n);

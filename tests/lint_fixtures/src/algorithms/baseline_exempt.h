@@ -1,0 +1,10 @@
+// Counter-fixture: baseline_* files are the pre-overhaul reference stack;
+// counted per-pair Metric::distance() calls are their defining property.
+// The counted-distance rule must not fire here.
+#pragma once
+#include <cstddef>
+
+template <typename Metric>
+float fixture_baseline(const float* a, const float* b, std::size_t dims) {
+  return Metric::distance(a, b, dims);  // exempt: baseline_* file
+}

@@ -1,0 +1,15 @@
+// Seeded violation: backend registrations for the conformance rule.
+// "covered_backend" appears in all three fixture conformance suites;
+// "rogue_backend" is missing from test_filtered_search.cpp and must
+// produce one backend-conformance finding pointing at this file.
+#include <string>
+
+struct FixtureRegistry {
+  void register_backend_if_absent(const std::string&, const std::string&,
+                                  const std::string&, int) {}
+};
+
+inline void fixture_register(FixtureRegistry& r) {
+  r.register_backend_if_absent("covered_backend", "euclidean", "float", 0);
+  r.register_backend_if_absent("rogue_backend", "euclidean", "float", 0);
+}

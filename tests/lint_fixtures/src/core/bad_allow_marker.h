@@ -1,0 +1,8 @@
+// Seeded violation: an allow marker without its mandatory safety argument.
+#pragma once
+#include <cstdlib>
+
+inline int fixture_bad_marker() {
+  // ann-lint: allow(rand)
+  return std::rand();
+}

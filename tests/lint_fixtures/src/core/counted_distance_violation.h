@@ -1,0 +1,21 @@
+// Seeded violation: a counted Metric::distance() call in a hot-loop file.
+// The scalarref namespace below reproduces the reference-stack exemption
+// and must NOT fire.
+#pragma once
+#include <cstddef>
+
+namespace fixture {
+
+template <typename Metric>
+float hot_loop(const float* a, const float* b, std::size_t dims) {
+  return Metric::distance(a, b, dims);  // finding: counted-distance
+}
+
+namespace scalarref {
+template <typename Metric>
+float reference_path(const float* a, const float* b, std::size_t dims) {
+  return Metric::distance(a, b, dims);  // exempt: inside namespace scalarref
+}
+}  // namespace scalarref
+
+}  // namespace fixture

@@ -1,0 +1,6 @@
+// Seeded violation: library code reaching into test/bench scaffolding.
+#pragma once
+#include "bench/bench_common.h"  // finding: layering
+#include "test_helpers.h"        // finding: layering
+
+inline int fixture_layering() { return 2; }

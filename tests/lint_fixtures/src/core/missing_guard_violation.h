@@ -1,0 +1,4 @@
+// Seeded violation: a header with neither #pragma once nor an #ifndef
+// include guard.
+
+inline int fixture_unguarded() { return 1; }

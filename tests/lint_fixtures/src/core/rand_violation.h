@@ -1,0 +1,12 @@
+// Seeded violation: unseeded randomness in a determinism directory.
+// Each line below must produce exactly one [rand] finding.
+#pragma once
+#include <cstdlib>
+#include <random>
+
+inline int fixture_rand() {
+  std::srand(42);                 // finding: srand
+  int a = std::rand();            // finding: rand
+  std::random_device rd;          // finding: random_device
+  return a + static_cast<int>(rd());
+}

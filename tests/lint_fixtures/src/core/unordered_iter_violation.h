@@ -1,0 +1,28 @@
+// Seeded violation: iteration over unordered containers in a determinism
+// directory — a direct range-for, an explicit .begin() loop, and the
+// one-level taint through a vector of unordered maps (the lsh.h shape).
+#pragma once
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+inline std::size_t fixture_unordered_iteration() {
+  std::unordered_set<int> seen;
+  std::unordered_map<int, int> weights;
+  std::vector<std::unordered_map<int, int>> tables;
+  std::size_t out = 0;
+  for (int v : seen) out += static_cast<std::size_t>(v);  // finding
+  for (auto it = weights.begin(); it != weights.end(); ++it) {  // finding
+    out += static_cast<std::size_t>(it->second);
+  }
+  for (const auto& table : tables) {       // vector iteration: no finding
+    for (const auto& [k, v] : table) {     // finding: tainted loop variable
+      out += static_cast<std::size_t>(k + v);
+    }
+  }
+  // Lookups never observe iteration order: none of these may fire.
+  if (weights.find(3) != weights.end()) ++out;
+  out += seen.count(7);
+  return out;
+}

@@ -1,0 +1,13 @@
+// Seeded violation: wall/steady clock reads in a determinism directory.
+#pragma once
+#include <chrono>
+#include <ctime>
+
+inline long fixture_clock() {
+  auto t0 = std::chrono::steady_clock::now();          // finding: wall-clock
+  auto t1 = std::chrono::system_clock::now();          // finding: wall-clock
+  long c = std::clock();                               // finding: wall-clock
+  long w = std::time(nullptr);                         // finding: wall-clock
+  return t0.time_since_epoch().count() +
+         t1.time_since_epoch().count() + c + w;
+}

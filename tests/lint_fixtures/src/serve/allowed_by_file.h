@@ -1,0 +1,9 @@
+// Counter-fixture: wall-clock reads covered by a file-level allowlist
+// entry (tests/lint_fixtures/tools/ann_lint_allow.txt) — the fixture
+// mirror of the real serving-layer latency-clock exception.
+#pragma once
+#include <chrono>
+
+inline long fixture_latency_clock() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,2 @@
+// Fixture conformance suite: lists every registered fixture backend.
+static const char* kFixtureBackends[] = {"covered_backend", "rogue_backend"};

@@ -1,0 +1,3 @@
+// Fixture conformance suite: deliberately omits the rogue fixture backend
+// so the backend-conformance rule fires.
+static const char* kFixtureBackends[] = {"covered_backend"};

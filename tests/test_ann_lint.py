@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Fixture suite for tools/ann_lint.py (run as the `ann_lint_fixtures`
+ctest target).
+
+Two halves:
+  * seeded-violation fixtures under tests/lint_fixtures/ — one tiny source
+    file per rule — proving every rule FIRES, at the expected file and
+    line, and that every escape hatch (inline allow markers, the file
+    allowlist, the scalarref/baseline exemptions) actually suppresses;
+  * a zero-findings assertion over the real src/ tree, so the production
+    sources can never drift out of the determinism contract without
+    failing ctest.
+"""
+
+import os
+import re
+import subprocess
+import sys
+import unittest
+
+REPO = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+LINT = os.path.join(REPO, "tools", "ann_lint.py")
+FIXTURES = os.path.join(REPO, "tests", "lint_fixtures")
+
+
+def run_lint(*args):
+    proc = subprocess.run(
+        [sys.executable, LINT, *args],
+        capture_output=True, text=True, cwd=REPO, timeout=60)
+    return proc.returncode, proc.stdout
+
+
+def findings(output):
+    """Parse 'path:line: [rule] message' lines into (path, line, rule)."""
+    out = []
+    for line in output.splitlines():
+        m = re.match(r"(.+?):(\d+): \[([a-z-]+)\]", line)
+        if m:
+            out.append((m.group(1), int(m.group(2)), m.group(3)))
+    return out
+
+
+class FixtureRules(unittest.TestCase):
+    """Every rule fires on its seeded fixture, nowhere else."""
+
+    @classmethod
+    def setUpClass(cls):
+        cls.rc, out = run_lint("--root", FIXTURES)
+        cls.found = findings(out)
+
+    def assert_fires(self, rule, path, lines):
+        got = sorted(l for p, l, r in self.found if r == rule and p == path)
+        self.assertEqual(got, sorted(lines),
+                         f"rule '{rule}' on {path}: expected lines "
+                         f"{sorted(lines)}, got {got}")
+
+    def test_exit_code_signals_findings(self):
+        self.assertEqual(self.rc, 1)
+
+    def test_rand_fires(self):
+        self.assert_fires("rand", "src/core/rand_violation.h", [8, 9, 10])
+
+    def test_wall_clock_fires(self):
+        self.assert_fires("wall-clock", "src/core/wall_clock_violation.h",
+                          [7, 8, 9, 10])
+
+    def test_unordered_iteration_fires(self):
+        # Direct range-for, .begin() iterator, and the one-level taint
+        # through vector<unordered_map> — but not the vector loop itself
+        # and not the find()/count() lookups.
+        self.assert_fires("unordered-iter",
+                          "src/core/unordered_iter_violation.h",
+                          [15, 16, 20])
+
+    def test_counted_distance_fires_outside_scalarref(self):
+        self.assert_fires("counted-distance",
+                          "src/core/counted_distance_violation.h", [11])
+
+    def test_include_guard_fires(self):
+        self.assert_fires("include-guard",
+                          "src/core/missing_guard_violation.h", [1])
+
+    def test_layering_fires(self):
+        self.assert_fires("layering", "src/core/layering_violation.h",
+                          [3, 4])
+
+    def test_backend_conformance_fires(self):
+        rows = [(p, l) for p, l, r in self.found
+                if r == "backend-conformance"]
+        self.assertEqual(rows, [("src/api/fixture_backends.cpp", 14)])
+
+    def test_unjustified_allow_marker_is_a_finding(self):
+        self.assert_fires("allow-marker", "src/core/bad_allow_marker.h", [6])
+        # ...and an unjustified marker does NOT suppress the violation.
+        self.assert_fires("rand", "src/core/bad_allow_marker.h", [7])
+
+    def test_justified_inline_allow_suppresses(self):
+        hits = [f for f in self.found if f[0] == "src/core/allowed_clean.h"]
+        self.assertEqual(hits, [], "inline allow with reason must suppress")
+
+    def test_file_allowlist_suppresses(self):
+        hits = [f for f in self.found
+                if f[0] == "src/serve/allowed_by_file.h"]
+        self.assertEqual(hits, [], "allowlist entry must suppress")
+
+    def test_baseline_files_exempt_from_counted_distance(self):
+        hits = [f for f in self.found
+                if f[0] == "src/algorithms/baseline_exempt.h"]
+        self.assertEqual(hits, [], "baseline_* files are the reference "
+                                   "stack and are exempt by design")
+
+    def test_no_unexpected_findings(self):
+        expected_files = {
+            "src/core/rand_violation.h", "src/core/wall_clock_violation.h",
+            "src/core/unordered_iter_violation.h",
+            "src/core/counted_distance_violation.h",
+            "src/core/missing_guard_violation.h",
+            "src/core/layering_violation.h", "src/core/bad_allow_marker.h",
+            "src/api/fixture_backends.cpp",
+        }
+        self.assertEqual({p for p, _, _ in self.found}, expected_files)
+
+
+class RealTreeIsClean(unittest.TestCase):
+    """The determinism contract holds over the production sources."""
+
+    def test_src_has_zero_findings(self):
+        rc, out = run_lint()
+        self.assertEqual(rc, 0, f"ann_lint found violations in src/:\n{out}")
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

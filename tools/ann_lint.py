@@ -1,0 +1,473 @@
+#!/usr/bin/env python3
+"""ann_lint — the repo's determinism-contract linter.
+
+A fast, AST-free source scanner that mechanically enforces the invariants
+this repo otherwise upholds only by convention (see docs/STATIC_ANALYSIS.md
+for the rule catalogue and the *why* behind each rule):
+
+  rand                 no rand()/srand()/std::random_device anywhere in src/.
+                       All randomness flows from parlay::random_source seeds
+                       so builds are byte-identical across runs and workers.
+  wall-clock           no wall/steady clock reads in src/. Time is an input
+                       the determinism gates cannot replay. The serving
+                       layer's latency instrumentation is the deliberate,
+                       allowlisted exception.
+  unordered-iter       no iteration over std::unordered_{map,set,...} in the
+                       determinism directories: iteration order is
+                       implementation-defined, so anything derived from it
+                       is not reproducible. Lookups (find/count/at) are fine.
+                       Order-insensitive iterations (commutative sums,
+                       collect-then-sort) carry an inline allow with the
+                       safety argument.
+  counted-distance     no counted Metric::distance() calls in the
+                       determinism directories: hot loops use the PR 3/4
+                       contract — prepare()/eval() kernels plus ONE batched
+                       DistanceCounter::bump(n) per phase. The scalarref
+                       namespace and baseline_* files are the pre-overhaul
+                       reference stack and are exempt by design.
+  include-guard        every header carries #pragma once (repo idiom) or a
+                       classic #ifndef guard.
+  layering             src/ never includes from bench/ or tests/ — library
+                       code cannot depend on test scaffolding.
+  backend-conformance  every backend registered in builtin_backends.cpp (or
+                       via ANN_REGISTER_INDEX) appears in each nine-backend
+                       conformance suite, so a new backend cannot dodge the
+                       API/filter/quantization contracts.
+
+Escapes, both requiring a written reason:
+  * an allowlist file (default tools/ann_lint_allow.txt), lines of
+        <rule> <path-glob> <reason...>
+  * an inline comment on the flagged line or the line above:
+        // ann-lint: allow(<rule>): <reason...>
+
+Usage:
+  ann_lint.py                  # scan <repo>/src plus the repo-level checks
+  ann_lint.py --root DIR       # scan DIR/src (fixture trees use this)
+  ann_lint.py FILE...          # scan just FILEs (no repo-level checks)
+
+Exit status: 0 = clean, 1 = findings, 2 = usage/config error.
+"""
+
+import argparse
+import fnmatch
+import os
+import re
+import sys
+
+# Directories (relative to --root) whose sources must be deterministic:
+# output may not depend on randomness, time, or hash-iteration order.
+DETERMINISM_DIRS = (
+    "src/core",
+    "src/algorithms",
+    "src/ivf",
+    "src/lsh",
+    "src/quant",
+    "src/filter",
+)
+
+# The conformance suites that sweep all registered backends. Kept to the
+# three that genuinely enumerate all nine; test_mutable_index.cpp tests the
+# mutation capability split and deliberately omits non-mutable backends.
+CONFORMANCE_FILES = (
+    "tests/test_any_index.cpp",
+    "tests/test_filtered_search.cpp",
+    "tests/test_quantized.cpp",
+)
+
+RULES = (
+    "rand",
+    "wall-clock",
+    "unordered-iter",
+    "counted-distance",
+    "include-guard",
+    "layering",
+    "backend-conformance",
+)
+
+RAND_RE = re.compile(r"\b(?:rand|srand)\s*\(|std::random_device")
+WALL_CLOCK_RE = re.compile(
+    r"\b(?:system_clock|steady_clock|high_resolution_clock)\b"
+    r"|\bgettimeofday\s*\("
+    r"|\bclock_gettime\s*\("
+    r"|\bclock\s*\(\s*\)"
+    r"|\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)"
+)
+METRIC_DISTANCE_RE = re.compile(r"\bMetric::distance\s*\(")
+LAYERING_RE = re.compile(
+    r'#\s*include\s*["<](?:\.\./)*(?:bench|tests)/'
+    r'|#\s*include\s*["<](?:bench_common\.h|test_helpers\.h)[">]'
+)
+ALLOW_RE = re.compile(r"ann-lint:\s*allow\(([a-z-]+)\)\s*(?::\s*(\S.*))?")
+REGISTER_RE = re.compile(
+    r'(?:register_backend_if_absent|register_backend|ANN_REGISTER_INDEX)\s*\(\s*"(\w+)"'
+)
+
+# Declarations that make an identifier "unordered": either the declared type
+# is an unordered container, or it is a container whose elements are
+# (range-for over the latter taints the loop variable, one level deep —
+# enough for the vector<unordered_map> tables in lsh.h).
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<.*>\s*(\w+)\s*[;={(]"
+)
+DIRECT_UNORDERED_RE = re.compile(
+    r"^\s*(?:mutable\s+|static\s+|const\s+|inline\s+)*"
+    r"(?:std::)?unordered_(?:map|set|multimap|multiset)\b"
+)
+RANGE_FOR_RE = re.compile(
+    r"\bfor\s*\(\s*(?:const\s+)?(?:auto|[\w:<>,\s]+?)[&\s]*"
+    r"(\[[^\]]*\]|\w+)\s*:\s*([\w.\->]+?)\s*\)"
+)
+# Only the iteration *starts*: a bare .end() is the find()/end() lookup
+# idiom, which does not observe iteration order.
+BEGIN_CALL_RE = re.compile(r"\b(\w+)\.(?:c?begin|crbegin|rbegin)\s*\(")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def parse_allowlist(path):
+    """Allowlist lines: <rule> <path-glob> <reason>. Reason is mandatory —
+    a suppression without a safety argument is itself a finding."""
+    entries = []
+    errors = []
+    if not os.path.exists(path):
+        return entries, errors
+    with open(path, encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(None, 2)
+            if len(parts) < 3:
+                errors.append(
+                    f"{path}:{lineno}: allowlist entry needs "
+                    "'<rule> <path-glob> <reason>' (reason is mandatory)")
+                continue
+            rule, glob, reason = parts
+            if rule not in RULES:
+                errors.append(f"{path}:{lineno}: unknown rule '{rule}'")
+                continue
+            entries.append((rule, glob, reason))
+    return entries, errors
+
+
+def allowlisted(entries, rule, relpath):
+    return any(r == rule and fnmatch.fnmatch(relpath, g)
+               for r, g, _ in entries)
+
+
+def strip_comments_and_strings(lines, keep_strings=False):
+    """Blank out comments (and, unless keep_strings, string/char literals),
+    preserving line count and column positions, so patterns never fire on
+    prose or messages. keep_strings exists for the rules whose evidence
+    lives inside literals: include paths (layering) and registered backend
+    names (backend-conformance)."""
+    out = []
+    in_block = False
+    for line in lines:
+        res = []
+        i, n = 0, len(line)
+        while i < n:
+            if in_block:
+                end = line.find("*/", i)
+                if end < 0:
+                    res.append(" " * (n - i))
+                    i = n
+                else:
+                    res.append(" " * (end + 2 - i))
+                    i = end + 2
+                    in_block = False
+                continue
+            c = line[i]
+            if c == "/" and i + 1 < n and line[i + 1] == "/":
+                res.append(" " * (n - i))
+                i = n
+            elif c == "/" and i + 1 < n and line[i + 1] == "*":
+                in_block = True
+                res.append("  ")
+                i += 2
+            elif c in "\"'":
+                quote = c
+                j = i + 1
+                while j < n:
+                    if line[j] == "\\":
+                        j += 2
+                    elif line[j] == quote:
+                        j += 1
+                        break
+                    else:
+                        j += 1
+                if keep_strings:
+                    res.append(line[i:j])
+                else:
+                    res.append(quote + " " * (j - i - 2) + quote
+                               if j - i >= 2 else line[i:j])
+                i = j
+            else:
+                res.append(c)
+                i += 1
+        out.append("".join(res))
+    return out
+
+
+def inline_allows(lines):
+    """Per-line set of rules allowed by 'ann-lint: allow(rule): reason'
+    markers. A marker covers its own line, any comment-only continuation
+    lines below it, and the first code line after those (NOLINTNEXTLINE
+    semantics, tolerant of multi-line justifications). A marker without a
+    reason is reported as a finding itself."""
+    allows = {}
+    errors = []
+
+    def comment_only(line):
+        s = line.strip()
+        return s.startswith("//") or s == ""
+
+    for idx, line in enumerate(lines, 1):
+        m = ALLOW_RE.search(line)
+        if not m:
+            continue
+        rule, reason = m.group(1), m.group(2)
+        if rule not in RULES:
+            errors.append((idx, f"unknown rule '{rule}' in allow marker"))
+            continue
+        if not reason:
+            errors.append(
+                (idx, f"allow({rule}) marker is missing its safety argument "
+                      "(write 'ann-lint: allow(rule): why this is safe')"))
+            continue
+        allows.setdefault(idx, set()).add(rule)
+        nxt = idx + 1
+        while nxt <= len(lines) and comment_only(lines[nxt - 1]):
+            allows.setdefault(nxt, set()).add(rule)
+            nxt += 1
+        allows.setdefault(nxt, set()).add(rule)
+    return allows, errors
+
+
+def in_determinism_dir(relpath):
+    return any(relpath.startswith(d + "/") for d in DETERMINISM_DIRS)
+
+
+def scan_unordered_iteration(code_lines):
+    """Two passes: collect unordered-typed names (plus one level of
+    range-for taint through containers of unordered containers), then flag
+    iteration over them."""
+    direct = set()
+    element = set()  # containers whose *elements* are unordered
+    for line in code_lines:
+        for m in UNORDERED_DECL_RE.finditer(line):
+            name = m.group(1)
+            if DIRECT_UNORDERED_RE.search(line):
+                direct.add(name)
+            else:
+                element.add(name)
+    hits = []
+    for idx, line in enumerate(code_lines, 1):
+        for m in RANGE_FOR_RE.finditer(line):
+            var, expr = m.group(1), m.group(2)
+            base = re.split(r"[.\->]", expr)[-1] or expr
+            if base in direct:
+                hits.append((idx, f"range-for over unordered container "
+                                  f"'{base}' (iteration order is "
+                                  "implementation-defined)"))
+            elif base in element and not var.startswith("["):
+                direct.add(var)  # taint the loop variable, one level deep
+        for m in BEGIN_CALL_RE.finditer(line):
+            if m.group(1) in direct:
+                hits.append((idx, f"iterator over unordered container "
+                                  f"'{m.group(1)}' (iteration order is "
+                                  "implementation-defined)"))
+    return hits
+
+
+def scan_scalarref_spans(code_lines):
+    """Line-number spans inside 'namespace scalarref { ... }' blocks (the
+    retained pre-overhaul reference stack, exempt from counted-distance)."""
+    spans = []
+    depth = 0
+    entry_depth = None
+    start = None
+    for idx, line in enumerate(code_lines, 1):
+        if entry_depth is None and re.search(r"\bnamespace\s+scalarref\b",
+                                             line):
+            entry_depth = depth
+            start = idx
+        depth += line.count("{") - line.count("}")
+        if entry_depth is not None and depth <= entry_depth:
+            spans.append((start, idx))
+            entry_depth = None
+    if entry_depth is not None:
+        spans.append((start, len(code_lines)))
+    return spans
+
+
+def scan_file(path, relpath, allow_entries):
+    findings = []
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            raw_lines = f.read().splitlines()
+    except OSError as e:
+        return [Finding(relpath, 0, "layering", f"unreadable file: {e}")]
+
+    allows, allow_errors = inline_allows(raw_lines)
+    for lineno, msg in allow_errors:
+        findings.append(Finding(relpath, lineno, "allow-marker", msg))
+    code = strip_comments_and_strings(raw_lines)
+    code_keep = strip_comments_and_strings(raw_lines, keep_strings=True)
+
+    def emit(lineno, rule, message):
+        if rule in allows.get(lineno, ()):
+            return
+        if allowlisted(allow_entries, rule, relpath):
+            return
+        findings.append(Finding(relpath, lineno, rule, message))
+
+    for idx, (line, line_keep) in enumerate(zip(code, code_keep), 1):
+        if RAND_RE.search(line):
+            emit(idx, "rand",
+                 "unseeded randomness (rand/srand/std::random_device); "
+                 "derive randomness from parlay::random_source seeds")
+        if WALL_CLOCK_RE.search(line):
+            emit(idx, "wall-clock",
+                 "wall/steady clock read; time-dependent behavior breaks "
+                 "the byte-identity determinism gates")
+        if LAYERING_RE.search(line_keep):
+            emit(idx, "layering",
+                 "src/ must not include from bench/ or tests/")
+
+    if in_determinism_dir(relpath):
+        for idx, msg in scan_unordered_iteration(code):
+            emit(idx, "unordered-iter", msg)
+        if not os.path.basename(relpath).startswith("baseline_"):
+            scalarref = scan_scalarref_spans(code)
+            for idx, line in enumerate(code, 1):
+                if METRIC_DISTANCE_RE.search(line):
+                    if any(lo <= idx <= hi for lo, hi in scalarref):
+                        continue
+                    emit(idx, "counted-distance",
+                         "counted Metric::distance() in a hot-loop file; "
+                         "use prepare()/eval() + one batched "
+                         "DistanceCounter::bump(n) per phase")
+
+    if relpath.endswith(".h"):
+        has_pragma = any("#pragma once" in l for l in code)
+        has_guard = any(re.match(r"\s*#\s*ifndef\s+\w+", l) for l in code[:40])
+        if not (has_pragma or has_guard):
+            emit(1, "include-guard",
+                 "header lacks '#pragma once' (repo idiom) or an "
+                 "#ifndef include guard")
+    return findings
+
+
+def scan_backend_conformance(root, allow_entries):
+    """Repo-level rule: every registered backend name must appear in each
+    nine-backend conformance suite."""
+    findings = []
+    backends = {}
+    src_root = os.path.join(root, "src")
+    for dirpath, _, names in os.walk(src_root):
+        for name in names:
+            if not name.endswith((".h", ".cpp")):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, root)
+            with open(path, encoding="utf-8", errors="replace") as f:
+                code = strip_comments_and_strings(f.read().splitlines(),
+                                                  keep_strings=True)
+            for idx, line in enumerate(code, 1):
+                for m in REGISTER_RE.finditer(line):
+                    backends.setdefault(m.group(1), (rel, idx))
+    if not backends:
+        return findings
+    for conf in CONFORMANCE_FILES:
+        conf_path = os.path.join(root, conf)
+        if not os.path.exists(conf_path):
+            findings.append(Finding(conf, 0, "backend-conformance",
+                                    "conformance suite missing"))
+            continue
+        with open(conf_path, encoding="utf-8", errors="replace") as f:
+            # Comment-stripped: a backend name merely *mentioned* in a
+            # comment does not count as conformance coverage.
+            text = "\n".join(strip_comments_and_strings(
+                f.read().splitlines(), keep_strings=True))
+        for backend, (rel, idx) in sorted(backends.items()):
+            if allowlisted(allow_entries, "backend-conformance", rel):
+                continue
+            if f'"{backend}"' not in text:
+                findings.append(Finding(
+                    rel, idx, "backend-conformance",
+                    f"backend '{backend}' is registered here but absent "
+                    f"from {conf}; every backend must face the "
+                    "nine-backend conformance suites"))
+    return findings
+
+
+def collect_sources(root):
+    files = []
+    src_root = os.path.join(root, "src")
+    for dirpath, dirnames, names in os.walk(src_root):
+        dirnames.sort()
+        for name in sorted(names):
+            if name.endswith((".h", ".cpp", ".hpp", ".cc")):
+                files.append(os.path.join(dirpath, name))
+    return files
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Determinism-contract linter (see docs/STATIC_ANALYSIS.md)")
+    parser.add_argument("files", nargs="*",
+                        help="explicit files to scan (skips repo-level rules)")
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of this script)")
+    parser.add_argument("--allowlist", default=None,
+                        help="allowlist file (default: <root>/tools/"
+                             "ann_lint_allow.txt)")
+    args = parser.parse_args(argv)
+
+    root = os.path.abspath(
+        args.root or os.path.join(os.path.dirname(__file__), ".."))
+    allowlist_path = args.allowlist or os.path.join(root, "tools",
+                                                    "ann_lint_allow.txt")
+    allow_entries, allow_errors = parse_allowlist(allowlist_path)
+    for err in allow_errors:
+        print(err)
+    findings = []
+
+    if args.files:
+        targets = [(os.path.abspath(f), os.path.relpath(f, root))
+                   for f in args.files]
+    else:
+        if not os.path.isdir(os.path.join(root, "src")):
+            print(f"ann_lint: no src/ under root '{root}'", file=sys.stderr)
+            return 2
+        targets = [(f, os.path.relpath(f, root).replace(os.sep, "/"))
+                   for f in collect_sources(root)]
+
+    for path, rel in targets:
+        findings.extend(scan_file(path, rel.replace(os.sep, "/"),
+                                  allow_entries))
+    if not args.files:
+        findings.extend(scan_backend_conformance(root, allow_entries))
+
+    for f in findings:
+        print(f)
+    if findings or allow_errors:
+        n = len(findings) + len(allow_errors)
+        print(f"ann_lint: {n} finding(s)")
+        return 1
+    print(f"ann_lint: clean ({len(targets)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Formatting-drift gate: every tracked C++ file must be clang-format-clean
+# under the repo's .clang-format. Run with --require in CI (fail if the
+# tool is missing); plain local runs skip when clang-format is not
+# installed, because the container toolchain is gcc-only.
+#
+#   tools/check_format.sh [--require] [--fix]
+#
+# --fix rewrites files in place instead of checking, for clearing drift
+# locally before a push.
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+require=0
+fix=0
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --require) require=1; shift ;;
+    --fix) fix=1; shift ;;
+    *)
+      echo "usage: $0 [--require] [--fix]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+fmt="${CLANG_FORMAT:-}"
+if [ -z "$fmt" ]; then
+  for candidate in clang-format clang-format-19 clang-format-18 \
+                   clang-format-17 clang-format-16 clang-format-15 \
+                   clang-format-14; do
+    if command -v "$candidate" > /dev/null 2>&1; then
+      fmt="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$fmt" ]; then
+  if [ "$require" -eq 1 ]; then
+    echo "check_format: clang-format not found and --require set" >&2
+    exit 2
+  fi
+  echo "check_format: clang-format not installed; skipping (CI runs it)"
+  exit 0
+fi
+
+cd "$root"
+mapfile -t files < <(git ls-files '*.h' '*.cpp')
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "check_format: no tracked C++ files" >&2
+  exit 2
+fi
+
+echo "check_format: $("$fmt" --version) over ${#files[@]} files"
+if [ "$fix" -eq 1 ]; then
+  "$fmt" -i "${files[@]}"
+  echo "check_format: formatted in place"
+else
+  "$fmt" --dry-run -Werror "${files[@]}"
+  echo "check_format: clean"
+fi
