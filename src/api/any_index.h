@@ -56,6 +56,7 @@
 
 #include "api/index_spec.h"
 #include "core/beam_search.h"
+#include "core/error.h"
 #include "core/points.h"
 #include "core/range_search.h"
 #include "filter/filter_spec.h"
@@ -65,13 +66,10 @@
 
 namespace ann {
 
-// Thrown when a capability the backend does not implement is invoked
-// (e.g. insert on a build-once index). Distinct from std::invalid_argument
-// so callers can branch on "wrong call" vs "backend cannot do this at all".
-class unsupported_operation : public std::logic_error {
- public:
-  using std::logic_error::logic_error;
-};
+// unsupported_operation now lives in core/error.h with the rest of the
+// error taxonomy; it is still thrown from here when a capability the
+// backend does not implement is invoked (e.g. insert on a build-once
+// index).
 
 struct IndexStats {
   std::string algorithm;

@@ -128,20 +128,52 @@ inline AnyIndex make_index(const std::string& algorithm,
 
 inline void AnyIndex::save(const std::string& path) const {
   require_impl("save");
-  auto f = internal::open_index_file(path, "wb");
+  // Crash safety has two independent halves: the AtomicFileWriter makes the
+  // rename-publish all-or-nothing (a crash mid-save leaves the old container
+  // untouched at `path`), and the checksum trailer makes any corruption that
+  // slips past it — a torn write on a non-atomic filesystem, a bit flip at
+  // rest — detectable at load. Section boundaries are the ftell after each
+  // payload; the trailer is computed by re-reading the temp file, so the
+  // CRCs cover the bytes actually on disk.
+  ioutil::AtomicFileWriter out(path);
   IndexContainerHeader header{spec_.algorithm, spec_.metric, spec_.dtype,
                               serialize_params(spec_.params)};
-  write_container_header(f.get(), header, path);
-  impl_->save_payload(f.get(), path);
+  std::vector<long> boundaries;
+  write_container_header(out.file(), header, path);
+  boundaries.push_back(std::ftell(out.file()));
+  impl_->save_payload(out.file(), path);
+  boundaries.push_back(std::ftell(out.file()));
   // Optional payloads trail the backend payload in a fixed order (labels,
-  // then quant); each is absent when the feature is unattached, so files
-  // without them are byte-identical to pre-feature versions.
-  if (labels_) write_label_store_payload(f.get(), *labels_, path);
-  if (impl_->has_quantized()) impl_->save_quantized_payload(f.get(), path);
+  // then quant); each is absent when the feature is unattached.
+  if (labels_) {
+    write_label_store_payload(out.file(), *labels_, path);
+    boundaries.push_back(std::ftell(out.file()));
+  }
+  if (impl_->has_quantized()) {
+    impl_->save_quantized_payload(out.file(), path);
+    boundaries.push_back(std::ftell(out.file()));
+  }
+  write_checksum_trailer(out.file(), boundaries, path);
+  out.commit();
 }
 
 inline AnyIndex AnyIndex::load(const std::string& path) {
   auto f = internal::open_index_file(path, "rb");
+  // Peek the version, then verify EVERY section checksum before parsing a
+  // single payload byte: a corrupt v2 container is rejected as
+  // ann::corrupt_data up front, never fed to a payload reader. v1 files
+  // carry no trailer — they load with no verification to run.
+  if (ioutil::read_u32(f.get(), path) != internal::kContainerMagic) {
+    throw corrupt_data("not an ann index container: " + path);
+  }
+  const std::uint32_t version = ioutil::read_u32(f.get(), path);
+  if (version != 1 && version != internal::kContainerVersion) {
+    throw corrupt_data("unsupported container version: " + path);
+  }
+  if (version >= 2) verify_container_checksums(f.get(), path);
+  if (std::fseek(f.get(), 0, SEEK_SET) != 0) {
+    throw corrupt_data("cannot seek container: " + path);
+  }
   IndexContainerHeader header = read_container_header(f.get(), path);
   IndexSpec spec;
   spec.algorithm = header.algorithm;
@@ -150,25 +182,27 @@ inline AnyIndex AnyIndex::load(const std::string& path) {
   spec.params = params_from_kv(header.algorithm, header.params);
   AnyIndex index = make_index(std::move(spec));
   index.impl_->load_payload(f.get(), path);
-  // Dispatch the optional trailing payloads by magic probe. Old files end
-  // right after the backend payload and fall through untouched, keeping the
-  // container version unchanged. The 4-byte probe is pushed back with fseek
-  // (ungetc guarantees only one byte) — index containers are regular files.
+  // Dispatch the optional trailing payloads by magic probe. v1 files end
+  // right after the last payload (clean EOF); v2 files end at the checksum
+  // trailer, whose magic stops the probe. The 4-byte probe is pushed back
+  // with fseek (ungetc guarantees only one byte) — index containers are
+  // regular files.
   for (;;) {
     std::uint32_t magic = 0;
     std::size_t got = std::fread(&magic, 1, sizeof(magic), f.get());
     if (got == 0) break;  // clean EOF: no more payloads
+    if (magic == internal::kChecksumTrailerMagic) break;  // v2 trailer
     if (got != sizeof(magic) ||
         std::fseek(f.get(), -static_cast<long>(got), SEEK_CUR) != 0) {
-      throw std::runtime_error("corrupt trailing payload: " + path);
+      throw corrupt_data("corrupt trailing payload: " + path);
     }
     if (magic == internal::kLabelStoreMagic) {
       index.attach_labels(read_label_store_payload(f.get(), path));
     } else if (magic == internal::kQuantStoreMagic) {
       index.impl_->load_quantized_payload(f.get(), path);
     } else {
-      throw std::runtime_error("unknown trailing payload in index container: " +
-                               path);
+      throw corrupt_data("unknown trailing payload in index container: " +
+                         path);
     }
   }
   return index;

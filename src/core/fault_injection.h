@@ -1,0 +1,236 @@
+// ann::faultinject — deterministic, site-addressable fault injection for
+// the IO and allocation paths (docs/RELIABILITY.md).
+//
+// Every fallible operation the reliability layer cares about checks one
+// named injection site before doing the real work:
+//
+//   io.write    short/failed fwrite (ENOSPC-style)     core/io.h
+//   io.read     short/failed fread                     core/io.h
+//   io.open     fopen failure                          core/io.h
+//   io.fsync    fsync failure at atomic-save commit    core/io.h
+//   io.rename   rename failure at atomic-save commit   core/io.h
+//   mmap.map    mmap failure                           quant/mmap_store.h
+//   mmap.row    row read fault (truncated-under-mmap)  quant/mmap_store.h
+//   alloc.points payload allocation failure            core/io.h
+//
+// The checks are compiled in unconditionally — there is no build flavor
+// whose failure paths differ from production — but cost one relaxed load
+// of a global flag plus one always-not-taken branch while disabled, so
+// the hot paths never pay for the harness.
+//
+// Injection is DETERMINISTIC: a (seed, period) configuration fails the
+// same calls on every run (each matching check advances a global counter;
+// call n fails when splitmix64(seed, site, n) % period == 0), and an
+// (site, nth) configuration fails exactly the nth matching check. Tests
+// use nth sweeps to prove EVERY IO call site in a save path throws
+// cleanly; CI sweeps seeds over the probabilistic mode to vary which
+// sites fail (see the faultinject job in .github/workflows/ci.yml).
+//
+// Configuration comes from a spec string, "key=value" pairs joined with
+// commas:
+//
+//   seed=42        pseudo-random decision seed (default 0)
+//   period=16      fail roughly one in `period` matching checks
+//   site=io.       only checks whose site name starts with this prefix
+//                  match (counter and decisions both respect the filter)
+//   nth=3          fail exactly the 3rd matching check (overrides period)
+//
+// Faults fire only inside a ScopedFaultInjection region, so a process
+// with ANN_FAULTINJECT set is NOT globally broken: the env var supplies
+// the default configuration (ScopedFaultInjection with no arguments) and
+// test suites opt their fault-tolerant sections in explicitly. Scopes do
+// not nest (std::logic_error) — one region, one configuration, always
+// restored on scope exit.
+//
+// Thread-safety: configuration install/remove is for one thread at a
+// time (the test harness); should_fail() itself is safe to call from any
+// thread while a scope is active.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace ann {
+namespace faultinject {
+
+struct Config {
+  std::uint64_t seed = 0;
+  std::uint64_t period = 0;  // 0 = probabilistic mode off
+  std::uint64_t nth = 0;     // 0 = exact-call mode off; 1-based otherwise
+  std::string site;          // prefix filter; empty matches every site
+
+  // A configuration with neither mode set never fires.
+  bool can_fire() const { return period != 0 || nth != 0; }
+};
+
+namespace internal {
+
+struct State {
+  std::atomic<bool> enabled{false};
+  std::atomic<std::uint64_t> checks{0};    // matching checks observed
+  std::atomic<std::uint64_t> injected{0};  // faults actually fired
+  Config config;                           // stable while enabled
+};
+
+inline State& state() {
+  static State s;
+  return s;
+}
+
+// SplitMix64 — the repo's stateless seeded mixer idiom: decisions are a
+// pure function of (seed, site hash, call index), so a configuration
+// replays identically across runs and platforms.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+inline std::uint64_t fnv1a(const char* s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (; *s != '\0'; ++s) {
+    h = (h ^ static_cast<unsigned char>(*s)) * 0x100000001b3ull;
+  }
+  return h;
+}
+
+inline bool site_matches(const Config& cfg, const char* site) {
+  if (cfg.site.empty()) return true;
+  for (std::size_t i = 0; i < cfg.site.size(); ++i) {
+    if (site[i] == '\0' || site[i] != cfg.site[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace internal
+
+// Parse a "seed=42,period=16,site=io.,nth=3" spec. Unknown keys and
+// malformed numbers are configuration errors (std::invalid_argument):
+// a typo'd harness spec must fail loudly, not silently inject nothing.
+inline Config parse(const std::string& spec) {
+  Config cfg;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument(
+          "ANN_FAULTINJECT: expected key=value, got '" + item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "site") {
+      cfg.site = value;
+      continue;
+    }
+    std::uint64_t num = 0;
+    try {
+      std::size_t used = 0;
+      num = std::stoull(value, &used);
+      if (used != value.size()) throw std::invalid_argument(value);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("ANN_FAULTINJECT: bad number in '" + item +
+                                  "'");
+    }
+    if (key == "seed") {
+      cfg.seed = num;
+    } else if (key == "period") {
+      cfg.period = num;
+    } else if (key == "nth") {
+      cfg.nth = num;
+    } else {
+      throw std::invalid_argument("ANN_FAULTINJECT: unknown key '" + key +
+                                  "'");
+    }
+  }
+  return cfg;
+}
+
+// The ANN_FAULTINJECT environment spec, parsed once. An empty/absent env
+// yields a configuration that never fires, so ScopedFaultInjection's
+// default constructor is harmless outside a sweep.
+inline const Config& env_config() {
+  static const Config cfg = [] {
+    const char* env = std::getenv("ANN_FAULTINJECT");
+    return env != nullptr ? parse(env) : Config{};
+  }();
+  return cfg;
+}
+
+// True while a ScopedFaultInjection region is active. The ONE load the
+// disabled hot path pays.
+inline bool enabled() {
+  return internal::state().enabled.load(std::memory_order_relaxed);
+}
+
+// Matching checks observed under the active (or last) configuration —
+// the sweep bound for nth-mode tests: sweep nth in [1, check_count()].
+inline std::uint64_t check_count() {
+  return internal::state().checks.load(std::memory_order_relaxed);
+}
+
+// Faults actually fired under the active (or last) configuration.
+inline std::uint64_t injected_count() {
+  return internal::state().injected.load(std::memory_order_relaxed);
+}
+
+// The per-site decision point. False (after one relaxed load) when no
+// scope is active; deterministic per configuration otherwise.
+inline bool should_fail(const char* site) {
+  internal::State& s = internal::state();
+  if (!s.enabled.load(std::memory_order_relaxed)) return false;
+  const Config& cfg = s.config;
+  if (!cfg.can_fire() || !internal::site_matches(cfg, site)) return false;
+  const std::uint64_t n =
+      s.checks.fetch_add(1, std::memory_order_relaxed) + 1;
+  bool fail;
+  if (cfg.nth != 0) {
+    fail = (n == cfg.nth);
+  } else {
+    fail = internal::splitmix64(cfg.seed ^ internal::fnv1a(site) ^
+                                (n * 0x9e3779b97f4a7c15ull)) %
+               cfg.period ==
+           0;
+  }
+  if (fail) s.injected.fetch_add(1, std::memory_order_relaxed);
+  return fail;
+}
+
+// RAII region inside which injection is live. Default-constructed scopes
+// take the ANN_FAULTINJECT env configuration (so one test binary serves
+// the whole CI seed sweep); explicit configs serve targeted tests.
+class ScopedFaultInjection {
+ public:
+  ScopedFaultInjection() : ScopedFaultInjection(env_config()) {}
+
+  explicit ScopedFaultInjection(Config cfg) {
+    internal::State& s = internal::state();
+    if (s.enabled.load(std::memory_order_relaxed)) {
+      throw std::logic_error(
+          "ScopedFaultInjection: scopes do not nest (one region, one "
+          "configuration)");
+    }
+    s.config = std::move(cfg);
+    s.checks.store(0, std::memory_order_relaxed);
+    s.injected.store(0, std::memory_order_relaxed);
+    s.enabled.store(true, std::memory_order_relaxed);
+  }
+
+  ~ScopedFaultInjection() {
+    internal::state().enabled.store(false, std::memory_order_relaxed);
+  }
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+};
+
+}  // namespace faultinject
+}  // namespace ann

@@ -5,6 +5,20 @@
 //   container  : [magic "PANX" u32] [version u32] [algorithm str]
 //                [metric str] [dtype str] [param count u32]
 //                [(key str, value f64) x count] [backend payload]
+//                — version 2 containers append a checksum trailer (below)
+//                after the last payload; version 1 files (no trailer) still
+//                load, with no verification to run.
+//   checksums  : [magic "PANC" u32] [version u32] [num_sections u32]
+//                [(length u64, crc32c u32) x num_sections]
+//                [trailer crc32c u32] [trailer offset u64] [magic "PANC" u32]
+//                — the v2 crash-safety trailer. Sections tile the file
+//                contiguously from offset 0 (header, backend payload, then
+//                one section per trailing payload), so every byte of the
+//                container is covered by exactly one CRC32C; the trailer
+//                checksums itself and is located via the fixed 12-byte
+//                tail. Load verifies every section BEFORE parsing, so any
+//                torn write or single-bit flip is rejected as
+//                ann::corrupt_data instead of reaching a payload parser.
 //   GraphIndex : [magic "PANN" u32] [version u32] [graph payload]
 //   HNSWIndex  : [magic "PANH" u32] [version u32] [hnsw payload]
 //   dyn. state : [magic "PAND" u32] [version u32] [start u32] [n u64]
@@ -36,8 +50,10 @@
 // works with a concrete GraphIndex/HNSWIndex.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -59,8 +75,17 @@ inline constexpr std::uint32_t kHnswIndexMagic = 0x50414e48;     // "PANH"
 inline constexpr std::uint32_t kDynamicStateMagic = 0x50414e44;  // "PAND"
 inline constexpr std::uint32_t kLabelStoreMagic = 0x50414e4c;    // "PANL"
 inline constexpr std::uint32_t kQuantStoreMagic = 0x50414e51;    // "PANQ"
+inline constexpr std::uint32_t kChecksumTrailerMagic = 0x50414e43;  // "PANC"
 inline constexpr std::uint32_t kIndexVersion = 1;
-inline constexpr std::uint32_t kContainerVersion = 1;
+// v2: per-section CRC32C checksum trailer + atomic save. v1 files (no
+// trailer) remain loadable; the writer always emits v2.
+inline constexpr std::uint32_t kContainerVersion = 2;
+inline constexpr std::uint32_t kChecksumTrailerVersion = 1;
+// The fixed tail that locates the trailer: [offset u64][magic u32].
+inline constexpr std::uint64_t kChecksumTailBytes = 12;
+// Corrupt-header guard: a container holds a handful of sections (header,
+// backend payload, optional trailing payloads), never thousands.
+inline constexpr std::uint32_t kMaxChecksumSections = 1024;
 inline constexpr std::uint32_t kDynamicStateVersion = 1;
 inline constexpr std::uint32_t kLabelStoreVersion = 1;
 inline constexpr std::uint32_t kQuantStoreVersion = 1;
@@ -77,6 +102,9 @@ struct IndexContainerHeader {
   std::string metric;
   std::string dtype;
   std::vector<std::pair<std::string, double>> params;
+  // Format version the file was read with (1 = pre-checksum, 2 = current).
+  // The writer ignores this field and always emits kContainerVersion.
+  std::uint32_t version = internal::kContainerVersion;
 };
 
 inline void write_container_header(std::FILE* f,
@@ -97,12 +125,13 @@ inline void write_container_header(std::FILE* f,
 inline IndexContainerHeader read_container_header(std::FILE* f,
                                                   const std::string& path) {
   if (ioutil::read_u32(f, path) != internal::kContainerMagic) {
-    throw std::runtime_error("not an ann index container: " + path);
-  }
-  if (ioutil::read_u32(f, path) != internal::kContainerVersion) {
-    throw std::runtime_error("unsupported container version: " + path);
+    throw corrupt_data("not an ann index container: " + path);
   }
   IndexContainerHeader h;
+  h.version = ioutil::read_u32(f, path);
+  if (h.version != 1 && h.version != internal::kContainerVersion) {
+    throw corrupt_data("unsupported container version: " + path);
+  }
   h.algorithm = ioutil::read_str(f, path);
   h.metric = ioutil::read_str(f, path);
   h.dtype = ioutil::read_str(f, path);
@@ -114,6 +143,172 @@ inline IndexContainerHeader read_container_header(std::FILE* f,
     h.params.emplace_back(std::move(key), value);
   }
   return h;
+}
+
+// --- v2 checksum trailer -----------------------------------------------------
+
+namespace internal {
+
+// Stream a CRC32C over `length` bytes at the current file position.
+inline std::uint32_t crc_of_range(std::FILE* f, std::uint64_t length,
+                                  const std::string& path) {
+  unsigned char buf[1 << 16];
+  std::uint32_t crc = 0;
+  while (length != 0) {
+    const std::size_t chunk =
+        static_cast<std::size_t>(std::min<std::uint64_t>(length, sizeof(buf)));
+    if (std::fread(buf, 1, chunk, f) != chunk) {
+      throw corrupt_data("short read while checksumming: " + path);
+    }
+    crc = crc32c::extend(crc, buf, chunk);
+    length -= chunk;
+  }
+  return crc;
+}
+
+inline void append_u32(std::vector<unsigned char>& out, std::uint32_t v) {
+  unsigned char b[sizeof(v)];
+  std::memcpy(b, &v, sizeof(v));
+  out.insert(out.end(), b, b + sizeof(v));
+}
+
+inline void append_u64(std::vector<unsigned char>& out, std::uint64_t v) {
+  unsigned char b[sizeof(v)];
+  std::memcpy(b, &v, sizeof(v));
+  out.insert(out.end(), b, b + sizeof(v));
+}
+
+}  // namespace internal
+
+// Append the v2 checksum trailer to a container being written. `boundaries`
+// are the section END offsets in ascending order (ftell after the header,
+// after the backend payload, after each trailing payload) — sections tile
+// [0, boundaries.back()) contiguously. The stream must be opened "w+b"
+// (ioutil::AtomicFileWriter): the section CRCs are computed by re-reading
+// the bytes just written, so what gets checksummed is what the file
+// actually holds, not what the writer intended.
+inline void write_checksum_trailer(std::FILE* f,
+                                   const std::vector<long>& boundaries,
+                                   const std::string& path) {
+  if (boundaries.empty()) {
+    throw std::logic_error("write_checksum_trailer: no sections: " + path);
+  }
+  std::vector<unsigned char> body;
+  internal::append_u32(body, internal::kChecksumTrailerMagic);
+  internal::append_u32(body, internal::kChecksumTrailerVersion);
+  internal::append_u32(body, static_cast<std::uint32_t>(boundaries.size()));
+  long start = 0;
+  for (long end : boundaries) {
+    if (end < start) {
+      throw std::logic_error("write_checksum_trailer: unordered sections: " +
+                             path);
+    }
+    const std::uint64_t length = static_cast<std::uint64_t>(end - start);
+    if (std::fseek(f, start, SEEK_SET) != 0) {
+      throw io_error("seek failed while checksumming: " + path);
+    }
+    internal::append_u64(body, length);
+    internal::append_u32(body, internal::crc_of_range(f, length, path));
+    start = end;
+  }
+  const std::uint64_t trailer_offset = static_cast<std::uint64_t>(start);
+  if (std::fseek(f, start, SEEK_SET) != 0) {
+    throw io_error("seek failed while checksumming: " + path);
+  }
+  ioutil::write_bytes(f, body.data(), body.size(), path);
+  ioutil::write_u32(f, crc32c::value(body.data(), body.size()), path);
+  ioutil::write_u64(f, trailer_offset, path);
+  ioutil::write_u32(f, internal::kChecksumTrailerMagic, path);
+}
+
+// Verify every section of a v2 container against its trailer. Called with
+// the stream anywhere; leaves it at the file start. Any mismatch between
+// the trailer and the bytes on disk — torn write, truncation, bit flip, a
+// corrupted trailer itself — throws ann::corrupt_data; nothing of the
+// container is parsed before this passes.
+inline void verify_container_checksums(std::FILE* f, const std::string& path) {
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    throw corrupt_data("cannot seek container: " + path);
+  }
+  const long size = std::ftell(f);
+  // Smallest v2 container: 8-byte magic+version, a trailer with one
+  // section (24 bytes), its crc, and the 12-byte tail.
+  if (size < 0 ||
+      static_cast<std::uint64_t>(size) <
+          8 + 24 + 4 + internal::kChecksumTailBytes) {
+    throw corrupt_data("container truncated (no checksum trailer): " + path);
+  }
+  if (std::fseek(f, size - static_cast<long>(internal::kChecksumTailBytes),
+                 SEEK_SET) != 0) {
+    throw corrupt_data("cannot seek container: " + path);
+  }
+  const std::uint64_t trailer_offset = ioutil::read_u64(f, path);
+  if (ioutil::read_u32(f, path) != internal::kChecksumTrailerMagic) {
+    throw corrupt_data("checksum trailer missing or corrupt: " + path);
+  }
+  if (trailer_offset >=
+      static_cast<std::uint64_t>(size) - internal::kChecksumTailBytes) {
+    throw corrupt_data("checksum trailer offset out of range: " + path);
+  }
+  if (std::fseek(f, static_cast<long>(trailer_offset), SEEK_SET) != 0) {
+    throw corrupt_data("cannot seek container: " + path);
+  }
+  unsigned char head[12];
+  ioutil::read_bytes(f, head, sizeof(head), path);
+  std::uint32_t magic = 0, version = 0, num_sections = 0;
+  std::memcpy(&magic, head, 4);
+  std::memcpy(&version, head + 4, 4);
+  std::memcpy(&num_sections, head + 8, 4);
+  if (magic != internal::kChecksumTrailerMagic ||
+      version != internal::kChecksumTrailerVersion || num_sections == 0 ||
+      num_sections > internal::kMaxChecksumSections) {
+    throw corrupt_data("checksum trailer corrupt: " + path);
+  }
+  const std::uint64_t body_bytes = 12 + 12ull * num_sections;
+  if (trailer_offset + body_bytes + 4 + internal::kChecksumTailBytes !=
+      static_cast<std::uint64_t>(size)) {
+    throw corrupt_data("checksum trailer size mismatch: " + path);
+  }
+  std::vector<unsigned char> body(static_cast<std::size_t>(body_bytes));
+  std::memcpy(body.data(), head, sizeof(head));
+  ioutil::read_bytes(f, body.data() + sizeof(head),
+                     body.size() - sizeof(head), path);
+  if (ioutil::read_u32(f, path) != crc32c::value(body.data(), body.size())) {
+    throw corrupt_data("checksum trailer failed its own checksum: " + path);
+  }
+  // Sections must tile [0, trailer_offset) exactly — no unchecked gap.
+  std::uint64_t offset = 0;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> sections;
+  sections.reserve(num_sections);
+  for (std::uint32_t i = 0; i < num_sections; ++i) {
+    std::uint64_t length = 0;
+    std::uint32_t crc = 0;
+    std::memcpy(&length, body.data() + 12 + 12ull * i, 8);
+    std::memcpy(&crc, body.data() + 12 + 12ull * i + 8, 4);
+    if (length > trailer_offset - offset) {
+      throw corrupt_data("checksum section exceeds container: " + path);
+    }
+    sections.emplace_back(length, crc);
+    offset += length;
+  }
+  if (offset != trailer_offset) {
+    throw corrupt_data("checksum sections do not cover the container: " +
+                       path);
+  }
+  if (std::fseek(f, 0, SEEK_SET) != 0) {
+    throw corrupt_data("cannot seek container: " + path);
+  }
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    if (internal::crc_of_range(f, sections[i].first, path) !=
+        sections[i].second) {
+      throw corrupt_data("checksum mismatch in container section " +
+                         std::to_string(i) + " of " +
+                         std::to_string(sections.size()) + ": " + path);
+    }
+  }
+  if (std::fseek(f, 0, SEEK_SET) != 0) {
+    throw corrupt_data("cannot seek container: " + path);
+  }
 }
 
 // --- dynamic (mutable) index state -------------------------------------------
@@ -146,17 +341,17 @@ inline void write_dynamic_state_payload(std::FILE* f,
 inline DynamicIndexState read_dynamic_state_payload(std::FILE* f,
                                                     const std::string& path) {
   if (ioutil::read_u32(f, path) != internal::kDynamicStateMagic) {
-    throw std::runtime_error("not a dynamic-state payload: " + path);
+    throw corrupt_data("not a dynamic-state payload: " + path);
   }
   if (ioutil::read_u32(f, path) != internal::kDynamicStateVersion) {
-    throw std::runtime_error("unsupported dynamic-state version: " + path);
+    throw corrupt_data("unsupported dynamic-state version: " + path);
   }
   DynamicIndexState state;
   state.start = ioutil::read_u32(f, path);
   std::uint64_t n = ioutil::read_u64(f, path);
   // Corrupt-header guard, same standard as the other payload readers.
   if (n > (1ull << 40)) {
-    throw std::runtime_error("corrupt dynamic-state header: " + path);
+    throw corrupt_data("corrupt dynamic-state header: " + path);
   }
   std::vector<unsigned char> packed((n + 7) / 8, 0);
   ioutil::read_bytes(f, packed.data(), packed.size(), path);
@@ -192,15 +387,15 @@ inline void write_label_store_payload(std::FILE* f, const LabelStore& store,
 inline LabelStore read_label_store_payload(std::FILE* f,
                                            const std::string& path) {
   if (ioutil::read_u32(f, path) != internal::kLabelStoreMagic) {
-    throw std::runtime_error("not a label-store payload: " + path);
+    throw corrupt_data("not a label-store payload: " + path);
   }
   if (ioutil::read_u32(f, path) != internal::kLabelStoreVersion) {
-    throw std::runtime_error("unsupported label-store version: " + path);
+    throw corrupt_data("unsupported label-store version: " + path);
   }
   std::uint32_t num_labels = ioutil::read_u32(f, path);
   // Corrupt-header guard, same standard as the other payload readers.
   if (num_labels > (1u << 28)) {
-    throw std::runtime_error("corrupt label-store header: " + path);
+    throw corrupt_data("corrupt label-store header: " + path);
   }
   std::vector<std::string> names;
   names.reserve(num_labels);
@@ -209,7 +404,7 @@ inline LabelStore read_label_store_payload(std::FILE* f,
   }
   std::uint64_t num_points = ioutil::read_u64(f, path);
   if (num_points > (1ull << 40)) {
-    throw std::runtime_error("corrupt label-store header: " + path);
+    throw corrupt_data("corrupt label-store header: " + path);
   }
   std::vector<std::uint64_t> offsets{0};
   offsets.reserve(num_points + 1);
@@ -218,7 +413,7 @@ inline LabelStore read_label_store_payload(std::FILE* f,
   for (std::uint64_t p = 0; p < num_points; ++p) {
     std::uint32_t count = ioutil::read_u32(f, path);
     if (count > num_labels) {
-      throw std::runtime_error("corrupt label-store payload: " + path);
+      throw corrupt_data("corrupt label-store payload: " + path);
     }
     run.resize(count);
     ioutil::read_bytes(f, run.data(), count * sizeof(LabelId), path);
@@ -250,13 +445,13 @@ inline Graph read_graph_payload(std::FILE* f, const std::string& path) {
   // Corrupt-header guard (same standard as ioutil::read_points): fail with
   // the format's clean error, not a huge allocation's bad_alloc.
   if (static_cast<std::uint64_t>(n) * deg > (1ull << 40)) {
-    throw std::runtime_error("corrupt graph header: " + path);
+    throw corrupt_data("corrupt graph header: " + path);
   }
   Graph g(n, deg);
   std::vector<PointId> buf(deg);
   for (std::uint32_t v = 0; v < n; ++v) {
     std::uint32_t sz = ioutil::read_u32(f, path);
-    if (sz > deg) throw std::runtime_error("corrupt index: " + path);
+    if (sz > deg) throw corrupt_data("corrupt index: " + path);
     ioutil::read_bytes(f, buf.data(), sz * sizeof(PointId), path);
     g.set_neighbors(v, {buf.data(), sz});
   }
@@ -302,7 +497,7 @@ HNSWIndex<Metric, T> read_hnsw_index_payload(std::FILE* f,
   std::uint32_t num_layers = ioutil::read_u32(f, path);
   std::uint32_t n = ioutil::read_u32(f, path);
   if (num_layers > 64 || n > (1u << 31)) {
-    throw std::runtime_error("corrupt hnsw header: " + path);
+    throw corrupt_data("corrupt hnsw header: " + path);
   }
   index.levels.resize(n);
   ioutil::read_bytes(f, index.levels.data(), n * sizeof(std::uint32_t), path);
@@ -325,8 +520,11 @@ struct FileCloser {
 using File = std::unique_ptr<std::FILE, FileCloser>;
 
 inline File open_index_file(const std::string& path, const char* mode) {
+  if (faultinject::should_fail("io.open")) {
+    throw io_error("injected open failure: " + path);
+  }
   File f(std::fopen(path.c_str(), mode));
-  if (!f) throw std::runtime_error("cannot open: " + path);
+  if (!f) throw io_error("cannot open: " + path);
   return f;
 }
 
@@ -334,20 +532,21 @@ inline File open_index_file(const std::string& path, const char* mode) {
 
 template <typename Metric, typename T>
 void save_index(const GraphIndex<Metric, T>& index, const std::string& path) {
-  auto f = internal::open_index_file(path, "wb");
-  ioutil::write_u32(f.get(), internal::kGraphIndexMagic, path);
-  ioutil::write_u32(f.get(), internal::kIndexVersion, path);
-  write_graph_index_payload(f.get(), index, path);
+  ioutil::AtomicFileWriter out(path);
+  ioutil::write_u32(out.file(), internal::kGraphIndexMagic, path);
+  ioutil::write_u32(out.file(), internal::kIndexVersion, path);
+  write_graph_index_payload(out.file(), index, path);
+  out.commit();
 }
 
 template <typename Metric, typename T>
 GraphIndex<Metric, T> load_index(const std::string& path) {
   auto f = internal::open_index_file(path, "rb");
   if (ioutil::read_u32(f.get(), path) != internal::kGraphIndexMagic) {
-    throw std::runtime_error("not a GraphIndex file: " + path);
+    throw corrupt_data("not a GraphIndex file: " + path);
   }
   if (ioutil::read_u32(f.get(), path) != internal::kIndexVersion) {
-    throw std::runtime_error("unsupported index version: " + path);
+    throw corrupt_data("unsupported index version: " + path);
   }
   return read_graph_index_payload<Metric, T>(f.get(), path);
 }
@@ -355,20 +554,21 @@ GraphIndex<Metric, T> load_index(const std::string& path) {
 template <typename Metric, typename T>
 void save_hnsw_index(const HNSWIndex<Metric, T>& index,
                      const std::string& path) {
-  auto f = internal::open_index_file(path, "wb");
-  ioutil::write_u32(f.get(), internal::kHnswIndexMagic, path);
-  ioutil::write_u32(f.get(), internal::kIndexVersion, path);
-  write_hnsw_index_payload(f.get(), index, path);
+  ioutil::AtomicFileWriter out(path);
+  ioutil::write_u32(out.file(), internal::kHnswIndexMagic, path);
+  ioutil::write_u32(out.file(), internal::kIndexVersion, path);
+  write_hnsw_index_payload(out.file(), index, path);
+  out.commit();
 }
 
 template <typename Metric, typename T>
 HNSWIndex<Metric, T> load_hnsw_index(const std::string& path) {
   auto f = internal::open_index_file(path, "rb");
   if (ioutil::read_u32(f.get(), path) != internal::kHnswIndexMagic) {
-    throw std::runtime_error("not an HNSWIndex file: " + path);
+    throw corrupt_data("not an HNSWIndex file: " + path);
   }
   if (ioutil::read_u32(f.get(), path) != internal::kIndexVersion) {
-    throw std::runtime_error("unsupported index version: " + path);
+    throw corrupt_data("unsupported index version: " + path);
   }
   return read_hnsw_index_payload<Metric, T>(f.get(), path);
 }

@@ -16,37 +16,37 @@ struct FileCloser {
 using File = std::unique_ptr<std::FILE, FileCloser>;
 
 File open_or_throw(const std::string& path, const char* mode) {
+  if (faultinject::should_fail("io.open")) {
+    throw io_error("injected open failure: " + path);
+  }
   File f(std::fopen(path.c_str(), mode));
-  if (!f) throw std::runtime_error("cannot open file: " + path);
+  if (!f) throw io_error("cannot open file: " + path);
   return f;
 }
 
 void write_or_throw(const void* data, std::size_t bytes, std::FILE* f,
                     const std::string& path) {
-  if (bytes != 0 && std::fwrite(data, 1, bytes, f) != bytes) {
-    throw std::runtime_error("short write: " + path);
-  }
+  ioutil::write_bytes(f, data, bytes, path);
 }
 
 void read_or_throw(void* data, std::size_t bytes, std::FILE* f,
                    const std::string& path) {
-  if (bytes != 0 && std::fread(data, 1, bytes, f) != bytes) {
-    throw std::runtime_error("short read / truncated file: " + path);
-  }
+  ioutil::read_bytes(f, data, bytes, path);
 }
 
 }  // namespace
 
 template <typename T>
 void save_bin(const PointSet<T>& points, const std::string& path) {
-  auto f = open_or_throw(path, "wb");
+  ioutil::AtomicFileWriter out(path);
   std::uint32_t header[2] = {static_cast<std::uint32_t>(points.size()),
                              static_cast<std::uint32_t>(points.dims())};
-  write_or_throw(header, sizeof(header), f.get(), path);
+  write_or_throw(header, sizeof(header), out.file(), path);
   for (std::size_t i = 0; i < points.size(); ++i) {
     write_or_throw(points[static_cast<PointId>(i)], points.dims() * sizeof(T),
-                   f.get(), path);
+                   out.file(), path);
   }
+  out.commit();
 }
 
 template <typename T>
@@ -64,13 +64,14 @@ PointSet<T> load_bin(const std::string& path) {
 
 template <typename T>
 void save_vecs(const PointSet<T>& points, const std::string& path) {
-  auto f = open_or_throw(path, "wb");
+  ioutil::AtomicFileWriter out(path);
   const std::int32_t d = static_cast<std::int32_t>(points.dims());
   for (std::size_t i = 0; i < points.size(); ++i) {
-    write_or_throw(&d, sizeof(d), f.get(), path);
+    write_or_throw(&d, sizeof(d), out.file(), path);
     write_or_throw(points[static_cast<PointId>(i)], points.dims() * sizeof(T),
-                   f.get(), path);
+                   out.file(), path);
   }
+  out.commit();
 }
 
 template <typename T>
@@ -80,7 +81,7 @@ PointSet<T> load_vecs(const std::string& path) {
   if (std::fread(&d, sizeof(d), 1, f.get()) != 1) {
     return PointSet<T>(0, 0);  // empty file -> empty point set
   }
-  if (d <= 0) throw std::runtime_error("bad vecs dimension in " + path);
+  if (d <= 0) throw corrupt_data("bad vecs dimension in " + path);
   // First pass established d; read rows until EOF.
   std::vector<std::vector<T>> rows;
   for (;;) {
@@ -90,7 +91,7 @@ PointSet<T> load_vecs(const std::string& path) {
     std::int32_t d2 = 0;
     std::size_t got = std::fread(&d2, sizeof(d2), 1, f.get());
     if (got != 1) break;  // EOF
-    if (d2 != d) throw std::runtime_error("ragged vecs file: " + path);
+    if (d2 != d) throw corrupt_data("ragged vecs file: " + path);
   }
   PointSet<T> points(rows.size(), static_cast<std::size_t>(d));
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -100,16 +101,17 @@ PointSet<T> load_vecs(const std::string& path) {
 }
 
 void save_graph(const Graph& g, const std::string& path) {
-  auto f = open_or_throw(path, "wb");
+  ioutil::AtomicFileWriter out(path);
   std::uint32_t header[2] = {static_cast<std::uint32_t>(g.size()),
                              g.max_degree()};
-  write_or_throw(header, sizeof(header), f.get(), path);
+  write_or_throw(header, sizeof(header), out.file(), path);
   for (std::size_t v = 0; v < g.size(); ++v) {
     auto neigh = g.neighbors(static_cast<PointId>(v));
     std::uint32_t sz = static_cast<std::uint32_t>(neigh.size());
-    write_or_throw(&sz, sizeof(sz), f.get(), path);
-    write_or_throw(neigh.data(), sz * sizeof(PointId), f.get(), path);
+    write_or_throw(&sz, sizeof(sz), out.file(), path);
+    write_or_throw(neigh.data(), sz * sizeof(PointId), out.file(), path);
   }
+  out.commit();
 }
 
 Graph load_graph(const std::string& path) {
@@ -121,7 +123,7 @@ Graph load_graph(const std::string& path) {
   for (std::size_t v = 0; v < g.size(); ++v) {
     std::uint32_t sz = 0;
     read_or_throw(&sz, sizeof(sz), f.get(), path);
-    if (sz > header[1]) throw std::runtime_error("corrupt graph: " + path);
+    if (sz > header[1]) throw corrupt_data("corrupt graph: " + path);
     read_or_throw(buf.data(), sz * sizeof(PointId), f.get(), path);
     g.set_neighbors(static_cast<PointId>(v), {buf.data(), sz});
   }

@@ -5,35 +5,121 @@
 // (n, max_degree, per-vertex sizes, flat edge array).
 #pragma once
 
+#include <atomic>
+#include <bit>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <new>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
+#include "error.h"
+#include "fault_injection.h"
 #include "graph.h"
 #include "points.h"
 
 namespace ann {
 
+// --- CRC32C ------------------------------------------------------------------
+//
+// Castagnoli CRC-32 (reflected polynomial 0x82F63B78) — the checksum behind
+// the v2 container format and the PANV row-block table. Software
+// slicing-by-4 with constexpr-generated tables: fast enough that load-time
+// verification is bounded by the read itself, and byte-identical across
+// platforms (decisions about data integrity must never depend on the host).
+namespace crc32c {
+
+namespace internal {
+
+struct Tables {
+  std::uint32_t t[4][256];
+};
+
+constexpr Tables make_tables() {
+  Tables tb{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? (0x82f63b78u ^ (c >> 1)) : (c >> 1);
+    }
+    tb.t[0][i] = c;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    tb.t[1][i] = (tb.t[0][i] >> 8) ^ tb.t[0][tb.t[0][i] & 0xffu];
+    tb.t[2][i] = (tb.t[1][i] >> 8) ^ tb.t[0][tb.t[1][i] & 0xffu];
+    tb.t[3][i] = (tb.t[2][i] >> 8) ^ tb.t[0][tb.t[2][i] & 0xffu];
+  }
+  return tb;
+}
+
+inline constexpr Tables kTables = make_tables();
+
+}  // namespace internal
+
+// Extend a finalized CRC over more bytes (extend(extend(0, a), b) ==
+// value(a+b), so sections can be streamed in chunks).
+inline std::uint32_t extend(std::uint32_t crc, const void* data,
+                            std::size_t bytes) {
+  const auto& t = internal::kTables.t;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = ~crc;
+  if constexpr (std::endian::native == std::endian::little) {
+    while (bytes >= 4) {
+      std::uint32_t word = 0;
+      std::memcpy(&word, p, 4);
+      c ^= word;
+      c = t[3][c & 0xffu] ^ t[2][(c >> 8) & 0xffu] ^ t[1][(c >> 16) & 0xffu] ^
+          t[0][c >> 24];
+      p += 4;
+      bytes -= 4;
+    }
+  }
+  while (bytes != 0) {
+    c = (c >> 8) ^ t[0][(c ^ *p++) & 0xffu];
+    --bytes;
+  }
+  return ~c;
+}
+
+inline std::uint32_t value(const void* data, std::size_t bytes) {
+  return extend(0, data, bytes);
+}
+
+}  // namespace crc32c
+
 // --- low-level binary stream primitives --------------------------------------
 //
 // Shared by every on-disk format layered above stdio (index containers,
-// per-algorithm payloads). All helpers throw std::runtime_error naming the
-// offending path on short reads/writes.
+// per-algorithm payloads). Failure typing (core/error.h): short/failed
+// WRITES are the device's fault — ann::io_error; short READS mean the file
+// ends before its format says it should — ann::corrupt_data (truncation IS
+// corruption from the reader's point of view). Both carry the offending
+// path. Every primitive checks its fault-injection site first
+// (core/fault_injection.h), so tests can prove each failure path throws
+// cleanly without a real broken disk.
 namespace ioutil {
 
 inline void write_bytes(std::FILE* f, const void* data, std::size_t bytes,
                         const std::string& path) {
+  if (faultinject::should_fail("io.write")) {
+    throw io_error("injected short write (ENOSPC): " + path);
+  }
   if (bytes != 0 && std::fwrite(data, 1, bytes, f) != bytes) {
-    throw std::runtime_error("short write: " + path);
+    throw io_error("short write: " + path);
   }
 }
 
 inline void read_bytes(std::FILE* f, void* data, std::size_t bytes,
                        const std::string& path) {
+  if (faultinject::should_fail("io.read")) {
+    throw corrupt_data("injected short read: " + path);
+  }
   if (bytes != 0 && std::fread(data, 1, bytes, f) != bytes) {
-    throw std::runtime_error("short read / truncated file: " + path);
+    throw corrupt_data("short read / truncated file: " + path);
   }
 }
 
@@ -75,7 +161,7 @@ inline void write_str(std::FILE* f, const std::string& s,
 
 inline std::string read_str(std::FILE* f, const std::string& path) {
   std::uint32_t len = read_u32(f, path);
-  if (len > (1u << 20)) throw std::runtime_error("corrupt string: " + path);
+  if (len > (1u << 20)) throw corrupt_data("corrupt string: " + path);
   std::string s(len, '\0');
   read_bytes(f, s.data(), len, path);
   return s;
@@ -100,8 +186,9 @@ PointSet<T> read_points(std::FILE* f, const std::string& path) {
   // Corruption guard: a bad header must fail cleanly, not drive a huge (or
   // size_t-wrapping) allocation followed by out-of-bounds row writes.
   if (d > (1ull << 24) || (d != 0 && n > (1ull << 48) / d)) {
-    throw std::runtime_error("corrupt points header: " + path);
+    throw corrupt_data("corrupt points header: " + path);
   }
+  if (faultinject::should_fail("alloc.points")) throw std::bad_alloc();
   PointSet<T> points(n, d);
   for (std::size_t i = 0; i < n; ++i) {
     read_bytes(f, points.mutable_point(static_cast<PointId>(i)), d * sizeof(T),
@@ -109,6 +196,89 @@ PointSet<T> read_points(std::FILE* f, const std::string& path) {
   }
   return points;
 }
+
+// --- atomic file writes ------------------------------------------------------
+
+// Crash-safe replacement of a file: all bytes go to a uniquely named temp
+// file in the same directory, and only a successful commit() — flush,
+// fsync, close, rename — makes them visible at the final path. POSIX
+// rename(2) is atomic, so at every instant the final path holds either the
+// complete OLD file (or nothing, for a first save) or the complete NEW
+// one, never a torn mix; a crash or a thrown error anywhere before commit
+// leaves the previous contents untouched, and the destructor removes the
+// orphaned temp file. The temp file is opened "w+b" so checksum passes can
+// re-read what they wrote before committing.
+//
+// Fault-injection sites: io.open (temp creation), io.fsync, io.rename —
+// plus io.write via the write helpers above. tests/test_reliability.cpp
+// sweeps an injected failure over every one of them and asserts the final
+// path still loads.
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(std::string path)
+      : path_(std::move(path)), tmp_(path_ + temp_suffix()) {
+    if (faultinject::should_fail("io.open")) {
+      throw io_error("injected open failure: " + tmp_);
+    }
+    file_ = std::fopen(tmp_.c_str(), "w+b");
+    if (file_ == nullptr) {
+      throw io_error("cannot create temp file for atomic save: " + tmp_);
+    }
+  }
+
+  ~AtomicFileWriter() {
+    if (file_ != nullptr) std::fclose(file_);
+    if (!committed_) std::remove(tmp_.c_str());
+  }
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  std::FILE* file() { return file_; }
+  // Writers report errors against the FINAL path (the file the caller asked
+  // for); the temp name is an implementation detail.
+  const std::string& path() const { return path_; }
+
+  // Durably publish the temp file at the final path. After commit() the
+  // writer is inert; without it the destructor rolls everything back.
+  void commit() {
+    if (file_ == nullptr) {
+      throw std::logic_error("AtomicFileWriter::commit called twice: " +
+                             path_);
+    }
+    if (std::fflush(file_) != 0) {
+      throw io_error("flush failed: " + path_);
+    }
+    if (faultinject::should_fail("io.fsync") || ::fsync(fileno(file_)) != 0) {
+      throw io_error("fsync failed: " + path_);
+    }
+    std::FILE* f = file_;
+    file_ = nullptr;
+    if (std::fclose(f) != 0) {
+      throw io_error("close failed: " + path_);
+    }
+    if (faultinject::should_fail("io.rename") ||
+        std::rename(tmp_.c_str(), path_.c_str()) != 0) {
+      throw io_error("rename failed (temp file removed): " + path_);
+    }
+    committed_ = true;
+  }
+
+ private:
+  // Unique per process and per writer; no wall clock (determinism contract)
+  // and no PRNG — collisions only matter within one directory, where pid +
+  // a process-wide counter suffice.
+  static std::string temp_suffix() {
+    static std::atomic<std::uint64_t> counter{0};
+    return ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+           std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+  }
+
+  std::string path_;
+  std::string tmp_;
+  std::FILE* file_ = nullptr;
+  bool committed_ = false;
+};
 
 }  // namespace ioutil
 

@@ -3,32 +3,55 @@
 // (quantized_store.h) while the exact coordinates live in a file the kernel
 // pages in on demand, so they never count against the resident budget.
 //
-// On-disk format ("PANV", versioned, fixed 32-byte header):
+// On-disk format ("PANV", versioned):
 //
-//   [magic u32 "PANV"] [version u32] [dtype code u32] [element size u32]
-//   [n u64] [d u64] [n x d row-major elements, unpadded]
+//   v1 (32-byte header, still loadable):
+//     [magic u32 "PANV"] [version u32] [dtype code u32] [element size u32]
+//     [n u64] [d u64] [n x d row-major elements, unpadded]
 //
-// Open() validates everything against the actual file size before the first
-// access — zero-length, truncated, wrong-magic, wrong-dtype and
-// trailing-garbage files all fail with a clean std::runtime_error naming
-// the path, never a SIGBUS on the first rerank. row() is bounds-checked
-// (it runs a handful of times per query, after the beam; the branch is
-// noise next to the page fault it may trigger).
+//   v2 (40-byte header, what the writer emits):
+//     [magic u32 "PANV"] [version u32] [dtype code u32] [element size u32]
+//     [n u64] [d u64] [header crc32c u32] [pad u32 = 0]
+//     [n x d row-major elements, unpadded]
+//     [block_rows u32] [num_blocks u32] [crc32c u32 x num_blocks]
+//     — the header CRC covers the first 32 bytes and is verified at open;
+//     the trailing table holds one CRC32C per block of block_rows rows
+//     (~256 KiB of data each), verified LAZILY at the first row() access
+//     into the block. Eager whole-file verification would fault every page
+//     in at open and defeat the point of the tier; lazy per-block checks
+//     cost one checksum pass per block, amortized over its accesses, and
+//     still turn any bit flip into ann::corrupt_data before the corrupt
+//     coordinates reach a rerank.
+//
+// Open() validates the header and total file size before the first access —
+// zero-length, truncated, wrong-magic, wrong-dtype and trailing-garbage
+// files all fail with a clean typed error naming the path (ann::corrupt_data
+// for malformed bytes, ann::io_error for OS failures), never a SIGBUS on
+// the first rerank. row() is bounds-checked (it runs a handful of times per
+// query, after the beam; the branch is noise next to the page fault it may
+// trigger), and under an active fault-injection scope it re-stats the file
+// to catch truncated-under-mmap before touching the mapping.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include <fcntl.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "core/error.h"
+#include "core/fault_injection.h"
 #include "core/io.h"
 #include "core/points.h"
 
@@ -36,8 +59,20 @@ namespace ann {
 
 namespace internal {
 inline constexpr std::uint32_t kVectorStoreMagic = 0x50414e56;  // "PANV"
-inline constexpr std::uint32_t kVectorStoreVersion = 1;
-inline constexpr std::size_t kVectorStoreHeaderBytes = 32;
+// v2: checksummed header + lazy per-block row CRCs. v1 files (no checksums)
+// remain loadable; the writer always emits v2.
+inline constexpr std::uint32_t kVectorStoreVersion = 2;
+inline constexpr std::size_t kVectorStoreHeaderBytesV1 = 32;
+inline constexpr std::size_t kVectorStoreHeaderBytesV2 = 40;
+// Target bytes of row data per checksum block (the lazy-verification
+// granule). One block is the most a single row() access ever checksums.
+inline constexpr std::uint64_t kVectorStoreBlockBytes = 256 * 1024;
+
+inline std::uint64_t vector_store_block_rows(std::uint64_t row_bytes) {
+  if (row_bytes == 0) return 1;
+  const std::uint64_t rows = kVectorStoreBlockBytes / row_bytes;
+  return rows == 0 ? 1 : rows;
+}
 }  // namespace internal
 
 template <typename T>
@@ -49,31 +84,44 @@ constexpr std::uint32_t vector_store_dtype_code<std::uint8_t>() { return 1; }
 template <>
 constexpr std::uint32_t vector_store_dtype_code<std::int8_t>() { return 2; }
 
-// Write a PANV vector store holding all rows of `points` (unpadded).
+// Write a PANV v2 vector store holding all rows of `points` (unpadded).
+// Atomic: the file appears at `path` complete or not at all.
 template <typename T>
 void write_vector_store(const std::string& path, const PointSet<T>& points) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    throw std::runtime_error("cannot create vector store: " + path);
-  }
-  try {
-    ioutil::write_u32(f, internal::kVectorStoreMagic, path);
-    ioutil::write_u32(f, internal::kVectorStoreVersion, path);
-    ioutil::write_u32(f, vector_store_dtype_code<T>(), path);
-    ioutil::write_u32(f, static_cast<std::uint32_t>(sizeof(T)), path);
-    ioutil::write_u64(f, points.size(), path);
-    ioutil::write_u64(f, points.dims(), path);
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      ioutil::write_bytes(f, points[static_cast<PointId>(i)],
-                          points.dims() * sizeof(T), path);
+  ioutil::AtomicFileWriter out(path);
+  std::FILE* f = out.file();
+  // The checksummed 32-byte header prefix, assembled in memory so its CRC
+  // is computed over exactly the bytes written.
+  unsigned char head[internal::kVectorStoreHeaderBytesV1];
+  const std::uint32_t h32[4] = {internal::kVectorStoreMagic,
+                                internal::kVectorStoreVersion,
+                                vector_store_dtype_code<T>(),
+                                static_cast<std::uint32_t>(sizeof(T))};
+  const std::uint64_t n = points.size();
+  const std::uint64_t d = points.dims();
+  std::memcpy(head, h32, 16);
+  std::memcpy(head + 16, &n, 8);
+  std::memcpy(head + 24, &d, 8);
+  ioutil::write_bytes(f, head, sizeof(head), path);
+  ioutil::write_u32(f, crc32c::value(head, sizeof(head)), path);
+  ioutil::write_u32(f, 0, path);  // pad (validated as zero on open)
+  const std::uint64_t row_bytes = d * sizeof(T);
+  const std::uint64_t block_rows = internal::vector_store_block_rows(row_bytes);
+  std::vector<std::uint32_t> block_crcs;
+  std::uint32_t crc = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const T* row = points[static_cast<PointId>(i)];
+    ioutil::write_bytes(f, row, row_bytes, path);
+    crc = crc32c::extend(crc, row, row_bytes);
+    if ((i + 1) % block_rows == 0 || i + 1 == n) {
+      block_crcs.push_back(crc);
+      crc = 0;
     }
-  } catch (...) {
-    std::fclose(f);
-    throw;
   }
-  if (std::fclose(f) != 0) {
-    throw std::runtime_error("short write: " + path);
-  }
+  ioutil::write_u32(f, static_cast<std::uint32_t>(block_rows), path);
+  ioutil::write_u32(f, static_cast<std::uint32_t>(block_crcs.size()), path);
+  for (std::uint32_t c : block_crcs) ioutil::write_u32(f, c, path);
+  out.commit();
 }
 
 // Read-only mmap over a PANV file. Move-only; the mapping lives as long as
@@ -82,71 +130,130 @@ template <typename T>
 class MmapVectorStore {
  public:
   explicit MmapVectorStore(const std::string& path) : path_(path) {
-    int fd = ::open(path.c_str(), O_RDONLY);
-    if (fd < 0) {
-      throw std::runtime_error("cannot open vector store: " + path);
+    if (faultinject::should_fail("mmap.map")) {
+      throw io_error("injected mmap failure: " + path);
+    }
+    fd_ = ::open(path.c_str(), O_RDONLY);
+    if (fd_ < 0) {
+      throw io_error("cannot open vector store: " + path);
     }
     struct stat st{};
-    if (::fstat(fd, &st) != 0) {
-      ::close(fd);
-      throw std::runtime_error("cannot stat vector store: " + path);
+    if (::fstat(fd_, &st) != 0) {
+      ::close(fd_);
+      throw io_error("cannot stat vector store: " + path);
     }
     const std::uint64_t file_size = static_cast<std::uint64_t>(st.st_size);
-    if (file_size < internal::kVectorStoreHeaderBytes) {
-      ::close(fd);
-      throw std::runtime_error(
+    if (file_size < internal::kVectorStoreHeaderBytesV1) {
+      ::close(fd_);
+      throw corrupt_data(
           "vector store truncated (smaller than its header): " + path);
     }
-    void* map = ::mmap(nullptr, file_size, PROT_READ, MAP_PRIVATE, fd, 0);
-    ::close(fd);
+    void* map = ::mmap(nullptr, file_size, PROT_READ, MAP_PRIVATE, fd_, 0);
     if (map == MAP_FAILED) {
-      throw std::runtime_error("cannot mmap vector store: " + path);
+      ::close(fd_);
+      throw io_error("cannot mmap vector store: " + path);
     }
     base_ = map;
     mapped_bytes_ = file_size;
     try {
-      const std::uint32_t* h32 = static_cast<const std::uint32_t*>(map);
+      const unsigned char* hb = static_cast<const unsigned char*>(map);
+      std::uint32_t h32[4];
+      std::memcpy(h32, hb, sizeof(h32));
       if (h32[0] != internal::kVectorStoreMagic) {
-        throw std::runtime_error("not a vector store (bad magic): " + path);
+        throw corrupt_data("not a vector store (bad magic): " + path);
       }
-      if (h32[1] != internal::kVectorStoreVersion) {
-        throw std::runtime_error("unsupported vector store version: " + path);
+      if (h32[1] != 1 && h32[1] != internal::kVectorStoreVersion) {
+        throw corrupt_data("unsupported vector store version: " + path);
       }
+      const bool v2 = h32[1] == internal::kVectorStoreVersion;
       if (h32[2] != vector_store_dtype_code<T>() || h32[3] != sizeof(T)) {
-        throw std::runtime_error(
-            "vector store element type mismatch: " + path);
+        throw corrupt_data("vector store element type mismatch: " + path);
       }
       std::uint64_t n64 = 0, d64 = 0;
-      const unsigned char* hb = static_cast<const unsigned char*>(map);
       std::memcpy(&n64, hb + 16, sizeof(n64));
       std::memcpy(&d64, hb + 24, sizeof(d64));
       if (d64 == 0 || d64 > (1ull << 24) || n64 > (1ull << 48) / d64) {
-        throw std::runtime_error("corrupt vector store header: " + path);
+        throw corrupt_data("corrupt vector store header: " + path);
       }
-      const std::uint64_t expected =
-          internal::kVectorStoreHeaderBytes + n64 * d64 * sizeof(T);
+      const std::size_t header_bytes =
+          v2 ? internal::kVectorStoreHeaderBytesV2
+             : internal::kVectorStoreHeaderBytesV1;
+      if (v2) {
+        if (file_size < internal::kVectorStoreHeaderBytesV2) {
+          throw corrupt_data(
+              "vector store truncated (smaller than its header): " + path);
+        }
+        std::uint32_t stored_crc = 0, pad = 0;
+        std::memcpy(&stored_crc, hb + 32, 4);
+        std::memcpy(&pad, hb + 36, 4);
+        // The CRC covers the first 32 bytes; the pad must be zero so every
+        // header byte is either covered or constrained.
+        if (stored_crc !=
+                crc32c::value(hb, internal::kVectorStoreHeaderBytesV1) ||
+            pad != 0) {
+          throw corrupt_data("vector store header failed its checksum: " +
+                             path);
+        }
+      }
+      const std::uint64_t row_bytes = d64 * sizeof(T);
+      const std::uint64_t data_bytes = n64 * row_bytes;
+      std::uint64_t expected = header_bytes + data_bytes;
+      if (v2) {
+        // The trailing block-CRC table: sized by the same formula the
+        // writer used, so a flipped block_rows/num_blocks almost always
+        // breaks the exact-size check below.
+        if (file_size < expected + 8) {
+          throw corrupt_data(
+              "vector store truncated (missing checksum table): " + path);
+        }
+        std::uint32_t block_rows32 = 0, num_blocks32 = 0;
+        std::memcpy(&block_rows32, hb + expected, 4);
+        std::memcpy(&num_blocks32, hb + expected + 4, 4);
+        if (block_rows32 == 0) {
+          throw corrupt_data("corrupt vector store checksum table: " + path);
+        }
+        const std::uint64_t want_blocks =
+            n64 == 0 ? 0 : (n64 + block_rows32 - 1) / block_rows32;
+        if (num_blocks32 != want_blocks) {
+          throw corrupt_data("corrupt vector store checksum table: " + path);
+        }
+        block_rows_ = block_rows32;
+        num_blocks_ = num_blocks32;
+        block_crcs_ = reinterpret_cast<const std::uint32_t*>(hb + expected + 8);
+        expected += 8 + 4ull * num_blocks32;
+      }
       if (file_size < expected) {
-        throw std::runtime_error(
+        throw corrupt_data(
             "vector store truncated (header promises more rows than the "
             "file holds): " + path);
       }
       if (file_size > expected) {
-        throw std::runtime_error(
+        throw corrupt_data(
             "vector store size mismatch (trailing bytes): " + path);
       }
       n_ = n64;
       d_ = d64;
-      data_ = reinterpret_cast<const T*>(
-          static_cast<const unsigned char*>(map) +
-          internal::kVectorStoreHeaderBytes);
+      expected_bytes_ = expected;
+      data_ = reinterpret_cast<const T*>(hb + header_bytes);
+      if (num_blocks_ != 0) {
+        block_verified_.reset(new std::atomic<unsigned char>[num_blocks_]);
+        for (std::size_t b = 0; b < num_blocks_; ++b) {
+          block_verified_[b].store(0, std::memory_order_relaxed);
+        }
+      }
     } catch (...) {
       ::munmap(base_, mapped_bytes_);
+      ::close(fd_);
+      base_ = nullptr;
       throw;
     }
   }
 
   ~MmapVectorStore() {
-    if (base_ != nullptr) ::munmap(base_, mapped_bytes_);
+    if (base_ != nullptr) {
+      ::munmap(base_, mapped_bytes_);
+      ::close(fd_);
+    }
   }
 
   MmapVectorStore(const MmapVectorStore&) = delete;
@@ -156,19 +263,34 @@ class MmapVectorStore {
       : path_(std::move(o.path_)),
         base_(std::exchange(o.base_, nullptr)),
         mapped_bytes_(std::exchange(o.mapped_bytes_, 0)),
+        fd_(std::exchange(o.fd_, -1)),
         data_(std::exchange(o.data_, nullptr)),
         n_(std::exchange(o.n_, 0)),
-        d_(std::exchange(o.d_, 0)) {}
+        d_(std::exchange(o.d_, 0)),
+        expected_bytes_(std::exchange(o.expected_bytes_, 0)),
+        block_rows_(std::exchange(o.block_rows_, 0)),
+        num_blocks_(std::exchange(o.num_blocks_, 0)),
+        block_crcs_(std::exchange(o.block_crcs_, nullptr)),
+        block_verified_(std::move(o.block_verified_)) {}
 
   MmapVectorStore& operator=(MmapVectorStore&& o) noexcept {
     if (this != &o) {
-      if (base_ != nullptr) ::munmap(base_, mapped_bytes_);
+      if (base_ != nullptr) {
+        ::munmap(base_, mapped_bytes_);
+        ::close(fd_);
+      }
       path_ = std::move(o.path_);
       base_ = std::exchange(o.base_, nullptr);
       mapped_bytes_ = std::exchange(o.mapped_bytes_, 0);
+      fd_ = std::exchange(o.fd_, -1);
       data_ = std::exchange(o.data_, nullptr);
       n_ = std::exchange(o.n_, 0);
       d_ = std::exchange(o.d_, 0);
+      expected_bytes_ = std::exchange(o.expected_bytes_, 0);
+      block_rows_ = std::exchange(o.block_rows_, 0);
+      num_blocks_ = std::exchange(o.num_blocks_, 0);
+      block_crcs_ = std::exchange(o.block_crcs_, nullptr);
+      block_verified_ = std::move(o.block_verified_);
     }
     return *this;
   }
@@ -183,6 +305,20 @@ class MmapVectorStore {
                               std::to_string(i) + " out of range (" +
                               std::to_string(n_) + " rows): " + path_);
     }
+    if (faultinject::enabled()) {
+      if (faultinject::should_fail("mmap.row")) {
+        throw io_error("injected row read fault: " + path_);
+      }
+      // Truncated-under-mmap is normally a SIGBUS (unrecoverable without
+      // signal games); under an active injection scope, re-stat the still-
+      // open fd so the harness can prove the typed-error path instead.
+      struct stat st{};
+      if (::fstat(fd_, &st) != 0 ||
+          static_cast<std::uint64_t>(st.st_size) < expected_bytes_) {
+        throw corrupt_data("vector store truncated under mmap: " + path_);
+      }
+    }
+    if (num_blocks_ != 0) verify_block(i / block_rows_);
     return data_ + static_cast<std::size_t>(i) * d_;
   }
 
@@ -192,12 +328,39 @@ class MmapVectorStore {
   std::size_t mapped_bytes() const { return mapped_bytes_; }
 
  private:
+  // First access into a block checksums all of it against the table (one
+  // ~256 KiB pass, amortized over every later access); a mismatch is a bit
+  // flip or torn write in the backing file. Concurrent first accesses may
+  // both verify — idempotent, and cheaper than a lock on every row().
+  void verify_block(std::uint64_t b) const {
+    if (block_verified_[b].load(std::memory_order_acquire) != 0) return;
+    const std::uint64_t row_bytes = d_ * sizeof(T);
+    const std::uint64_t first = b * block_rows_;
+    const std::uint64_t rows = std::min<std::uint64_t>(block_rows_, n_ - first);
+    const unsigned char* begin =
+        reinterpret_cast<const unsigned char*>(data_) + first * row_bytes;
+    if (crc32c::value(begin, rows * row_bytes) != block_crcs_[b]) {
+      throw corrupt_data("vector store checksum mismatch in block " +
+                         std::to_string(b) + " of " +
+                         std::to_string(num_blocks_) + ": " + path_);
+    }
+    block_verified_[b].store(1, std::memory_order_release);
+  }
+
   std::string path_;
   void* base_ = nullptr;
   std::size_t mapped_bytes_ = 0;
+  int fd_ = -1;  // kept open for truncation re-checks under fault injection
   const T* data_ = nullptr;
   std::size_t n_ = 0;
   std::size_t d_ = 0;
+  std::uint64_t expected_bytes_ = 0;
+  // v2 lazy verification state (num_blocks_ == 0 for v1 files: no table,
+  // nothing to verify).
+  std::uint64_t block_rows_ = 0;
+  std::size_t num_blocks_ = 0;
+  const std::uint32_t* block_crcs_ = nullptr;
+  mutable std::unique_ptr<std::atomic<unsigned char>[]> block_verified_;
 };
 
 }  // namespace ann

@@ -43,6 +43,22 @@
 //   * Completion is per-request: submit() returns a std::future, or the
 //     callback overload invokes the callback on the dispatcher thread
 //     (callbacks must be fast and must not throw).
+//   * Requests may carry a deadline (SubmitOptions::deadline_ms): one that
+//     is still queued when its deadline passes is failed with
+//     ann::deadline_exceeded at the next flush instead of being searched —
+//     under overload, work the client has given up on is shed, not served.
+//   * Optional overload degradation (ServeParams::degrade, OFF by default):
+//     when the queue depth crosses the high watermark, dispatched requests
+//     run with beam_width stepped down (bounded below by min_beam), trading
+//     recall for drain rate. Degraded results are OUTSIDE the determinism
+//     contract — identical traffic may see different pressure — which is
+//     why the feature must be opted into; with it off, served results
+//     remain element-wise identical to direct batch_search.
+//   * swap_index() replaces the served index with zero drain: submissions
+//     and in-flight batches keep using the snapshot they started with
+//     (epoch-style shared_ptr refcount), new batches pick up the new index,
+//     and the old one is destroyed when its last batch completes. No
+//     accepted future is ever dropped by a swap.
 //   * shutdown() stops admission (later submits throw std::logic_error),
 //     drains every request already accepted, then joins the dispatcher.
 //     Every future obtained from a successful submit() is fulfilled.
@@ -81,25 +97,37 @@
 #include <vector>
 
 #include "api/any_index.h"
+#include "core/error.h"
 #include "core/stats.h"
 #include "serve/mpmc_queue.h"
 
 namespace ann {
 
-// Thrown by submit() under BackpressurePolicy::kReject when the submission
-// queue is at capacity. Distinct from logic errors: the request was
-// well-formed, the service is just saturated — callers typically retry
-// with backoff or shed the load.
-class queue_full : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
+// queue_full and deadline_exceeded live in core/error.h with the rest of
+// the error taxonomy; submit() throws the former under kReject saturation,
+// and the latter is delivered through the future/callback of a request
+// whose deadline passed while it sat in the queue.
 
 enum class BackpressurePolicy {
   kBlock,   // submit() waits for queue space: throttles producers to the
             // service's throughput (closed-loop clients)
   kReject,  // submit() throws ann::queue_full immediately: sheds load so
             // producer latency stays bounded (open-loop clients)
+};
+
+// Overload-degradation policy: OFF by default (queue_high_watermark == 0).
+// When enabled, a flush that finds the queue depth at or above k times the
+// watermark dispatches its groups with beam_width reduced by k * beam_step,
+// never below min_beam, the request's k, or the request's own beam
+// (whichever bound binds): degradation trades recall, never answers — a
+// degraded request still receives its full k results. Degraded
+// results trade recall for drain rate and sit OUTSIDE the determinism
+// contract — the same traffic replayed under different pressure may answer
+// differently — so enabling it is an explicit operator decision.
+struct DegradeParams {
+  std::size_t queue_high_watermark = 0;  // 0 = degradation disabled
+  std::uint32_t beam_step = 8;           // beam reduction per pressure level
+  std::uint32_t min_beam = 8;            // hard floor for the reduced beam
 };
 
 struct ServeParams {
@@ -111,6 +139,16 @@ struct ServeParams {
   // Exact bound on queued-but-not-yet-dispatched requests.
   std::size_t queue_capacity = 1024;
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  DegradeParams degrade;
+};
+
+// Per-request submission options (beyond the search parameters themselves).
+struct SubmitOptions {
+  // Fail the request with ann::deadline_exceeded if it is still waiting in
+  // the submission queue this many milliseconds after admission. 0 = no
+  // deadline. The check runs at flush time: a request that entered a batch
+  // before expiring is searched and answered normally.
+  double deadline_ms = 0;
 };
 
 // Snapshot of a service's counters, same idiom as IndexStats: the headline
@@ -133,6 +171,9 @@ struct ServeStats {
   std::size_t queue_depth = 0;       // instantaneous
   std::uint64_t filtered = 0;        // requests dispatched with an active filter
   std::uint64_t quantized = 0;       // requests dispatched via quantized_search
+  std::uint64_t expired = 0;         // failed with deadline_exceeded in queue
+  std::uint64_t degraded = 0;        // served with a pressure-reduced beam
+  std::uint64_t swaps = 0;           // swap_index() calls
   // Mean estimated selectivity over dispatched filtered requests (0 when
   // none ran): how much of the index the average filter admits.
   double mean_filter_selectivity = 0;
@@ -167,26 +208,12 @@ class SearchService {
   // with std::invalid_argument, as is a dtype mismatch between T and the
   // index, a zero queue_capacity, or a zero max_batch).
   explicit SearchService(AnyIndex index, const ServeParams& params = {})
-      : index_(std::move(index)),
+      : index_(std::make_shared<const AnyIndex>(std::move(index))),
         params_(validated(params)),
         queue_(params.queue_capacity) {
-    if (!index_.valid()) {
-      throw std::invalid_argument(
-          "SearchService: index handle is empty (use ann::make_index)");
-    }
-    if (index_.spec().dtype != dtype_name<T>()) {
-      throw std::invalid_argument(
-          std::string("SearchService: index holds dtype '") +
-          index_.spec().dtype + "' but the service is instantiated for '" +
-          dtype_name<T>() + "'");
-    }
-    IndexStats s = index_.stats();  // throws std::logic_error on empty handle
-    if (s.num_points == 0 || s.dims == 0) {
-      throw std::invalid_argument(
-          "SearchService: index must be built and non-empty before serving");
-    }
+    const IndexStats s = validated_index_stats(*index_);
     dims_ = s.dims;
-    num_points_ = s.num_points;
+    num_points_.store(s.num_points, std::memory_order_relaxed);
     start_ = std::chrono::steady_clock::now();
     dispatcher_ = std::thread([this] { dispatch_loop(); });
   }
@@ -196,9 +223,44 @@ class SearchService {
   SearchService(const SearchService&) = delete;
   SearchService& operator=(const SearchService&) = delete;
 
-  const AnyIndex& index() const { return index_; }
+  // The CURRENT index snapshot. The shared_ptr keeps it alive across a
+  // concurrent swap_index(); the reference-returning index() remains for
+  // callers that do not swap.
+  std::shared_ptr<const AnyIndex> index_snapshot() const {
+    std::lock_guard<std::mutex> lock(index_mutex_);
+    return index_;
+  }
+  const AnyIndex& index() const { return *index_snapshot(); }
   const ServeParams& params() const { return params_; }
   std::size_t dims() const { return dims_; }
+
+  // Replace the served index with ZERO drain: no pause in admission, no
+  // barrier on in-flight work. Batches already executing (and requests
+  // already grouped with a snapshot) finish on the index they started
+  // with — the shared_ptr refcount is the epoch — and every flush after
+  // the swap picks up the new index. The replacement must be built,
+  // non-empty, hold this service's dtype, and serve the SAME
+  // dimensionality (queued queries were validated against dims()).
+  // Requests admitted before the swap may be answered by either index;
+  // each is answered completely by exactly one.
+  void swap_index(AnyIndex replacement) {
+    auto next = std::make_shared<const AnyIndex>(std::move(replacement));
+    const IndexStats s = validated_index_stats(*next);
+    if (s.dims != dims_) {
+      throw std::invalid_argument(
+          "SearchService::swap_index: replacement index holds dims " +
+          std::to_string(s.dims) + " but the service serves dims " +
+          std::to_string(dims_));
+    }
+    num_points_.store(s.num_points, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(index_mutex_);
+      index_.swap(next);
+    }
+    swaps_.fetch_add(1, std::memory_order_relaxed);
+    // `next` (the OLD index) dies here unless an in-flight batch still
+    // holds its snapshot, in which case the last batch to finish frees it.
+  }
 
   // --- submission ------------------------------------------------------------
 
@@ -209,6 +271,18 @@ class SearchService {
   std::future<std::vector<Neighbor>> submit(std::span<const T> query,
                                             const QueryParams& params = {}) {
     auto req = make_request(query, params);
+    auto future = req->promise.get_future();
+    enqueue(std::move(req));
+    return future;
+  }
+
+  // Deadline-carrying submission: if the request is still queued
+  // opts.deadline_ms after admission, its future is failed with
+  // ann::deadline_exceeded instead of being searched.
+  std::future<std::vector<Neighbor>> submit(std::span<const T> query,
+                                            const QueryParams& params,
+                                            const SubmitOptions& opts) {
+    auto req = make_request(query, params, {}, opts);
     auto future = req->promise.get_future();
     enqueue(std::move(req));
     return future;
@@ -237,8 +311,9 @@ class SearchService {
   // failed future at dispatch time.
   std::future<std::vector<Neighbor>> submit(std::span<const T> query,
                                             const FilterSpec& filter,
-                                            const QueryParams& params = {}) {
-    auto req = make_request(query, params, filter);
+                                            const QueryParams& params = {},
+                                            const SubmitOptions& opts = {}) {
+    auto req = make_request(query, params, filter, opts);
     auto future = req->promise.get_future();
     enqueue(std::move(req));
     return future;
@@ -267,8 +342,9 @@ class SearchService {
   // code store attached (AnyIndex::attach_quantized / a loaded container
   // carrying a quantized payload).
   std::future<std::vector<Neighbor>> submit_quantized(
-      std::span<const T> query, const QueryParams& params = {}) {
-    auto req = make_request(query, params);
+      std::span<const T> query, const QueryParams& params = {},
+      const SubmitOptions& opts = {}) {
+    auto req = make_request(query, params, {}, opts);
     req->quantized = true;
     require_quantized();
     auto future = req->promise.get_future();
@@ -371,6 +447,9 @@ class SearchService {
     s.queue_depth = queued_.load(std::memory_order_relaxed);
     s.filtered = filtered_.load(std::memory_order_relaxed);
     s.quantized = quantized_.load(std::memory_order_relaxed);
+    s.expired = expired_.load(std::memory_order_relaxed);
+    s.degraded = degraded_.load(std::memory_order_relaxed);
+    s.swaps = swaps_.load(std::memory_order_relaxed);
     // Selectivity is accumulated in integer micro-units so the hot path
     // needs no atomic<double> RMW (fetch_add on doubles is C++20-optional).
     s.mean_filter_selectivity =
@@ -396,6 +475,9 @@ class SearchService {
         {"queue_depth", static_cast<double>(s.queue_depth)},
         {"filtered", static_cast<double>(s.filtered)},
         {"quantized", static_cast<double>(s.quantized)},
+        {"expired", static_cast<double>(s.expired)},
+        {"degraded", static_cast<double>(s.degraded)},
+        {"swaps", static_cast<double>(s.swaps)},
         {"mean_filter_selectivity", s.mean_filter_selectivity},
     };
     return s;
@@ -407,13 +489,36 @@ class SearchService {
     QueryParams params;
     FilterSpec filter;       // inactive for plain submits
     bool quantized = false;  // dispatch via quantized_batch_search
+    double deadline_ms = 0;  // 0 = no deadline
     std::promise<std::vector<Neighbor>> promise;
     Callback callback;  // empty => promise completion path
     std::chrono::steady_clock::time_point enqueued;
+    std::chrono::steady_clock::time_point deadline;  // set iff deadline_ms > 0
   };
 
+  // Shared by the constructor and swap_index: the index must be a valid
+  // handle, hold this service's dtype, and be built and non-empty.
+  static IndexStats validated_index_stats(const AnyIndex& index) {
+    if (!index.valid()) {
+      throw std::invalid_argument(
+          "SearchService: index handle is empty (use ann::make_index)");
+    }
+    if (index.spec().dtype != dtype_name<T>()) {
+      throw std::invalid_argument(
+          std::string("SearchService: index holds dtype '") +
+          index.spec().dtype + "' but the service is instantiated for '" +
+          dtype_name<T>() + "'");
+    }
+    IndexStats s = index.stats();
+    if (s.num_points == 0 || s.dims == 0) {
+      throw std::invalid_argument(
+          "SearchService: index must be built and non-empty before serving");
+    }
+    return s;
+  }
+
   void require_quantized() const {
-    if (!index_.has_quantized()) {
+    if (!index_snapshot()->has_quantized()) {
       throw std::invalid_argument(
           "SearchService::submit_quantized: the served index has no code "
           "store attached (AnyIndex::attach_quantized)");
@@ -432,26 +537,43 @@ class SearchService {
       throw std::invalid_argument(
           "ServeParams: max_delay_ms must be non-negative");
     }
+    if (params.degrade.queue_high_watermark != 0 &&
+        (params.degrade.beam_step == 0 || params.degrade.min_beam == 0)) {
+      throw std::invalid_argument(
+          "ServeParams: degrade.beam_step and degrade.min_beam must be "
+          "positive when degradation is enabled");
+    }
+    if (params.degrade.queue_high_watermark > params.queue_capacity) {
+      throw std::invalid_argument(
+          "ServeParams: degrade.queue_high_watermark exceeds queue_capacity "
+          "(the watermark could never trip)");
+    }
     return params;
   }
 
   std::unique_ptr<Request> make_request(std::span<const T> query,
                                         const QueryParams& params,
-                                        const FilterSpec& filter = {}) {
+                                        const FilterSpec& filter = {},
+                                        const SubmitOptions& opts = {}) {
     if (query.size() != dims_) {
       throw std::invalid_argument(
           "SearchService::submit: query has " + std::to_string(query.size()) +
           " elements but the index holds dims " + std::to_string(dims_));
     }
-    if (filter.uses_labels() && !index_.has_labels()) {
+    if (filter.uses_labels() && !index_snapshot()->has_labels()) {
       throw std::invalid_argument(
           "SearchService::submit: FilterSpec references labels but the "
           "served index has no LabelStore attached");
+    }
+    if (opts.deadline_ms < 0) {
+      throw std::invalid_argument(
+          "SubmitOptions: deadline_ms must be non-negative");
     }
     auto req = std::make_unique<Request>();
     req->query.assign(query.begin(), query.end());
     req->params = params;
     req->filter = filter;
+    req->deadline_ms = opts.deadline_ms;
     return req;
   }
 
@@ -497,6 +619,13 @@ class SearchService {
           auto now = std::chrono::steady_clock::now();
           for (std::unique_ptr<Request>& req : requests) {
             req->enqueued = now;
+            if (req->deadline_ms > 0) {
+              req->deadline =
+                  now + std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double, std::milli>(
+                                req->deadline_ms));
+            }
             // Admission reserved a slot, so a push only fails transiently
             // (a concurrent pop mid-flight in the target cell).
             while (!queue_.try_push(std::move(req))) std::this_thread::yield();
@@ -599,8 +728,53 @@ class SearchService {
     return a.mode == b.mode && a.labels == b.labels;
   }
 
+  // Fail every request whose deadline passed while it waited in the queue
+  // (ann::deadline_exceeded through its normal completion path) and compact
+  // the survivors in place. Expiry is judged once per flush, against one
+  // clock sample, so requests in the same batch are judged consistently.
+  void expire_overdue(std::vector<std::unique_ptr<Request>>& batch) {
+    const auto now = std::chrono::steady_clock::now();
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      Request& req = *batch[i];
+      if (req.deadline_ms > 0 && now >= req.deadline) {
+        expired_.fetch_add(1, std::memory_order_relaxed);
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        auto error = std::make_exception_ptr(deadline_exceeded(
+            "SearchService: request expired in queue after " +
+            std::to_string(req.deadline_ms) + " ms"));
+        if (req.callback) {
+          try {
+            req.callback({}, error);
+          } catch (...) {
+            // Same contract as execute_group: callbacks must not throw.
+          }
+        } else {
+          req.promise.set_exception(error);
+        }
+        continue;
+      }
+      batch[kept++] = std::move(batch[i]);
+    }
+    batch.resize(kept);
+  }
+
+  // Pressure level for overload degradation: how many times the current
+  // queue depth clears the high watermark (0 = policy off or no pressure).
+  std::uint32_t pressure_level() const {
+    const std::size_t watermark = params_.degrade.queue_high_watermark;
+    if (watermark == 0) return 0;
+    return static_cast<std::uint32_t>(
+        queued_.load(std::memory_order_relaxed) / watermark);
+  }
+
   void execute_batch(std::vector<std::unique_ptr<Request>>& batch) {
     batches_.fetch_add(1, std::memory_order_relaxed);
+    expire_overdue(batch);
+    if (batch.empty()) return;
+    // One pressure sample per flush: every group in this batch degrades (or
+    // not) together, and grouping stays keyed on the REQUESTED params.
+    const std::uint32_t pressure = pressure_level();
     std::vector<char> grouped(batch.size(), 0);
     std::vector<std::size_t> group;
     for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -617,16 +791,47 @@ class SearchService {
           grouped[j] = 1;
         }
       }
-      execute_group(batch, group);
+      execute_group(batch, group, pressure);
     }
   }
 
+  // The effective parameters for a group under `pressure` levels of
+  // overload: beam_width stepped down by pressure * beam_step, floored at
+  // min_beam (or the requested beam, if it was already smaller). The floor
+  // never drops below the requested k — a beam narrower than k would
+  // shrink the RESULT SET, and degradation trades recall, not answers.
+  QueryParams degraded_params(const QueryParams& requested,
+                              std::uint32_t pressure) const {
+    if (pressure == 0) return requested;
+    const std::uint64_t cut =
+        static_cast<std::uint64_t>(pressure) * params_.degrade.beam_step;
+    const std::uint32_t floor = std::min<std::uint32_t>(
+        requested.beam_width,
+        std::max<std::uint32_t>(params_.degrade.min_beam, requested.k));
+    QueryParams p = requested;
+    p.beam_width = cut >= requested.beam_width - floor
+                       ? floor
+                       : requested.beam_width -
+                             static_cast<std::uint32_t>(cut);
+    return p;
+  }
+
   void execute_group(std::vector<std::unique_ptr<Request>>& batch,
-                     const std::vector<std::size_t>& group) {
+                     const std::vector<std::size_t>& group,
+                     std::uint32_t pressure) {
     dispatches_.fetch_add(1, std::memory_order_relaxed);
+    // The group's epoch: this snapshot pins the index for the whole
+    // dispatch, so a concurrent swap_index() never invalidates it and the
+    // old index survives exactly until its last in-flight group completes.
+    const std::shared_ptr<const AnyIndex> index = index_snapshot();
     PointSet<T> queries(group.size(), dims_);
     for (std::size_t g = 0; g < group.size(); ++g) {
       queries.set_point(static_cast<PointId>(g), batch[group[g]]->query.data());
+    }
+    const QueryParams effective =
+        degraded_params(batch[group[0]]->params, pressure);
+    if (effective.beam_width != batch[group[0]]->params.beam_width) {
+      degraded_.fetch_add(group.size(), std::memory_order_relaxed);
     }
     std::vector<std::vector<Neighbor>> results;
     std::exception_ptr error;
@@ -636,14 +841,13 @@ class SearchService {
     try {
       std::lock_guard<std::mutex> lock(internal::serving_dispatch_mutex());
       if (quantized) {
-        results = index_.template quantized_batch_search<T>(
-            queries, batch[group[0]]->params);
+        results =
+            index->template quantized_batch_search<T>(queries, effective);
       } else if (filter.active()) {
-        results = index_.template filtered_batch_search<T>(
-            queries, filter, batch[group[0]]->params);
+        results = index->template filtered_batch_search<T>(queries, filter,
+                                                           effective);
       } else {
-        results = index_.template batch_search<T>(queries,
-                                                 batch[group[0]]->params);
+        results = index->template batch_search<T>(queries, effective);
       }
     } catch (...) {
       error = std::current_exception();
@@ -656,8 +860,9 @@ class SearchService {
       // Counted even when the dispatch errored: the request was filtered
       // traffic either way. Selectivity comes from the same estimator the
       // search itself used to size its effort.
-      BoundFilter bound(filter, index_.labels_ptr().get());
-      const double sel = bound.estimated_selectivity(num_points_);
+      BoundFilter bound(filter, index->labels_ptr().get());
+      const double sel = bound.estimated_selectivity(
+          num_points_.load(std::memory_order_relaxed));
       selectivity_micro_.fetch_add(
           static_cast<std::uint64_t>(sel * 1e6) * group.size(),
           std::memory_order_relaxed);
@@ -697,10 +902,15 @@ class SearchService {
     }
   }
 
-  AnyIndex index_;
+  // The served index, published as an immutable snapshot: readers copy the
+  // shared_ptr under index_mutex_ and hold their copy for the duration of a
+  // dispatch, so swap_index() never waits for in-flight work (zero drain)
+  // and never frees an index a batch is still using.
+  std::shared_ptr<const AnyIndex> index_;
+  mutable std::mutex index_mutex_;
   ServeParams params_;
   std::size_t dims_ = 0;
-  std::size_t num_points_ = 0;  // for selectivity estimation in stats
+  std::atomic<std::size_t> num_points_{0};  // selectivity estimation; swaps
   std::chrono::steady_clock::time_point start_;
 
   BoundedMpmcQueue<std::unique_ptr<Request>> queue_;
@@ -724,6 +934,9 @@ class SearchService {
   std::atomic<std::uint64_t> distance_comps_{0};
   std::atomic<std::uint64_t> filtered_{0};
   std::atomic<std::uint64_t> quantized_{0};
+  std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::uint64_t> swaps_{0};
   std::atomic<std::uint64_t> selectivity_micro_{0};  // sum, micro-units
   LatencyHistogram latency_;
 };

@@ -121,6 +121,33 @@ class FixtureRules(unittest.TestCase):
         self.assertEqual({p for p, _, _ in self.found}, expected_files)
 
 
+class TrackedArtifacts(unittest.TestCase):
+    """The tracked-artifact rule: build output may never be tracked. The
+    matcher is tested as a pure function (no fixture git repo needed); the
+    real-tree half rides RealTreeIsClean, which runs the git-backed scan."""
+
+    @classmethod
+    def setUpClass(cls):
+        sys.path.insert(0, os.path.join(REPO, "tools"))
+        import ann_lint
+        cls.lint = ann_lint
+
+    def test_build_trees_match(self):
+        paths = ["build/CMakeCache.txt", "build-asan/lib/libann.a",
+                 "build-tsan/CMakeFiles/x.o", "builddir/anything"]
+        self.assertEqual(self.lint.artifact_violations(paths), paths)
+
+    def test_sources_do_not_match(self):
+        paths = ["src/core/io.h", "tools/build_helpers.py",
+                 "docs/BUILD.md", "tests/test_io.cpp", ".gitignore"]
+        self.assertEqual(self.lint.artifact_violations(paths), [])
+
+    def test_fixture_trees_skip_quietly(self):
+        # lint_fixtures is not a git work tree: the repo-level scan must
+        # return nothing rather than erroring or picking up the outer repo.
+        self.assertEqual(self.lint.scan_tracked_artifacts(FIXTURES, []), [])
+
+
 class RealTreeIsClean(unittest.TestCase):
     """The determinism contract holds over the production sources."""
 

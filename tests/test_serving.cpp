@@ -653,6 +653,165 @@ TEST(SearchService, QuantizedSubmitWithoutStoreRejectedAtSubmit) {
                std::invalid_argument);
 }
 
+// --- deadlines, degradation, hot swap (docs/RELIABILITY.md) ------------------
+
+// A request whose deadline elapses while it waits in the queue is failed
+// with ann::deadline_exceeded at flush time; a batchmate without a
+// deadline is searched and answered normally.
+TEST(SearchService, DeadlineExpiresInQueueWithoutHarmingBatchmates) {
+  const auto& ds = dataset();
+  QueryParams qp{.beam_width = 32, .k = 10};
+
+  AnyIndex direct = make_built_index();
+  auto expected = direct.batch_search(ds.queries, qp);
+
+  // max_batch 8 with only two submissions: the flush waits out the 250 ms
+  // delay bound, far past the 1 ms deadline.
+  SearchService<std::uint8_t> service(
+      make_built_index(), {.max_batch = 8, .max_delay_ms = 250.0});
+  auto doomed = service.submit(
+      std::span<const std::uint8_t>(ds.queries[0], service.dims()), qp,
+      SubmitOptions{.deadline_ms = 1});
+  auto healthy = service.submit(
+      std::span<const std::uint8_t>(ds.queries[1], service.dims()), qp,
+      SubmitOptions{.deadline_ms = 60'000});
+
+  EXPECT_THROW(doomed.get(), deadline_exceeded);
+  EXPECT_EQ(healthy.get(), expected[1]);
+  service.shutdown();
+  auto stats = service.stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.submitted, 2u);
+}
+
+TEST(SearchService, NegativeDeadlineRejectedAtSubmit) {
+  const auto& ds = dataset();
+  SearchService<std::uint8_t> service(make_built_index(), {});
+  EXPECT_THROW(
+      service.submit(
+          std::span<const std::uint8_t>(ds.queries[0], service.dims()),
+          QueryParams{.k = 10}, SubmitOptions{.deadline_ms = -1}),
+      std::invalid_argument);
+}
+
+// With degradation enabled and the queue over its watermark, batches run
+// with a stepped-down beam — every request is still answered with k
+// results, and the stats record how many were degraded.
+TEST(SearchService, DegradeShedsEffortUnderPressure) {
+  const auto& ds = dataset();
+  QueryParams qp{.beam_width = 64, .k = 10};
+  SearchService<std::uint8_t> service(
+      make_built_index(),
+      {.max_batch = 8, .max_delay_ms = 0.0, .queue_capacity = 256,
+       .degrade = {.queue_high_watermark = 4, .beam_step = 8,
+                   .min_beam = 8}});
+  // 64 requests admitted in one all-or-nothing batch: the queue is deep the
+  // moment the dispatcher starts flushing, so pressure is guaranteed.
+  auto futures = service.submit_batch(ds.queries, qp);
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get().size(), 10u) << "request " << i;
+  }
+  service.shutdown();
+  auto stats = service.stats();
+  EXPECT_EQ(stats.completed, ds.queries.size());
+  EXPECT_GT(stats.degraded, 0u);
+  EXPECT_EQ(stats.expired, 0u);
+}
+
+TEST(SearchService, DegradeParamsValidatedAtConstruction) {
+  EXPECT_THROW(SearchService<std::uint8_t>(
+                   make_built_index(),
+                   {.degrade = {.queue_high_watermark = 4, .beam_step = 0}}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      SearchService<std::uint8_t>(
+          make_built_index(),
+          {.queue_capacity = 8, .degrade = {.queue_high_watermark = 9}}),
+      std::invalid_argument);
+}
+
+// swap_index validation: the replacement must be a valid, built handle
+// serving the same dims. (Same-dtype is enforced by the same check the
+// constructor uses.)
+TEST(SearchService, SwapIndexRejectsUnbuiltOrMismatchedReplacements) {
+  SearchService<std::uint8_t> service(make_built_index(), {});
+  EXPECT_THROW(service.swap_index(AnyIndex{}), std::invalid_argument);
+  EXPECT_THROW(service.swap_index(make_index(
+                   IndexSpec{.algorithm = "diskann", .metric = "euclidean",
+                             .dtype = "uint8"})),
+               std::invalid_argument);  // constructed but never built
+
+  // Same dtype, different dims: queued queries were validated against
+  // dims(), so the swap must refuse.
+  PointSet<std::uint8_t> narrow(300, 64);
+  for (std::size_t i = 0; i < narrow.size(); ++i) {
+    auto* row = narrow.mutable_point(static_cast<PointId>(i));
+    for (std::size_t j = 0; j < narrow.dims(); ++j) {
+      row[j] = static_cast<std::uint8_t>((i * 31 + j * 7) & 0xff);
+    }
+  }
+  AnyIndex other = make_index(IndexSpec{.algorithm = "diskann",
+                                        .metric = "euclidean",
+                                        .dtype = "uint8"});
+  other.build(narrow);
+  EXPECT_THROW(service.swap_index(std::move(other)), std::invalid_argument);
+  EXPECT_EQ(service.stats().swaps, 0u);
+}
+
+// Hot swap under load: submissions never pause, every future is
+// fulfilled, and once the swap is in, new requests are answered by the
+// replacement index — exactly as a direct search against it.
+TEST(SearchService, SwapIndexUnderLoadLosesNothing) {
+  const auto& ds = dataset();
+  QueryParams qp{.beam_width = 32, .k = 10};
+
+  auto ds_b = make_bigann_like(kN, kNumQueries, /*seed=*/21);
+  IndexSpec spec{.algorithm = "diskann", .metric = "euclidean",
+                 .dtype = "uint8",
+                 .params = DiskANNParams{.degree_bound = 24, .beam_width = 48}};
+  AnyIndex b = make_index(spec);
+  b.build(ds_b.base);
+  auto expected_b = b.batch_search(ds.queries, qp);  // before the service runs
+
+  SearchService<std::uint8_t> service(make_built_index(),
+                                      {.max_batch = 16, .max_delay_ms = 0.5});
+  std::atomic<bool> stop{false};
+  std::atomic<int> answered{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 3; ++t) {
+    submitters.emplace_back([&, t] {
+      std::size_t i = static_cast<std::size_t>(t);
+      while (!stop.load()) {
+        auto f = service.submit(
+            std::span<const std::uint8_t>(
+                ds.queries[static_cast<PointId>(i % kNumQueries)],
+                service.dims()),
+            qp);
+        // Either index may answer around the swap; both return exactly k.
+        EXPECT_EQ(f.get().size(), 10u);
+        answered.fetch_add(1);
+        i += 3;
+      }
+    });
+  }
+  while (answered.load() < 20) std::this_thread::yield();
+  service.swap_index(std::move(b));
+  while (answered.load() < 60) std::this_thread::yield();
+  stop.store(true);
+  for (auto& t : submitters) t.join();
+
+  // Post-swap requests are served by the replacement, bit-identically.
+  auto futures = service.submit_batch(ds.queries, qp);
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get(), expected_b[i]) << "query " << i;
+  }
+  service.shutdown();
+  auto stats = service.stats();
+  EXPECT_EQ(stats.swaps, 1u);
+  EXPECT_EQ(stats.completed, stats.submitted);
+  EXPECT_EQ(stats.rejected, 0u);
+}
+
 // The serve() convenience factory wires the same machinery.
 TEST(SearchService, ServeFactoryRoundTrip) {
   const auto& ds = dataset();

@@ -33,6 +33,10 @@ for the rule catalogue and the *why* behind each rule):
                        via ANN_REGISTER_INDEX) appears in each nine-backend
                        conformance suite, so a new backend cannot dodge the
                        API/filter/quantization contracts.
+  tracked-artifact     no build-output paths (build*/...) tracked in git.
+                       Committed build trees bloat history, leak host paths,
+                       and rot instantly; .gitignore covers build*/ and this
+                       rule fails CI if anything slips past it.
 
 Escapes, both requiring a written reason:
   * an allowlist file (default tools/ann_lint_allow.txt), lines of
@@ -52,6 +56,7 @@ import argparse
 import fnmatch
 import os
 import re
+import subprocess
 import sys
 
 # Directories (relative to --root) whose sources must be deterministic:
@@ -82,7 +87,13 @@ RULES = (
     "include-guard",
     "layering",
     "backend-conformance",
+    "tracked-artifact",
 )
+
+# First-path-component globs that are build output, never source. Matched
+# against `git ls-files` (tracked paths only — an untracked build tree is
+# .gitignore's business, not a finding).
+ARTIFACT_GLOBS = ("build*",)
 
 RAND_RE = re.compile(r"\b(?:rand|srand)\s*\(|std::random_device")
 WALL_CLOCK_RE = re.compile(
@@ -411,6 +422,39 @@ def scan_backend_conformance(root, allow_entries):
     return findings
 
 
+def artifact_violations(paths):
+    """The tracked paths (any iterable of repo-relative, /-separated paths)
+    whose first component matches an artifact glob. Pure so the unit tests
+    need no git repo."""
+    hits = []
+    for p in paths:
+        first = p.split("/", 1)[0]
+        if any(fnmatch.fnmatch(first, g) for g in ARTIFACT_GLOBS):
+            hits.append(p)
+    return hits
+
+
+def scan_tracked_artifacts(root, allow_entries):
+    """Repo-level rule: nothing under an artifact glob may be tracked.
+    Skipped quietly when root is not a git work tree (fixture trees)."""
+    if not os.path.isdir(os.path.join(root, ".git")):
+        return []
+    try:
+        out = subprocess.run(["git", "-C", root, "ls-files"],
+                             capture_output=True, text=True, check=True)
+    except (OSError, subprocess.CalledProcessError):
+        return []  # no git available: the CI job runs where there is one
+    findings = []
+    for p in artifact_violations(out.stdout.splitlines()):
+        if allowlisted(allow_entries, "tracked-artifact", p):
+            continue
+        findings.append(Finding(
+            p, 0, "tracked-artifact",
+            "build output is tracked in git; remove it from the index "
+            "(git rm -r --cached) — .gitignore covers build*/"))
+    return findings
+
+
 def collect_sources(root):
     files = []
     src_root = os.path.join(root, "src")
@@ -458,6 +502,7 @@ def main(argv=None):
                                   allow_entries))
     if not args.files:
         findings.extend(scan_backend_conformance(root, allow_entries))
+        findings.extend(scan_tracked_artifacts(root, allow_entries))
 
     for f in findings:
         print(f)
