@@ -16,7 +16,7 @@
 //        order-dependent float reuse would surface;
 //      * uint8 builds (integer kernels are exact) must be byte-identical
 //        between the overhauled and scalarref stacks for diskann, hcnng
-//        and pynndescent.
+//        and pynndescent, and across every force-able SIMD tier (2c).
 //      Any mismatch exits non-zero (the smoke-test contract).
 //   3. Build throughput at the default worker count (informational).
 //
@@ -62,6 +62,10 @@ int main(int argc, char** argv) {
   int failures = 0;
 
   std::printf("bench_build_throughput: construction hot path (n=%zu)\n", n);
+  std::printf("cpu caps: %s\n", simd::caps_string().c_str());
+  std::printf("simd tier: requested=%s active=%s\n",
+              simd::tier_name(simd::requested_tier()),
+              simd::tier_name(simd::active_tier()));
 
   auto f32 = make_text2image_like(n, 1, 31);
   auto u8 = make_bigann_like(n, 1, 32);
@@ -132,6 +136,24 @@ int main(int argc, char** argv) {
     } else {
       std::printf("float diskann build speedup %.2fx >= 1.5x — PASS\n",
                   diskann_float_speedup);
+    }
+
+    // Per-SIMD-tier float diskann build throughput (informational): the
+    // QPS-side 1.5x tier gate lives in bench_qps; here the interest is how
+    // much of a build is kernel-bound on this machine.
+    {
+      Table tiers({"diskann float build", "pts/s"});
+      for (int t = 0; t < simd::kNumTiers; ++t) {
+        auto tier = static_cast<simd::Tier>(t);
+        if (!simd::tier_supported(tier)) continue;
+        simd::ScopedTier scoped(tier);
+        tiers.add_row({simd::tier_name(tier),
+                       ann::fmt(build_pts_per_sec(n, [&] {
+                         return build_diskann<EuclideanSquared>(f32.base, dprm);
+                       }), 0)});
+      }
+      std::printf("\n## float diskann build per SIMD tier, 1 thread\n");
+      tiers.print();
     }
     parlay::set_num_workers(0);
   }
@@ -207,6 +229,32 @@ int main(int argc, char** argv) {
       auto a = build_pynndescent<EuclideanSquared>(uid.base, pprm);
       auto b = build_pynndescent<scalarref::EuclideanSquared>(uid.base, pprm);
       check("pynndescent", a.graph == b.graph && a.start == b.start);
+    }
+  }
+
+  // --- 2c. uint8 builds byte-identical across every SIMD tier ----------------
+  // Integer kernels accumulate exactly, so no ISA tier may change a graph.
+  // Always enforced, like 2a/2b: this is arithmetic, not timing.
+  {
+    auto uid = make_bigann_like(nid, 1, 36);
+    std::printf("\n## uint8 diskann build byte-identity across SIMD tiers\n");
+    std::vector<simd::Tier> tiers;
+    for (int t = 0; t < simd::kNumTiers; ++t) {
+      auto tier = static_cast<simd::Tier>(t);
+      if (simd::tier_supported(tier)) tiers.push_back(tier);
+    }
+    auto build_under = [&](simd::Tier tier) {
+      simd::ScopedTier scoped(tier);
+      return build_diskann<EuclideanSquared>(uid.base, dprm);
+    };
+    auto ref = build_under(tiers.front());
+    std::printf("%-28s reference\n", simd::tier_name(tiers.front()));
+    for (std::size_t i = 1; i < tiers.size(); ++i) {
+      auto built = build_under(tiers[i]);
+      bool ok = built.graph == ref.graph && built.start == ref.start;
+      std::printf("%-28s %s\n", simd::tier_name(tiers[i]),
+                  ok ? "PASS" : "FAIL");
+      if (!ok) ++failures;
     }
   }
 

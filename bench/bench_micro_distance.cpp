@@ -1,8 +1,14 @@
 // Microbenchmarks (google-benchmark): distance kernels per element type and
-// dimension — "the most expensive part" of ANNS per §5.5.
+// dimension — "the most expensive part" of ANNS per §5.5. The statically
+// registered benchmarks run under whatever tier dispatch selected
+// (ANN_SIMD-overridable); main() additionally registers a
+// `BM_.../tier:<name>` variant per force-able SIMD tier so one run compares
+// scalar vs generic vs every ISA tier on the same machine.
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <string>
 
 #include "core/dataset.h"
 #include "core/distance.h"
@@ -42,6 +48,60 @@ BENCHMARK(BM_L2_Float)->Arg(200)->Arg(128);
 BENCHMARK(BM_MIPS_Float)->Arg(200);
 BENCHMARK(BM_Cosine_Float)->Arg(200);
 
+// Per-tier variant: force `tier` for the duration of one benchmark run.
+template <typename T, typename Metric>
+void BM_DistanceForTier(benchmark::State& state, ann::simd::Tier tier,
+                        std::size_t d) {
+  ann::simd::ScopedTier scoped(tier);
+  auto ps = ann::make_uniform<T>(2, d, 0, 100, 3);
+  for (auto _ : state) {
+    float dist = Metric::distance(ps[0], ps[1], d);
+    benchmark::DoNotOptimize(dist);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(d));
+}
+
+void register_tier_benchmarks() {
+  for (int t = 0; t < ann::simd::kNumTiers; ++t) {
+    auto tier = static_cast<ann::simd::Tier>(t);
+    if (!ann::simd::tier_supported(tier)) continue;
+    std::string suffix = std::string("/tier:") + ann::simd::tier_name(tier);
+    benchmark::RegisterBenchmark(
+        ("BM_L2_Float" + suffix + "/200").c_str(), [tier](benchmark::State& s) {
+          BM_DistanceForTier<float, ann::EuclideanSquared>(s, tier, 200);
+        });
+    benchmark::RegisterBenchmark(
+        ("BM_L2_Uint8" + suffix + "/128").c_str(), [tier](benchmark::State& s) {
+          BM_DistanceForTier<std::uint8_t, ann::EuclideanSquared>(s, tier, 128);
+        });
+    benchmark::RegisterBenchmark(
+        ("BM_L2_Int8" + suffix + "/100").c_str(), [tier](benchmark::State& s) {
+          BM_DistanceForTier<std::int8_t, ann::EuclideanSquared>(s, tier, 100);
+        });
+    benchmark::RegisterBenchmark(
+        ("BM_MIPS_Float" + suffix + "/200").c_str(),
+        [tier](benchmark::State& s) {
+          BM_DistanceForTier<float, ann::NegInnerProduct>(s, tier, 200);
+        });
+    benchmark::RegisterBenchmark(
+        ("BM_Cosine_Float" + suffix + "/200").c_str(),
+        [tier](benchmark::State& s) {
+          BM_DistanceForTier<float, ann::Cosine>(s, tier, 200);
+        });
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::printf("cpu caps: %s\n", ann::simd::caps_string().c_str());
+  std::printf("simd tier: requested=%s active=%s\n",
+              ann::simd::tier_name(ann::simd::requested_tier()),
+              ann::simd::tier_name(ann::simd::active_tier()));
+  register_tier_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

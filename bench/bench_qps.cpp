@@ -1,13 +1,17 @@
 // bench_qps — query hot-path throughput and correctness harness.
 //
 // Three sections:
-//   1. Distance-kernel throughput, single thread: the vectorized 8-lane
-//      kernels (core/distance.h) vs the retained sequential reference
-//      (ann::scalarref). The float L2 kernel is expected to clear 2x.
+//   1. Distance-kernel throughput, single thread: the dispatched kernels
+//      (core/distance.h + core/simd/) vs the retained sequential reference
+//      (ann::scalarref). The float L2 kernel is expected to clear 2x over
+//      scalarref, and the best SIMD tier 1.5x over the generic tier; a
+//      per-tier float sweep and a cross-tier integer bit-identity check
+//      (section 1b, enforced at every scale) cover each force-able tier.
 //   2. Proof that the overhaul changed throughput, not results:
 //      * uint8 searches (integer accumulation is exact) must be
-//        BYTE-IDENTICAL between the vectorized and scalar-reference
-//        kernels — frontier and visited lists, ids and distances;
+//        BYTE-IDENTICAL between the dispatched and scalar-reference
+//        kernels under every force-able tier — frontier and visited
+//        lists, ids and distances;
 //      * batch_search under 1 worker and under the default worker count
 //        must be element-wise identical for uint8 and float backends (the
 //        per-thread scratch pool must not leak state between queries).
@@ -16,13 +20,25 @@
 //      API (same recall as before the rewrite, by section 2's identity).
 //
 // Usage: bench_qps [scale]   (scale < 1 shrinks n and kernel rounds; the
-// ctest smoke target runs `bench_qps 0.05`. The 2x kernel-speedup check is
-// reported always but only enforced at scale >= 1, where timing is stable.)
+// ctest smoke target runs `bench_qps 0.05`. The 2x kernel-speedup and the
+// 1.5x SIMD-tier checks are reported always but only enforced at scale >= 1,
+// where timing is stable. The cross-tier integer bit-identity checks are
+// enforced at EVERY scale — they are exact, not timing-dependent.)
 #include "bench_common.h"
 
 #include "algorithms/diskann.h"
 
 namespace {
+
+std::vector<ann::simd::Tier> available_tiers() {
+  std::vector<ann::simd::Tier> tiers;
+  for (int t = 0; t < ann::simd::kNumTiers; ++t) {
+    if (ann::simd::tier_supported(static_cast<ann::simd::Tier>(t))) {
+      tiers.push_back(static_cast<ann::simd::Tier>(t));
+    }
+  }
+  return tiers;
+}
 
 // Evaluations/second of Metric over a (query x points) sweep. The
 // accumulated checksum is returned through `sink` so the kernel calls
@@ -76,6 +92,10 @@ int main(int argc, char** argv) {
   int failures = 0;
 
   std::printf("bench_qps: query hot-path throughput (n=%zu, nq=%zu)\n", n, nq);
+  std::printf("cpu caps: %s\n", simd::caps_string().c_str());
+  std::printf("simd tier: requested=%s active=%s\n",
+              simd::tier_name(simd::requested_tier()),
+              simd::tier_name(simd::active_tier()));
 
   // --- 1. kernel throughput, single thread -----------------------------------
   {
@@ -115,7 +135,83 @@ int main(int argc, char** argv) {
       std::printf("float L2 kernel speedup %.2fx >= 2x — PASS\n",
                   float_l2_speedup);
     }
+
+    // Per-tier float kernel sweep: the same L2/MIPS/cosine measurements
+    // under each force-able tier, so regressions in a single ISA tier are
+    // visible even on machines where auto-dispatch picks a higher one.
+    {
+      Table tiers({"tier", "L2 f32 Mevals/s", "MIPS f32 Mevals/s",
+                   "cosine f32 Mevals/s"});
+      double generic_l2 = 0.0, best_simd_l2 = 0.0;
+      const char* best_name = nullptr;
+      for (simd::Tier tier : available_tiers()) {
+        simd::ScopedTier scoped(tier);
+        double l2 =
+            kernel_evals_per_sec<EuclideanSquared>(f32, qf32[0], rounds, sink);
+        double mips =
+            kernel_evals_per_sec<NegInnerProduct>(f32, qf32[0], rounds, sink);
+        double cos = kernel_evals_per_sec<Cosine>(f32, qf32[0], rounds, sink);
+        tiers.add_row({simd::tier_name(tier), ann::fmt(l2 / 1e6, 2),
+                       ann::fmt(mips / 1e6, 2), ann::fmt(cos / 1e6, 2)});
+        if (tier == simd::Tier::kGeneric) generic_l2 = l2;
+        if (tier > simd::Tier::kGeneric && l2 > best_simd_l2) {
+          best_simd_l2 = l2;
+          best_name = simd::tier_name(tier);
+        }
+      }
+      std::printf("\n## float kernels per SIMD tier, 1 thread (d=200)\n");
+      tiers.print();
+      if (best_name == nullptr) {
+        std::printf("no SIMD tier available on this CPU — "
+                    "1.5x tier gate skipped\n");
+      } else {
+        double ratio = best_simd_l2 / generic_l2;
+        if (ratio < 1.5) {
+          std::printf("float L2 %s-over-generic %.2fx < 1.5x", best_name,
+                      ratio);
+          if (s >= 1.0) {
+            std::printf(" — FAIL\n");
+            ++failures;
+          } else {
+            std::printf(" (not enforced at scale %.2f < 1)\n", s);
+          }
+        } else {
+          std::printf("float L2 %s-over-generic %.2fx >= 1.5x — PASS\n",
+                      best_name, ratio);
+        }
+      }
+    }
     parlay::set_num_workers(0);
+  }
+
+  // --- 1b. integer kernels bit-identical across every tier -------------------
+  // Exact int32 accumulation means NO tier is allowed to change an integer
+  // result. Enforced at every scale: this is arithmetic, not timing.
+  {
+    auto u8 = make_uniform<std::uint8_t>(64, 128, 0, 255, 21);
+    auto i8 = make_uniform<std::int8_t>(64, 100, -127, 127, 22);
+    auto qu8 = make_uniform<std::uint8_t>(1, 128, 0, 255, 23);
+    auto qi8 = make_uniform<std::int8_t>(1, 100, -127, 127, 24);
+    std::size_t bad = 0;
+    auto check_grid = [&](auto& pts, auto* q) {
+      const std::size_t d = pts.dims();
+      for (std::size_t i = 0; i < pts.size(); ++i) {
+        auto p = pts[static_cast<PointId>(i)];
+        float ref_l2 = scalarref::EuclideanSquared::eval(q, p, d);
+        float ref_ip = scalarref::NegInnerProduct::eval(q, p, d);
+        for (simd::Tier tier : available_tiers()) {
+          simd::ScopedTier scoped(tier);
+          if (EuclideanSquared::eval(q, p, d) != ref_l2) ++bad;
+          if (NegInnerProduct::eval(q, p, d) != ref_ip) ++bad;
+        }
+      }
+    };
+    check_grid(u8, qu8[0]);
+    check_grid(i8, qi8[0]);
+    std::printf("\ninteger kernels bit-identical across tiers: %s "
+                "(%zu mismatches)\n",
+                bad == 0 ? "PASS" : "FAIL", bad);
+    if (bad != 0) ++failures;
   }
 
   // --- 2. results are the scalar baseline's results ---------------------------
@@ -125,22 +221,27 @@ int main(int argc, char** argv) {
     auto ix = build_diskann<EuclideanSquared>(ds.base, prm);
     std::vector<PointId> starts{ix.start};
     SearchParams sp{.beam_width = 40, .k = 10};
-    std::size_t mismatches = 0;
-    for (std::size_t q = 0; q < ds.queries.size(); ++q) {
-      auto vec = beam_search<EuclideanSquared>(
-          ds.queries[static_cast<PointId>(q)], ds.base, ix.graph, starts, sp);
-      auto ref = beam_search<scalarref::EuclideanSquared>(
-          ds.queries[static_cast<PointId>(q)], ds.base, ix.graph, starts, sp);
-      if (!same_results(vec.frontier, ref.frontier) ||
-          !same_results(vec.visited, ref.visited)) {
-        ++mismatches;
+    // Run the dispatched kernels under EVERY force-able tier: uint8 math is
+    // exact, so each must reproduce the sequential reference byte for byte.
+    for (simd::Tier tier : available_tiers()) {
+      simd::ScopedTier scoped(tier);
+      std::size_t mismatches = 0;
+      for (std::size_t q = 0; q < ds.queries.size(); ++q) {
+        auto vec = beam_search<EuclideanSquared>(
+            ds.queries[static_cast<PointId>(q)], ds.base, ix.graph, starts, sp);
+        auto ref = beam_search<scalarref::EuclideanSquared>(
+            ds.queries[static_cast<PointId>(q)], ds.base, ix.graph, starts, sp);
+        if (!same_results(vec.frontier, ref.frontier) ||
+            !same_results(vec.visited, ref.visited)) {
+          ++mismatches;
+        }
       }
+      std::printf("\nuint8 search byte-identity vs scalar reference "
+                  "[tier=%s]: %s (%zu/%zu queries mismatched)\n",
+                  simd::tier_name(tier), mismatches == 0 ? "PASS" : "FAIL",
+                  mismatches, ds.queries.size());
+      if (mismatches != 0) ++failures;
     }
-    std::printf("\nuint8 search byte-identity vs scalar reference: %s "
-                "(%zu/%zu queries mismatched)\n",
-                mismatches == 0 ? "PASS" : "FAIL", mismatches,
-                ds.queries.size());
-    if (mismatches != 0) ++failures;
   }
 
   {

@@ -59,6 +59,7 @@
 #include "core/error.h"
 #include "core/points.h"
 #include "core/range_search.h"
+#include "core/simd/caps.h"
 #include "filter/filter_spec.h"
 #include "filter/label_store.h"
 #include "filter/post_filter.h"
@@ -242,6 +243,10 @@ class AnyIndex {
     // The label store is owned by the handle, not the backend, so its
     // residency is accounted here.
     if (labels_) s.memory_bytes += labels_->memory_bytes();
+    // Which SIMD kernel tier is serving this process's distance evaluations
+    // (numeric simd::Tier value; name via simd::tier_name — docs/SIMD.md).
+    s.details.emplace_back("simd_tier",
+                           static_cast<double>(simd::active_tier()));
     return s;
   }
 

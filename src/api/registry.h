@@ -138,6 +138,16 @@ inline void AnyIndex::save(const std::string& path) const {
   ioutil::AtomicFileWriter out(path);
   IndexContainerHeader header{spec_.algorithm, spec_.metric, spec_.dtype,
                               serialize_params(spec_.params)};
+  // Attribution metadata: float distances (and cosine, which is float math
+  // for every dtype) may differ in the last ulps across SIMD kernel tiers,
+  // so such containers record the tier that produced their bytes
+  // (docs/SIMD.md). Integer euclidean/neg-ip containers are bit-identical
+  // across tiers by contract — writing the tier there would break exactly
+  // that byte-identity, so the key is omitted. Loaders ignore unknown keys.
+  if (spec_.dtype == "float" || spec_.metric == "cosine") {
+    header.params.emplace_back("simd_tier",
+                               static_cast<double>(simd::active_tier()));
+  }
   std::vector<long> boundaries;
   write_container_header(out.file(), header, path);
   boundaries.push_back(std::ftell(out.file()));

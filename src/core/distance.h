@@ -38,6 +38,14 @@
 // same protocol. Tests and bench_qps instantiate searches against them to
 // prove the rewrite changes throughput, not results (bit-exact for integer
 // dtypes; deterministic fixed-order for float).
+//
+// SIMD tier dispatch: each metric's eval/prepare first consults
+// simd::active_table() (one relaxed atomic load). When a hand-written ISA
+// tier (AVX2, AVX-512 — src/core/simd/) is active, the call routes through
+// its function pointers; when the pointer is null (generic tier, or before
+// dispatch resolution), the inline kernels below run unchanged. Integer
+// kernels are bit-identical across every tier; float kernels are
+// deterministic within a tier. docs/SIMD.md has the full contract.
 #pragma once
 
 #include <cmath>
@@ -45,6 +53,7 @@
 #include <cstdint>
 #include <type_traits>
 
+#include "core/simd/kernel_table.h"
 #include "stats.h"
 
 namespace ann {
@@ -245,6 +254,11 @@ struct EuclideanSquared {
 
   template <typename T>
   static float eval(const T* a, const T* b, std::size_t d) {
+    if constexpr (simd::kHasKernels<T>) {
+      if (const simd::KernelTable* t = simd::active_table()) {
+        return (t->*simd::KernelsOf<T>::l2)(a, b, d);
+      }
+    }
     using Acc = typename internal::AccumOf<T>::type;
     return internal::l2_kernel<T, T, Acc>(a, b, d);
   }
@@ -273,6 +287,11 @@ struct NegInnerProduct {
 
   template <typename T>
   static float eval(const T* a, const T* b, std::size_t d) {
+    if constexpr (simd::kHasKernels<T>) {
+      if (const simd::KernelTable* t = simd::active_table()) {
+        return -(t->*simd::KernelsOf<T>::dot)(a, b, d);
+      }
+    }
     using Acc = typename internal::AccumOf<T>::type;
     return -internal::dot_kernel<T, T, Acc>(a, b, d);
   }
@@ -300,6 +319,11 @@ struct Cosine {
 
   template <typename T>
   static Prepared prepare(const T* q, std::size_t d) {
+    if constexpr (simd::kHasKernels<T>) {
+      if (const simd::KernelTable* t = simd::active_table()) {
+        return {std::sqrt((t->*simd::KernelsOf<T>::self_dot)(q, d))};
+      }
+    }
     return {std::sqrt(internal::self_dot(q, d))};
   }
 
@@ -307,6 +331,14 @@ struct Cosine {
   static float eval(const Prepared& prep, const T* a, const T* b,
                     std::size_t d) {
     float dot = 0.0f, nb = 0.0f;
+    if constexpr (simd::kHasKernels<T>) {
+      if (const simd::KernelTable* t = simd::active_table()) {
+        (t->*simd::KernelsOf<T>::dot_norm)(a, b, d, dot, nb);
+        float denom = prep.query_norm * std::sqrt(nb);
+        if (denom == 0.0f) return 1.0f;
+        return 1.0f - dot / denom;
+      }
+    }
     internal::dot_norm_kernel(a, b, d, dot, nb);
     float denom = prep.query_norm * std::sqrt(nb);
     if (denom == 0.0f) return 1.0f;
@@ -315,11 +347,20 @@ struct Cosine {
 
   // Fused single pass (per-pair construction call sites have no query
   // context to hoist into). Its |a|^2 lanes mirror prepare()'s self_dot
-  // exactly, so the two entry points stay bit-identical — asserted by
-  // tests/test_distance_kernels.cpp.
+  // exactly — in the inline kernels AND in every SIMD tier's table — so the
+  // two entry points stay bit-identical per tier. Asserted by
+  // tests/test_distance_kernels.cpp and tests/test_simd_kernels.cpp.
   template <typename T>
   static float eval(const T* a, const T* b, std::size_t d) {
     float dot = 0.0f, na = 0.0f, nb = 0.0f;
+    if constexpr (simd::kHasKernels<T>) {
+      if (const simd::KernelTable* t = simd::active_table()) {
+        (t->*simd::KernelsOf<T>::dot_norm2)(a, b, d, dot, na, nb);
+        float denom = std::sqrt(na) * std::sqrt(nb);
+        if (denom == 0.0f) return 1.0f;
+        return 1.0f - dot / denom;
+      }
+    }
     internal::dot_norm2_kernel(a, b, d, dot, na, nb);
     float denom = std::sqrt(na) * std::sqrt(nb);
     if (denom == 0.0f) return 1.0f;

@@ -1,0 +1,102 @@
+// CPU-feature detection and kernel-tier selection for the explicit SIMD
+// distance-kernel layer (src/core/simd/, docs/SIMD.md).
+//
+// A *tier* is one complete implementation of the distance-kernel primitive
+// set (L2^2, dot, and the cosine family) for float/uint8/int8:
+//
+//   kScalar   sequential loops, bit-identical to ann::scalarref — the
+//             debugging/attribution floor
+//   kGeneric  the portable multi-lane C++ kernels in core/distance.h that
+//             the compiler auto-vectorizes (the only tier before this layer
+//             existed, and the fallback everywhere else)
+//   kAvx2     hand-written AVX2+FMA intrinsics (simd_avx2.cpp)
+//   kAvx512   hand-written AVX-512 F/BW/DQ/VL intrinsics (simd_avx512.cpp)
+//
+// NEON is scaffolding only: simd_neon.cpp documents the slot but returns no
+// table yet, so AArch64 runs the generic tier (ANN_SIMD=neon maps there).
+//
+// Selection happens ONCE per process: caps() interrogates the CPU (cpuid
+// feature bits via __builtin_cpu_supports, which also verifies OS xsave
+// support for the wide register states), the ANN_SIMD environment variable
+// may override (`auto|avx512|avx2|generic|scalar`), and the winning tier is
+// installed in the dispatch global read by every Metric::eval call (see
+// kernel_table.h). An unsupported forced tier falls back to the best
+// supported one with a one-line stderr warning — it never crashes, and
+// active_tier() always reports what actually ran.
+//
+// Determinism contract per tier (docs/SIMD.md): integer kernels are
+// bit-identical across ALL tiers (int32 accumulation is exact); float
+// kernels are bitwise-reproducible within a tier (each tier fixes its
+// accumulation order) but may differ across tiers in the last ulps, so
+// byte-identity gates compare runs of the SAME tier, and cross-tier gates
+// use integer dtypes.
+#pragma once
+
+#include <string>
+
+namespace ann::simd {
+
+enum class Tier : int { kScalar = 0, kGeneric = 1, kAvx2 = 2, kAvx512 = 3 };
+
+inline constexpr int kNumTiers = 4;
+
+// Raw CPU feature bits, detected once (cheap cached reference thereafter).
+struct Caps {
+  bool avx2 = false;
+  bool fma = false;
+  bool avx512f = false;
+  bool avx512bw = false;
+  bool avx512dq = false;
+  bool avx512vl = false;
+  bool neon = false;  // compile-time on AArch64; no kernel tier yet
+};
+
+const Caps& caps();
+
+// Whether this machine can RUN the given tier (kScalar/kGeneric: always;
+// kAvx2: avx2+fma; kAvx512: f+bw+dq+vl).
+bool tier_supported(Tier tier);
+
+const char* tier_name(Tier tier);
+
+// One line of the form "avx2 fma avx512f ..." for bench/CI logs, so gate
+// numbers are attributable to the hardware that produced them.
+std::string caps_string();
+
+// The tier the dispatch layer is currently routing Metric::eval through.
+Tier active_tier();
+
+// What ANN_SIMD asked for at startup (== active_tier() unless the request
+// was unsupported and fell back, or a test forced a tier since).
+Tier requested_tier();
+
+// Parsed ANN_SIMD value. `auto_` covers unset/empty/"auto"; "neon" maps to
+// the generic tier while the NEON table is scaffolding; `valid` is false
+// for anything unrecognized (the resolver warns and treats it as auto).
+struct EnvRequest {
+  bool valid = true;
+  bool auto_ = true;
+  Tier tier = Tier::kGeneric;
+};
+EnvRequest parse_env(const char* value);
+
+// Force a tier (testing/benchmarking — this is how one process compares
+// tiers differentially). Throws std::invalid_argument if the tier is not
+// supported on this CPU. Returns the previously active tier. Not intended
+// for concurrent use with in-flight searches: call between builds/queries,
+// as the tests and benches do.
+Tier set_active_tier(Tier tier);
+
+// RAII tier override for tests/benches: restores the previous tier.
+class ScopedTier {
+ public:
+  explicit ScopedTier(Tier tier) : previous_(set_active_tier(tier)) {}
+  ~ScopedTier() { set_active_tier(previous_); }
+  ScopedTier(const ScopedTier&) = delete;
+  ScopedTier& operator=(const ScopedTier&) = delete;
+
+ private:
+  Tier previous_;
+};
+
+}  // namespace ann::simd

@@ -1,0 +1,27 @@
+// NEON kernel-tier scaffolding. There is no NEON table yet: AArch64 builds
+// run the generic tier (and ANN_SIMD=neon parses to the generic tier, see
+// caps.h). This TU exists so the slot — and the recipe for filling it — is
+// already wired through CMake, dispatch, and the conformance suite.
+//
+// To add a real ISA tier (NEON or anything else):
+//   1. Implement the 15 KernelTable entries here, upholding the tier
+//      contract (docs/SIMD.md): integer L2/dot accumulate exactly in int32
+//      (e.g. vmull_s8/vpadalq) so they are bit-identical to every other
+//      tier; float kernels fix ONE accumulation order (document the lane
+//      structure in a comment like simd_avx2.cpp does); the cosine family
+//      shares one accumulator structure so self_dot bitwise-matches
+//      dot_norm2's |a|^2.
+//   2. Return the table from neon_table() under #if defined(__ARM_NEON),
+//      add per-file flags in CMakeLists.txt if the baseline needs them,
+//      and flip caps().neon into tier_supported() in dispatch.cpp.
+//   3. Run tests/test_simd_kernels.cpp on the target hardware: the
+//      differential suite (vs scalarref, vs generic, prepared==plain
+//      bitwise, adversarial floats) is tier-agnostic and will pick the new
+//      table up from table_for() with no test changes.
+#include "core/simd/kernel_table.h"
+
+namespace ann::simd {
+
+const KernelTable* neon_table() { return nullptr; }
+
+}  // namespace ann::simd

@@ -1,0 +1,8 @@
+// Seeded violation: raw SIMD intrinsics belong in src/core/simd/ only.
+#pragma once
+#include <immintrin.h>
+
+inline float raw_intrinsics_violation(const float* a) {
+  __m256 v = _mm256_loadu_ps(a);
+  return _mm256_cvtss_f32(v);
+}

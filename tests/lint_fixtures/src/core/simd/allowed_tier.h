@@ -1,0 +1,8 @@
+// ISA code INSIDE src/core/simd/ is the raw-intrinsics rule's exemption:
+// the kernel tier is the one directory hand-written SIMD may live in.
+#pragma once
+#include <immintrin.h>
+
+inline __m256 simd_tier_load_ok(const float* a) {
+  return _mm256_loadu_ps(a);
+}

@@ -84,6 +84,18 @@ class FixtureRules(unittest.TestCase):
         self.assert_fires("layering", "src/core/layering_violation.h",
                           [3, 4])
 
+    def test_raw_intrinsics_fires(self):
+        # The include, the __m256 declaration + _mm256_ call line, and the
+        # bare _mm256_ call line.
+        self.assert_fires("raw-intrinsics",
+                          "src/core/raw_intrinsics_violation.h", [3, 6, 7])
+
+    def test_simd_tier_dir_exempt_from_raw_intrinsics(self):
+        hits = [f for f in self.found
+                if f[0] == "src/core/simd/allowed_tier.h"]
+        self.assertEqual(hits, [], "src/core/simd/ is the kernel tier's "
+                                   "home and is exempt by design")
+
     def test_backend_conformance_fires(self):
         rows = [(p, l) for p, l, r in self.found
                 if r == "backend-conformance"]
@@ -116,6 +128,7 @@ class FixtureRules(unittest.TestCase):
             "src/core/counted_distance_violation.h",
             "src/core/missing_guard_violation.h",
             "src/core/layering_violation.h", "src/core/bad_allow_marker.h",
+            "src/core/raw_intrinsics_violation.h",
             "src/api/fixture_backends.cpp",
         }
         self.assertEqual({p for p, _, _ in self.found}, expected_files)

@@ -123,6 +123,41 @@ TEST(DistanceKernels, CosineZeroNormGuard) {
   EXPECT_FLOAT_EQ(Cosine::eval(prep, z.data(), a.data(), 16), 1.0f);
 }
 
+// Degenerate dims: d=0 never enters any loop (and must not touch the
+// pointers at all), d=1 is pure remainder handling — one element through
+// whatever tail path the kernel (generic inline or dispatched SIMD tier)
+// uses. Regression for the dim sweep above starting at 1 and the SIMD
+// dispatch shim's tail staging.
+TEST(DistanceKernels, DimZeroAndDimOneDegenerateRemainders) {
+  // d == 0: empty vectors define zero sums; cosine's 0-norm guard fires.
+  EXPECT_EQ(EuclideanSquared::eval<float>(nullptr, nullptr, 0), 0.0f);
+  EXPECT_EQ(NegInnerProduct::eval<float>(nullptr, nullptr, 0), -0.0f);
+  EXPECT_EQ(Cosine::eval<float>(nullptr, nullptr, 0), 1.0f);
+  EXPECT_EQ(EuclideanSquared::eval<std::uint8_t>(nullptr, nullptr, 0), 0.0f);
+  EXPECT_EQ(Cosine::eval<std::uint8_t>(nullptr, nullptr, 0), 1.0f);
+  auto prep0 = Cosine::prepare<float>(nullptr, 0);
+  EXPECT_EQ(prep0.query_norm, 0.0f);
+  EXPECT_EQ(Cosine::eval<float>(prep0, nullptr, nullptr, 0), 1.0f);
+
+  // d == 1: single-element math has one rounding per operation, so every
+  // kernel shape must produce the identical float.
+  float fa[1] = {3.25f}, fb[1] = {-1.5f};
+  EXPECT_EQ(EuclideanSquared::eval(fa, fb, 1), (3.25f + 1.5f) * (3.25f + 1.5f));
+  EXPECT_EQ(NegInnerProduct::eval(fa, fb, 1), -(3.25f * -1.5f));
+  EXPECT_EQ(EuclideanSquared::eval(fa, fb, 1),
+            ann::scalarref::EuclideanSquared::eval(fa, fb, 1));
+  EXPECT_EQ(Cosine::eval(fa, fb, 1), ann::scalarref::Cosine::eval(fa, fb, 1));
+  auto prep1 = Cosine::prepare(fa, 1);
+  EXPECT_EQ(Cosine::eval(prep1, fa, fb, 1), Cosine::eval(fa, fb, 1));
+
+  std::uint8_t ua[1] = {200}, ub[1] = {13};
+  EXPECT_EQ(EuclideanSquared::eval(ua, ub, 1), float((200 - 13) * (200 - 13)));
+  EXPECT_EQ(NegInnerProduct::eval(ua, ub, 1), -float(200 * 13));
+  std::int8_t ia[1] = {-128}, ib[1] = {127};
+  EXPECT_EQ(EuclideanSquared::eval(ia, ib, 1), float(255 * 255));
+  EXPECT_EQ(NegInnerProduct::eval(ia, ib, 1), -float(-128 * 127));
+}
+
 TEST(DistanceKernels, BatchedBumpAndCountedDistance) {
   ann::DistanceCounter::reset();
   float a[4] = {1, 2, 3, 4}, b[4] = {4, 3, 2, 1};

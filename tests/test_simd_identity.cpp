@@ -1,0 +1,195 @@
+// End-to-end SIMD-tier identity properties (docs/SIMD.md), the ctest-visible
+// form of the byte-identity gates bench_build_throughput enforces at scale:
+//
+//   * INTEGER dtypes: build + save under the generic tier is byte-identical
+//     to build + save under every forced SIMD tier (uint8 diskann/hnsw),
+//     and searches return element-wise identical results across tiers —
+//     integer kernels are exact, so the tier may change nothing.
+//   * FLOAT dtype: within one forced tier, 1-worker and N-worker builds are
+//     byte-identical (the per-tier determinism contract); across tiers the
+//     bytes may differ in last-ulp-sensitive decisions, which is exactly
+//     why the container records the tier for float/cosine indexes.
+//   * Attribution: AnyIndex::stats() reports the active tier; float and
+//     cosine containers carry a "simd_tier" header KV; integer euclidean
+//     containers omit it (it would break their cross-tier byte-identity).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "api/registry.h"
+#include "core/dataset.h"
+#include "core/index_io.h"
+#include "parlay/parallel.h"
+
+namespace {
+
+using ann::simd::Tier;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+std::vector<Tier> available_tiers() {
+  std::vector<Tier> tiers;
+  for (int t = 0; t < ann::simd::kNumTiers; ++t) {
+    if (ann::simd::tier_supported(static_cast<Tier>(t))) {
+      tiers.push_back(static_cast<Tier>(t));
+    }
+  }
+  return tiers;
+}
+
+constexpr ann::QueryParams kEffort{.beam_width = 32, .k = 10};
+
+// Build + save under `tier`, return the container bytes.
+template <typename T>
+std::string build_bytes(const std::string& algorithm,
+                        const std::string& metric, const std::string& dtype,
+                        const ann::PointSet<T>& points, Tier tier) {
+  ann::simd::ScopedTier scoped(tier);
+  auto index = ann::make_index(algorithm, metric, dtype);
+  index.build(points);
+  std::string path = temp_path("simd_identity_" + algorithm + "_" +
+                               std::string(ann::simd::tier_name(tier)) +
+                               ".ann");
+  index.save(path);
+  std::string bytes = read_file_bytes(path);
+  std::remove(path.c_str());
+  return bytes;
+}
+
+TEST(SimdIdentity, Uint8BuildsByteIdenticalAcrossAllTiers) {
+  auto ds = ann::make_bigann_like(600, 10, 77);
+  for (const char* algorithm : {"diskann", "hnsw"}) {
+    std::string reference;
+    for (Tier tier : available_tiers()) {
+      std::string bytes =
+          build_bytes(algorithm, "euclidean", "uint8", ds.base, tier);
+      if (reference.empty()) {
+        reference = std::move(bytes);
+        ASSERT_FALSE(reference.empty());
+      } else {
+        EXPECT_EQ(bytes, reference)
+            << algorithm << " bytes diverge under tier "
+            << ann::simd::tier_name(tier);
+      }
+    }
+  }
+}
+
+TEST(SimdIdentity, Uint8SearchResultsIdenticalAcrossAllTiers) {
+  auto ds = ann::make_bigann_like(600, 20, 78);
+  auto index = ann::make_index("diskann", "euclidean", "uint8");
+  index.build(ds.base);
+  std::vector<std::vector<ann::Neighbor>> reference;
+  for (Tier tier : available_tiers()) {
+    ann::simd::ScopedTier scoped(tier);
+    auto results = index.batch_search(ds.queries, kEffort);
+    if (reference.empty()) {
+      reference = std::move(results);
+      ASSERT_FALSE(reference.empty());
+      continue;
+    }
+    ASSERT_EQ(results.size(), reference.size());
+    for (std::size_t q = 0; q < results.size(); ++q) {
+      ASSERT_EQ(results[q].size(), reference[q].size()) << "query " << q;
+      for (std::size_t i = 0; i < results[q].size(); ++i) {
+        EXPECT_EQ(results[q][i].id, reference[q][i].id)
+            << ann::simd::tier_name(tier) << " query " << q << " rank " << i;
+        EXPECT_EQ(results[q][i].dist, reference[q][i].dist)
+            << ann::simd::tier_name(tier) << " query " << q << " rank " << i;
+      }
+    }
+  }
+}
+
+TEST(SimdIdentity, FloatBuildsByteIdenticalAcrossWorkerCountsPerTier) {
+  auto ds = ann::make_text2image_like(500, 10, 79);
+  for (Tier tier : available_tiers()) {
+    // Cosine exercises the prepared-query path inside the build as well.
+    parlay::set_num_workers(1);
+    std::string one = build_bytes("diskann", "cosine", "float", ds.base, tier);
+    parlay::set_num_workers(0);  // restore hardware default
+    std::string many = build_bytes("diskann", "cosine", "float", ds.base, tier);
+    EXPECT_EQ(one, many) << "1-vs-N workers diverge within tier "
+                         << ann::simd::tier_name(tier);
+  }
+}
+
+TEST(SimdIdentity, ContainerRecordsTierForFloatAndCosineOnly) {
+  auto check_header = [](const std::string& path, bool expect_key) {
+    auto* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    auto header = ann::read_container_header(f, path);
+    std::fclose(f);
+    bool found = false;
+    double value = -1.0;
+    for (const auto& [key, v] : header.params) {
+      if (key == "simd_tier") {
+        found = true;
+        value = v;
+      }
+    }
+    EXPECT_EQ(found, expect_key) << path;
+    if (expect_key) {
+      EXPECT_EQ(value, static_cast<double>(ann::simd::active_tier())) << path;
+    }
+  };
+
+  auto fds = ann::make_text2image_like(300, 5, 80);
+  auto uds = ann::make_bigann_like(300, 5, 81);
+
+  {
+    auto index = ann::make_index("diskann", "euclidean", "float");
+    index.build(fds.base);
+    std::string path = temp_path("simd_hdr_float.ann");
+    index.save(path);
+    check_header(path, true);
+    std::remove(path.c_str());
+  }
+  {
+    // Cosine is float math for every dtype, so uint8+cosine records too.
+    auto index = ann::make_index("hnsw", "cosine", "uint8");
+    index.build(uds.base);
+    std::string path = temp_path("simd_hdr_u8_cosine.ann");
+    index.save(path);
+    check_header(path, true);
+    std::remove(path.c_str());
+  }
+  {
+    auto index = ann::make_index("diskann", "euclidean", "uint8");
+    index.build(uds.base);
+    std::string path = temp_path("simd_hdr_u8_l2.ann");
+    index.save(path);
+    check_header(path, false);  // key would break cross-tier byte-identity
+    // The extra KV must not break loading either way.
+    auto loaded = ann::AnyIndex::load(path);
+    EXPECT_EQ(loaded.spec().algorithm, "diskann");
+    std::remove(path.c_str());
+  }
+}
+
+TEST(SimdIdentity, StatsReportTheActiveTier) {
+  auto ds = ann::make_bigann_like(300, 5, 82);
+  auto index = ann::make_index("diskann", "euclidean", "uint8");
+  index.build(ds.base);
+  for (Tier tier : available_tiers()) {
+    ann::simd::ScopedTier scoped(tier);
+    EXPECT_EQ(index.stats().detail("simd_tier", -1.0),
+              static_cast<double>(tier));
+  }
+}
+
+}  // namespace

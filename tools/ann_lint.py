@@ -33,6 +33,13 @@ for the rule catalogue and the *why* behind each rule):
                        via ANN_REGISTER_INDEX) appears in each nine-backend
                        conformance suite, so a new backend cannot dodge the
                        API/filter/quantization contracts.
+  raw-intrinsics       no raw SIMD intrinsics (_mm*() calls, __m128/256/512
+                       vector types, <immintrin.h>-family includes) outside
+                       src/core/simd/. The explicit kernel tier is the one
+                       home for ISA-specific code: everything else goes
+                       through the dispatched KernelTable, so the
+                       conformance suite and the determinism contract cover
+                       every intrinsic actually shipped.
   tracked-artifact     no build-output paths (build*/...) tracked in git.
                        Committed build trees bloat history, leak host paths,
                        and rot instantly; .gitignore covers build*/ and this
@@ -87,8 +94,12 @@ RULES = (
     "include-guard",
     "layering",
     "backend-conformance",
+    "raw-intrinsics",
     "tracked-artifact",
 )
+
+# The one directory allowed to contain hand-written SIMD (the kernel tier).
+SIMD_TIER_DIR = "src/core/simd/"
 
 # First-path-component globs that are build output, never source. Matched
 # against `git ls-files` (tracked paths only — an untracked build tree is
@@ -104,6 +115,15 @@ WALL_CLOCK_RE = re.compile(
     r"|\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)"
 )
 METRIC_DISTANCE_RE = re.compile(r"\bMetric::distance\s*\(")
+# x86 intrinsic calls (_mm_/_mm256_/_mm512_...), raw vector register types,
+# and the intrinsic headers themselves (x86 and ARM families).
+INTRINSIC_RE = re.compile(r"\b_mm\d*_\w+\s*\(|\b__m(?:128|256|512)[a-z]*\b")
+INTRINSIC_INCLUDE_RE = re.compile(
+    r'#\s*include\s*[<"]'
+    r"(?:immintrin|x86intrin|x86gprintrin|emmintrin|xmmintrin|pmmintrin|"
+    r"smmintrin|tmmintrin|nmmintrin|wmmintrin|ammintrin|"
+    r"arm_neon|arm_sve)\.h"
+    r'[">]')
 LAYERING_RE = re.compile(
     r'#\s*include\s*["<](?:\.\./)*(?:bench|tests)/'
     r'|#\s*include\s*["<](?:bench_common\.h|test_helpers\.h)[">]'
@@ -354,6 +374,14 @@ def scan_file(path, relpath, allow_entries):
         if LAYERING_RE.search(line_keep):
             emit(idx, "layering",
                  "src/ must not include from bench/ or tests/")
+        if not relpath.startswith(SIMD_TIER_DIR):
+            if INTRINSIC_RE.search(line) or \
+                    INTRINSIC_INCLUDE_RE.search(line_keep):
+                emit(idx, "raw-intrinsics",
+                     "raw SIMD intrinsics outside src/core/simd/; "
+                     "implement a KernelTable tier there so dispatch, the "
+                     "conformance suite and the determinism contract "
+                     "cover it")
 
     if in_determinism_dir(relpath):
         for idx, msg in scan_unordered_iteration(code):

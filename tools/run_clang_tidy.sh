@@ -14,10 +14,11 @@
 #                 clang-tidy skip with exit 0 by design: the container
 #                 toolchain is gcc-only and the check runs in CI.
 #
-# The three .cpp TUs under src/ are the whole library surface:
+# The .cpp TUs under src/ are the whole library surface:
 # builtin_backends.cpp alone instantiates every backend and so drags in
-# nearly every header; HeaderFilterRegex in .clang-tidy scopes diagnostics
-# to src/ headers.
+# nearly every header; the core/simd/ TUs are the explicit kernel tier
+# (their per-file -m<isa> flags ride along via compile_commands.json);
+# HeaderFilterRegex in .clang-tidy scopes diagnostics to src/ headers.
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -68,6 +69,10 @@ fi
 
 tus=(
   "$root/src/core/io.cpp"
+  "$root/src/core/simd/dispatch.cpp"
+  "$root/src/core/simd/simd_avx2.cpp"
+  "$root/src/core/simd/simd_avx512.cpp"
+  "$root/src/core/simd/simd_neon.cpp"
   "$root/src/parlay/scheduler.cpp"
   "$root/src/api/builtin_backends.cpp"
 )
